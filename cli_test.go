@@ -1,0 +1,164 @@
+package goomp_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// End-to-end tests of the command-line drivers: each binary is built
+// once and run with small parameters, and its output is checked for
+// the markers a user relies on.
+
+var (
+	buildOnce sync.Once
+	binDir    string
+	buildErr  error
+)
+
+func binaries(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		binDir, buildErr = os.MkdirTemp("", "goomp-bin")
+		if buildErr != nil {
+			return
+		}
+		cmd := exec.Command("go", "build", "-o", binDir+string(os.PathSeparator),
+			"./cmd/...")
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			buildErr = &buildFailure{err: err, out: string(out)}
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building commands: %v", buildErr)
+	}
+	return binDir
+}
+
+type buildFailure struct {
+	err error
+	out string
+}
+
+func (b *buildFailure) Error() string { return b.err.Error() + "\n" + b.out }
+
+func run(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binaries(t), name), args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+	}
+	return string(out)
+}
+
+func mustContain(t *testing.T, out string, wants ...string) {
+	t.Helper()
+	for _, w := range wants {
+		if !strings.Contains(out, w) {
+			t.Errorf("output missing %q:\n%s", w, out)
+		}
+	}
+}
+
+func TestCLIOmpprof(t *testing.T) {
+	dir := t.TempDir()
+	out := run(t, "ompprof", "-workload", "pi", "-threads", "2",
+		"-sample", "1ms", "-trace", dir)
+	mustContain(t, out,
+		"pi ≈ 3.14159",
+		"collector tool report",
+		"OMP_EVENT_FORK",
+		"join site",
+		"traces written",
+	)
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no trace files written: %v", err)
+	}
+
+	// The offline pipeline consumes what ompprof wrote.
+	var paths []string
+	for _, e := range entries {
+		paths = append(paths, filepath.Join(dir, e.Name()))
+	}
+	rep := run(t, "ompreport", paths...)
+	mustContain(t, rep, "parallel regions (by site)", "per-thread activity")
+
+	dump := run(t, "tracedump", paths[0])
+	mustContain(t, dump, "samples", "OMP_EVENT")
+	summary := run(t, "tracedump", "-summary", paths[0])
+	mustContain(t, summary, "region", "calls")
+}
+
+func TestCLIOmpprofNPBWorkload(t *testing.T) {
+	out := run(t, "ompprof", "-workload", "EP", "-class", "S", "-threads", "2")
+	mustContain(t, out, "EP.S", "collector tool report")
+}
+
+func TestCLIEpccbench(t *testing.T) {
+	out := run(t, "epccbench", "-threads", "2", "-inner", "4", "-outer", "1",
+		"-delay", "4", "-sched", "-array")
+	mustContain(t, out,
+		"Figure 4",
+		"PARALLEL",
+		"BARRIER",
+		"schedbench",
+		"arraybench",
+		"FIRSTPRIVATE",
+	)
+}
+
+func TestCLINpbbenchTables(t *testing.T) {
+	out := run(t, "npbbench", "-class", "S", "-tables")
+	mustContain(t, out, "Table I", "LU-HP", "paper-calls", "298959")
+}
+
+func TestCLINpbbenchFigure(t *testing.T) {
+	out := run(t, "npbbench", "-class", "S", "-threads", "2", "-reps", "1",
+		"-bench", "EP")
+	mustContain(t, out, "Figure 5", "EP", "paper headline")
+}
+
+func TestCLIMzbenchTables(t *testing.T) {
+	out := run(t, "mzbench", "-class", "S", "-tables")
+	mustContain(t, out, "Table II", "SP-MZ", "436672")
+}
+
+func TestCLIMzbenchFigure(t *testing.T) {
+	out := run(t, "mzbench", "-class", "S", "-reps", "1", "-bench", "LU-MZ")
+	mustContain(t, out, "Figure 6", "LU-MZ", "paper headline")
+}
+
+func TestCLIOverheads(t *testing.T) {
+	out := run(t, "overheads", "-class", "S", "-reps", "1")
+	mustContain(t, out, "decomposition", "LU-HP", "SP-MZ", "81.22", "99.35")
+}
+
+func TestCLIBadFlags(t *testing.T) {
+	bins := binaries(t)
+	for _, c := range [][]string{
+		{"npbbench", "-class", "X"},
+		{"mzbench", "-class", "X"},
+		{"overheads", "-class", "X"},
+		{"epccbench", "-threads", "zero"},
+		{"tracedump"},
+		{"ompreport"},
+		{"ompprof", "-workload", "nope"},
+	} {
+		cmd := exec.Command(filepath.Join(bins, c[0]), c[1:]...)
+		if out, err := cmd.CombinedOutput(); err == nil {
+			t.Errorf("%v succeeded, want failure:\n%s", c, out)
+		}
+	}
+}
+
+func TestCLICSVOutput(t *testing.T) {
+	out := run(t, "npbbench", "-class", "S", "-threads", "2", "-reps", "1",
+		"-bench", "EP", "-csv")
+	mustContain(t, out, "benchmark,config,off_ns", "EP,2,")
+}

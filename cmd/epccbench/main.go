@@ -1,0 +1,96 @@
+// Command epccbench regenerates Figure 4: the percentage increase in
+// EPCC directive overheads when the OpenMP collector API is enabled,
+// for a sweep of thread counts. With -sched it additionally runs the
+// schedule microbenchmarks.
+//
+// Usage:
+//
+//	epccbench [-threads 4,8,16,32] [-inner 128] [-outer 5] [-delay 64] [-sched]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"goomp/internal/epcc"
+	"goomp/internal/experiments"
+	"goomp/internal/omp"
+)
+
+func main() {
+	threadsFlag := flag.String("threads", "4,8,16,32", "comma-separated thread counts")
+	inner := flag.Int("inner", 128, "constructs per timing (EPCC innerreps)")
+	outer := flag.Int("outer", 5, "timings per directive (EPCC outer reps)")
+	delay := flag.Int("delay", 64, "delay-loop length inside each construct")
+	sched := flag.Bool("sched", false, "also run the schedule benchmarks")
+	array := flag.Bool("array", false, "also run the data-clause (arraybench) benchmarks")
+	flag.Parse()
+
+	threads, err := parseInts(*threadsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "epccbench:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("Figure 4: EPCC directive overhead increase with ORA enabled\n")
+	fmt.Printf("(inner=%d outer=%d delay=%d)\n\n", *inner, *outer, *delay)
+	results, err := experiments.Figure4(threads, *inner, *outer, *delay)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "epccbench:", err)
+		os.Exit(1)
+	}
+	for _, t := range threads {
+		fmt.Printf("--- %d threads ---\n", t)
+		epcc.WriteTable(os.Stdout, results[t])
+		fmt.Println()
+	}
+
+	if *array {
+		for _, t := range threads {
+			rt := omp.New(omp.Config{NumThreads: t})
+			s := epcc.NewSuite(rt)
+			s.InnerReps = *inner
+			s.OuterReps = *outer
+			s.DelayLength = *delay
+			fmt.Printf("--- arraybench, %d threads ---\n", t)
+			fmt.Printf("%-14s %8s %14s %14s\n", "clause", "size", "mean", "per-region")
+			for _, r := range s.MeasureArrays() {
+				fmt.Printf("%-14s %8d %14v %14v\n", r.Clause, r.Size, r.Time.Mean, r.PerRegion)
+			}
+			rt.Close()
+			fmt.Println()
+		}
+	}
+
+	if *sched {
+		for _, t := range threads {
+			rt := omp.New(omp.Config{NumThreads: t})
+			s := epcc.NewSuite(rt)
+			s.InnerReps = *inner
+			s.OuterReps = *outer
+			s.DelayLength = *delay
+			fmt.Printf("--- schedbench, %d threads ---\n", t)
+			fmt.Printf("%-10s %6s %14s %14s\n", "schedule", "chunk", "mean", "per-iter")
+			for _, r := range s.MeasureSchedules(64) {
+				fmt.Printf("%-10s %6d %14v %14v\n", r.Schedule, r.Chunk, r.Time.Mean, r.PerIteration)
+			}
+			rt.Close()
+			fmt.Println()
+		}
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad thread count %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,95 @@
+// Command npbbench regenerates Figure 5 (profiling overheads for the
+// NPB3.2-OMP benchmarks at 1/2/4/8 threads) and Table I (parallel
+// regions and region calls per benchmark), printing measured values
+// beside the paper's.
+//
+// Usage:
+//
+//	npbbench [-class S|W|A|B] [-threads 1,2,4,8] [-reps 3] [-bench BT,EP,...] [-tables]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"goomp/internal/experiments"
+	"goomp/internal/npb"
+	"goomp/internal/tool"
+)
+
+func main() {
+	classFlag := flag.String("class", "W", "problem class: S, W, A or B")
+	threadsFlag := flag.String("threads", "1,2,4,8", "comma-separated thread counts")
+	reps := flag.Int("reps", 3, "timings per configuration (minimum taken)")
+	benchFlag := flag.String("bench", "", "comma-separated benchmark subset (default all)")
+	csvOut := flag.Bool("csv", false, "emit the figure rows as CSV and exit")
+	tablesOnly := flag.Bool("tables", false, "print Table I only (skip overhead timing)")
+	flag.Parse()
+
+	class := npb.Class((*classFlag)[0])
+	if !class.Valid() {
+		fmt.Fprintf(os.Stderr, "npbbench: bad class %q\n", *classFlag)
+		os.Exit(1)
+	}
+
+	if *tablesOnly {
+		rows := experiments.TableI(class, 4)
+		experiments.WriteTableI(os.Stdout, rows)
+		return
+	}
+
+	var threads []int
+	for _, part := range strings.Split(*threadsFlag, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			fmt.Fprintf(os.Stderr, "npbbench: bad thread count %q\n", part)
+			os.Exit(1)
+		}
+		threads = append(threads, v)
+	}
+	var names []string
+	if *benchFlag != "" {
+		for _, n := range strings.Split(*benchFlag, ",") {
+			names = append(names, strings.TrimSpace(n))
+		}
+	}
+
+	params := experiments.Figure5Params{
+		Class:        class,
+		ThreadCounts: threads,
+		Reps:         *reps,
+		Benchmarks:   names,
+		ToolOptions:  tool.FullMeasurement(),
+	}
+	rows, err := experiments.Figure5(params)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "npbbench:", err)
+		os.Exit(1)
+	}
+	if *csvOut {
+		if err := experiments.WriteCSV(os.Stdout, rows); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	experiments.WriteOverheadRows(os.Stdout,
+		fmt.Sprintf("Figure 5: NPB3.2-OMP profiling overheads (class %s)", class), rows)
+	fmt.Println()
+	experiments.WriteBarChart(os.Stdout, "Figure 5 (bars: overhead% by thread count)", rows)
+	fmt.Printf("\npaper headline: %s incurs the highest overhead; measured worst: %s\n",
+		experiments.PaperFigure5Worst, experiments.Worst(rows))
+
+	fmt.Println()
+	t1 := experiments.TableI(class, 4)
+	experiments.WriteTableI(os.Stdout, t1)
+	calls := make(map[string]uint64, len(t1))
+	for _, r := range t1 {
+		calls[r.Benchmark] = r.RegionCalls
+	}
+	fmt.Println()
+	experiments.WriteCallsChart(os.Stdout, "Table I (bars: region calls)", calls)
+}

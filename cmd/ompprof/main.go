@@ -1,0 +1,149 @@
+// Command ompprof is the prototype collector tool as a CLI: it runs a
+// workload on the goomp OpenMP runtime with the collector API enabled
+// — discovering the runtime through the simulated dynamic linker, as
+// the LD_PRELOAD tool of the paper does — and prints the profile: per
+// event counts, per-region timings, user-model join sites, and an
+// asynchronously sampled thread-state histogram.
+//
+// Usage:
+//
+//	ompprof [-workload pi|EP|CG|MG|FT|BT|SP|LU|LU-HP] [-class S|W|A|B]
+//	        [-threads 4] [-sample 1ms] [-trace DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"goomp/internal/collector"
+	"goomp/internal/npb"
+	"goomp/internal/omp"
+	"goomp/internal/tool"
+)
+
+func main() {
+	workload := flag.String("workload", "pi", "workload: pi, or an NPB benchmark name")
+	classFlag := flag.String("class", "S", "problem class for NPB workloads")
+	threads := flag.Int("threads", 4, "OpenMP threads")
+	sample := flag.Duration("sample", time.Millisecond, "state sampler period (0 disables)")
+	traceDir := flag.String("trace", "", "directory to write per-thread binary traces into (at exit)")
+	streamDir := flag.String("stream", "", "directory to stream trace chunks into during the run")
+	flag.Parse()
+
+	rt := omp.New(omp.Config{NumThreads: *threads})
+	defer rt.Close()
+	// Export the collector API symbol and discover it the way a real
+	// tool does.
+	if err := rt.RegisterSymbol(); err != nil {
+		fmt.Fprintln(os.Stderr, "ompprof:", err)
+		os.Exit(1)
+	}
+	opts := tool.FullMeasurement()
+	opts.SamplePeriod = *sample
+	opts.SampleThreads = *threads
+	opts.StreamDir = *streamDir
+	tl, err := tool.Attach(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ompprof:", err)
+		os.Exit(1)
+	}
+
+	start := time.Now()
+	if err := runWorkload(rt, *workload, npb.Class((*classFlag)[0])); err != nil {
+		fmt.Fprintln(os.Stderr, "ompprof:", err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+	tl.Detach()
+	if err := tl.StreamError(); err != nil {
+		fmt.Fprintln(os.Stderr, "ompprof: stream:", err)
+		os.Exit(1)
+	}
+	if *streamDir != "" {
+		fmt.Printf("trace chunks streamed to %s\n", *streamDir)
+	}
+
+	rep := tl.Report()
+	fmt.Printf("workload %q on %d threads: %v\n\n", *workload, *threads, elapsed)
+	if _, err := rep.WriteTo(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ompprof:", err)
+		os.Exit(1)
+	}
+	if rep.States != nil {
+		fmt.Printf("\nstate histogram (sampled every %v):\n", *sample)
+		for id := int32(0); id < int32(*threads); id++ {
+			if rep.States.Total(id) == 0 {
+				continue
+			}
+			fmt.Printf("  thread %d:", id)
+			for st := collector.State(0); int32(st) < collector.NumStates; st++ {
+				if f := rep.States.Fraction(id, int32(st)); f > 0.005 {
+					fmt.Printf(" %s=%.0f%%", st, 100*f)
+				}
+			}
+			fmt.Println()
+		}
+	}
+
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "ompprof:", err)
+			os.Exit(1)
+		}
+		var files []*os.File
+		err := tl.WriteTraces(func(thread int32) (io.Writer, error) {
+			f, err := os.Create(filepath.Join(*traceDir, fmt.Sprintf("trace.%d.psxt", thread)))
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+			return f, nil
+		})
+		for _, f := range files {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ompprof:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ntraces written to %s\n", *traceDir)
+	}
+}
+
+// runWorkload executes the selected workload on rt.
+func runWorkload(rt *omp.RT, name string, class npb.Class) error {
+	if name == "pi" {
+		computePi(rt, 2_000_000)
+		return nil
+	}
+	b, err := npb.ByName(name)
+	if err != nil {
+		return err
+	}
+	if !class.Valid() {
+		return fmt.Errorf("bad class %q", class)
+	}
+	res := b.Run(rt, class)
+	fmt.Printf("%v\n", res)
+	return nil
+}
+
+// computePi estimates π by the midpoint rule with a parallel-for
+// reduction — the canonical OpenMP first program.
+func computePi(rt *omp.RT, steps int) {
+	width := 1.0 / float64(steps)
+	var pi float64
+	rt.Parallel(func(tc *omp.ThreadCtx) {
+		local := 0.0
+		tc.ForNoWait(steps, func(i int) {
+			x := (float64(i) + 0.5) * width
+			local += 4.0 / (1.0 + x*x)
+		})
+		tc.ReduceFloat64(&pi, local*width)
+	})
+	fmt.Printf("pi ≈ %.9f\n", pi)
+}

@@ -1,0 +1,65 @@
+// Command ompreport is the offline analyzer: it reads the binary
+// per-thread traces a collector tool wrote (ompprof -trace DIR) and
+// reconstructs per-thread activity timelines, per-region timing and a
+// barrier-imbalance metric — the after-the-run reconstruction step of
+// the paper's measurement pipeline.
+//
+// Usage:
+//
+//	ompreport trace.0.psxt [trace.1.psxt ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"goomp/internal/analysis"
+	"goomp/internal/collector"
+	"goomp/internal/perf"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: ompreport trace.psxt ...")
+		os.Exit(2)
+	}
+	var samples []perf.Sample
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ompreport:", err)
+			os.Exit(1)
+		}
+		buf, err := perf.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ompreport: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		samples = append(samples, buf.Samples()...)
+	}
+	fmt.Printf("%d samples from %d trace files\n\n", len(samples), flag.NArg())
+
+	// Per-region timing from the master's fork/join markers, grouped
+	// by static region site (one row per parallel region of the source
+	// program).
+	sites := perf.RegionProfileBySite(samples,
+		int32(collector.EventFork), int32(collector.EventJoin))
+	if len(sites) > 0 {
+		fmt.Println("parallel regions (by site):")
+		perf.WriteRegionSiteTable(os.Stdout, sites, nil)
+		fmt.Println()
+	}
+
+	// Per-thread activity reconstruction.
+	tls := analysis.Timelines(samples)
+	if len(tls) > 0 {
+		fmt.Println("per-thread activity:")
+		analysis.Report(os.Stdout, tls)
+		if imb := analysis.BarrierImbalance(tls); imb > 0 {
+			fmt.Printf("\nbarrier imbalance (max/mean): %.2f\n", imb)
+		}
+	}
+}

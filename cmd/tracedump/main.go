@@ -1,0 +1,81 @@
+// Command tracedump reads the binary per-thread traces written by the
+// collector tool (ompprof -trace, or tool.WriteTraces) and prints them
+// — the offline half of the paper's measurement pipeline, where
+// performance data collected during the run is reconstructed after the
+// application finishes.
+//
+// Symbol resolution of stack PCs is only meaningful inside the process
+// that produced them, so tracedump prints events, states, regions and
+// timing, plus numeric stack summaries.
+//
+// Usage:
+//
+//	tracedump [-summary] trace.0.psxt [trace.1.psxt ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"goomp/internal/collector"
+	"goomp/internal/perf"
+)
+
+func main() {
+	summary := flag.Bool("summary", false, "print per-region statistics instead of raw samples")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: tracedump [-summary] trace.psxt ...")
+		os.Exit(2)
+	}
+	exit := 0
+	for _, path := range flag.Args() {
+		if err := dump(path, *summary); err != nil {
+			fmt.Fprintf(os.Stderr, "tracedump: %s: %v\n", path, err)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+func dump(path string, summary bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	buf, err := perf.ReadTrace(f)
+	if err != nil {
+		return err
+	}
+	samples := buf.Samples()
+	fmt.Printf("%s: %d samples, %d stacks, %d dropped\n",
+		path, len(samples), buf.NumStacks(), buf.Dropped())
+
+	if summary {
+		stats := perf.RegionProfile(samples,
+			int32(collector.EventFork), int32(collector.EventJoin))
+		perf.WriteRegionTable(os.Stdout, stats)
+		return nil
+	}
+
+	for i, s := range samples {
+		ev := "-"
+		if s.Event >= 0 {
+			ev = collector.Event(s.Event).String()
+		}
+		st := "-"
+		if s.State >= 0 {
+			st = collector.State(s.State).String()
+		}
+		fmt.Printf("  [%6d] t=%-14v thr=%-3d %-28s %-18s region=%-6d",
+			i, time.Duration(s.Time), s.Thread, ev, st, s.Region)
+		if s.StackID != perf.NoStack {
+			fmt.Printf(" stack=%d(%d frames)", s.StackID, len(buf.Stack(s.StackID)))
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,23 @@
+// Package goomp is an open-source implementation of the OpenMP Runtime
+// API for Profiling (ORA, the "OpenMP Collector API") on a Go fork-join
+// runtime, reproducing the system described in "Open Source Software
+// Support for the OpenMP Runtime API for Profiling" (ICPP 2009).
+//
+// The implementation lives under internal/:
+//
+//   - internal/omp        — the OpenMP-style runtime library
+//   - internal/collector  — the collector API (the paper's contribution)
+//   - internal/perf       — the PerfSuite/libpsx measurement library
+//   - internal/tool       — the prototype collector tool
+//   - internal/dl         — the simulated dynamic-linker symbol table
+//   - internal/epcc       — EPCC-style microbenchmarks (Figure 4)
+//   - internal/npb        — NAS Parallel Benchmark kernels (Figure 5, Table I)
+//   - internal/mpi        — in-process message passing for the MZ codes
+//   - internal/mz         — multi-zone hybrid benchmarks (Figure 6, Table II)
+//   - internal/experiments — drivers that regenerate every table and figure
+//
+// bench_test.go in this directory exposes one testing.B benchmark per
+// table and figure of the paper's evaluation; the cmd/ directory holds
+// the command-line experiment drivers, and examples/ holds runnable
+// demonstrations of the public API.
+package goomp

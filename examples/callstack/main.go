@@ -1,0 +1,88 @@
+// Callstack: the user-model reconstruction of §IV-F. The collector
+// records the implementation-model callstack at each join event; this
+// example prints one such stack side by side with its reconstructed
+// user model, showing how runtime-library and measurement frames are
+// stripped so the profile maps back to the source code the user wrote
+// (here: two distinct call paths into the same parallel region).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"goomp/internal/collector"
+	"goomp/internal/omp"
+	"goomp/internal/perf"
+)
+
+func main() {
+	rt := omp.New(omp.Config{NumThreads: 2})
+	defer rt.Close()
+
+	// A hand-rolled collector: register for join events and capture
+	// the raw implementation-model stack of the first one.
+	col := rt.Collector()
+	q := col.NewQueue()
+	if ec := collector.Control(q, collector.ReqStart); ec != collector.ErrOK {
+		log.Fatalf("start: %v", ec)
+	}
+	var captured []uintptr
+	h := col.NewCallbackHandle(func(e collector.Event, ti *collector.ThreadInfo) {
+		if captured == nil {
+			captured = perf.Callstack(0, 64)
+		}
+	})
+	if ec := collector.Register(q, collector.EventJoin, h); ec != collector.ErrOK {
+		log.Fatalf("register: %v", ec)
+	}
+
+	simulatePhysics(rt)
+
+	frames := perf.Resolve(captured)
+	stripper := perf.NewStripper("main.main") // keep the example's own work frames only
+	user := perf.NewStripper().UserModel(frames)
+
+	fmt.Println("implementation-model callstack at the join event:")
+	for _, f := range frames {
+		fmt.Printf("  %-60s %s:%d\n", f.Func, f.File, f.Line)
+	}
+	fmt.Println("\nreconstructed user-model callstack:")
+	for _, f := range user {
+		fmt.Printf("  %-60s %s:%d\n", f.Func, f.File, f.Line)
+	}
+	if leaf, ok := stripper.Leaf(frames); ok {
+		fmt.Printf("\nprofile attribution: %s (%s:%d)\n", leaf.Func, leaf.File, leaf.Line)
+	}
+}
+
+// simulatePhysics is the "application layer": it calls into a shared
+// numerical helper, which contains the parallel region. The user model
+// must show simulatePhysics → relaxField, with no omp/collector/perf
+// frames in between.
+func simulatePhysics(rt *omp.RT) {
+	field := make([]float64, 1<<14)
+	for i := range field {
+		field[i] = float64(i % 17)
+	}
+	for sweep := 0; sweep < 3; sweep++ {
+		relaxField(rt, field)
+	}
+}
+
+// relaxField runs one parallel smoothing sweep.
+func relaxField(rt *omp.RT, field []float64) {
+	next := make([]float64, len(field))
+	rt.Parallel(func(tc *omp.ThreadCtx) {
+		tc.For(len(field), func(i int) {
+			l, r := i-1, i+1
+			if l < 0 {
+				l = 0
+			}
+			if r >= len(field) {
+				r = len(field) - 1
+			}
+			next[i] = (field[l] + field[i] + field[r]) / 3
+		})
+	})
+	copy(field, next)
+}

@@ -1,0 +1,55 @@
+// Quickstart: create an OpenMP-style runtime, export its collector
+// API, attach the profiling tool through the (simulated) dynamic
+// linker, run a parallel reduction, and print the profile — the whole
+// collector handshake of the paper in thirty lines of user code.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"goomp/internal/omp"
+	"goomp/internal/tool"
+)
+
+func main() {
+	// An OpenMP runtime with four threads. The worker pool is created
+	// at the first parallel region and sleeps between regions.
+	rt := omp.New(omp.Config{NumThreads: 4})
+	defer rt.Close()
+
+	// Export __omp_collector_api so tools can discover the runtime.
+	if err := rt.RegisterSymbol(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Attach the collector tool: START + REGISTER(fork, join, implicit
+	// barrier), storing a time-counter sample per event and the
+	// callstack at each join.
+	tl, err := tool.Attach(tool.FullMeasurement())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The workload: numerically integrate 4/(1+x²) over [0,1].
+	const steps = 1_000_000
+	width := 1.0 / float64(steps)
+	var pi float64
+	rt.Parallel(func(tc *omp.ThreadCtx) {
+		local := 0.0
+		tc.ForNoWait(steps, func(i int) {
+			x := (float64(i) + 0.5) * width
+			local += 4.0 / (1.0 + x*x)
+		})
+		// The reduction serializes the shared update under the team's
+		// reduction lock, tracking THR_REDUC_STATE.
+		tc.ReduceFloat64(&pi, local*width)
+	})
+	fmt.Printf("pi ≈ %.9f\n\n", pi)
+
+	tl.Detach()
+	if _, err := tl.Report().WriteTo(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

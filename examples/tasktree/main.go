@@ -1,0 +1,104 @@
+// Tasktree: the OpenMP 3.0 tasking extension (the paper's §VI names
+// task support as the interface's next required step). A recursive
+// task-parallel mergesort runs under the collector with the task
+// events registered, so the profile counts task creations and
+// executions and shows which threads stole how much work.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"goomp/internal/collector"
+	"goomp/internal/npb"
+	"goomp/internal/omp"
+	"goomp/internal/tool"
+)
+
+const (
+	elements = 1 << 15
+	cutoff   = 1 << 9 // below this, sort serially instead of tasking
+)
+
+func mergesort(tc *omp.ThreadCtx, data, scratch []float64) {
+	if len(data) <= cutoff {
+		sort.Float64s(data)
+		return
+	}
+	mid := len(data) / 2
+	tc.Task(func(inner *omp.ThreadCtx) {
+		mergesort(inner, data[:mid], scratch[:mid])
+	})
+	mergesort(tc, data[mid:], scratch[mid:])
+	tc.Taskwait() // join the left half before merging
+
+	copy(scratch, data)
+	l, r := 0, mid
+	for i := range data {
+		switch {
+		case l >= mid:
+			data[i] = scratch[r]
+			r++
+		case r >= len(data):
+			data[i] = scratch[l]
+			l++
+		case scratch[l] <= scratch[r]:
+			data[i] = scratch[l]
+			l++
+		default:
+			data[i] = scratch[r]
+			r++
+		}
+	}
+}
+
+func main() {
+	rt := omp.New(omp.Config{NumThreads: 4})
+	defer rt.Close()
+
+	tl, err := tool.AttachRuntime(rt, tool.Options{
+		Measure: true,
+		Events: []collector.Event{
+			collector.EventFork, collector.EventJoin,
+			collector.EventTaskCreate,
+			collector.EventThrBeginTask, collector.EventThrEndTask,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Deterministic input from the NPB generator.
+	g := npb.NewLCG(npb.DefaultSeed)
+	data := make([]float64, elements)
+	g.Fill(data)
+	scratch := make([]float64, elements)
+
+	rt.Parallel(func(tc *omp.ThreadCtx) {
+		// One thread seeds the recursion; the whole team executes the
+		// resulting task tree (idle threads steal from the pool at the
+		// region's closing barrier).
+		tc.SingleNoWait(func() { mergesort(tc, data, scratch) })
+		tc.Barrier()
+	})
+	tl.Detach()
+
+	if !sort.Float64sAreSorted(data) {
+		log.Fatal("mergesort produced unsorted output")
+	}
+	fmt.Printf("sorted %d elements with task-parallel mergesort\n\n", elements)
+
+	rep := tl.Report()
+	fmt.Println("task events:")
+	for _, e := range []collector.Event{
+		collector.EventTaskCreate,
+		collector.EventThrBeginTask,
+		collector.EventThrEndTask,
+	} {
+		fmt.Printf("  %-28s %d\n", e, rep.Events[e])
+	}
+	if rep.Events[collector.EventTaskCreate] != rep.Events[collector.EventThrEndTask] {
+		log.Fatal("task create/end counts diverge")
+	}
+}

@@ -1,0 +1,3 @@
+module goomp
+
+go 1.22

@@ -1,0 +1,204 @@
+// Package analysis is the offline half of the measurement pipeline:
+// it reconstructs thread behaviour from event traces after the
+// application finishes (§IV: "Reconstructing the callstack to provide
+// a user view of the program is done offline after the application
+// finishes" — the same applies to timeline reconstruction). Given the
+// samples a collector tool stored, it rebuilds per-thread interval
+// timelines from begin/end event pairs, aggregates time per activity,
+// and computes imbalance metrics a performance analyst would read.
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"goomp/internal/collector"
+	"goomp/internal/perf"
+)
+
+// Interval is one reconstructed activity span on a thread: Kind is the
+// begin event that opened it.
+type Interval struct {
+	Kind  collector.Event
+	Start int64
+	End   int64
+}
+
+// Duration returns the interval length.
+func (iv Interval) Duration() time.Duration { return time.Duration(iv.End - iv.Start) }
+
+// pairs maps each begin event to its end event.
+var pairs = map[collector.Event]collector.Event{
+	collector.EventThrBeginIdle:      collector.EventThrEndIdle,
+	collector.EventThrBeginIBar:      collector.EventThrEndIBar,
+	collector.EventThrBeginEBar:      collector.EventThrEndEBar,
+	collector.EventThrBeginLkwt:      collector.EventThrEndLkwt,
+	collector.EventThrBeginCtwt:      collector.EventThrEndCtwt,
+	collector.EventThrBeginOdwt:      collector.EventThrEndOdwt,
+	collector.EventThrBeginAtwt:      collector.EventThrEndAtwt,
+	collector.EventThrBeginMaster:    collector.EventThrEndMaster,
+	collector.EventThrBeginSingle:    collector.EventThrEndSingle,
+	collector.EventThrBeginOrdered:   collector.EventThrEndOrdered,
+	collector.EventThrBeginReduction: collector.EventThrEndReduction,
+	collector.EventThrBeginLoop:      collector.EventThrEndLoop,
+	collector.EventThrBeginTask:      collector.EventThrEndTask,
+}
+
+// endToBegin is the inverse of pairs.
+var endToBegin = func() map[collector.Event]collector.Event {
+	m := make(map[collector.Event]collector.Event, len(pairs))
+	for b, e := range pairs {
+		m[e] = b
+	}
+	return m
+}()
+
+// IsBegin reports whether e opens an interval.
+func IsBegin(e collector.Event) bool { _, ok := pairs[e]; return ok }
+
+// IsEnd reports whether e closes an interval.
+func IsEnd(e collector.Event) bool { _, ok := endToBegin[e]; return ok }
+
+// Timeline is one thread's reconstructed activity.
+type Timeline struct {
+	Thread    int32
+	Intervals []Interval
+	// Unbalanced counts events that could not be paired (an end with
+	// no matching open, or opens left dangling at trace end; the
+	// latter are closed at the last sample time and still reported as
+	// intervals).
+	Unbalanced int
+}
+
+// Timelines reconstructs one timeline per thread from trace samples.
+// Samples may be unsorted; they are ordered by time per thread.
+// Nesting is handled with a per-thread stack (a lock wait inside a
+// worksharing loop closes before the loop does).
+func Timelines(samples []perf.Sample) []Timeline {
+	byThread := make(map[int32][]perf.Sample)
+	for _, s := range samples {
+		if s.Event < 0 {
+			continue
+		}
+		byThread[s.Thread] = append(byThread[s.Thread], s)
+	}
+	threads := make([]int32, 0, len(byThread))
+	for th := range byThread {
+		threads = append(threads, th)
+	}
+	sort.Slice(threads, func(i, j int) bool { return threads[i] < threads[j] })
+
+	out := make([]Timeline, 0, len(threads))
+	for _, th := range threads {
+		ss := byThread[th]
+		sort.SliceStable(ss, func(i, j int) bool { return ss[i].Time < ss[j].Time })
+		tl := Timeline{Thread: th}
+		var stack []Interval
+		var last int64
+		for _, s := range ss {
+			last = s.Time
+			e := collector.Event(s.Event)
+			switch {
+			case IsBegin(e):
+				stack = append(stack, Interval{Kind: e, Start: s.Time})
+			case IsEnd(e):
+				want := endToBegin[e]
+				// Pop to the matching open, tolerating mismatches by
+				// discarding inner unbalanced opens.
+				matched := false
+				for len(stack) > 0 {
+					top := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					if top.Kind == want {
+						top.End = s.Time
+						tl.Intervals = append(tl.Intervals, top)
+						matched = true
+						break
+					}
+					tl.Unbalanced++
+				}
+				if !matched {
+					tl.Unbalanced++
+				}
+			}
+		}
+		// Close dangling opens at the final sample time.
+		for _, iv := range stack {
+			iv.End = last
+			tl.Intervals = append(tl.Intervals, iv)
+			tl.Unbalanced++
+		}
+		sort.Slice(tl.Intervals, func(i, j int) bool {
+			return tl.Intervals[i].Start < tl.Intervals[j].Start
+		})
+		out = append(out, tl)
+	}
+	return out
+}
+
+// ActivityTimes sums interval durations per begin-event kind.
+func ActivityTimes(tl Timeline) map[collector.Event]time.Duration {
+	out := make(map[collector.Event]time.Duration)
+	for _, iv := range tl.Intervals {
+		out[iv.Kind] += iv.Duration()
+	}
+	return out
+}
+
+// BarrierImbalance summarizes barrier time across timelines: the
+// maximum thread's implicit+explicit barrier time divided by the mean.
+// 1.0 means perfectly even; values well above 1 mark load imbalance —
+// the signal the mandelbrot example visualizes. Threads with no
+// barrier time at all are excluded (e.g. a tool thread).
+func BarrierImbalance(tls []Timeline) float64 {
+	var times []time.Duration
+	for _, tl := range tls {
+		at := ActivityTimes(tl)
+		t := at[collector.EventThrBeginIBar] + at[collector.EventThrBeginEBar]
+		if t > 0 {
+			times = append(times, t)
+		}
+	}
+	if len(times) == 0 {
+		return 0
+	}
+	var sum, max time.Duration
+	for _, t := range times {
+		sum += t
+		if t > max {
+			max = t
+		}
+	}
+	mean := sum / time.Duration(len(times))
+	if mean == 0 {
+		return 0
+	}
+	return float64(max) / float64(mean)
+}
+
+// Report renders timelines as a per-thread activity table.
+func Report(w io.Writer, tls []Timeline) {
+	fmt.Fprintf(w, "%-8s %-28s %10s %14s\n", "thread", "activity", "intervals", "total")
+	for _, tl := range tls {
+		at := ActivityTimes(tl)
+		kinds := make([]collector.Event, 0, len(at))
+		for k := range at {
+			kinds = append(kinds, k)
+		}
+		sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+		for _, k := range kinds {
+			n := 0
+			for _, iv := range tl.Intervals {
+				if iv.Kind == k {
+					n++
+				}
+			}
+			fmt.Fprintf(w, "%-8d %-28s %10d %14v\n", tl.Thread, k, n, at[k])
+		}
+		if tl.Unbalanced > 0 {
+			fmt.Fprintf(w, "%-8d (%d unbalanced events)\n", tl.Thread, tl.Unbalanced)
+		}
+	}
+}

@@ -1,0 +1,321 @@
+package collector
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// SymbolName is the name under which an OpenMP runtime exports its
+// collector API entry point in the simulated dynamic linker
+// (goomp/internal/dl). A collector looks this symbol up to discover
+// whether the runtime supports the interface; the value registered is
+// an APIFunc.
+const SymbolName = "__omp_collector_api"
+
+// APIFunc is the type of the exported entry point: it receives the
+// request buffer and returns the number of requests that completed
+// with ErrOK, or -1 if the buffer could not be parsed. Per-request
+// status is written back into each entry's ec field.
+type APIFunc func(arg []byte) int
+
+// Callback is an event notification routine supplied by the collector
+// tool. The runtime invokes it on the OpenMP thread where the event
+// occurred, passing the event type (as the specification requires) and
+// the thread's descriptor (the Go substitute for thread-local "current
+// thread" context; see DESIGN.md).
+type Callback func(e Event, t *ThreadInfo)
+
+// Collector is the runtime-resident half of the OpenMP Collector API:
+// the callback table, state bookkeeping, and request processing that
+// the paper adds to the OpenUH OpenMP runtime library. One Collector
+// belongs to one OpenMP runtime instance.
+type Collector struct {
+	// initialized is the thread-safe boolean global of §IV-B: true
+	// between a start request and a stop request.
+	initialized atomic.Bool
+	paused      atomic.Bool
+
+	// callbacks is the table of event callbacks shared by all threads.
+	// The dispatch fast path is a single atomic load; regLocks holds
+	// the per-entry lock that serializes registration of the same
+	// event by multiple threads (§IV-C).
+	callbacks [NumEvents]atomic.Pointer[Callback]
+	regLocks  [NumEvents]sync.Mutex
+
+	// eventCounts tallies dispatched notifications per event.
+	eventCounts [NumEvents]atomic.Uint64
+
+	// threads maps global thread numbers to their current descriptor.
+	// The master (thread 0) rebinds between its serial-mode and
+	// parallel-mode descriptors.
+	threadMu sync.RWMutex
+	threads  map[int32]*ThreadInfo
+
+	// handles resolves the callback handles carried in ReqRegister
+	// payloads (wire messages cannot carry Go funcs).
+	handleMu   sync.Mutex
+	handleSeq  uint64
+	handles    map[uint64]Callback
+	defaultQ   Queue
+	queueMaker func() Queue
+}
+
+// Option configures a Collector.
+type Option func(*Collector)
+
+// WithGlobalQueue makes every API call, including those submitted
+// through per-tool queues, serialize on one global queue. This is the
+// contended design the paper rejected; it exists for the ablation
+// benchmarks.
+func WithGlobalQueue() Option {
+	return func(c *Collector) {
+		global := c.defaultQ
+		c.queueMaker = func() Queue { return global }
+	}
+}
+
+// New returns an empty, uninitialized Collector.
+func New(opts ...Option) *Collector {
+	c := &Collector{
+		threads: make(map[int32]*ThreadInfo),
+		handles: make(map[uint64]Callback),
+	}
+	c.defaultQ = newQueue(c)
+	c.queueMaker = func() Queue { return newQueue(c) }
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// Initialized reports whether a start request is in effect.
+func (c *Collector) Initialized() bool { return c.initialized.Load() }
+
+// Paused reports whether event generation is paused.
+func (c *Collector) Paused() bool { return c.paused.Load() }
+
+// BindThread installs ti as the current descriptor for its thread
+// number. The runtime calls this when threads are created and when the
+// master switches between its serial and parallel descriptors.
+func (c *Collector) BindThread(ti *ThreadInfo) {
+	c.threadMu.Lock()
+	c.threads[ti.ID] = ti
+	c.threadMu.Unlock()
+}
+
+// UnbindThread removes the descriptor binding for thread id.
+func (c *Collector) UnbindThread(id int32) {
+	c.threadMu.Lock()
+	delete(c.threads, id)
+	c.threadMu.Unlock()
+}
+
+// Thread returns the current descriptor for thread id, or nil.
+func (c *Collector) Thread(id int32) *ThreadInfo {
+	c.threadMu.RLock()
+	ti := c.threads[id]
+	c.threadMu.RUnlock()
+	return ti
+}
+
+// Event dispatches an event notification for thread t. This is the
+// __ompc_event of the paper. The ordering of the checks is important:
+// the callback pointer is tested first so that unregistered events —
+// the common case when no tool is attached — cost one atomic load and
+// no further checking.
+func (c *Collector) Event(t *ThreadInfo, e Event) {
+	cb := c.callbacks[e].Load()
+	if cb == nil {
+		return
+	}
+	if !c.initialized.Load() || c.paused.Load() {
+		return
+	}
+	c.eventCounts[e].Add(1)
+	(*cb)(e, t)
+}
+
+// EventCount returns the number of notifications dispatched for e
+// since the collector was created.
+func (c *Collector) EventCount(e Event) uint64 {
+	if !e.Valid() {
+		return 0
+	}
+	return c.eventCounts[e].Load()
+}
+
+// NewCallbackHandle registers cb and returns a handle suitable for a
+// ReqRegister payload. Handles remain valid until released.
+func (c *Collector) NewCallbackHandle(cb Callback) uint64 {
+	c.handleMu.Lock()
+	defer c.handleMu.Unlock()
+	c.handleSeq++
+	h := c.handleSeq
+	c.handles[h] = cb
+	return h
+}
+
+// ReleaseCallbackHandle invalidates a handle returned by
+// NewCallbackHandle.
+func (c *Collector) ReleaseCallbackHandle(h uint64) {
+	c.handleMu.Lock()
+	delete(c.handles, h)
+	c.handleMu.Unlock()
+}
+
+func (c *Collector) resolveHandle(h uint64) (Callback, bool) {
+	c.handleMu.Lock()
+	cb, ok := c.handles[h]
+	c.handleMu.Unlock()
+	return cb, ok
+}
+
+// API is the single entry point of the interface ("int
+// omp_collector_api(void *arg)"): it processes the request entries in
+// arg through the collector's default queue. Tools that issue requests
+// from several of their own threads should obtain private queues with
+// NewQueue to avoid serializing on this one.
+func (c *Collector) API(arg []byte) int {
+	return c.defaultQ.Submit(arg)
+}
+
+// NewQueue returns a request queue associated with one collector-tool
+// thread. Requests submitted to distinct queues contend only on the
+// shared state they actually touch, not on a global queue lock — the
+// design §IV-B adopts to avoid contention.
+func (c *Collector) NewQueue() Queue { return c.queueMaker() }
+
+// process handles one parsed request and returns its error code.
+func (c *Collector) process(req *Request) ErrorCode {
+	switch req.Kind {
+	case ReqStart:
+		// Two start requests without an intervening stop are "out of
+		// sync".
+		if !c.initialized.CompareAndSwap(false, true) {
+			return ErrSequence
+		}
+		c.paused.Store(false)
+		return ErrOK
+
+	case ReqStop:
+		if !c.initialized.CompareAndSwap(true, false) {
+			return ErrSequence
+		}
+		// Stopping clears the registrations so a later start begins
+		// from a clean table.
+		for i := range c.callbacks {
+			c.regLocks[i].Lock()
+			c.callbacks[i].Store(nil)
+			c.regLocks[i].Unlock()
+		}
+		c.paused.Store(false)
+		return ErrOK
+
+	case ReqPause:
+		if !c.initialized.Load() {
+			return ErrSequence
+		}
+		c.paused.Store(true)
+		return ErrOK
+
+	case ReqResume:
+		if !c.initialized.Load() {
+			return ErrSequence
+		}
+		c.paused.Store(false)
+		return ErrOK
+
+	case ReqRegister:
+		if !c.initialized.Load() {
+			return ErrSequence
+		}
+		e, h, ok := DecodeRegister(req.Mem)
+		if !ok || !e.Valid() {
+			return ErrBadRequest
+		}
+		cb, ok := c.resolveHandle(h)
+		if !ok {
+			return ErrBadRequest
+		}
+		c.register(e, cb)
+		return ErrOK
+
+	case ReqUnregister:
+		if !c.initialized.Load() {
+			return ErrSequence
+		}
+		e, ok := DecodeUnregister(req.Mem)
+		if !ok || !e.Valid() {
+			return ErrBadRequest
+		}
+		c.unregister(e)
+		return ErrOK
+
+	case ReqState:
+		// State queries are honored at any point of program execution,
+		// even before start: state tracking is always on.
+		if len(req.Mem) < StatePayloadSize {
+			return ErrMemTooSmall
+		}
+		ti := c.Thread(int32(leU32(req.Mem[0:])))
+		if ti == nil {
+			return ErrThread
+		}
+		st := ti.State()
+		putU32(req.Mem[4:], uint32(st))
+		putU64(req.Mem[8:], ti.WaitID(st.Wait()))
+		req.SetResponseSize(12)
+		return ErrOK
+
+	case ReqCurrentPRID, ReqParentPRID:
+		if len(req.Mem) < PRIDPayloadSize {
+			return ErrMemTooSmall
+		}
+		ti := c.Thread(int32(leU32(req.Mem[0:])))
+		if ti == nil {
+			return ErrThread
+		}
+		team := ti.Team()
+		// When a thread is outside a parallel region (serial or idle
+		// state, no team), the runtime returns an out-of-sequence
+		// error code and an ID of zero.
+		if team == nil {
+			putU64(req.Mem[4:], 0)
+			req.SetResponseSize(8)
+			return ErrSequence
+		}
+		id := team.RegionID
+		if req.Kind == ReqParentPRID {
+			id = team.ParentRegionID
+		}
+		putU64(req.Mem[4:], id)
+		req.SetResponseSize(8)
+		return ErrOK
+
+	default:
+		if req.Kind.Valid() {
+			return ErrUnsupported
+		}
+		return ErrBadRequest
+	}
+}
+
+func (c *Collector) register(e Event, cb Callback) {
+	// Each table entry has a lock associated with it so that multiple
+	// threads registering the same event with different callbacks do
+	// not race; all threads share the resulting callback set.
+	c.regLocks[e].Lock()
+	if cb == nil {
+		c.callbacks[e].Store(nil)
+	} else {
+		c.callbacks[e].Store(&cb)
+	}
+	c.regLocks[e].Unlock()
+}
+
+func (c *Collector) unregister(e Event) { c.register(e, nil) }
+
+// Registered reports whether event e currently has a callback.
+func (c *Collector) Registered(e Event) bool {
+	return e.Valid() && c.callbacks[e].Load() != nil
+}

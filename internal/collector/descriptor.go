@@ -1,0 +1,117 @@
+package collector
+
+import (
+	"sync/atomic"
+)
+
+// TeamInfo is the part of an OpenMP thread-team descriptor the
+// collector interface exposes: the ID of the parallel region the team
+// is executing and the ID of its parent region. A team of threads
+// executes a parallel region and the mapping is one-to-one, so the
+// runtime updates these each time a team starts a region. For a
+// non-nested region the parent region ID is always zero; for a nested
+// region it is the current region ID of the team that spawned this one.
+type TeamInfo struct {
+	RegionID       uint64
+	ParentRegionID uint64
+	Size           int32 // number of threads in the team
+
+	// SitePC identifies the static parallel region (the address of the
+	// outlined procedure in the paper's system; the rt.Parallel call
+	// site here). Tools use it to distinguish invocations of the same
+	// parallel region — the selective-collection optimization §VI
+	// proposes for controlling runtime overheads.
+	SitePC uintptr
+}
+
+// ThreadInfo is the collector-visible slice of an OpenMP thread
+// descriptor: the data structure the runtime keeps to manage each
+// OpenMP thread. State tracking writes one word per transition, cheap
+// enough to keep always on (the paper's design decision: no
+// conditionals checking collector status on state stores). All fields
+// are updated with atomic operations so a collector may sample any
+// thread asynchronously.
+type ThreadInfo struct {
+	// ID is the global OpenMP thread number (master is 0). The master
+	// thread has two descriptors — one for serial mode, one for
+	// parallel mode — because a tool may initialize the collector API
+	// before the OpenMP runtime itself is initialized; both carry ID 0.
+	ID int32
+
+	state atomic.Int32
+
+	// Per-thread wait IDs, incremented each time the thread enters the
+	// corresponding wait. Indexed by WaitKind (entry 0, WaitNone, is
+	// unused). Each thread keeps track of its own wait IDs, so the
+	// counters are thread-private and uncontended.
+	waitIDs [numWaitKinds]atomic.Uint64
+
+	// loopID increments each time the thread enters a worksharing
+	// loop (the loop-events extension): a tool can relate a loop to
+	// its closing implicit barrier by pairing the loop ID with the
+	// barrier wait ID that follows it.
+	loopID atomic.Uint64
+
+	team atomic.Pointer[TeamInfo]
+}
+
+// EnterLoop increments and returns the thread's worksharing-loop ID.
+func (t *ThreadInfo) EnterLoop() uint64 { return t.loopID.Add(1) }
+
+// LoopID returns the current worksharing-loop ID.
+func (t *ThreadInfo) LoopID() uint64 { return t.loopID.Load() }
+
+// NewThreadInfo returns a descriptor for thread id. Per the paper's
+// get-state guarantee (§IV-D), the state is initialized to
+// THR_OVHD_STATE so any thread always has a state associated with it —
+// slave descriptors are created while the slave itself is still being
+// created, and the overhead state reflects that.
+func NewThreadInfo(id int32) *ThreadInfo {
+	t := &ThreadInfo{ID: id}
+	t.state.Store(int32(StateOverhead))
+	return t
+}
+
+// SetState records that the thread entered state s. This is the
+// __ompc_set_state of the paper: a single assignment to the private
+// thread descriptor, performed unconditionally.
+func (t *ThreadInfo) SetState(s State) { t.state.Store(int32(s)) }
+
+// State returns the thread's current state.
+func (t *ThreadInfo) State() State { return State(t.state.Load()) }
+
+// EnterWait increments the wait ID associated with state s and then
+// sets the state. It returns the new wait ID. States without an
+// associated wait ID only store the state and return zero.
+func (t *ThreadInfo) EnterWait(s State) uint64 {
+	var id uint64
+	if k := s.Wait(); k != WaitNone {
+		id = t.waitIDs[k].Add(1)
+	}
+	t.state.Store(int32(s))
+	return id
+}
+
+// WaitID returns the current value of the thread's wait ID of kind k.
+func (t *ThreadInfo) WaitID(k WaitKind) uint64 {
+	if k <= WaitNone || int32(k) >= numWaitKinds {
+		return 0
+	}
+	return t.waitIDs[k].Load()
+}
+
+// CurrentWaitID returns the wait ID associated with the thread's
+// current state, or zero when the state carries none. A get-state
+// request returns this value after the state in the response payload.
+func (t *ThreadInfo) CurrentWaitID() uint64 {
+	return t.WaitID(t.State().Wait())
+}
+
+// SetTeam installs the team descriptor for the region the thread is
+// about to execute; the runtime calls it at fork and clears it (nil)
+// after join for slave threads.
+func (t *ThreadInfo) SetTeam(info *TeamInfo) { t.team.Store(info) }
+
+// Team returns the thread's current team descriptor, or nil when the
+// thread is outside any parallel region.
+func (t *ThreadInfo) Team() *TeamInfo { return t.team.Load() }

@@ -1,0 +1,221 @@
+// Package collector implements the OpenMP Runtime API for Profiling
+// (ORA, also called the OpenMP Collector API): a query- and
+// event-notification-based interface through which a performance tool
+// (the "collector") communicates with an OpenMP runtime library while
+// both remain fully independent of one another.
+//
+// The package reproduces the interface described in the ICPP 2009 paper
+// "Open Source Software Support for the OpenMP Runtime API for
+// Profiling" and the Sun Microsystems white paper it implements:
+//
+//   - a single entry point that accepts a byte array carrying one or
+//     more requests (see Request and API),
+//   - event registration with callbacks dispatched by the runtime at
+//     fork/join/barrier/lock-wait/... points,
+//   - always-on thread-state tracking stored in per-thread descriptors,
+//   - parallel-region and parent-region IDs, and per-thread wait IDs,
+//   - START/STOP/PAUSE/RESUME control of event generation,
+//   - per-thread request queues that avoid the contention of a single
+//     global queue.
+//
+// The OpenMP runtime side of the contract lives in goomp/internal/omp,
+// which calls Event and SetState at the runtime call sites the paper
+// enumerates.
+package collector
+
+import "fmt"
+
+// Event identifies an OpenMP runtime event a collector can register
+// for. The mandatory events are Fork and Join; the rest are optional
+// per the specification and support tracing.
+type Event int32
+
+// Event values mirror the OMP_EVENT_* enumeration of the ORA
+// specification, in the order the paper discusses them.
+const (
+	EventFork Event = iota // master is about to start a team for a parallel region
+	EventJoin              // master has left the implicit barrier ending a region
+
+	EventThrBeginIdle // a slave thread starts idling between regions
+	EventThrEndIdle   // a slave thread stops idling to run a region
+
+	EventThrBeginIBar // thread enters an implicit barrier
+	EventThrEndIBar   // thread exits an implicit barrier
+	EventThrBeginEBar // thread enters an explicit (#pragma omp barrier) barrier
+	EventThrEndEBar   // thread exits an explicit barrier
+
+	EventThrBeginLkwt // thread begins waiting for a user-defined lock
+	EventThrEndLkwt   // thread acquires the lock it was waiting for
+	EventThrBeginCtwt // thread begins waiting to enter a critical region
+	EventThrEndCtwt   // thread acquires the critical region's lock
+	EventThrBeginOdwt // thread begins waiting for its turn in an ordered region
+	EventThrEndOdwt   // thread's ordered wait completes
+	EventThrBeginAtwt // thread begins waiting on an atomic update (extension; see below)
+	EventThrEndAtwt   // thread's atomic wait completes
+
+	EventThrBeginMaster // master thread enters a master region
+	EventThrEndMaster   // master thread leaves a master region
+	EventThrBeginSingle // a thread enters a single region
+	EventThrEndSingle   // a thread leaves a single region
+	EventThrBeginOrdered
+	EventThrEndOrdered
+
+	// EventThrBeginReduction/EventThrEndReduction bracket the
+	// critical-region-based update of a shared reduction variable.
+	EventThrBeginReduction
+	EventThrEndReduction
+
+	// Extensions beyond the 2009 specification, addressing the gaps
+	// the paper's §VI identifies. Loop events give tools support for
+	// worksharing loops and let them relate a loop to its closing
+	// barrier events through the per-thread loop ID; the task events
+	// cover the OpenMP 3.0 tasking construct.
+	EventThrBeginLoop // thread enters a worksharing loop (extension)
+	EventThrEndLoop   // thread leaves a worksharing loop body (extension)
+	EventTaskCreate   // an explicit task was created (extension)
+	EventThrBeginTask // thread begins executing an explicit task (extension)
+	EventThrEndTask   // thread finished an explicit task (extension)
+
+	NumEvents int32 = iota // number of distinct events; not itself an event
+)
+
+// The paper's OpenUH implementation deliberately omitted the atomic
+// wait events (§IV-C.7) because its atomics compile to intrinsics
+// outside the runtime library. Here atomics are runtime calls, so the
+// events exist but are generated only when the runtime is created with
+// the AtomicEvents option, preserving the paper's default.
+
+var eventNames = [...]string{
+	EventFork:              "OMP_EVENT_FORK",
+	EventJoin:              "OMP_EVENT_JOIN",
+	EventThrBeginIdle:      "OMP_EVENT_THR_BEGIN_IDLE",
+	EventThrEndIdle:        "OMP_EVENT_THR_END_IDLE",
+	EventThrBeginIBar:      "OMP_EVENT_THR_BEGIN_IBAR",
+	EventThrEndIBar:        "OMP_EVENT_THR_END_IBAR",
+	EventThrBeginEBar:      "OMP_EVENT_THR_BEGIN_EBAR",
+	EventThrEndEBar:        "OMP_EVENT_THR_END_EBAR",
+	EventThrBeginLkwt:      "OMP_EVENT_THR_BEGIN_LKWT",
+	EventThrEndLkwt:        "OMP_EVENT_THR_END_LKWT",
+	EventThrBeginCtwt:      "OMP_EVENT_THR_BEGIN_CTWT",
+	EventThrEndCtwt:        "OMP_EVENT_THR_END_CTWT",
+	EventThrBeginOdwt:      "OMP_EVENT_THR_BEGIN_ODWT",
+	EventThrEndOdwt:        "OMP_EVENT_THR_END_ODWT",
+	EventThrBeginAtwt:      "OMP_EVENT_THR_BEGIN_ATWT",
+	EventThrEndAtwt:        "OMP_EVENT_THR_END_ATWT",
+	EventThrBeginMaster:    "OMP_EVENT_THR_BEGIN_MASTER",
+	EventThrEndMaster:      "OMP_EVENT_THR_END_MASTER",
+	EventThrBeginSingle:    "OMP_EVENT_THR_BEGIN_SINGLE",
+	EventThrEndSingle:      "OMP_EVENT_THR_END_SINGLE",
+	EventThrBeginOrdered:   "OMP_EVENT_THR_BEGIN_ORDERED",
+	EventThrEndOrdered:     "OMP_EVENT_THR_END_ORDERED",
+	EventThrBeginReduction: "OMP_EVENT_THR_BEGIN_REDUC",
+	EventThrEndReduction:   "OMP_EVENT_THR_END_REDUC",
+	EventThrBeginLoop:      "OMP_EVENT_THR_BEGIN_LOOP",
+	EventThrEndLoop:        "OMP_EVENT_THR_END_LOOP",
+	EventTaskCreate:        "OMP_EVENT_TASK_CREATE",
+	EventThrBeginTask:      "OMP_EVENT_THR_BEGIN_TASK",
+	EventThrEndTask:        "OMP_EVENT_THR_END_TASK",
+}
+
+// Valid reports whether e names a defined event.
+func (e Event) Valid() bool { return e >= 0 && int32(e) < NumEvents }
+
+func (e Event) String() string {
+	if !e.Valid() {
+		return fmt.Sprintf("OMP_EVENT(%d)", int32(e))
+	}
+	return eventNames[e]
+}
+
+// Mandatory reports whether the specification requires the runtime to
+// support notification for this event (fork and join); all other
+// events are optional tracing support.
+func (e Event) Mandatory() bool { return e == EventFork || e == EventJoin }
+
+// State is the execution state of an OpenMP thread as tracked in its
+// thread descriptor. The runtime distinguishes useful work from
+// OpenMP overheads (preparing to fork, computing schedules), idling,
+// barriers, reductions, and waits on locks, critical regions, ordered
+// sections and atomic updates.
+type State int32
+
+// State values mirror the THR_*_STATE enumeration.
+const (
+	StateUnknown State = iota // descriptor not yet initialized
+
+	StateOverhead  // THR_OVHD_STATE: runtime overhead (fork prep, scheduling)
+	StateWorking   // THR_WORK_STATE: executing user code in a region
+	StateIdle      // THR_IDLE_STATE: slave sleeping between regions
+	StateSerial    // THR_SERIAL_STATE: master executing serial code
+	StateReduction // THR_REDUC_STATE: performing a reduction update
+
+	StateImplicitBarrier // THR_IBAR_STATE: in an implicit barrier
+	StateExplicitBarrier // THR_EBAR_STATE: in an explicit barrier
+	StateLockWait        // THR_LKWT_STATE: waiting for a user lock
+	StateCriticalWait    // THR_CTWT_STATE: waiting to enter a critical region
+	StateOrderedWait     // THR_ODWT_STATE: waiting for an ordered section turn
+	StateAtomicWait      // THR_ATWT_STATE: waiting on an atomic update
+
+	NumStates int32 = iota // number of distinct states; not itself a state
+)
+
+var stateNames = [...]string{
+	StateUnknown:         "THR_UNKNOWN_STATE",
+	StateOverhead:        "THR_OVHD_STATE",
+	StateWorking:         "THR_WORK_STATE",
+	StateIdle:            "THR_IDLE_STATE",
+	StateSerial:          "THR_SERIAL_STATE",
+	StateReduction:       "THR_REDUC_STATE",
+	StateImplicitBarrier: "THR_IBAR_STATE",
+	StateExplicitBarrier: "THR_EBAR_STATE",
+	StateLockWait:        "THR_LKWT_STATE",
+	StateCriticalWait:    "THR_CTWT_STATE",
+	StateOrderedWait:     "THR_ODWT_STATE",
+	StateAtomicWait:      "THR_ATWT_STATE",
+}
+
+// Valid reports whether s names a defined state.
+func (s State) Valid() bool { return s >= 0 && int32(s) < NumStates }
+
+func (s State) String() string {
+	if !s.Valid() {
+		return fmt.Sprintf("THR_STATE(%d)", int32(s))
+	}
+	return stateNames[s]
+}
+
+// WaitKind identifies which per-thread wait ID accompanies a state in
+// get-state responses: some states have a wait ID associated with them
+// (the barrier ID, lock wait ID, etc.), and the runtime returns that ID
+// after the state in the mem section of the request.
+type WaitKind int32
+
+const (
+	WaitNone WaitKind = iota
+	WaitBarrier
+	WaitLock
+	WaitCritical
+	WaitOrdered
+	WaitAtomic
+
+	numWaitKinds int32 = iota
+)
+
+// Wait returns the kind of wait ID associated with state s, or
+// WaitNone for states that carry no wait ID.
+func (s State) Wait() WaitKind {
+	switch s {
+	case StateImplicitBarrier, StateExplicitBarrier:
+		return WaitBarrier
+	case StateLockWait:
+		return WaitLock
+	case StateCriticalWait:
+		return WaitCritical
+	case StateOrderedWait:
+		return WaitOrdered
+	case StateAtomicWait:
+		return WaitAtomic
+	default:
+		return WaitNone
+	}
+}

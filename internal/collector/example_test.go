@@ -1,0 +1,55 @@
+package collector_test
+
+import (
+	"fmt"
+
+	"goomp/internal/collector"
+	"goomp/internal/omp"
+)
+
+// Example reproduces the request sequence of the paper's Figure 3: the
+// collector initiates communication with a start request, registers
+// for events, queries thread state and region IDs during execution,
+// pauses and resumes event generation, and finally stops.
+func Example() {
+	rt := omp.New(omp.Config{NumThreads: 2})
+	defer rt.Close()
+	col := rt.Collector()
+	q := col.NewQueue()
+
+	// START: the runtime begins tracking and accepting requests.
+	fmt.Println("start:", collector.Control(q, collector.ReqStart))
+
+	// REGISTER(fork): the mandatory event, with a callback handle.
+	forks := 0
+	h := col.NewCallbackHandle(func(e collector.Event, ti *collector.ThreadInfo) {
+		forks++
+	})
+	fmt.Println("register:", collector.Register(q, collector.EventFork, h))
+
+	rt.Parallel(func(tc *omp.ThreadCtx) {})
+
+	// Queries: thread state, current and parent region IDs.
+	st, _, ec := collector.QueryState(q, 0)
+	fmt.Println("state:", st, ec)
+	_, ec = collector.QueryPRID(q, collector.ReqCurrentPRID, 0)
+	fmt.Println("prid outside region:", ec)
+
+	// PAUSE/RESUME: event generation toggles; registration is kept.
+	collector.Control(q, collector.ReqPause)
+	rt.Parallel(func(tc *omp.ThreadCtx) {})
+	collector.Control(q, collector.ReqResume)
+	rt.Parallel(func(tc *omp.ThreadCtx) {})
+
+	// STOP: registrations are cleared.
+	fmt.Println("stop:", collector.Control(q, collector.ReqStop))
+	fmt.Println("forks observed:", forks)
+
+	// Output:
+	// start: OMP_ERRCODE_OK
+	// register: OMP_ERRCODE_OK
+	// state: THR_SERIAL_STATE OMP_ERRCODE_OK
+	// prid outside region: OMP_ERRCODE_SEQUENCE_ERR
+	// stop: OMP_ERRCODE_OK
+	// forks observed: 2
+}

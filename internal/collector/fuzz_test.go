@@ -1,0 +1,52 @@
+package collector
+
+import (
+	"testing"
+)
+
+// FuzzParseRequests drives the wire-protocol parser with arbitrary
+// bytes: it must never panic, must stop at buffer bounds, and any
+// parsed entries must be processable by a collector without panicking.
+func FuzzParseRequests(f *testing.F) {
+	// Seeds: empty, terminator-only, one of each request kind, and a
+	// deliberately corrupt entry.
+	f.Add([]byte{})
+	f.Add(Terminate(nil))
+	var all []byte
+	for k := RequestKind(0); int32(k) < numRequestKinds; k++ {
+		size := 0
+		switch k {
+		case ReqRegister:
+			size = RegisterPayloadSize
+		case ReqUnregister:
+			size = UnregisterPayloadSize
+		case ReqState:
+			size = StatePayloadSize
+		case ReqCurrentPRID, ReqParentPRID:
+			size = PRIDPayloadSize
+		}
+		all, _ = AppendRequest(all, k, size)
+	}
+	f.Add(Terminate(all))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0x7F, 1, 2, 3})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reqs, err := ParseRequests(data)
+		if err != nil && err != ErrTruncated {
+			t.Fatalf("unexpected error %v", err)
+		}
+		c := New()
+		c.BindThread(NewThreadInfo(0))
+		for i := range reqs {
+			ec := c.process(&reqs[i])
+			reqs[i].SetError(ec)
+		}
+		// Reparse after the runtime wrote error codes back: framing
+		// must be intact.
+		if err == nil {
+			if _, err2 := ParseRequests(data); err2 != nil {
+				t.Fatalf("reparse failed: %v", err2)
+			}
+		}
+	})
+}

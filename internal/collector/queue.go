@@ -1,0 +1,126 @@
+package collector
+
+import (
+	"encoding/binary"
+	"sync"
+)
+
+// Queue serializes request processing for one collector-tool thread.
+// After the API has been initialized, requests are pushed onto a queue
+// associated with a thread; giving each tool thread its own queue
+// avoids the contention a single global queue would incur (§IV-B).
+// Submit parses the wire buffer, enqueues the entries, drains the
+// queue, and returns the number of entries that completed with ErrOK
+// (or -1 on a framing error). Entries always drain before Submit
+// returns, so the interface stays synchronous while the queue bounds
+// contention to threads sharing the same queue.
+type Queue interface {
+	Submit(arg []byte) int
+	// SubmitRequests processes already-parsed requests, for callers
+	// that build Request values directly rather than wire buffers.
+	SubmitRequests(reqs []Request) int
+}
+
+type queue struct {
+	c       *Collector
+	mu      sync.Mutex
+	pending []Request
+}
+
+func newQueue(c *Collector) *queue { return &queue{c: c} }
+
+func (q *queue) Submit(arg []byte) int {
+	reqs, err := ParseRequests(arg)
+	if err != nil {
+		return -1
+	}
+	return q.SubmitRequests(reqs)
+}
+
+func (q *queue) SubmitRequests(reqs []Request) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.pending = append(q.pending, reqs...)
+	ok := 0
+	for len(q.pending) > 0 {
+		req := q.pending[0]
+		q.pending = q.pending[1:]
+		ec := q.c.process(&req)
+		req.SetError(ec)
+		if ec == ErrOK {
+			ok++
+		}
+	}
+	q.pending = nil
+	return ok
+}
+
+// Convenience wrappers: each builds the corresponding wire message and
+// submits it through the queue, so every use also exercises the binary
+// protocol. They return the per-request error code.
+
+func (q *queue) one(kind RequestKind, memSize int, fill func(mem []byte)) (ErrorCode, []byte) {
+	buf, mem := AppendRequest(nil, kind, memSize)
+	if fill != nil {
+		fill(mem)
+	}
+	buf = Terminate(buf)
+	q.Submit(buf)
+	reqs, err := ParseRequests(buf)
+	if err != nil || len(reqs) != 1 {
+		return ErrGeneric, nil
+	}
+	return reqs[0].EC, reqs[0].Mem
+}
+
+// Control issues a payload-free control request (start, stop, pause,
+// resume) through queue q.
+func Control(q Queue, kind RequestKind) ErrorCode {
+	ec, _ := q.(*queue).one(kind, 0, nil)
+	return ec
+}
+
+// Register issues a ReqRegister for event e with callback handle h.
+func Register(q Queue, e Event, h uint64) ErrorCode {
+	ec, _ := q.(*queue).one(ReqRegister, RegisterPayloadSize, func(mem []byte) {
+		EncodeRegister(mem, e, h)
+	})
+	return ec
+}
+
+// Unregister issues a ReqUnregister for event e.
+func Unregister(q Queue, e Event) ErrorCode {
+	ec, _ := q.(*queue).one(ReqUnregister, UnregisterPayloadSize, func(mem []byte) {
+		EncodeUnregister(mem, e)
+	})
+	return ec
+}
+
+// QueryState issues a ReqState for the given thread and decodes the
+// response.
+func QueryState(q Queue, thread int32) (State, uint64, ErrorCode) {
+	ec, mem := q.(*queue).one(ReqState, StatePayloadSize, func(mem []byte) {
+		EncodeStateQuery(mem, thread)
+	})
+	if ec != ErrOK {
+		return StateUnknown, 0, ec
+	}
+	st, wid, _ := DecodeStateResponse(mem)
+	return st, wid, ec
+}
+
+// QueryPRID issues a ReqCurrentPRID or ReqParentPRID for the given
+// thread and decodes the region ID. An ErrSequence code with a zero ID
+// means the thread is outside any parallel region.
+func QueryPRID(q Queue, kind RequestKind, thread int32) (uint64, ErrorCode) {
+	ec, mem := q.(*queue).one(kind, PRIDPayloadSize, func(mem []byte) {
+		EncodePRIDQuery(mem, thread)
+	})
+	id, _ := DecodePRIDResponse(mem)
+	return id, ec
+}
+
+// little-endian helpers shared with api.go.
+func leU32(b []byte) uint32     { return binary.LittleEndian.Uint32(b) }
+func putU32(b []byte, v uint32) { binary.LittleEndian.PutUint32(b, v) }
+func putU64(b []byte, v uint64) { binary.LittleEndian.PutUint64(b, v) }

@@ -1,0 +1,279 @@
+package collector
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// RequestKind is the OMP_COLLECTORAPI_REQUEST enumeration: the kinds of
+// request a collector may pass to the runtime's single API entry point.
+type RequestKind int32
+
+const (
+	// ReqStart informs the runtime that it should start keeping track
+	// of thread states, initialize request queues and callback tables,
+	// and start tracking parallel-region IDs.
+	ReqStart RequestKind = iota
+	// ReqRegister asks for notification of an event: the payload names
+	// the event and the callback to invoke each time it occurs.
+	ReqRegister
+	// ReqUnregister cancels notification for an event.
+	ReqUnregister
+	// ReqState queries the current state of a thread; the response
+	// carries the state followed by the wait ID associated with it.
+	ReqState
+	// ReqCurrentPRID queries the ID of the parallel region the thread's
+	// team is currently executing.
+	ReqCurrentPRID
+	// ReqParentPRID queries the ID of the parent parallel region.
+	ReqParentPRID
+	// ReqPause suspends event generation; registrations are kept.
+	ReqPause
+	// ReqResume re-enables event generation after ReqPause.
+	ReqResume
+	// ReqStop stops event generation entirely and clears registrations.
+	ReqStop
+
+	numRequestKinds int32 = iota
+)
+
+var requestNames = [...]string{
+	ReqStart:       "OMP_REQ_START",
+	ReqRegister:    "OMP_REQ_REGISTER",
+	ReqUnregister:  "OMP_REQ_UNREGISTER",
+	ReqState:       "OMP_REQ_STATE",
+	ReqCurrentPRID: "OMP_REQ_CURRENT_PARALLEL_REGION_ID",
+	ReqParentPRID:  "OMP_REQ_PARENT_PARALLEL_REGION_ID",
+	ReqPause:       "OMP_REQ_PAUSE",
+	ReqResume:      "OMP_REQ_RESUME",
+	ReqStop:        "OMP_REQ_STOP",
+}
+
+// Valid reports whether k names a defined request kind.
+func (k RequestKind) Valid() bool { return k >= 0 && int32(k) < numRequestKinds }
+
+func (k RequestKind) String() string {
+	if !k.Valid() {
+		return fmt.Sprintf("OMP_REQ(%d)", int32(k))
+	}
+	return requestNames[k]
+}
+
+// ErrorCode is the per-request status the runtime writes back into each
+// request entry (the ec field of the specification).
+type ErrorCode int32
+
+const (
+	ErrOK ErrorCode = iota
+	// ErrGeneric is an unspecified failure.
+	ErrGeneric
+	// ErrBadRequest marks a malformed entry (unknown kind, short mem).
+	ErrBadRequest
+	// ErrUnsupported marks a request kind the runtime does not support.
+	ErrUnsupported
+	// ErrSequence is the "out of sync" error: e.g. two ReqStart without
+	// an intervening ReqStop, or a query made before ReqStart, or a
+	// region-ID query from a thread outside any parallel region.
+	ErrSequence
+	// ErrThread marks a request naming an unknown thread.
+	ErrThread
+	// ErrMemTooSmall marks a mem buffer too small for the response.
+	ErrMemTooSmall
+)
+
+var errorCodeNames = [...]string{
+	ErrOK:          "OMP_ERRCODE_OK",
+	ErrGeneric:     "OMP_ERRCODE_ERROR",
+	ErrBadRequest:  "OMP_ERRCODE_BAD_REQUEST",
+	ErrUnsupported: "OMP_ERRCODE_UNSUPPORTED",
+	ErrSequence:    "OMP_ERRCODE_SEQUENCE_ERR",
+	ErrThread:      "OMP_ERRCODE_THREAD_ERR",
+	ErrMemTooSmall: "OMP_ERRCODE_MEM_TOO_SMALL",
+}
+
+func (ec ErrorCode) String() string {
+	if ec < 0 || int(ec) >= len(errorCodeNames) {
+		return fmt.Sprintf("OMP_ERRCODE(%d)", int32(ec))
+	}
+	return errorCodeNames[ec]
+}
+
+// Wire framing: the arg parameter of __omp_collector_api points to a
+// byte array holding a sequence of request entries, each laid out as
+//
+//	offset  0: sz  int32 — total entry size in bytes, including header
+//	offset  4: r   int32 — request kind
+//	offset  8: ec  int32 — error code, written by the runtime
+//	offset 12: rsz int32 — response payload size, written by the runtime
+//	offset 16: mem       — request/response payload (sz-16 bytes)
+//
+// and the sequence is terminated by a 4-byte zero size. All integers
+// are little-endian.
+const (
+	headerSize = 16
+
+	offSize = 0
+	offKind = 4
+	offEC   = 8
+	offRSZ  = 12
+)
+
+// Request is the decoded form of one wire entry. Mem aliases the
+// underlying buffer so that runtime-written responses are visible to
+// the collector that owns the buffer.
+type Request struct {
+	Kind RequestKind
+	EC   ErrorCode
+	RSZ  int32
+	Mem  []byte
+
+	buf []byte // the full entry, for writing ec/rsz back
+}
+
+// SetError writes the error code back into the wire entry (and the
+// decoded copy).
+func (r *Request) SetError(ec ErrorCode) {
+	r.EC = ec
+	if r.buf != nil {
+		binary.LittleEndian.PutUint32(r.buf[offEC:], uint32(ec))
+	}
+}
+
+// SetResponseSize records the number of payload bytes the runtime wrote
+// into Mem.
+func (r *Request) SetResponseSize(n int32) {
+	r.RSZ = n
+	if r.buf != nil {
+		binary.LittleEndian.PutUint32(r.buf[offRSZ:], uint32(n))
+	}
+}
+
+// ErrTruncated reports a wire buffer that ends mid-entry.
+var ErrTruncated = errors.New("collector: truncated request buffer")
+
+// ParseRequests decodes the wire buffer into request views. The
+// returned requests alias buf, so SetError/SetResponseSize and payload
+// writes are visible in buf. Decoding stops at the zero-size
+// terminator; a missing terminator or an entry overrunning the buffer
+// yields ErrTruncated.
+func ParseRequests(buf []byte) ([]Request, error) {
+	var reqs []Request
+	off := 0
+	for {
+		if off+4 > len(buf) {
+			return reqs, ErrTruncated
+		}
+		sz := int32(binary.LittleEndian.Uint32(buf[off:]))
+		if sz == 0 {
+			return reqs, nil
+		}
+		if sz < headerSize || off+int(sz) > len(buf) {
+			return reqs, ErrTruncated
+		}
+		entry := buf[off : off+int(sz)]
+		reqs = append(reqs, Request{
+			Kind: RequestKind(int32(binary.LittleEndian.Uint32(entry[offKind:]))),
+			EC:   ErrorCode(int32(binary.LittleEndian.Uint32(entry[offEC:]))),
+			RSZ:  int32(binary.LittleEndian.Uint32(entry[offRSZ:])),
+			Mem:  entry[headerSize:],
+			buf:  entry,
+		})
+		off += int(sz)
+	}
+}
+
+// AppendRequest appends one wire entry with the given kind and payload
+// capacity to buf and returns the extended buffer. The payload is
+// zeroed; in points to its start for callers that must fill request
+// arguments. Call Terminate once all entries are appended.
+func AppendRequest(buf []byte, kind RequestKind, memSize int) (out []byte, in []byte) {
+	sz := headerSize + memSize
+	start := len(buf)
+	buf = append(buf, make([]byte, sz)...)
+	entry := buf[start:]
+	binary.LittleEndian.PutUint32(entry[offSize:], uint32(sz))
+	binary.LittleEndian.PutUint32(entry[offKind:], uint32(kind))
+	return buf, entry[headerSize:]
+}
+
+// Terminate appends the zero-size terminator.
+func Terminate(buf []byte) []byte {
+	return append(buf, 0, 0, 0, 0)
+}
+
+// Payload layouts for the individual request kinds. Thread-addressed
+// queries carry the global thread number because Go has no
+// thread-local storage with which the runtime could infer "the calling
+// OpenMP thread"; see DESIGN.md.
+
+// EncodeRegister fills a ReqRegister payload: event followed by the
+// callback handle previously obtained from RegisterCallbackHandle.
+func EncodeRegister(mem []byte, e Event, handle uint64) {
+	binary.LittleEndian.PutUint32(mem[0:], uint32(e))
+	binary.LittleEndian.PutUint64(mem[4:], handle)
+}
+
+// RegisterPayloadSize is the payload size of a ReqRegister entry.
+const RegisterPayloadSize = 12
+
+// DecodeRegister extracts the event and callback handle.
+func DecodeRegister(mem []byte) (Event, uint64, bool) {
+	if len(mem) < RegisterPayloadSize {
+		return 0, 0, false
+	}
+	return Event(int32(binary.LittleEndian.Uint32(mem[0:]))),
+		binary.LittleEndian.Uint64(mem[4:]), true
+}
+
+// UnregisterPayloadSize is the payload size of a ReqUnregister entry.
+const UnregisterPayloadSize = 4
+
+// EncodeUnregister fills a ReqUnregister payload.
+func EncodeUnregister(mem []byte, e Event) {
+	binary.LittleEndian.PutUint32(mem[0:], uint32(e))
+}
+
+// DecodeUnregister extracts the event to unregister.
+func DecodeUnregister(mem []byte) (Event, bool) {
+	if len(mem) < UnregisterPayloadSize {
+		return 0, false
+	}
+	return Event(int32(binary.LittleEndian.Uint32(mem[0:]))), true
+}
+
+// StatePayloadSize is the payload size of a ReqState entry: a thread
+// number in, then state (int32) and wait ID (uint64) out.
+const StatePayloadSize = 16
+
+// EncodeStateQuery fills a ReqState payload with the thread number.
+func EncodeStateQuery(mem []byte, thread int32) {
+	binary.LittleEndian.PutUint32(mem[0:], uint32(thread))
+}
+
+// DecodeStateResponse extracts the state and wait ID from a completed
+// ReqState payload.
+func DecodeStateResponse(mem []byte) (State, uint64, bool) {
+	if len(mem) < StatePayloadSize {
+		return 0, 0, false
+	}
+	return State(int32(binary.LittleEndian.Uint32(mem[4:]))),
+		binary.LittleEndian.Uint64(mem[8:]), true
+}
+
+// PRIDPayloadSize is the payload size of ReqCurrentPRID/ReqParentPRID:
+// a thread number in, a region ID (uint64) out.
+const PRIDPayloadSize = 12
+
+// EncodePRIDQuery fills a region-ID query payload.
+func EncodePRIDQuery(mem []byte, thread int32) {
+	binary.LittleEndian.PutUint32(mem[0:], uint32(thread))
+}
+
+// DecodePRIDResponse extracts the region ID from a completed query.
+func DecodePRIDResponse(mem []byte) (uint64, bool) {
+	if len(mem) < PRIDPayloadSize {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(mem[4:]), true
+}

@@ -1,0 +1,233 @@
+package collector
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseEmptyBuffer(t *testing.T) {
+	if _, err := ParseRequests(nil); err != ErrTruncated {
+		t.Fatalf("nil buffer: got err %v, want ErrTruncated", err)
+	}
+	reqs, err := ParseRequests(Terminate(nil))
+	if err != nil || len(reqs) != 0 {
+		t.Fatalf("terminator-only buffer: got %d reqs, err %v", len(reqs), err)
+	}
+}
+
+func TestParseSingleRequest(t *testing.T) {
+	buf, mem := AppendRequest(nil, ReqState, StatePayloadSize)
+	EncodeStateQuery(mem, 3)
+	buf = Terminate(buf)
+
+	reqs, err := ParseRequests(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 1 {
+		t.Fatalf("got %d requests, want 1", len(reqs))
+	}
+	r := reqs[0]
+	if r.Kind != ReqState {
+		t.Errorf("kind = %v, want %v", r.Kind, ReqState)
+	}
+	if len(r.Mem) != StatePayloadSize {
+		t.Errorf("mem size = %d, want %d", len(r.Mem), StatePayloadSize)
+	}
+	if got := int32(binary.LittleEndian.Uint32(r.Mem)); got != 3 {
+		t.Errorf("thread id = %d, want 3", got)
+	}
+}
+
+func TestParseMultipleRequests(t *testing.T) {
+	kinds := []RequestKind{ReqStart, ReqRegister, ReqState, ReqCurrentPRID, ReqStop}
+	sizes := []int{0, RegisterPayloadSize, StatePayloadSize, PRIDPayloadSize, 0}
+	var buf []byte
+	for i, k := range kinds {
+		buf, _ = AppendRequest(buf, k, sizes[i])
+	}
+	buf = Terminate(buf)
+
+	reqs, err := ParseRequests(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != len(kinds) {
+		t.Fatalf("got %d requests, want %d", len(reqs), len(kinds))
+	}
+	for i, r := range reqs {
+		if r.Kind != kinds[i] {
+			t.Errorf("request %d: kind = %v, want %v", i, r.Kind, kinds[i])
+		}
+		if len(r.Mem) != sizes[i] {
+			t.Errorf("request %d: mem size = %d, want %d", i, len(r.Mem), sizes[i])
+		}
+	}
+}
+
+func TestParseMissingTerminator(t *testing.T) {
+	buf, _ := AppendRequest(nil, ReqStart, 0)
+	if _, err := ParseRequests(buf); err != ErrTruncated {
+		t.Fatalf("got err %v, want ErrTruncated", err)
+	}
+}
+
+func TestParseOverrunningEntry(t *testing.T) {
+	buf, _ := AppendRequest(nil, ReqStart, 8)
+	// Claim a size larger than the buffer.
+	binary.LittleEndian.PutUint32(buf, uint32(len(buf)+100))
+	buf = Terminate(buf)
+	if _, err := ParseRequests(buf); err != ErrTruncated {
+		t.Fatalf("got err %v, want ErrTruncated", err)
+	}
+}
+
+func TestParseEntrySmallerThanHeader(t *testing.T) {
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint32(buf, 8) // sz < headerSize
+	if _, err := ParseRequests(buf); err != ErrTruncated {
+		t.Fatalf("got err %v, want ErrTruncated", err)
+	}
+}
+
+func TestSetErrorWritesBack(t *testing.T) {
+	buf, _ := AppendRequest(nil, ReqStart, 0)
+	buf = Terminate(buf)
+	reqs, err := ParseRequests(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs[0].SetError(ErrSequence)
+	reqs[0].SetResponseSize(12)
+
+	again, err := ParseRequests(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0].EC != ErrSequence {
+		t.Errorf("ec after reparse = %v, want %v", again[0].EC, ErrSequence)
+	}
+	if again[0].RSZ != 12 {
+		t.Errorf("rsz after reparse = %d, want 12", again[0].RSZ)
+	}
+}
+
+func TestRegisterPayloadRoundTrip(t *testing.T) {
+	mem := make([]byte, RegisterPayloadSize)
+	EncodeRegister(mem, EventThrBeginLkwt, 0xdeadbeefcafe)
+	e, h, ok := DecodeRegister(mem)
+	if !ok || e != EventThrBeginLkwt || h != 0xdeadbeefcafe {
+		t.Fatalf("round trip gave (%v, %#x, %v)", e, h, ok)
+	}
+	if _, _, ok := DecodeRegister(mem[:4]); ok {
+		t.Error("short buffer decoded successfully")
+	}
+}
+
+func TestUnregisterPayloadRoundTrip(t *testing.T) {
+	mem := make([]byte, UnregisterPayloadSize)
+	EncodeUnregister(mem, EventJoin)
+	e, ok := DecodeUnregister(mem)
+	if !ok || e != EventJoin {
+		t.Fatalf("round trip gave (%v, %v)", e, ok)
+	}
+	if _, ok := DecodeUnregister(nil); ok {
+		t.Error("nil buffer decoded successfully")
+	}
+}
+
+// Property: any sequence of (kind, payload size) pairs survives an
+// append/terminate/parse round trip with kinds and sizes intact.
+func TestParseRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n % 32)
+		kinds := make([]RequestKind, count)
+		sizes := make([]int, count)
+		var buf []byte
+		for i := 0; i < count; i++ {
+			kinds[i] = RequestKind(rng.Intn(int(numRequestKinds)))
+			sizes[i] = rng.Intn(64)
+			buf, _ = AppendRequest(buf, kinds[i], sizes[i])
+		}
+		buf = Terminate(buf)
+		reqs, err := ParseRequests(buf)
+		if err != nil || len(reqs) != count {
+			return false
+		}
+		for i, r := range reqs {
+			if r.Kind != kinds[i] || len(r.Mem) != sizes[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: parsing never panics and either succeeds or reports
+// ErrTruncated on arbitrary byte soup.
+func TestParseArbitraryBytesProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		reqs, err := ParseRequests(data)
+		if err != nil && err != ErrTruncated {
+			return false
+		}
+		// All parsed entries must lie within the buffer.
+		for _, r := range reqs {
+			if len(r.Mem) > len(data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRequestKindStrings(t *testing.T) {
+	for k := RequestKind(0); int32(k) < numRequestKinds; k++ {
+		if !k.Valid() {
+			t.Errorf("%d should be valid", k)
+		}
+		if k.String() == "" {
+			t.Errorf("kind %d has empty name", k)
+		}
+	}
+	if RequestKind(99).Valid() {
+		t.Error("99 should be invalid")
+	}
+	if got := RequestKind(99).String(); got != "OMP_REQ(99)" {
+		t.Errorf("invalid kind string = %q", got)
+	}
+}
+
+func TestErrorCodeStrings(t *testing.T) {
+	codes := []ErrorCode{ErrOK, ErrGeneric, ErrBadRequest, ErrUnsupported,
+		ErrSequence, ErrThread, ErrMemTooSmall}
+	seen := map[string]bool{}
+	for _, ec := range codes {
+		s := ec.String()
+		if s == "" || seen[s] {
+			t.Errorf("error code %d: bad or duplicate name %q", ec, s)
+		}
+		seen[s] = true
+	}
+	if got := ErrorCode(42).String(); got != "OMP_ERRCODE(42)" {
+		t.Errorf("invalid code string = %q", got)
+	}
+}
+
+func TestStatePayloadDecodeShort(t *testing.T) {
+	if _, _, ok := DecodeStateResponse(make([]byte, 4)); ok {
+		t.Error("short state payload decoded")
+	}
+	if _, ok := DecodePRIDResponse(make([]byte, 4)); ok {
+		t.Error("short prid payload decoded")
+	}
+}

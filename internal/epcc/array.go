@@ -1,0 +1,122 @@
+package epcc
+
+import (
+	"time"
+
+	"goomp/internal/omp"
+	"goomp/internal/perf"
+)
+
+// Array (data-environment) benchmarks, after EPCC's arraybench: the
+// per-region cost of the private, firstprivate and copyprivate data
+// clauses as a function of array size. The goomp runtime has no
+// clauses — data environments are explicit in Go — so each clause is
+// modeled by the allocation/copy pattern its translation performs:
+//
+//	private       — each thread allocates a fresh array in the region
+//	firstprivate  — each thread allocates and copies the master's array
+//	copyprivate   — one thread initializes; after the single's barrier
+//	                every thread copies the broadcast value out
+type ArrayClause int
+
+// Array clauses.
+const (
+	ClausePrivate ArrayClause = iota
+	ClauseFirstPrivate
+	ClauseCopyPrivate
+)
+
+var arrayClauseNames = [...]string{
+	ClausePrivate:      "PRIVATE",
+	ClauseFirstPrivate: "FIRSTPRIVATE",
+	ClauseCopyPrivate:  "COPYPRIVATE",
+}
+
+func (c ArrayClause) String() string {
+	if c < 0 || int(c) >= len(arrayClauseNames) {
+		return "CLAUSE(?)"
+	}
+	return arrayClauseNames[c]
+}
+
+// ArraySizes are the array lengths arraybench sweeps (powers of 3, as
+// in the original).
+var ArraySizes = []int{1, 3, 9, 27, 81, 243, 729, 2187, 6561}
+
+// ArrayResult is one arraybench measurement.
+type ArrayResult struct {
+	Clause  ArrayClause
+	Size    int
+	Threads int
+	Time    Stats
+	// PerRegion is the mean cost of one region including the clause's
+	// data handling.
+	PerRegion time.Duration
+}
+
+// MeasureArray times InnerReps parallel regions carrying the clause's
+// data pattern for the given array length.
+func (s *Suite) MeasureArray(clause ArrayClause, size int) ArrayResult {
+	master := make([]float64, size)
+	for i := range master {
+		master[i] = float64(i)
+	}
+	shared := make([]float64, size)
+
+	run := func() {
+		for rep := 0; rep < s.InnerReps; rep++ {
+			switch clause {
+			case ClausePrivate:
+				s.RT.Parallel(func(tc *omp.ThreadCtx) {
+					private := make([]float64, size)
+					private[size-1] = Delay(s.DelayLength)
+					tc.AtomicAddFloat64(&sink, private[size-1])
+				})
+			case ClauseFirstPrivate:
+				s.RT.Parallel(func(tc *omp.ThreadCtx) {
+					private := make([]float64, size)
+					copy(private, master)
+					private[0] += Delay(s.DelayLength)
+					tc.AtomicAddFloat64(&sink, private[0])
+				})
+			case ClauseCopyPrivate:
+				s.RT.Parallel(func(tc *omp.ThreadCtx) {
+					tc.Single(func() {
+						for i := range shared {
+							shared[i] = float64(i) + Delay(0)
+						}
+					})
+					// After the single's implicit barrier each thread
+					// copies the broadcast data out.
+					private := make([]float64, size)
+					copy(private, shared)
+					tc.AtomicAddFloat64(&sink, private[size-1])
+				})
+			}
+		}
+	}
+	run() // warm the pool
+	times := make([]time.Duration, 0, s.OuterReps)
+	for i := 0; i < s.OuterReps; i++ {
+		times = append(times, perf.Time(run))
+	}
+	res := ArrayResult{
+		Clause:  clause,
+		Size:    size,
+		Threads: s.RT.Config().NumThreads,
+		Time:    computeStats(times),
+	}
+	res.PerRegion = res.Time.Mean / time.Duration(s.InnerReps)
+	return res
+}
+
+// MeasureArrays sweeps all clauses over ArraySizes.
+func (s *Suite) MeasureArrays() []ArrayResult {
+	var out []ArrayResult
+	for _, clause := range []ArrayClause{ClausePrivate, ClauseFirstPrivate, ClauseCopyPrivate} {
+		for _, size := range ArraySizes {
+			out = append(out, s.MeasureArray(clause, size))
+		}
+	}
+	return out
+}

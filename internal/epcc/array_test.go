@@ -1,0 +1,50 @@
+package epcc
+
+import (
+	"testing"
+)
+
+func TestArrayClauseNames(t *testing.T) {
+	for _, c := range []ArrayClause{ClausePrivate, ClauseFirstPrivate, ClauseCopyPrivate} {
+		if c.String() == "" || c.String() == "CLAUSE(?)" {
+			t.Errorf("clause %d unnamed", c)
+		}
+	}
+	if ArrayClause(42).String() != "CLAUSE(?)" {
+		t.Error("invalid clause name")
+	}
+}
+
+func TestMeasureArrayEachClause(t *testing.T) {
+	s := smallSuite(t, 2)
+	for _, clause := range []ArrayClause{ClausePrivate, ClauseFirstPrivate, ClauseCopyPrivate} {
+		clause := clause
+		t.Run(clause.String(), func(t *testing.T) {
+			res := s.MeasureArray(clause, 81)
+			if res.Time.Mean <= 0 || res.PerRegion <= 0 {
+				t.Errorf("%v: non-positive timing %+v", clause, res)
+			}
+			if res.Size != 81 || res.Threads != 2 {
+				t.Errorf("%v: metadata wrong %+v", clause, res)
+			}
+		})
+	}
+}
+
+func TestMeasureArraysSweep(t *testing.T) {
+	s := smallSuite(t, 2)
+	s.OuterReps = 1
+	s.InnerReps = 4
+	out := s.MeasureArrays()
+	if len(out) != 3*len(ArraySizes) {
+		t.Fatalf("sweep produced %d results, want %d", len(out), 3*len(ArraySizes))
+	}
+}
+
+func TestArraySizesAscending(t *testing.T) {
+	for i := 1; i < len(ArraySizes); i++ {
+		if ArraySizes[i] != 3*ArraySizes[i-1] {
+			t.Errorf("sizes not powers of 3: %v", ArraySizes)
+		}
+	}
+}

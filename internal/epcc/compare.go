@@ -1,0 +1,115 @@
+package epcc
+
+import (
+	"fmt"
+	"io"
+
+	"goomp/internal/omp"
+	"goomp/internal/tool"
+)
+
+// OverheadRow is one cell group of Figure 4: for a directive at a
+// thread count, the EPCC overhead with the collector API disabled and
+// enabled, and the percentage increase.
+type OverheadRow struct {
+	Directive   string
+	Threads     int
+	OffOverhead Result
+	OnOverhead  Result
+	// PercentIncrease is the relative growth of the directive's total
+	// time when ORA event collection is enabled. Following the paper's
+	// presentation, increases under 1% are reported as zero.
+	PercentIncrease float64
+}
+
+// CompareParams configures a Figure 4 run.
+type CompareParams struct {
+	Threads     int
+	InnerReps   int
+	OuterReps   int
+	DelayLength int
+	// ToolOptions configures the attached collector during the "on"
+	// measurement; zero value means the paper's full measurement.
+	ToolOptions *tool.Options
+}
+
+// Compare measures every directive with ORA off and on at the given
+// thread count — the experiment behind Figure 4.
+func Compare(p CompareParams) ([]OverheadRow, error) {
+	if p.InnerReps == 0 {
+		p.InnerReps = 128
+	}
+	if p.OuterReps == 0 {
+		p.OuterReps = 5
+	}
+	if p.DelayLength == 0 {
+		p.DelayLength = 64
+	}
+	opts := tool.FullMeasurement()
+	if p.ToolOptions != nil {
+		opts = *p.ToolOptions
+	}
+
+	run := func(withTool bool) ([]Result, error) {
+		rt := omp.New(omp.Config{NumThreads: p.Threads})
+		defer rt.Close()
+		s := NewSuite(rt)
+		s.InnerReps = p.InnerReps
+		s.OuterReps = p.OuterReps
+		s.DelayLength = p.DelayLength
+		if withTool {
+			tl, err := tool.AttachRuntime(rt, opts)
+			if err != nil {
+				return nil, err
+			}
+			defer tl.Detach()
+		}
+		return s.MeasureAll(), nil
+	}
+
+	off, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	on, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]OverheadRow, len(off))
+	for i := range off {
+		rows[i] = OverheadRow{
+			Directive:       off[i].Directive,
+			Threads:         p.Threads,
+			OffOverhead:     off[i],
+			OnOverhead:      on[i],
+			PercentIncrease: PercentIncrease(off[i], on[i]),
+		}
+	}
+	return rows, nil
+}
+
+// PercentIncrease computes the Figure 4 metric from an off/on pair:
+// the relative increase of the directive's total loop time, with
+// sub-1% values (measurement noise, the paper's "listed as zero")
+// floored to zero.
+func PercentIncrease(off, on Result) float64 {
+	if off.Time.Mean <= 0 {
+		return 0
+	}
+	pct := 100 * (float64(on.Time.Mean) - float64(off.Time.Mean)) / float64(off.Time.Mean)
+	if pct < 1 {
+		return 0
+	}
+	return pct
+}
+
+// WriteTable renders Figure 4 rows as text.
+func WriteTable(w io.Writer, rows []OverheadRow) {
+	fmt.Fprintf(w, "%-14s %8s %14s %14s %10s\n",
+		"directive", "threads", "overhead(off)", "overhead(on)", "increase%")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %8d %14v %14v %10.1f\n",
+			r.Directive, r.Threads, r.OffOverhead.Overhead, r.OnOverhead.Overhead,
+			r.PercentIncrease)
+	}
+}

@@ -1,0 +1,68 @@
+package epcc
+
+import (
+	"time"
+
+	"goomp/internal/omp"
+	"goomp/internal/perf"
+)
+
+// SchedResult is one schedbench measurement: the per-iteration cost of
+// a worksharing loop under a schedule kind and chunk size, relative to
+// the statically scheduled ideal.
+type SchedResult struct {
+	Schedule omp.Schedule
+	Chunk    int
+	Threads  int
+	Time     Stats
+	// PerIteration is the mean loop time divided by the iteration
+	// count.
+	PerIteration time.Duration
+}
+
+// SchedChunks are the chunk sizes schedbench sweeps.
+var SchedChunks = []int{1, 2, 4, 8, 16, 32, 64, 128}
+
+// MeasureSchedule times a loop of itersPerThread×threads iterations of
+// the delay under the given schedule and chunk.
+func (s *Suite) MeasureSchedule(sched omp.Schedule, chunk, itersPerThread int) SchedResult {
+	n := itersPerThread * s.RT.Config().NumThreads
+	run := func() {
+		s.RT.Parallel(func(tc *omp.ThreadCtx) {
+			a := 0.0
+			tc.ForSched(n, sched, chunk, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					a += Delay(s.DelayLength)
+				}
+			})
+			tc.AtomicAddFloat64(&sink, a)
+		})
+	}
+	run() // warm the pool
+	times := make([]time.Duration, 0, s.OuterReps)
+	for i := 0; i < s.OuterReps; i++ {
+		times = append(times, perf.Time(run))
+	}
+	res := SchedResult{
+		Schedule: sched,
+		Chunk:    chunk,
+		Threads:  s.RT.Config().NumThreads,
+		Time:     computeStats(times),
+	}
+	if n > 0 {
+		res.PerIteration = res.Time.Mean / time.Duration(n)
+	}
+	return res
+}
+
+// MeasureSchedules sweeps schedbench: static, dynamic and guided over
+// SchedChunks.
+func (s *Suite) MeasureSchedules(itersPerThread int) []SchedResult {
+	var out []SchedResult
+	for _, sched := range []omp.Schedule{omp.ScheduleStatic, omp.ScheduleDynamic, omp.ScheduleGuided} {
+		for _, chunk := range SchedChunks {
+			out = append(out, s.MeasureSchedule(sched, chunk, itersPerThread))
+		}
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ASCII rendering of the paper's bar figures: each benchmark gets a
+// group of bars, one per configuration, scaled to the maximum overhead
+// in the data set — enough to eyeball the shape (who is worst, by
+// roughly what factor) against the published charts.
+
+const chartWidth = 50
+
+// WriteBarChart renders overhead rows as horizontal bars grouped by
+// benchmark, in first-appearance order.
+func WriteBarChart(w io.Writer, title string, rows []OverheadRow) {
+	fmt.Fprintf(w, "%s\n", title)
+	if len(rows) == 0 {
+		fmt.Fprintln(w, "  (no data)")
+		return
+	}
+	var max float64
+	for _, r := range rows {
+		if r.Percent > max {
+			max = r.Percent
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	order := make([]string, 0)
+	seen := map[string]bool{}
+	groups := map[string][]OverheadRow{}
+	for _, r := range rows {
+		if !seen[r.Benchmark] {
+			seen[r.Benchmark] = true
+			order = append(order, r.Benchmark)
+		}
+		groups[r.Benchmark] = append(groups[r.Benchmark], r)
+	}
+	for _, name := range order {
+		fmt.Fprintf(w, "%s\n", name)
+		for _, r := range groups[name] {
+			n := int(r.Percent / max * chartWidth)
+			if n > chartWidth {
+				n = chartWidth
+			}
+			// Pad by rune count: %-*s pads by bytes, and the block
+			// rune is three bytes.
+			bar := strings.Repeat("█", n) + strings.Repeat(" ", chartWidth-n)
+			if n == 0 && r.Percent > 0 {
+				bar = "▏" + bar[:len(bar)-1]
+			}
+			fmt.Fprintf(w, "  %-6s |%s| %5.1f%%\n", r.Config, bar, r.Percent)
+		}
+	}
+}
+
+// WriteCallsChart renders Table-style call counts as log-ish scaled
+// bars, ordered by count, to visualize the LU-HP dominance.
+func WriteCallsChart(w io.Writer, title string, counts map[string]uint64) {
+	fmt.Fprintf(w, "%s\n", title)
+	type kv struct {
+		name  string
+		calls uint64
+	}
+	items := make([]kv, 0, len(counts))
+	var max uint64
+	for name, c := range counts {
+		items = append(items, kv{name, c})
+		if c > max {
+			max = c
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].calls != items[j].calls {
+			return items[i].calls > items[j].calls
+		}
+		return items[i].name < items[j].name
+	})
+	for _, it := range items {
+		n := int(float64(it.calls) / float64(max) * chartWidth)
+		if n == 0 && it.calls > 0 {
+			n = 1
+		}
+		bar := strings.Repeat("█", n) + strings.Repeat(" ", chartWidth-n)
+		fmt.Fprintf(w, "  %-8s |%s| %d\n", it.name, bar, it.calls)
+	}
+}
+
+// WriteCSV emits overhead rows as CSV (benchmark,config,off_ns,on_ns,
+// overhead_pct,region_calls,verified) for external plotting.
+func WriteCSV(w io.Writer, rows []OverheadRow) error {
+	if _, err := fmt.Fprintln(w, "benchmark,config,off_ns,on_ns,overhead_pct,region_calls,verified"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s,%s,%d,%d,%.2f,%d,%v\n",
+			r.Benchmark, r.Config, r.Off.Nanoseconds(), r.On.Nanoseconds(),
+			r.Percent, r.RegionCalls, r.Verified); err != nil {
+			return err
+		}
+	}
+	return nil
+}

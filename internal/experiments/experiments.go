@@ -1,0 +1,468 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§V): the EPCC directive-overhead chart (Figure
+// 4), the NPB3.2-OMP profiling overheads (Figure 5), the multi-zone
+// hybrid overheads (Figure 6), the region-count tables (Tables I and
+// II) and the overhead-decomposition study (§V-B). The command-line
+// drivers under cmd/ and the benchmark harness in bench_test.go are
+// thin wrappers over this package.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"goomp/internal/epcc"
+	"goomp/internal/mz"
+	"goomp/internal/npb"
+	"goomp/internal/omp"
+	"goomp/internal/tool"
+)
+
+// Paper reference values, used to print paper-vs-measured rows.
+
+// PaperTableI is Table I: static parallel regions and dynamic region
+// calls per NPB3.2-OMP benchmark at class B on the authors' testbed.
+var PaperTableI = map[string]struct{ Regions, Calls uint64 }{
+	"BT":    {11, 1014},
+	"EP":    {3, 3},
+	"SP":    {14, 3618},
+	"MG":    {10, 1281},
+	"FT":    {9, 112},
+	"CG":    {15, 2212},
+	"LU-HP": {16, 298959},
+	"LU":    {9, 518},
+}
+
+// PaperTableII is Table II: parallel region calls per process for the
+// multi-zone benchmarks under the four process×thread decompositions.
+var PaperTableII = map[string]map[string]uint64{
+	"BT-MZ": {"1x8": 167616, "2x4": 83808, "4x2": 41904, "8x1": 20952},
+	"LU-MZ": {"1x8": 40353, "2x4": 20177, "4x2": 10089, "8x1": 5045},
+	"SP-MZ": {"1x8": 436672, "2x4": 218336, "4x2": 109168, "8x1": 54584},
+}
+
+// PaperFigure5Worst records Figure 5's headline: LU-HP incurs the
+// highest NPB-OMP overhead (≈6% on eight threads).
+const PaperFigure5Worst = "LU-HP"
+
+// PaperFigure6Worst records Figure 6's headline: SP-MZ incurs the
+// highest hybrid overhead (≈16% at 1×8).
+const PaperFigure6Worst = "SP-MZ"
+
+// PaperDecomposition records §V-B: the fraction of tool overhead
+// attributable to measurement/storage rather than callbacks and
+// communication.
+var PaperDecomposition = map[string]float64{
+	"LU-HP": 81.22,
+	"SP-MZ": 99.35,
+}
+
+// OverheadRow is one figure cell: a benchmark at a configuration,
+// with the ORA-off baseline, the ORA-on time and the percentage
+// overhead.
+type OverheadRow struct {
+	Benchmark string
+	Config    string // "4" (threads) or "2x4" (procs x threads)
+	Off, On   time.Duration
+	// Percent is the Figure 5/6 metric; sub-1% values are reported as
+	// zero, following the paper's presentation.
+	Percent     float64
+	RegionCalls uint64
+	Verified    bool
+}
+
+// percent applies the paper's floor-at-zero presentation.
+func percent(off, on time.Duration) float64 {
+	if off <= 0 {
+		return 0
+	}
+	p := 100 * (float64(on) - float64(off)) / float64(off)
+	if p < 1 {
+		return 0
+	}
+	return p
+}
+
+// Figure5Params configures the NPB overhead experiment.
+type Figure5Params struct {
+	Class        npb.Class
+	ThreadCounts []int
+	Reps         int // timings per configuration; minimum is used
+	Benchmarks   []string
+	ToolOptions  tool.Options
+}
+
+// DefaultFigure5 mirrors the paper: all eight benchmarks at 1, 2, 4
+// and 8 threads, full measurement.
+func DefaultFigure5(class npb.Class) Figure5Params {
+	return Figure5Params{
+		Class:        class,
+		ThreadCounts: []int{1, 2, 4, 8},
+		Reps:         3,
+		ToolOptions:  tool.FullMeasurement(),
+	}
+}
+
+// Figure5 measures NPB3.2-OMP profiling overhead: each benchmark runs
+// with the collector detached and attached, and the percentage
+// increase in wall time is the figure's bar.
+func Figure5(p Figure5Params) ([]OverheadRow, error) {
+	if p.Reps < 1 {
+		p.Reps = 1
+	}
+	names := p.Benchmarks
+	if names == nil {
+		for _, b := range npb.Suite() {
+			names = append(names, b.Name)
+		}
+	}
+	var rows []OverheadRow
+	for _, name := range names {
+		b, err := npb.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, threads := range p.ThreadCounts {
+			off, _, err := timeNPB(b, p.Class, threads, p.Reps, nil)
+			if err != nil {
+				return nil, err
+			}
+			opts := p.ToolOptions
+			on, res, err := timeNPB(b, p.Class, threads, p.Reps, &opts)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, OverheadRow{
+				Benchmark:   name,
+				Config:      fmt.Sprintf("%d", threads),
+				Off:         off,
+				On:          on,
+				Percent:     percent(off, on),
+				RegionCalls: res.RegionCalls,
+				Verified:    res.Verified,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// timeNPB runs one benchmark Reps times and returns the minimum time
+// (the standard noise-rejecting statistic for wall-clock comparisons).
+func timeNPB(b npb.Benchmark, class npb.Class, threads, reps int, opts *tool.Options) (time.Duration, npb.Result, error) {
+	var best time.Duration
+	var last npb.Result
+	for r := 0; r < reps; r++ {
+		rt := omp.New(omp.Config{NumThreads: threads})
+		var tl *tool.Tool
+		if opts != nil {
+			var err error
+			tl, err = tool.AttachRuntime(rt, *opts)
+			if err != nil {
+				rt.Close()
+				return 0, npb.Result{}, err
+			}
+		}
+		res := b.Run(rt, class)
+		if tl != nil {
+			tl.Detach()
+		}
+		rt.Close()
+		if r == 0 || res.Time < best {
+			best = res.Time
+		}
+		last = res
+	}
+	return best, last, nil
+}
+
+// TableIRow is one row of Table I.
+type TableIRow struct {
+	Benchmark    string
+	Regions      int
+	RegionCalls  uint64
+	PaperRegions uint64
+	PaperCalls   uint64
+	Verified     bool
+}
+
+// TableI measures the static region count and dynamic region-call
+// count for every NPB benchmark at the given class.
+func TableI(class npb.Class, threads int) []TableIRow {
+	var rows []TableIRow
+	for _, b := range npb.Suite() {
+		rt := omp.New(omp.Config{NumThreads: threads})
+		res := b.Run(rt, class)
+		rt.Close()
+		paper := PaperTableI[b.Name]
+		rows = append(rows, TableIRow{
+			Benchmark:    b.Name,
+			Regions:      res.Regions,
+			RegionCalls:  res.RegionCalls,
+			PaperRegions: paper.Regions,
+			PaperCalls:   paper.Calls,
+			Verified:     res.Verified,
+		})
+	}
+	return rows
+}
+
+// Decompositions are the process×thread splits of Figure 6/Table II.
+var Decompositions = []struct{ Procs, Threads int }{
+	{1, 8}, {2, 4}, {4, 2}, {8, 1},
+}
+
+// Figure6Params configures the multi-zone overhead experiment.
+type Figure6Params struct {
+	Class       npb.Class
+	Reps        int
+	Benchmarks  []string
+	ToolOptions tool.Options
+}
+
+// DefaultFigure6 mirrors the paper: the three MZ benchmarks over the
+// four decompositions.
+func DefaultFigure6(class npb.Class) Figure6Params {
+	return Figure6Params{Class: class, Reps: 3, ToolOptions: tool.FullMeasurement()}
+}
+
+// Figure6 measures hybrid profiling overhead for every decomposition.
+func Figure6(p Figure6Params) ([]OverheadRow, error) {
+	if p.Reps < 1 {
+		p.Reps = 1
+	}
+	names := p.Benchmarks
+	if names == nil {
+		for _, s := range mz.Benchmarks() {
+			names = append(names, s.Name)
+		}
+	}
+	var rows []OverheadRow
+	for _, name := range names {
+		spec, err := mz.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range Decompositions {
+			if d.Procs > spec.GX*spec.GY {
+				continue
+			}
+			off := timeMZ(spec, d.Procs, d.Threads, p.Class, p.Reps, nil)
+			opts := p.ToolOptions
+			on := timeMZ(spec, d.Procs, d.Threads, p.Class, p.Reps, &opts)
+			rows = append(rows, OverheadRow{
+				Benchmark:   name,
+				Config:      fmt.Sprintf("%dx%d", d.Procs, d.Threads),
+				Off:         off.Time,
+				On:          on.Time,
+				Percent:     percent(off.Time, on.Time),
+				RegionCalls: on.RegionCallsRank0(),
+				Verified:    off.Verified && on.Verified,
+			})
+		}
+	}
+	return rows, nil
+}
+
+func timeMZ(spec mz.Spec, procs, threads int, class npb.Class, reps int, opts *tool.Options) mz.Result {
+	var best mz.Result
+	for r := 0; r < reps; r++ {
+		params := mz.Params{Procs: procs, Threads: threads, Class: class}
+		if opts != nil {
+			params.WithTool = true
+			params.ToolOptions = *opts
+		}
+		res := mz.Run(spec, params)
+		if r == 0 || res.Time < best.Time {
+			resCopy := res
+			resCopy.Time = res.Time
+			best = resCopy
+		}
+	}
+	return best
+}
+
+// TableIIRow is one row of Table II.
+type TableIIRow struct {
+	Benchmark  string
+	Config     string
+	CallsRank0 uint64
+	PaperCalls uint64
+}
+
+// TableII measures per-process region calls for every MZ benchmark and
+// decomposition.
+func TableII(class npb.Class) []TableIIRow {
+	var rows []TableIIRow
+	for _, spec := range mz.Benchmarks() {
+		for _, d := range Decompositions {
+			if d.Procs > spec.GX*spec.GY {
+				continue
+			}
+			cfg := fmt.Sprintf("%dx%d", d.Procs, d.Threads)
+			res := mz.Run(spec, mz.Params{Procs: d.Procs, Threads: d.Threads, Class: class})
+			rows = append(rows, TableIIRow{
+				Benchmark:  spec.Name,
+				Config:     cfg,
+				CallsRank0: res.RegionCallsRank0(),
+				PaperCalls: PaperTableII[spec.Name][cfg],
+			})
+		}
+	}
+	return rows
+}
+
+// DecompositionRow is the §V-B experiment for one benchmark: total
+// tool overhead split into the callback/communication part and the
+// measurement/storage part.
+type DecompositionRow struct {
+	Benchmark string
+	Config    string
+	Off       time.Duration
+	Callbacks time.Duration // callbacks registered, nothing stored
+	Full      time.Duration // full measurement and storage
+	// MeasurementShare is the percentage of the total overhead
+	// attributable to measurement/storage.
+	MeasurementShare float64
+	// PaperShare is the corresponding number reported in §V-B.
+	PaperShare float64
+}
+
+// Decomposition reproduces the paper's overhead split: LU-HP on 4
+// threads and SP-MZ at 4 processes × 1 thread, each run with the tool
+// detached, callbacks-only, and with full measurement.
+func Decomposition(class npb.Class, reps int) ([]DecompositionRow, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	var rows []DecompositionRow
+
+	// LU-HP on 4 threads.
+	luhp, err := npb.ByName("LU-HP")
+	if err != nil {
+		return nil, err
+	}
+	off, _, err := timeNPB(luhp, class, 4, reps, nil)
+	if err != nil {
+		return nil, err
+	}
+	cbOpts := tool.CallbacksOnly()
+	cb, _, err := timeNPB(luhp, class, 4, reps, &cbOpts)
+	if err != nil {
+		return nil, err
+	}
+	fullOpts := tool.FullMeasurement()
+	full, _, err := timeNPB(luhp, class, 4, reps, &fullOpts)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, decompRow("LU-HP", "4 threads", off, cb, full))
+
+	// SP-MZ at 4×1.
+	spmz, err := mz.ByName("SP-MZ")
+	if err != nil {
+		return nil, err
+	}
+	offMZ := timeMZ(spmz, 4, 1, class, reps, nil)
+	cbMZ := timeMZ(spmz, 4, 1, class, reps, &cbOpts)
+	fullMZ := timeMZ(spmz, 4, 1, class, reps, &fullOpts)
+	rows = append(rows, decompRow("SP-MZ", "4x1", offMZ.Time, cbMZ.Time, fullMZ.Time))
+	return rows, nil
+}
+
+func decompRow(name, cfg string, off, cb, full time.Duration) DecompositionRow {
+	row := DecompositionRow{
+		Benchmark: name, Config: cfg,
+		Off: off, Callbacks: cb, Full: full,
+		PaperShare: PaperDecomposition[name],
+	}
+	total := float64(full - off)
+	meas := float64(full - cb)
+	if total > 0 && meas > 0 {
+		row.MeasurementShare = 100 * meas / total
+		if row.MeasurementShare > 100 {
+			row.MeasurementShare = 100
+		}
+	}
+	return row
+}
+
+// Figure4 regenerates the EPCC experiment at each thread count; it is
+// a thin wrapper over epcc.Compare.
+func Figure4(threadCounts []int, inner, outer, delay int) (map[int][]epcc.OverheadRow, error) {
+	out := make(map[int][]epcc.OverheadRow)
+	for _, threads := range threadCounts {
+		rows, err := epcc.Compare(epcc.CompareParams{
+			Threads:     threads,
+			InnerReps:   inner,
+			OuterReps:   outer,
+			DelayLength: delay,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out[threads] = rows
+	}
+	return out, nil
+}
+
+// --- rendering ---
+
+// WriteOverheadRows renders figure rows as a fixed-width table.
+func WriteOverheadRows(w io.Writer, title string, rows []OverheadRow) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-8s %8s %12s %12s %10s %12s %8s\n",
+		"bench", "config", "off", "on", "overhead%", "regioncalls", "verified")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %8s %12v %12v %10.1f %12d %8v\n",
+			r.Benchmark, r.Config, r.Off.Round(time.Microsecond),
+			r.On.Round(time.Microsecond), r.Percent, r.RegionCalls, r.Verified)
+	}
+}
+
+// WriteTableI renders Table I with paper-vs-measured columns.
+func WriteTableI(w io.Writer, rows []TableIRow) {
+	fmt.Fprintf(w, "Table I: parallel regions and region calls (NPB-OMP)\n")
+	fmt.Fprintf(w, "%-8s %10s %12s %14s %14s %8s\n",
+		"bench", "regions", "calls", "paper-regions", "paper-calls", "verified")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %10d %12d %14d %14d %8v\n",
+			r.Benchmark, r.Regions, r.RegionCalls, r.PaperRegions, r.PaperCalls, r.Verified)
+	}
+}
+
+// WriteTableII renders Table II with paper-vs-measured columns.
+func WriteTableII(w io.Writer, rows []TableIIRow) {
+	fmt.Fprintf(w, "Table II: parallel region calls per process (NPB-MZ)\n")
+	fmt.Fprintf(w, "%-8s %8s %14s %14s\n", "bench", "config", "calls(rank0)", "paper-calls")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %8s %14d %14d\n", r.Benchmark, r.Config, r.CallsRank0, r.PaperCalls)
+	}
+}
+
+// WriteDecomposition renders the §V-B rows.
+func WriteDecomposition(w io.Writer, rows []DecompositionRow) {
+	fmt.Fprintf(w, "Overhead decomposition (measurement/storage share of total overhead)\n")
+	fmt.Fprintf(w, "%-8s %10s %12s %12s %12s %10s %10s\n",
+		"bench", "config", "off", "callbacks", "full", "share%", "paper%")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %10s %12v %12v %12v %10.2f %10.2f\n",
+			r.Benchmark, r.Config, r.Off.Round(time.Microsecond),
+			r.Callbacks.Round(time.Microsecond), r.Full.Round(time.Microsecond),
+			r.MeasurementShare, r.PaperShare)
+	}
+}
+
+// Worst returns the benchmark with the highest overhead among rows,
+// for checking the figures' headline orderings.
+func Worst(rows []OverheadRow) string {
+	var worst string
+	var max float64 = -1
+	for _, r := range rows {
+		if r.Percent > max {
+			max = r.Percent
+			worst = r.Benchmark
+		}
+	}
+	return worst
+}

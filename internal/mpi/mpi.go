@@ -1,0 +1,265 @@
+// Package mpi is an in-process message-passing substrate for the
+// multi-zone hybrid benchmarks (NPB3.2-MZ-MPI in the paper). Ranks are
+// goroutine groups inside one process: each rank runs its own OpenMP
+// runtime, as a real MPI+OpenMP process owns its own OpenMP runtime
+// library instance. The subset implemented — point-to-point send and
+// receive with tag matching, barrier, broadcast, reduce, allreduce and
+// gather — is what the multi-zone boundary exchange needs.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// AnyTag matches any message tag in Recv.
+const AnyTag = -1
+
+// AnySource matches any sending rank in Recv.
+const AnySource = -1
+
+type message struct {
+	src  int
+	tag  int
+	data []float64
+}
+
+// mailbox is the per-destination message store with MPI-style
+// (source, tag) matching.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []message
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(msg message) {
+	m.mu.Lock()
+	m.pending = append(m.pending, msg)
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+func (m *mailbox) get(src, tag int) message {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i, msg := range m.pending {
+			if (src == AnySource || msg.src == src) && (tag == AnyTag || msg.tag == tag) {
+				m.pending = append(m.pending[:i], m.pending[i+1:]...)
+				return msg
+			}
+		}
+		m.cond.Wait()
+	}
+}
+
+// World is an MPI communicator universe of a fixed number of ranks.
+type World struct {
+	size  int
+	boxes []*mailbox
+
+	bmu    sync.Mutex
+	bcond  *sync.Cond
+	bcount int
+	bsense bool
+}
+
+// NewWorld creates a world of size ranks.
+func NewWorld(size int) *World {
+	if size < 1 {
+		panic("mpi: world size must be positive")
+	}
+	w := &World{size: size, boxes: make([]*mailbox, size)}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	w.bcond = sync.NewCond(&w.bmu)
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Run starts one goroutine per rank executing fn and returns when all
+// ranks finish. It is the mpirun of this substrate.
+func (w *World) Run(fn func(c *Comm)) {
+	var wg sync.WaitGroup
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			fn(&Comm{world: w, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+}
+
+// Comm is one rank's communicator handle.
+type Comm struct {
+	world *World
+	rank  int
+}
+
+// Rank returns this rank's index.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return c.world.size }
+
+// Send delivers a copy of data to dst with the given tag. It is
+// buffered (never blocks), like an MPI_Send small enough for eager
+// delivery.
+func (c *Comm) Send(dst, tag int, data []float64) {
+	if dst < 0 || dst >= c.world.size {
+		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
+	}
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	c.world.boxes[dst].put(message{src: c.rank, tag: tag, data: cp})
+}
+
+// Recv blocks until a message matching (src, tag) arrives and returns
+// its payload and actual source. Use AnySource/AnyTag as wildcards.
+func (c *Comm) Recv(src, tag int) ([]float64, int) {
+	msg := c.world.boxes[c.rank].get(src, tag)
+	return msg.data, msg.src
+}
+
+// Sendrecv exchanges data with a partner rank in one deadlock-free
+// step.
+func (c *Comm) Sendrecv(dst, sendTag int, data []float64, src, recvTag int) ([]float64, int) {
+	c.Send(dst, sendTag, data)
+	return c.Recv(src, recvTag)
+}
+
+// Barrier blocks until every rank has entered it (sense-reversing
+// central barrier).
+func (c *Comm) Barrier() {
+	w := c.world
+	w.bmu.Lock()
+	sense := w.bsense
+	w.bcount++
+	if w.bcount == w.size {
+		w.bcount = 0
+		w.bsense = !sense
+		w.bcond.Broadcast()
+		w.bmu.Unlock()
+		return
+	}
+	for w.bsense == sense {
+		w.bcond.Wait()
+	}
+	w.bmu.Unlock()
+}
+
+// Op is a reduction operator.
+type Op int
+
+// Reduction operators.
+const (
+	OpSum Op = iota
+	OpMax
+	OpMin
+)
+
+func (op Op) apply(dst, src []float64) {
+	for i := range dst {
+		switch op {
+		case OpSum:
+			dst[i] += src[i]
+		case OpMax:
+			if src[i] > dst[i] {
+				dst[i] = src[i]
+			}
+		case OpMin:
+			if src[i] < dst[i] {
+				dst[i] = src[i]
+			}
+		}
+	}
+}
+
+// reserved tag space for collectives, above user tags.
+const (
+	tagBcast = 1 << 20
+	tagGath  = 2 << 20
+	tagRed   = 3 << 20
+)
+
+// Bcast distributes root's data to every rank and returns each rank's
+// copy.
+func (c *Comm) Bcast(root int, data []float64) []float64 {
+	if c.rank == root {
+		for r := 0; r < c.world.size; r++ {
+			if r != root {
+				c.Send(r, tagBcast, data)
+			}
+		}
+		cp := make([]float64, len(data))
+		copy(cp, data)
+		return cp
+	}
+	got, _ := c.Recv(root, tagBcast)
+	return got
+}
+
+// Gather collects each rank's contribution at root; root receives a
+// slice indexed by rank, other ranks receive nil.
+func (c *Comm) Gather(root int, data []float64) [][]float64 {
+	if c.rank != root {
+		c.Send(root, tagGath+c.rank, data)
+		return nil
+	}
+	out := make([][]float64, c.world.size)
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	out[root] = cp
+	for r := 0; r < c.world.size; r++ {
+		if r == root {
+			continue
+		}
+		got, _ := c.Recv(r, tagGath+r)
+		out[r] = got
+	}
+	return out
+}
+
+// Reduce combines every rank's data element-wise at root with op; root
+// receives the result, others nil.
+func (c *Comm) Reduce(root int, op Op, data []float64) []float64 {
+	if c.rank != root {
+		c.Send(root, tagRed+c.rank, data)
+		return nil
+	}
+	acc := make([]float64, len(data))
+	copy(acc, data)
+	for r := 0; r < c.world.size; r++ {
+		if r == root {
+			continue
+		}
+		got, _ := c.Recv(r, tagRed+r)
+		op.apply(acc, got)
+	}
+	return acc
+}
+
+// Allreduce combines every rank's data with op and returns the result
+// on every rank (reduce to rank 0, broadcast back).
+func (c *Comm) Allreduce(op Op, data []float64) []float64 {
+	acc := c.Reduce(0, op, data)
+	if c.rank == 0 {
+		return c.Bcast(0, acc)
+	}
+	return c.Bcast(0, nil)
+}
+
+// AllreduceScalar is Allreduce for a single value.
+func (c *Comm) AllreduceScalar(op Op, v float64) float64 {
+	return c.Allreduce(op, []float64{v})[0]
+}

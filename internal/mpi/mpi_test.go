@@ -1,0 +1,264 @@
+package mpi
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSendRecvBasic(t *testing.T) {
+	w := NewWorld(2)
+	var got []float64
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 7, []float64{1, 2, 3})
+		} else {
+			data, src := c.Recv(0, 7)
+			if src != 0 {
+				t.Errorf("src = %d, want 0", src)
+			}
+			got = data
+		}
+	})
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			buf := []float64{42}
+			c.Send(1, 0, buf)
+			buf[0] = -1 // mutation after send must not be visible
+		} else {
+			data, _ := c.Recv(0, 0)
+			if data[0] != 42 {
+				t.Errorf("payload = %v, want 42 (send must copy)", data[0])
+			}
+		}
+	})
+}
+
+func TestTagMatchingOutOfOrder(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 1, []float64{1})
+			c.Send(1, 2, []float64{2})
+		} else {
+			// Receive tag 2 first although tag 1 arrived first.
+			d2, _ := c.Recv(0, 2)
+			d1, _ := c.Recv(0, 1)
+			if d2[0] != 2 || d1[0] != 1 {
+				t.Errorf("tag matching failed: %v %v", d1, d2)
+			}
+		}
+	})
+}
+
+func TestRecvWildcards(t *testing.T) {
+	w := NewWorld(3)
+	w.Run(func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			seen := map[int]bool{}
+			for i := 0; i < 2; i++ {
+				data, src := c.Recv(AnySource, AnyTag)
+				seen[src] = true
+				if data[0] != float64(src) {
+					t.Errorf("from %d got %v", src, data)
+				}
+			}
+			if !seen[1] || !seen[2] {
+				t.Errorf("sources seen: %v", seen)
+			}
+		default:
+			c.Send(0, 5+c.Rank(), []float64{float64(c.Rank())})
+		}
+	})
+}
+
+func TestSendInvalidRankPanics(t *testing.T) {
+	w := NewWorld(1)
+	w.Run(func(c *Comm) {
+		defer func() {
+			if recover() == nil {
+				t.Error("send to invalid rank did not panic")
+			}
+		}()
+		c.Send(5, 0, nil)
+	})
+}
+
+func TestSendrecvRingNoDeadlock(t *testing.T) {
+	const p = 5
+	w := NewWorld(p)
+	sums := make([]float64, p)
+	w.Run(func(c *Comm) {
+		right := (c.Rank() + 1) % p
+		left := (c.Rank() + p - 1) % p
+		got, src := c.Sendrecv(right, 9, []float64{float64(c.Rank())}, left, 9)
+		if src != left {
+			t.Errorf("rank %d: src = %d, want %d", c.Rank(), src, left)
+		}
+		sums[c.Rank()] = got[0]
+	})
+	for r := 0; r < p; r++ {
+		want := float64((r + p - 1) % p)
+		if sums[r] != want {
+			t.Errorf("rank %d received %v, want %v", r, sums[r], want)
+		}
+	}
+}
+
+func TestBarrierPhases(t *testing.T) {
+	const p = 4
+	w := NewWorld(p)
+	var counter int64
+	errs := make(chan string, p)
+	w.Run(func(c *Comm) {
+		for phase := 1; phase <= 10; phase++ {
+			w.bmu.Lock() // reuse barrier mutex to make the add atomic
+			counter++
+			w.bmu.Unlock()
+			c.Barrier()
+			w.bmu.Lock()
+			v := counter
+			w.bmu.Unlock()
+			if v != int64(p*phase) {
+				select {
+				case errs <- "barrier phase tear":
+				default:
+				}
+			}
+			c.Barrier()
+		}
+	})
+	select {
+	case e := <-errs:
+		t.Fatal(e)
+	default:
+	}
+}
+
+func TestBcast(t *testing.T) {
+	const p = 4
+	w := NewWorld(p)
+	got := make([][]float64, p)
+	w.Run(func(c *Comm) {
+		var data []float64
+		if c.Rank() == 2 {
+			data = []float64{3.5, -1}
+		}
+		got[c.Rank()] = c.Bcast(2, data)
+	})
+	for r := 0; r < p; r++ {
+		if len(got[r]) != 2 || got[r][0] != 3.5 || got[r][1] != -1 {
+			t.Errorf("rank %d got %v", r, got[r])
+		}
+	}
+}
+
+func TestGather(t *testing.T) {
+	const p = 3
+	w := NewWorld(p)
+	var rootView [][]float64
+	w.Run(func(c *Comm) {
+		out := c.Gather(0, []float64{float64(c.Rank() * 10)})
+		if c.Rank() == 0 {
+			rootView = out
+		} else if out != nil {
+			t.Errorf("rank %d got non-nil gather result", c.Rank())
+		}
+	})
+	for r := 0; r < p; r++ {
+		if rootView[r][0] != float64(r*10) {
+			t.Errorf("gathered[%d] = %v", r, rootView[r])
+		}
+	}
+}
+
+func TestReduceOps(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want []float64
+	}{
+		{OpSum, []float64{0 + 1 + 2 + 3, 3 * 4}},
+		{OpMax, []float64{3, 3}},
+		{OpMin, []float64{0, 3}},
+	}
+	for _, cse := range cases {
+		w := NewWorld(4)
+		var got []float64
+		w.Run(func(c *Comm) {
+			out := c.Reduce(0, cse.op, []float64{float64(c.Rank()), 3})
+			if c.Rank() == 0 {
+				got = out
+			}
+		})
+		if got[0] != cse.want[0] || got[1] != cse.want[1] {
+			t.Errorf("op %v: got %v, want %v", cse.op, got, cse.want)
+		}
+	}
+}
+
+func TestAllreduceEveryRankSeesResult(t *testing.T) {
+	const p = 5
+	w := NewWorld(p)
+	got := make([]float64, p)
+	w.Run(func(c *Comm) {
+		got[c.Rank()] = c.AllreduceScalar(OpSum, float64(c.Rank()+1))
+	})
+	want := float64(p * (p + 1) / 2)
+	for r := 0; r < p; r++ {
+		if got[r] != want {
+			t.Errorf("rank %d allreduce = %v, want %v", r, got[r], want)
+		}
+	}
+}
+
+// Property: allreduce(sum) equals the serial sum for arbitrary vectors
+// and world sizes.
+func TestAllreduceProperty(t *testing.T) {
+	f := func(vals []float64, pRaw uint8) bool {
+		p := 1 + int(pRaw%6)
+		if len(vals) > 32 {
+			vals = vals[:32]
+		}
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				vals[i] = 1
+			}
+		}
+		w := NewWorld(p)
+		results := make([][]float64, p)
+		w.Run(func(c *Comm) {
+			contrib := make([]float64, len(vals))
+			copy(contrib, vals)
+			results[c.Rank()] = c.Allreduce(OpSum, contrib)
+		})
+		for r := 0; r < p; r++ {
+			for i, v := range vals {
+				want := v * float64(p)
+				if math.Abs(results[r][i]-want) > 1e-9*math.Abs(want)+1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorldSizeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-size world did not panic")
+		}
+	}()
+	NewWorld(0)
+}

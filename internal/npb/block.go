@@ -1,0 +1,196 @@
+package npb
+
+import "math"
+
+// General small dense blocks for the block-tridiagonal solvers. BT's
+// systems couple five flow variables per cell, so its line solves
+// factor 5×5 blocks (the original's block size); the block dimension
+// here is a runtime parameter so the solver is testable at any size.
+
+// smallMat is an n×n dense matrix, row-major in a flat slice.
+type smallMat struct {
+	n int
+	a []float64
+}
+
+func newSmallMat(n int) smallMat { return smallMat{n: n, a: make([]float64, n*n)} }
+
+// identitySmall returns the n×n identity.
+func identitySmall(n int) smallMat {
+	m := newSmallMat(n)
+	for i := 0; i < n; i++ {
+		m.a[i*n+i] = 1
+	}
+	return m
+}
+
+func (m smallMat) clone() smallMat {
+	c := newSmallMat(m.n)
+	copy(c.a, m.a)
+	return c
+}
+
+// mulVec computes dst = m·v; dst must not alias v.
+func (m smallMat) mulVec(dst, v []float64) {
+	n := m.n
+	for i := 0; i < n; i++ {
+		var s float64
+		row := m.a[i*n : i*n+n]
+		for j := 0; j < n; j++ {
+			s += row[j] * v[j]
+		}
+		dst[i] = s
+	}
+}
+
+// mulMat computes dst = m·o; dst must not alias either operand.
+func (m smallMat) mulMat(dst, o smallMat) {
+	n := m.n
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += m.a[i*n+k] * o.a[k*n+j]
+			}
+			dst.a[i*n+j] = s
+		}
+	}
+}
+
+// subFrom computes dst = m − o elementwise (dst may alias m).
+func (m smallMat) subFrom(dst, o smallMat) {
+	for i := range m.a {
+		dst.a[i] = m.a[i] - o.a[i]
+	}
+}
+
+// scale computes dst = s·m (dst may alias m).
+func (m smallMat) scale(dst smallMat, s float64) {
+	for i := range m.a {
+		dst.a[i] = m.a[i] * s
+	}
+}
+
+// inv computes dst = m⁻¹ by Gauss–Jordan elimination with partial
+// pivoting, using work as an n×2n scratch. It panics on a singular
+// block (the systems built here are diagonally dominant, so this is a
+// construction bug, not an input condition).
+func (m smallMat) inv(dst smallMat, work []float64) {
+	n := m.n
+	w := work[:n*2*n]
+	// Augmented [m | I].
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			w[i*2*n+j] = m.a[i*n+j]
+			if i == j {
+				w[i*2*n+n+j] = 1
+			} else {
+				w[i*2*n+n+j] = 0
+			}
+		}
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(w[col*2*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(w[r*2*n+col]); v > best {
+				best = v
+				pivot = r
+			}
+		}
+		if best < 1e-300 {
+			panic("npb: singular block")
+		}
+		if pivot != col {
+			for j := 0; j < 2*n; j++ {
+				w[col*2*n+j], w[pivot*2*n+j] = w[pivot*2*n+j], w[col*2*n+j]
+			}
+		}
+		p := w[col*2*n+col]
+		inv := 1 / p
+		for j := 0; j < 2*n; j++ {
+			w[col*2*n+j] *= inv
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := w[r*2*n+col]
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < 2*n; j++ {
+				w[r*2*n+j] -= f * w[col*2*n+j]
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			dst.a[i*n+j] = w[i*2*n+n+j]
+		}
+	}
+}
+
+// blockTriScratch bundles the per-line temporaries of blockTriSolveN so
+// the hot loop performs no allocation.
+type blockTriScratch struct {
+	cp    []smallMat // upper factors, one per cell
+	beta  smallMat
+	binv  smallMat
+	tmpM  smallMat
+	work  []float64 // Gauss-Jordan scratch
+	tmpV  []float64
+	tmpV2 []float64
+}
+
+func newBlockTriScratch(bs, cells int) *blockTriScratch {
+	s := &blockTriScratch{
+		beta: newSmallMat(bs), binv: newSmallMat(bs), tmpM: newSmallMat(bs),
+		work: make([]float64, bs*2*bs),
+		tmpV: make([]float64, bs), tmpV2: make([]float64, bs),
+	}
+	s.cp = make([]smallMat, cells)
+	for i := range s.cp {
+		s.cp[i] = newSmallMat(bs)
+	}
+	return s
+}
+
+// blockTriSolveN solves the constant-block tridiagonal system
+// B·x_i + A·(x_{i−1} + x_{i+1}) = d_i in place, for blocks of any
+// size. d holds the cells' right-hand sides contiguously (cell i is
+// d[i*bs : (i+1)*bs]) and is overwritten with the solution.
+func blockTriSolveN(A, B smallMat, d []float64, sc *blockTriScratch) {
+	bs := A.n
+	cells := len(d) / bs
+	if cells == 0 {
+		return
+	}
+	B.inv(sc.binv, sc.work)
+	x0 := d[:bs]
+	sc.binv.mulVec(sc.tmpV, x0)
+	copy(x0, sc.tmpV)
+	for i := 1; i < cells; i++ {
+		sc.binv.mulMat(sc.cp[i-1], A)
+		A.mulMat(sc.tmpM, sc.cp[i-1])
+		B.subFrom(sc.beta, sc.tmpM)
+		sc.beta.inv(sc.binv, sc.work)
+		prev := d[(i-1)*bs : i*bs]
+		cur := d[i*bs : (i+1)*bs]
+		A.mulVec(sc.tmpV, prev)
+		for c := 0; c < bs; c++ {
+			sc.tmpV2[c] = cur[c] - sc.tmpV[c]
+		}
+		sc.binv.mulVec(sc.tmpV, sc.tmpV2)
+		copy(cur, sc.tmpV)
+	}
+	for i := cells - 2; i >= 0; i-- {
+		next := d[(i+1)*bs : (i+2)*bs]
+		cur := d[i*bs : (i+1)*bs]
+		sc.cp[i].mulVec(sc.tmpV, next)
+		for c := 0; c < bs; c++ {
+			cur[c] -= sc.tmpV[c]
+		}
+	}
+}

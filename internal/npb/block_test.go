@@ -1,0 +1,166 @@
+package npb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randDominant builds a random diagonally dominant bs×bs block pair
+// (A off-diagonal, B diagonal) as the sweeps construct them.
+func randDominant(rng *rand.Rand, bs int) (A, B smallMat) {
+	A = newSmallMat(bs)
+	B = newSmallMat(bs)
+	for i := 0; i < bs; i++ {
+		var off float64
+		for j := 0; j < bs; j++ {
+			A.a[i*bs+j] = 0.2 * (rng.Float64() - 0.5)
+			if i != j {
+				B.a[i*bs+j] = 0.3 * (rng.Float64() - 0.5)
+				off += math.Abs(B.a[i*bs+j])
+			}
+			off += 2 * math.Abs(A.a[i*bs+j])
+		}
+		B.a[i*bs+i] = off + 1 + rng.Float64()
+	}
+	return
+}
+
+func TestSmallMatInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, bs := range []int{1, 2, 3, 5, 7} {
+		_, m := randDominant(rng, bs)
+		inv := newSmallMat(bs)
+		m.inv(inv, make([]float64, bs*2*bs))
+		prod := newSmallMat(bs)
+		m.mulMat(prod, inv)
+		for i := 0; i < bs; i++ {
+			for j := 0; j < bs; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(prod.a[i*bs+j]-want) > 1e-10 {
+					t.Fatalf("bs=%d: (M·M⁻¹)[%d][%d] = %v", bs, i, j, prod.a[i*bs+j])
+				}
+			}
+		}
+	}
+}
+
+func TestSmallMatInverseNeedsPivoting(t *testing.T) {
+	// Zero leading pivot: Gauss-Jordan without pivoting would divide
+	// by zero.
+	m := smallMat{n: 2, a: []float64{0, 1, 1, 0}}
+	inv := newSmallMat(2)
+	m.inv(inv, make([]float64, 2*4))
+	// The inverse of a swap is the swap.
+	want := []float64{0, 1, 1, 0}
+	for i, v := range want {
+		if math.Abs(inv.a[i]-v) > 1e-12 {
+			t.Fatalf("inv = %v", inv.a)
+		}
+	}
+}
+
+func TestSmallMatSingularPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("singular block did not panic")
+		}
+	}()
+	m := smallMat{n: 2, a: []float64{1, 2, 2, 4}}
+	m.inv(newSmallMat(2), make([]float64, 2*4))
+}
+
+func TestBlockTriSolveNAgainstMultiply(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, bs := range []int{1, 2, 3, 5} {
+		for _, cells := range []int{1, 2, 3, 9, 16} {
+			A, B := randDominant(rng, bs)
+			want := make([]float64, bs*cells)
+			for i := range want {
+				want[i] = rng.Float64() - 0.5
+			}
+			// d_i = B·x_i + A·(x_{i−1} + x_{i+1})
+			d := make([]float64, bs*cells)
+			tmp := make([]float64, bs)
+			for i := 0; i < cells; i++ {
+				B.mulVec(tmp, want[i*bs:(i+1)*bs])
+				copy(d[i*bs:(i+1)*bs], tmp)
+				if i > 0 {
+					A.mulVec(tmp, want[(i-1)*bs:i*bs])
+					for c := 0; c < bs; c++ {
+						d[i*bs+c] += tmp[c]
+					}
+				}
+				if i < cells-1 {
+					A.mulVec(tmp, want[(i+1)*bs:(i+2)*bs])
+					for c := 0; c < bs; c++ {
+						d[i*bs+c] += tmp[c]
+					}
+				}
+			}
+			blockTriSolveN(A, B, d, newBlockTriScratch(bs, cells))
+			for i := range want {
+				if math.Abs(d[i]-want[i]) > 1e-9 {
+					t.Fatalf("bs=%d cells=%d: x[%d] = %v, want %v", bs, cells, i, d[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// Property: block size 1 degenerates to the scalar tridiagonal solver.
+func TestBlockSize1MatchesTriSolve(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := 1 + int(nRaw%30)
+		rng := rand.New(rand.NewSource(seed))
+		a := rng.Float64() - 0.5
+		b := 2*math.Abs(a) + 1 + rng.Float64()
+		d1 := make([]float64, n)
+		for i := range d1 {
+			d1[i] = rng.Float64() - 0.5
+		}
+		d2 := append([]float64(nil), d1...)
+
+		triSolve(a, b, d1, make([]float64, n))
+
+		A := smallMat{n: 1, a: []float64{a}}
+		B := smallMat{n: 1, a: []float64{b}}
+		blockTriSolveN(A, B, d2, newBlockTriScratch(1, n))
+		for i := range d1 {
+			if math.Abs(d1[i]-d2[i]) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockTriSolveNEmpty(t *testing.T) {
+	A, B := randDominant(rand.New(rand.NewSource(7)), 3)
+	blockTriSolveN(A, B, nil, newBlockTriScratch(3, 0)) // must not panic
+}
+
+func TestBTCouplingDominant(t *testing.T) {
+	c := btCoupling()
+	for i := 0; i < btComponents; i++ {
+		var row float64
+		for j := 0; j < btComponents; j++ {
+			row += math.Abs(c.a[i*btComponents+j])
+		}
+		if row >= 1 {
+			t.Errorf("coupling row %d sums to %v (must stay under 1)", i, row)
+		}
+		for j := 0; j < btComponents; j++ {
+			if c.a[i*btComponents+j] != c.a[j*btComponents+i] {
+				t.Errorf("coupling not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}

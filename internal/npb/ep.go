@@ -1,0 +1,139 @@
+package npb
+
+import (
+	"math"
+	"time"
+
+	"goomp/internal/omp"
+)
+
+// EP — the embarrassingly parallel kernel. It generates pairs of
+// uniform deviates with the NPB generator, converts accepted pairs to
+// Gaussian deviates by the Marsaglia polar method, tallies them in
+// concentric square annuli, and sums the deviates. Independent batches
+// of pairs are distributed over the team, each batch seeding its
+// generator by jumping the recursion, so the results are independent of
+// the thread count. As in Table I, EP has three parallel regions, each
+// invoked once.
+
+// epBatchPairs is the number of pairs per batch (NPB's NK blocking).
+const epBatchPairs = 1 << 12
+
+// epAnnuli is the number of tally bins (NPB's NQ).
+const epAnnuli = 10
+
+func epPairs(class Class) int {
+	switch class {
+	case ClassS:
+		return 1 << 14
+	case ClassW:
+		return 1 << 16
+	case ClassA:
+		return 1 << 18
+	default: // ClassB
+		return 1 << 20
+	}
+}
+
+// EPResult carries EP's full outputs for verification.
+type EPResult struct {
+	Result
+	Sx, Sy   float64
+	Counts   [epAnnuli]int64
+	Accepted int64
+}
+
+// RunEP executes EP and wraps the generic result.
+func RunEP(rt *omp.RT, class Class) Result {
+	return RunEPFull(rt, class).Result
+}
+
+// RunEPFull executes EP and returns the detailed tallies.
+func RunEPFull(rt *omp.RT, class Class) EPResult {
+	rt.ResetStats()
+	start := time.Now()
+	pairs := epPairs(class)
+	batches := pairs / epBatchPairs
+
+	// Per-batch partial results, serially combined afterwards so the
+	// checksum is bitwise identical for every thread count.
+	sx := make([]float64, batches)
+	sy := make([]float64, batches)
+	counts := make([][epAnnuli]int64, batches)
+
+	// Region 1: touch the result arrays in parallel (the original
+	// warms the random-number tables).
+	rt.Parallel(func(tc *omp.ThreadCtx) {
+		tc.For(batches, func(b int) {
+			sx[b], sy[b] = 0, 0
+		})
+	})
+
+	// Region 2: the main Gaussian tally loop over batches.
+	rt.Parallel(func(tc *omp.ThreadCtx) {
+		tc.ForSched(batches, omp.ScheduleDynamic, 1, func(lo, hi int) {
+			for b := lo; b < hi; b++ {
+				g := NewLCG(SeedAt(DefaultSeed, uint64(2*epBatchPairs*b)))
+				var bx, by float64
+				for p := 0; p < epBatchPairs; p++ {
+					u1 := g.Next()
+					u2 := g.Next()
+					gx, gy, ok := GaussianPair(u1, u2)
+					if !ok {
+						continue
+					}
+					m := math.Max(math.Abs(gx), math.Abs(gy))
+					l := int(m)
+					if l >= epAnnuli {
+						l = epAnnuli - 1
+					}
+					counts[b][l]++
+					bx += gx
+					by += gy
+				}
+				sx[b], sy[b] = bx, by
+			}
+		})
+	})
+
+	var res EPResult
+	res.Name, res.Class = "EP", class
+
+	// Region 3: verification pass — each thread validates a slice of
+	// batches (counts within batch sum to the accepted pairs).
+	var bad int64
+	rt.Parallel(func(tc *omp.ThreadCtx) {
+		var localBad int64
+		tc.ForNoWait(batches, func(b int) {
+			var n int64
+			for _, c := range counts[b] {
+				n += c
+			}
+			if n < 0 || n > epBatchPairs {
+				localBad++
+			}
+		})
+		tc.ReduceInt64(&bad, localBad)
+	})
+
+	for b := 0; b < batches; b++ {
+		res.Sx += sx[b]
+		res.Sy += sy[b]
+		for l := 0; l < epAnnuli; l++ {
+			res.Counts[l] += counts[b][l]
+		}
+	}
+	for _, c := range res.Counts {
+		res.Accepted += c
+	}
+
+	// The acceptance rate of the polar method is π/4; a run that
+	// deviates materially is wrong.
+	rate := float64(res.Accepted) / float64(pairs)
+	res.Verified = bad == 0 &&
+		math.Abs(rate-math.Pi/4) < 0.01 &&
+		!math.IsNaN(res.Sx) && !math.IsNaN(res.Sy)
+	res.CheckValue = res.Sx + res.Sy
+	finish(rt, &res.Result, start)
+	return res
+}

@@ -1,0 +1,246 @@
+package npb
+
+import (
+	"math"
+	"math/cmplx"
+	"time"
+
+	"goomp/internal/omp"
+)
+
+// FT — the 3D fast Fourier transform kernel: it solves a 3D diffusion
+// equation spectrally. The complex initial field (NPB generator) is
+// transformed once; each timestep scales the spectrum by the diffusion
+// kernel exp(−4π²·α·t·|k̃|²), inverse-transforms it, and folds a
+// checksum over a fixed pseudo-random subset of elements. Each 1D FFT
+// pass over a dimension is one parallel region over lines.
+
+type ftParams struct {
+	n1, n2, n3 int // grid extents, powers of two
+	steps      int
+	alpha      float64
+}
+
+func ftParamsFor(class Class) ftParams {
+	p := ftParams{alpha: 1e-6}
+	switch class {
+	case ClassS:
+		p.n1, p.n2, p.n3, p.steps = 16, 16, 16, 4
+	case ClassW:
+		p.n1, p.n2, p.n3, p.steps = 32, 32, 16, 8
+	case ClassA:
+		p.n1, p.n2, p.n3, p.steps = 32, 32, 32, 12
+	default: // ClassB: 20 steps, as the original class B
+		p.n1, p.n2, p.n3, p.steps = 64, 32, 32, 20
+	}
+	return p
+}
+
+// fftLine performs an in-place iterative radix-2 FFT (decimation in
+// time) on a. dir is +1 for forward, −1 for inverse; inverse does not
+// scale (the 3D driver scales once).
+func fftLine(a []complex128, dir float64) {
+	n := len(a)
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := dir * -2 * math.Pi / float64(length)
+		wl := cmplx.Exp(complex(0, ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			half := length / 2
+			for j := 0; j < half; j++ {
+				u := a[i+j]
+				v := a[i+j+half] * w
+				a[i+j] = u + v
+				a[i+j+half] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// ftGrid is an n1×n2×n3 complex field, k-major (index = (i*n2+j)*n3+k).
+type ftGrid struct {
+	n1, n2, n3 int
+	data       []complex128
+}
+
+func newFTGrid(n1, n2, n3 int) *ftGrid {
+	return &ftGrid{n1: n1, n2: n2, n3: n3, data: make([]complex128, n1*n2*n3)}
+}
+
+// fftDim3 transforms along the contiguous (k) dimension: one region,
+// lines are rows.
+func fftDim3(rt *omp.RT, g *ftGrid, dir float64) {
+	lines := g.n1 * g.n2
+	rt.Parallel(func(tc *omp.ThreadCtx) {
+		tc.For(lines, func(l int) {
+			fftLine(g.data[l*g.n3:(l+1)*g.n3], dir)
+		})
+	})
+}
+
+// fftDim2 transforms along j: lines are (i, k) pairs, gathered through
+// a per-thread scratch buffer.
+func fftDim2(rt *omp.RT, g *ftGrid, dir float64) {
+	lines := g.n1 * g.n3
+	rt.Parallel(func(tc *omp.ThreadCtx) {
+		scratch := make([]complex128, g.n2)
+		tc.For(lines, func(l int) {
+			i, k := l/g.n3, l%g.n3
+			base := i * g.n2 * g.n3
+			for j := 0; j < g.n2; j++ {
+				scratch[j] = g.data[base+j*g.n3+k]
+			}
+			fftLine(scratch, dir)
+			for j := 0; j < g.n2; j++ {
+				g.data[base+j*g.n3+k] = scratch[j]
+			}
+		})
+	})
+}
+
+// fftDim1 transforms along i: lines are (j, k) pairs.
+func fftDim1(rt *omp.RT, g *ftGrid, dir float64) {
+	lines := g.n2 * g.n3
+	stride := g.n2 * g.n3
+	rt.Parallel(func(tc *omp.ThreadCtx) {
+		scratch := make([]complex128, g.n1)
+		tc.For(lines, func(l int) {
+			for i := 0; i < g.n1; i++ {
+				scratch[i] = g.data[i*stride+l]
+			}
+			fftLine(scratch, dir)
+			for i := 0; i < g.n1; i++ {
+				g.data[i*stride+l] = scratch[i]
+			}
+		})
+	})
+}
+
+// fft3 performs the full 3D transform; dir −1 additionally divides by
+// the grid volume so that fft3(fft3(x, +1), −1) = x.
+func fft3(rt *omp.RT, g *ftGrid, dir float64) {
+	fftDim3(rt, g, dir)
+	fftDim2(rt, g, dir)
+	fftDim1(rt, g, dir)
+	if dir < 0 {
+		scale := 1 / float64(g.n1*g.n2*g.n3)
+		rt.Parallel(func(tc *omp.ThreadCtx) {
+			tc.For(g.n1, func(i int) {
+				base := i * g.n2 * g.n3
+				for x := base; x < base+g.n2*g.n3; x++ {
+					g.data[x] *= complex(scale, 0)
+				}
+			})
+		})
+	}
+}
+
+// freqSq returns the squared folded wavenumber |k̃|² for index (i,j,k).
+func (g *ftGrid) freqSq(i, j, k int) float64 {
+	fold := func(x, n int) float64 {
+		if x > n/2 {
+			x -= n
+		}
+		return float64(x)
+	}
+	a := fold(i, g.n1)
+	b := fold(j, g.n2)
+	c := fold(k, g.n3)
+	return a*a + b*b + c*c
+}
+
+// FTResult carries FT's detailed outputs.
+type FTResult struct {
+	Result
+	Checksums      []complex128
+	RoundTripError float64
+}
+
+// RunFT executes FT and wraps the generic result.
+func RunFT(rt *omp.RT, class Class) Result {
+	return RunFTFull(rt, class).Result
+}
+
+// RunFTFull executes FT and returns per-step checksums.
+func RunFTFull(rt *omp.RT, class Class) FTResult {
+	p := ftParamsFor(class)
+	rt.ResetStats()
+	start := time.Now()
+
+	u0 := newFTGrid(p.n1, p.n2, p.n3)
+	work := newFTGrid(p.n1, p.n2, p.n3)
+
+	// Initial condition from the NPB generator: each plane seeds by
+	// jumping, so initialization parallelizes deterministically.
+	rt.Parallel(func(tc *omp.ThreadCtx) {
+		tc.For(p.n1, func(i int) {
+			g := NewLCG(SeedAt(DefaultSeed, uint64(2*i*p.n2*p.n3)))
+			base := i * p.n2 * p.n3
+			for x := base; x < base+p.n2*p.n3; x++ {
+				re := g.Next()
+				im := g.Next()
+				u0.data[x] = complex(re, im)
+			}
+		})
+	})
+
+	var res FTResult
+	res.Name, res.Class = "FT", class
+
+	// Round-trip verification on a copy before the main loop.
+	copy(work.data, u0.data)
+	fft3(rt, work, +1)
+	fft3(rt, work, -1)
+	res.RoundTripError = math.Sqrt(blockSum(rt, len(work.data), func(i int) float64 {
+		d := work.data[i] - u0.data[i]
+		return real(d)*real(d) + imag(d)*imag(d)
+	}) / float64(len(work.data)))
+
+	// Forward transform of the initial condition.
+	fft3(rt, u0, +1)
+
+	for step := 1; step <= p.steps; step++ {
+		// Evolve from the original spectrum into the work grid.
+		t := float64(step)
+		rt.Parallel(func(tc *omp.ThreadCtx) {
+			tc.For(p.n1, func(i int) {
+				for j := 0; j < p.n2; j++ {
+					base := (i*p.n2 + j) * p.n3
+					for k := 0; k < p.n3; k++ {
+						decay := math.Exp(-4 * math.Pi * math.Pi * p.alpha * t * u0.freqSq(i, j, k))
+						work.data[base+k] = u0.data[base+k] * complex(decay, 0)
+					}
+				}
+			})
+		})
+		fft3(rt, work, -1)
+
+		// Checksum over the NPB-style pseudo-random subset.
+		var sum complex128
+		for j := 1; j <= 1024; j++ {
+			i1 := (5 * j) % p.n1
+			i2 := (3 * j) % p.n2
+			i3 := (7 * j) % p.n3
+			sum += work.data[(i1*p.n2+i2)*p.n3+i3]
+		}
+		res.Checksums = append(res.Checksums, sum)
+	}
+
+	last := res.Checksums[len(res.Checksums)-1]
+	res.CheckValue = cmplx.Abs(last)
+	res.Verified = res.RoundTripError < 1e-8 && !cmplx.IsNaN(last)
+	finish(rt, &res.Result, start)
+	return res
+}

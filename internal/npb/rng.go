@@ -1,0 +1,93 @@
+// Package npb reimplements the NAS Parallel Benchmark kernels the
+// paper's §V-B evaluates (NPB3.2-OMP: BT, EP, SP, MG, FT, CG, LU and
+// LU-HP) as genuine, scaled-down computations on the goomp OpenMP
+// runtime. The evaluation in the paper depends on two properties of
+// these codes, both preserved here: the number of parallel regions and
+// region invocations per benchmark (Table I), and the way profiling
+// overhead grows with those invocation counts (Figure 5).
+package npb
+
+import "math"
+
+// The NPB pseudorandom number generator: the linear congruential
+// recursion x_{k+1} = a·x_k mod 2^46 with a = 5^13, yielding uniform
+// deviates x_k·2^-46 in (0, 1). The 46-bit modulus makes the sequence
+// identical across platforms; because 2^46 divides 2^64, the update is
+// exactly the low 46 bits of a wrapping 64-bit multiply.
+
+const (
+	// LCGMultiplier is a = 5^13.
+	LCGMultiplier uint64 = 1220703125
+	// DefaultSeed is the NPB convention s = 271828183.
+	DefaultSeed uint64 = 271828183
+
+	mask46         = 1<<46 - 1
+	r46    float64 = 1.0 / (1 << 46)
+)
+
+// LCG is the NPB generator state.
+type LCG struct {
+	x uint64
+}
+
+// NewLCG returns a generator seeded with seed mod 2^46.
+func NewLCG(seed uint64) *LCG { return &LCG{x: seed & mask46} }
+
+// Next advances the recursion and returns the uniform deviate in
+// (0, 1) — NPB's randlc.
+func (g *LCG) Next() float64 {
+	g.x = (g.x * LCGMultiplier) & mask46
+	return float64(g.x) * r46
+}
+
+// Fill writes n deviates into dst — NPB's vranlc.
+func (g *LCG) Fill(dst []float64) {
+	for i := range dst {
+		dst[i] = g.Next()
+	}
+}
+
+// State returns the raw 46-bit state.
+func (g *LCG) State() uint64 { return g.x }
+
+// Skip advances the generator by n steps in O(log n) using binary
+// exponentiation of the multiplier mod 2^46 — the mechanism EP uses to
+// give each batch of deviates an independent starting seed so batches
+// can be generated in parallel.
+func (g *LCG) Skip(n uint64) {
+	g.x = (g.x * powMod46(LCGMultiplier, n)) & mask46
+}
+
+// SeedAt returns the state the generator would have after n steps from
+// seed, without constructing intermediate values.
+func SeedAt(seed, n uint64) uint64 {
+	return ((seed & mask46) * powMod46(LCGMultiplier, n)) & mask46
+}
+
+// powMod46 computes b^n mod 2^46.
+func powMod46(b, n uint64) uint64 {
+	result := uint64(1)
+	b &= mask46
+	for n > 0 {
+		if n&1 == 1 {
+			result = (result * b) & mask46
+		}
+		b = (b * b) & mask46
+		n >>= 1
+	}
+	return result
+}
+
+// GaussianPair converts two uniform deviates to an accepted Gaussian
+// pair by the Marsaglia polar method as EP does: map to (-1, 1),
+// accept when x²+y² ≤ 1, and scale. ok is false for rejected pairs.
+func GaussianPair(u1, u2 float64) (gx, gy float64, ok bool) {
+	x := 2*u1 - 1
+	y := 2*u2 - 1
+	t := x*x + y*y
+	if t > 1 || t == 0 {
+		return 0, 0, false
+	}
+	f := math.Sqrt(-2 * math.Log(t) / t)
+	return x * f, y * f, true
+}

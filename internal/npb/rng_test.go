@@ -1,0 +1,187 @@
+package npb
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestLCGDeterministic(t *testing.T) {
+	a := NewLCG(DefaultSeed)
+	b := NewLCG(DefaultSeed)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("sequences diverged at step %d", i)
+		}
+	}
+}
+
+func TestLCGRange(t *testing.T) {
+	g := NewLCG(DefaultSeed)
+	for i := 0; i < 10000; i++ {
+		v := g.Next()
+		if v <= 0 || v >= 1 {
+			t.Fatalf("deviate %v out of (0,1) at step %d", v, i)
+		}
+	}
+}
+
+func TestLCGMatchesBigIntArithmetic(t *testing.T) {
+	// The 46-bit recursion must agree exactly with arbitrary-precision
+	// arithmetic.
+	mod := new(big.Int).Lsh(big.NewInt(1), 46)
+	mul := big.NewInt(int64(LCGMultiplier))
+	x := big.NewInt(int64(DefaultSeed))
+	g := NewLCG(DefaultSeed)
+	for i := 0; i < 500; i++ {
+		x.Mul(x, mul).Mod(x, mod)
+		g.Next()
+		if g.State() != x.Uint64() {
+			t.Fatalf("state diverged from big.Int at step %d: %d vs %d",
+				i, g.State(), x.Uint64())
+		}
+	}
+}
+
+func TestLCGSkipMatchesStepping(t *testing.T) {
+	for _, n := range []uint64{0, 1, 2, 7, 100, 12345} {
+		stepped := NewLCG(DefaultSeed)
+		for i := uint64(0); i < n; i++ {
+			stepped.Next()
+		}
+		jumped := NewLCG(DefaultSeed)
+		jumped.Skip(n)
+		if stepped.State() != jumped.State() {
+			t.Errorf("skip(%d) state %d != stepped state %d",
+				n, jumped.State(), stepped.State())
+		}
+	}
+}
+
+// Property: Skip(a) then Skip(b) equals Skip(a+b).
+func TestLCGSkipComposesProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		g1 := NewLCG(DefaultSeed)
+		g1.Skip(uint64(a))
+		g1.Skip(uint64(b))
+		g2 := NewLCG(DefaultSeed)
+		g2.Skip(uint64(a) + uint64(b))
+		return g1.State() == g2.State()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeedAt(t *testing.T) {
+	g := NewLCG(DefaultSeed)
+	for i := 0; i < 100; i++ {
+		g.Next()
+	}
+	if got := SeedAt(DefaultSeed, 100); got != g.State() {
+		t.Errorf("SeedAt(100) = %d, want %d", got, g.State())
+	}
+}
+
+func TestLCGFill(t *testing.T) {
+	g1 := NewLCG(DefaultSeed)
+	g2 := NewLCG(DefaultSeed)
+	buf := make([]float64, 64)
+	g1.Fill(buf)
+	for i, v := range buf {
+		if w := g2.Next(); v != w {
+			t.Fatalf("Fill[%d] = %v, Next = %v", i, v, w)
+		}
+	}
+}
+
+func TestLCGUniformity(t *testing.T) {
+	// Crude uniformity: mean near 0.5, no bin grossly off.
+	g := NewLCG(DefaultSeed)
+	const n = 100000
+	var sum float64
+	bins := make([]int, 10)
+	for i := 0; i < n; i++ {
+		v := g.Next()
+		sum += v
+		bins[int(v*10)]++
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean = %v, want ~0.5", mean)
+	}
+	for b, c := range bins {
+		if c < n/10-n/50 || c > n/10+n/50 {
+			t.Errorf("bin %d count %d far from %d", b, c, n/10)
+		}
+	}
+}
+
+func TestGaussianPair(t *testing.T) {
+	// Rejection cases.
+	if _, _, ok := GaussianPair(0.999, 0.999); ok {
+		t.Error("corner point accepted (x²+y²>1)")
+	}
+	if _, _, ok := GaussianPair(0.5, 0.5); ok {
+		t.Error("origin accepted (t=0 is rejected to avoid log(0))")
+	}
+	// Acceptance: a point inside the unit disk.
+	gx, gy, ok := GaussianPair(0.7, 0.6)
+	if !ok {
+		t.Fatal("interior point rejected")
+	}
+	if math.IsNaN(gx) || math.IsNaN(gy) {
+		t.Error("NaN gaussian values")
+	}
+}
+
+func TestGaussianAcceptanceRate(t *testing.T) {
+	g := NewLCG(DefaultSeed)
+	const pairs = 50000
+	accepted := 0
+	for i := 0; i < pairs; i++ {
+		if _, _, ok := GaussianPair(g.Next(), g.Next()); ok {
+			accepted++
+		}
+	}
+	rate := float64(accepted) / pairs
+	if math.Abs(rate-math.Pi/4) > 0.01 {
+		t.Errorf("acceptance rate %v, want ~%v", rate, math.Pi/4)
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	g := NewLCG(DefaultSeed)
+	var sum, sum2 float64
+	n := 0
+	for i := 0; i < 100000; i++ {
+		gx, gy, ok := GaussianPair(g.Next(), g.Next())
+		if !ok {
+			continue
+		}
+		sum += gx + gy
+		sum2 += gx*gx + gy*gy
+		n += 2
+	}
+	mean := sum / float64(n)
+	variance := sum2/float64(n) - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("gaussian mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("gaussian variance = %v, want ~1", variance)
+	}
+}
+
+func TestPowMod46(t *testing.T) {
+	// Against big.Int for random exponents.
+	mod := new(big.Int).Lsh(big.NewInt(1), 46)
+	f := func(n uint16) bool {
+		want := new(big.Int).Exp(big.NewInt(int64(LCGMultiplier)), big.NewInt(int64(n)), mod)
+		return powMod46(LCGMultiplier, uint64(n)) == want.Uint64()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,26 @@
+package npb
+
+import "goomp/internal/omp"
+
+// blockSum computes Σ f(i) for i in [0, n) in parallel with a bitwise
+// deterministic result: fixed-size blocks are each summed by a single
+// thread into a partial array, which is then combined serially in
+// block order. Checksums therefore match across thread counts.
+func blockSum(rt *omp.RT, n int, f func(i int) float64) float64 {
+	nblocks := (n + dotBlock - 1) / dotBlock
+	partials := make([]float64, nblocks)
+	rt.Parallel(func(tc *omp.ThreadCtx) {
+		tc.ForSched(n, omp.ScheduleStatic, dotBlock, func(lo, hi int) {
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += f(i)
+			}
+			partials[lo/dotBlock] = s
+		})
+	})
+	var total float64
+	for _, s := range partials {
+		total += s
+	}
+	return total
+}

@@ -1,0 +1,101 @@
+package npb
+
+import "math"
+
+// Reference verification, the analogue of NPB's verify routines: each
+// benchmark's deterministic check value is compared against a stored
+// reference for its class with the NPB verification epsilon. The
+// kernels are constructed to be bitwise reproducible across thread
+// counts and schedules (deterministic blocked reductions, per-batch
+// generator seeding, dependency-ordered sweeps), so these references
+// pin the numerics down to floating-point library differences.
+//
+// References were produced by the suite itself on a conforming
+// IEEE-754 implementation; Epsilon absorbs libm variations across
+// platforms.
+
+// Epsilon is the relative verification tolerance (NPB uses 1e-8).
+const Epsilon = 1e-8
+
+// refValues maps benchmark name and class to the reference check
+// value.
+var refValues = map[string]map[Class]float64{
+	"BT": {
+		ClassS: 0.052286924508249802,
+		ClassW: 0.07864412571071959,
+		ClassA: 0.090705059366711305,
+		ClassB: 0.10338700538760322,
+	},
+	"EP": {
+		ClassS: 258.90593944993043,
+		ClassW: 105.6287546966754,
+		ClassA: -192.42093664419829,
+		ClassB: 523.35108673580316,
+	},
+	"SP": {
+		ClassS: 0.06071604642774437,
+		ClassW: 0.080748552736467236,
+		ClassA: 0.091649548297921199,
+		ClassB: 0.098090901855533388,
+	},
+	"MG": {
+		ClassS: 0.00014701532323002821,
+		ClassW: 5.0260588005381666e-05,
+		ClassA: 5.6496326524949857e-07,
+		ClassB: 2.1428858420338917e-07,
+	},
+	"FT": {
+		ClassS: 763.81141962688707,
+		ClassW: 698.9755818076876,
+		ClassA: 702.63987391565183,
+		ClassB: 725.52401317845579,
+	},
+	"CG": {
+		ClassS: 22.678337418070424,
+		ClassW: 22.146638250501496,
+		ClassA: 21.720726414628537,
+		ClassB: 21.452449536091393,
+	},
+	// LU and LU-HP are two schedules of the same Gauss–Seidel
+	// dependency DAG, so they share references.
+	"LU-HP": {
+		ClassS: 0.084223969003596522,
+		ClassW: 0.084330128417706887,
+		ClassA: 0.084466293855251673,
+		ClassB: 0.087419608681694336,
+	},
+	"LU": {
+		ClassS: 0.084223969003596522,
+		ClassW: 0.084330128417706887,
+		ClassA: 0.084466293855251673,
+		ClassB: 0.087419608681694336,
+	},
+}
+
+// Reference returns the stored check value for a benchmark and class.
+func Reference(name string, class Class) (float64, bool) {
+	m, ok := refValues[name]
+	if !ok {
+		return 0, false
+	}
+	v, ok := m[class]
+	return v, ok
+}
+
+// VerifyReference reports whether value matches the stored reference
+// within Epsilon (relatively). Benchmarks without a reference pass
+// trivially.
+func VerifyReference(name string, class Class, value float64) bool {
+	ref, ok := Reference(name, class)
+	if !ok {
+		return true
+	}
+	if math.IsNaN(value) {
+		return false
+	}
+	denom := math.Abs(ref)
+	if denom == 0 {
+		return math.Abs(value) < Epsilon
+	}
+	return math.Abs(value-ref)/denom < Epsilon
+}

@@ -1,0 +1,63 @@
+package npb
+
+import (
+	"testing"
+
+	"goomp/internal/omp"
+)
+
+func TestReferenceLookup(t *testing.T) {
+	if _, ok := Reference("BT", ClassS); !ok {
+		t.Error("missing BT.S reference")
+	}
+	if _, ok := Reference("ZZ", ClassS); ok {
+		t.Error("unknown benchmark has a reference")
+	}
+	if !VerifyReference("ZZ", ClassS, 123) {
+		t.Error("missing reference should pass trivially")
+	}
+}
+
+func TestVerifyReferenceTolerance(t *testing.T) {
+	ref, _ := Reference("CG", ClassS)
+	if !VerifyReference("CG", ClassS, ref) {
+		t.Error("exact value rejected")
+	}
+	if !VerifyReference("CG", ClassS, ref*(1+1e-12)) {
+		t.Error("value within epsilon rejected")
+	}
+	if VerifyReference("CG", ClassS, ref*(1+1e-4)) {
+		t.Error("value outside epsilon accepted")
+	}
+	if VerifyReference("CG", ClassS, ref+1) {
+		t.Error("wrong value accepted")
+	}
+}
+
+func TestSuiteMatchesReferencesClassS(t *testing.T) {
+	// Every benchmark's computed checksum must match its stored
+	// reference — the NPB verify step.
+	for _, b := range Suite() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			rt := omp.New(omp.Config{NumThreads: 4})
+			defer rt.Close()
+			res := b.Run(rt, ClassS)
+			if !VerifyReference(b.Name, ClassS, res.CheckValue) {
+				ref, _ := Reference(b.Name, ClassS)
+				t.Errorf("check value %.17g does not match reference %.17g",
+					res.CheckValue, ref)
+			}
+		})
+	}
+}
+
+func TestLUAndLUHPShareReferences(t *testing.T) {
+	for _, c := range []Class{ClassS, ClassW, ClassA, ClassB} {
+		a, _ := Reference("LU", c)
+		b, _ := Reference("LU-HP", c)
+		if a != b {
+			t.Errorf("class %v: LU %v != LU-HP %v", c, a, b)
+		}
+	}
+}

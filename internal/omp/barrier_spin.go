@@ -1,0 +1,41 @@
+package omp
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// spinBarrier is a central sense-reversing barrier whose waiters spin
+// (yielding to the scheduler) instead of blocking. On dedicated cores
+// this trades CPU for latency; oversubscribed it wastes time, which is
+// exactly what the ablation benchmark demonstrates.
+type spinBarrier struct {
+	size      int64
+	count     atomic.Int64
+	sense     atomic.Bool
+	cancelled atomic.Bool
+}
+
+func newSpinBarrier(size int) *spinBarrier {
+	return &spinBarrier{size: int64(size)}
+}
+
+func (b *spinBarrier) await() {
+	if b.cancelled.Load() {
+		return
+	}
+	sense := b.sense.Load()
+	if b.count.Add(1) == b.size {
+		b.count.Store(0)
+		b.sense.Store(!sense)
+		return
+	}
+	for b.sense.Load() == sense && !b.cancelled.Load() {
+		// Gosched rather than a pure spin: with GOMAXPROCS below the
+		// team size a pure spin could live-lock the releasing thread
+		// off the CPU entirely.
+		runtime.Gosched()
+	}
+}
+
+func (b *spinBarrier) cancel() { b.cancelled.Store(true) }

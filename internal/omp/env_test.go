@@ -1,0 +1,126 @@
+package omp
+
+import (
+	"testing"
+)
+
+func envLookup(m map[string]string) func(string) (string, bool) {
+	return func(k string) (string, bool) {
+		v, ok := m[k]
+		return v, ok
+	}
+}
+
+func TestConfigFromEnvFull(t *testing.T) {
+	cfg, err := ConfigFromEnv(Config{}, envLookup(map[string]string{
+		"OMP_NUM_THREADS":    "8",
+		"OMP_SCHEDULE":       "dynamic,16",
+		"OMP_NESTED":         "true",
+		"OMP_WAIT_POLICY":    "active",
+		"GOMP_ATOMIC_EVENTS": "on",
+		"GOMP_LOOP_EVENTS":   "1",
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumThreads != 8 || cfg.Schedule != ScheduleDynamic || cfg.Chunk != 16 {
+		t.Errorf("threads/schedule wrong: %+v", cfg)
+	}
+	if !cfg.Nested || !cfg.SpinBarrier || !cfg.AtomicEvents || !cfg.LoopEvents {
+		t.Errorf("booleans wrong: %+v", cfg)
+	}
+}
+
+func TestConfigFromEnvDefaultsPreserved(t *testing.T) {
+	base := Config{NumThreads: 3, Schedule: ScheduleGuided, Chunk: 7, Nested: true}
+	cfg, err := ConfigFromEnv(base, envLookup(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg != base {
+		t.Errorf("empty env changed config: %+v vs %+v", cfg, base)
+	}
+}
+
+func TestConfigFromEnvPassivePolicy(t *testing.T) {
+	cfg, err := ConfigFromEnv(Config{SpinBarrier: true}, envLookup(map[string]string{
+		"OMP_WAIT_POLICY": "PASSIVE",
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.SpinBarrier {
+		t.Error("passive policy did not clear SpinBarrier")
+	}
+}
+
+func TestConfigFromEnvErrors(t *testing.T) {
+	bad := []map[string]string{
+		{"OMP_NUM_THREADS": "zero"},
+		{"OMP_NUM_THREADS": "0"},
+		{"OMP_NUM_THREADS": "-2"},
+		{"OMP_SCHEDULE": "fancy"},
+		{"OMP_SCHEDULE": "static,0"},
+		{"OMP_SCHEDULE": "static,x"},
+		{"OMP_NESTED": "maybe"},
+		{"OMP_WAIT_POLICY": "spinny"},
+		{"GOMP_ATOMIC_EVENTS": "2"},
+		{"GOMP_LOOP_EVENTS": "nah"},
+	}
+	for _, env := range bad {
+		if _, err := ConfigFromEnv(Config{}, envLookup(env)); err == nil {
+			t.Errorf("env %v accepted", env)
+		}
+	}
+}
+
+func TestParseSchedule(t *testing.T) {
+	cases := []struct {
+		in    string
+		sched Schedule
+		chunk int
+		ok    bool
+	}{
+		{"static", ScheduleStatic, 0, true},
+		{"STATIC, 4", ScheduleStatic, 4, true},
+		{"dynamic,1", ScheduleDynamic, 1, true},
+		{"guided , 8", ScheduleGuided, 8, true},
+		{"auto", 0, 0, false},
+		{"dynamic,", 0, 0, false},
+	}
+	for _, c := range cases {
+		sched, chunk, err := ParseSchedule(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("%q: err = %v", c.in, err)
+			continue
+		}
+		if c.ok && (sched != c.sched || chunk != c.chunk) {
+			t.Errorf("%q: got (%v, %d), want (%v, %d)", c.in, sched, chunk, c.sched, c.chunk)
+		}
+	}
+}
+
+func TestEnvConfiguredRuntimeRuns(t *testing.T) {
+	cfg, err := ConfigFromEnv(Config{}, envLookup(map[string]string{
+		"OMP_NUM_THREADS": "3",
+		"OMP_SCHEDULE":    "guided,2",
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(cfg)
+	defer r.Close()
+	counts := make([]int32, 100)
+	r.Parallel(func(tc *ThreadCtx) {
+		tc.ForSched(100, ScheduleRuntime, 0, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				counts[i]++
+			}
+		})
+	})
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("iteration %d ran %d times", i, c)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package omp
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func expectRegionPanic(t *testing.T, wantSub string, fn func()) *RegionPanic {
+	t.Helper()
+	defer func() {
+		t.Helper()
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic propagated to the master")
+		}
+		rp, ok := r.(*RegionPanic)
+		if !ok {
+			t.Fatalf("panic value %T, want *RegionPanic", r)
+		}
+		if wantSub != "" && !strings.Contains(rp.Error(), wantSub) {
+			t.Errorf("panic message %q missing %q", rp.Error(), wantSub)
+		}
+	}()
+	fn()
+	return nil
+}
+
+func TestPanicOnMasterPropagates(t *testing.T) {
+	r := newRT(t, Config{NumThreads: 4})
+	expectRegionPanic(t, "boom", func() {
+		r.Parallel(func(tc *ThreadCtx) {
+			if tc.ThreadNum() == 0 {
+				panic("boom")
+			}
+		})
+	})
+	// The runtime must remain usable afterwards.
+	var ok atomic.Int32
+	r.Parallel(func(tc *ThreadCtx) { ok.Add(1) })
+	if ok.Load() != 4 {
+		t.Errorf("region after panic ran %d threads, want 4", ok.Load())
+	}
+}
+
+func TestPanicOnSlavePropagatesToMaster(t *testing.T) {
+	r := newRT(t, Config{NumThreads: 4})
+	expectRegionPanic(t, "thread 2", func() {
+		r.Parallel(func(tc *ThreadCtx) {
+			if tc.ThreadNum() == 2 {
+				panic("slave exploded")
+			}
+		})
+	})
+	var ok atomic.Int32
+	r.Parallel(func(tc *ThreadCtx) { ok.Add(1) })
+	if ok.Load() != 4 {
+		t.Errorf("region after slave panic ran %d threads", ok.Load())
+	}
+}
+
+func TestPanicMidWorksharingDoesNotDeadlock(t *testing.T) {
+	// A thread panicking before a loop's implicit barrier must not
+	// leave the rest of the team stuck in that barrier.
+	r := newRT(t, Config{NumThreads: 4})
+	expectRegionPanic(t, "", func() {
+		r.Parallel(func(tc *ThreadCtx) {
+			tc.For(16, func(i int) {
+				if tc.ThreadNum() == 1 && i >= 4 {
+					panic("mid-loop")
+				}
+			})
+			tc.Barrier()
+			tc.For(16, func(int) {})
+		})
+	})
+	var ok atomic.Int32
+	r.Parallel(func(tc *ThreadCtx) { ok.Add(1) })
+	if ok.Load() != 4 {
+		t.Errorf("runtime unusable after mid-loop panic: %d", ok.Load())
+	}
+}
+
+func TestPanicInTaskPropagates(t *testing.T) {
+	r := newRT(t, Config{NumThreads: 2})
+	expectRegionPanic(t, "task boom", func() {
+		r.Parallel(func(tc *ThreadCtx) {
+			tc.Master(func() {
+				tc.Task(func(*ThreadCtx) { panic("task boom") })
+				tc.Taskwait() // must not deadlock on the dead child
+			})
+		})
+	})
+}
+
+func TestPanicInSpinBarrierRegion(t *testing.T) {
+	r := newRT(t, Config{NumThreads: 4, SpinBarrier: true})
+	expectRegionPanic(t, "", func() {
+		r.Parallel(func(tc *ThreadCtx) {
+			if tc.ThreadNum() == 3 {
+				panic("spin")
+			}
+			tc.Barrier()
+		})
+	})
+}
+
+func TestPanicInNestedRegion(t *testing.T) {
+	r := newRT(t, Config{NumThreads: 2, Nested: true})
+	expectRegionPanic(t, "", func() {
+		r.Parallel(func(tc *ThreadCtx) {
+			if tc.ThreadNum() == 0 {
+				tc.Parallel(2, func(in *ThreadCtx) {
+					if in.ThreadNum() == 1 {
+						panic("nested slave")
+					}
+				})
+			}
+		})
+	})
+}
+
+func TestRegionPanicError(t *testing.T) {
+	p := &RegionPanic{Thread: 3, Value: "v"}
+	if !strings.Contains(p.Error(), "thread 3") || !strings.Contains(p.Error(), "v") {
+		t.Errorf("message %q", p.Error())
+	}
+}

@@ -1,0 +1,500 @@
+// Package omp implements an OpenMP-style fork-join runtime library: the
+// substrate the OpenMP Collector API lives in. It is the Go counterpart
+// of the OpenUH OpenMP runtime the paper instruments — a persistent pool
+// of worker "threads" (goroutines) that sleep between parallel regions,
+// a fork entry point that packages region bodies the way OpenUH's
+// compiler outlining does (the body closure plays the role of the
+// outlined procedure __ompdo_main1), worksharing loop schedulers,
+// implicit and explicit barriers, user locks, named critical regions,
+// reductions, ordered sections, single/master constructs and atomic
+// updates.
+//
+// Every construct calls into goomp/internal/collector at the same
+// points OpenUH's runtime calls __ompc_event and __ompc_set_state, so a
+// collector tool observes fork/join, barrier, wait and idle events and
+// may asynchronously query thread states, wait IDs and parallel region
+// IDs.
+package omp
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"goomp/internal/collector"
+	"goomp/internal/dl"
+)
+
+// Config holds the runtime's internal control variables (the OpenMP
+// ICVs that matter here) and implementation toggles.
+type Config struct {
+	// NumThreads is the default team size for parallel regions. It is
+	// also the initial worker-pool size; the pool grows on demand when
+	// a region requests more threads, mirroring the paper's dynamic
+	// thread-count handling (§IV-C.1).
+	NumThreads int
+
+	// Nested enables true nested parallel regions with their own teams,
+	// fork events and parent-region IDs. When false (the default, and
+	// the paper's behaviour), nested regions are serialized: the
+	// encountering thread runs the region as a team of one and no fork
+	// event is triggered.
+	Nested bool
+
+	// AtomicEvents enables THR_BEGIN/END_ATWT events and the atomic
+	// wait state. The paper's implementation omitted these because of
+	// their overhead; they are off by default here for the same reason.
+	AtomicEvents bool
+
+	// LoopEvents enables the worksharing-loop extension events
+	// (OMP_EVENT_THR_BEGIN/END_LOOP) and per-thread loop IDs, the
+	// loop-construct support the paper's §VI calls for. Off by
+	// default: loops are frequent, so the events are opt-in.
+	LoopEvents bool
+
+	// SpinBarrier selects the spinning barrier implementation instead
+	// of the default blocking (condition-variable) one. Spinning is
+	// only sensible when threads do not exceed cores; it exists for the
+	// ablation benchmarks.
+	SpinBarrier bool
+
+	// Schedule and Chunk are the ICVs consulted by ScheduleRuntime
+	// loops.
+	Schedule Schedule
+	Chunk    int
+}
+
+// RT is an OpenMP runtime instance: a thread pool, its collector, and
+// the bookkeeping for parallel-region IDs and region-call statistics.
+type RT struct {
+	cfg Config
+	col *collector.Collector
+
+	mu      sync.Mutex // guards pool growth and shutdown
+	workers []*worker  // slaves; global thread i is workers[i-1]
+	closed  bool
+
+	// The master thread is the only thread that can run in both serial
+	// and parallel mode, so it has two thread descriptors; the
+	// collector binding switches between them at fork and join.
+	masterSerial   *collector.ThreadInfo
+	masterParallel *collector.ThreadInfo
+
+	regionSeq   atomic.Uint64 // parallel region ID generator (IDs start at 1)
+	regionCalls atomic.Uint64 // dynamic count of region invocations
+	nestedCalls atomic.Uint64 // nested (serialized or true) region invocations
+
+	siteMu sync.Mutex
+	sites  map[uintptr]*RegionSite
+
+	symbol   string // dl symbol this runtime registered, if any
+	critMu   sync.Mutex
+	critical map[string]*Lock
+}
+
+// RegionSite records one static parallel region: the source location of
+// the rt.Parallel call, standing in for the address of the compiler's
+// outlined procedure. The per-site call counts generate Table I.
+type RegionSite struct {
+	PC    uintptr
+	File  string
+	Line  int
+	Calls uint64
+}
+
+// New creates a runtime with the given configuration. A zero or
+// negative NumThreads defaults to runtime.NumCPU(). The worker pool is
+// created lazily at the first parallel region, as in OpenUH where
+// threads are created when the first region is encountered.
+func New(cfg Config) *RT {
+	if cfg.NumThreads <= 0 {
+		cfg.NumThreads = runtime.NumCPU()
+	}
+	if cfg.Chunk <= 0 {
+		cfg.Chunk = 1
+	}
+	r := &RT{
+		cfg:      cfg,
+		col:      collector.New(),
+		sites:    make(map[uintptr]*RegionSite),
+		critical: make(map[string]*Lock),
+	}
+	// The serial-mode master descriptor exists from runtime creation so
+	// that a tool may initialize the collector API before the OpenMP
+	// runtime itself has created any threads.
+	r.masterSerial = collector.NewThreadInfo(0)
+	r.masterSerial.SetState(collector.StateSerial)
+	r.masterParallel = collector.NewThreadInfo(0)
+	r.col.BindThread(r.masterSerial)
+	return r
+}
+
+// Collector returns the runtime's collector-API instance (what a tool
+// obtains by looking up the exported symbol).
+func (r *RT) Collector() *collector.Collector { return r.col }
+
+// MasterDescriptors returns the master thread's two thread
+// descriptors: the serial-mode one (bound outside parallel regions)
+// and the parallel-mode one (bound while the master executes a region,
+// and the holder of the master's wait IDs).
+func (r *RT) MasterDescriptors() (serial, parallel *collector.ThreadInfo) {
+	return r.masterSerial, r.masterParallel
+}
+
+// Config returns the runtime's configuration.
+func (r *RT) Config() Config { return r.cfg }
+
+// RegisterSymbol exports the collector API in the simulated dynamic
+// linker under collector.SymbolName, as OpenUH's runtime library
+// exports __omp_collector_api. Only one runtime per process can hold
+// the symbol; Close releases it.
+func (r *RT) RegisterSymbol() error {
+	if err := dl.Register(collector.SymbolName, r.col); err != nil {
+		return err
+	}
+	r.symbol = collector.SymbolName
+	return nil
+}
+
+// Close shuts the worker pool down and releases the dl symbol. The
+// runtime must not be inside a parallel region.
+func (r *RT) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	ws := r.workers
+	r.workers = nil
+	r.mu.Unlock()
+	for _, w := range ws {
+		close(w.work)
+		r.col.UnbindThread(w.td.ID)
+	}
+	if r.symbol != "" {
+		dl.Unregister(r.symbol)
+		r.symbol = ""
+	}
+}
+
+// RegionCalls returns the dynamic number of (non-nested) parallel
+// region invocations so far.
+func (r *RT) RegionCalls() uint64 { return r.regionCalls.Load() }
+
+// NestedRegionCalls returns the number of nested region invocations.
+func (r *RT) NestedRegionCalls() uint64 { return r.nestedCalls.Load() }
+
+// Sites returns a snapshot of the static parallel regions encountered
+// so far, sorted by file and line. len(Sites()) is the "# parallel
+// regions" column of Table I; the summed Calls is "# region calls".
+func (r *RT) Sites() []RegionSite {
+	r.siteMu.Lock()
+	out := make([]RegionSite, 0, len(r.sites))
+	for _, s := range r.sites {
+		out = append(out, *s)
+	}
+	r.siteMu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
+}
+
+// ResetStats clears the region-call statistics (the sites map and the
+// dynamic counters), for harnesses that run warmup iterations.
+func (r *RT) ResetStats() {
+	r.siteMu.Lock()
+	r.sites = make(map[uintptr]*RegionSite)
+	r.siteMu.Unlock()
+	r.regionCalls.Store(0)
+	r.nestedCalls.Store(0)
+}
+
+func (r *RT) noteSite(pc uintptr) {
+	r.siteMu.Lock()
+	s := r.sites[pc]
+	if s == nil {
+		file, line := "?", 0
+		if fn := runtime.FuncForPC(pc); fn != nil {
+			file, line = fn.FileLine(pc)
+		}
+		s = &RegionSite{PC: pc, File: file, Line: line}
+		r.sites[pc] = s
+	}
+	s.Calls++
+	r.siteMu.Unlock()
+}
+
+// ensureWorkers grows the pool so at least n-1 slaves exist. Called
+// with the fork event already raised: in the paper the fork event is
+// triggered just before pthread_create when the runtime needs to create
+// threads.
+func (r *RT) ensureWorkers(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		panic("omp: parallel region on closed runtime")
+	}
+	for id := len(r.workers) + 1; id < n; id++ {
+		w := &worker{
+			rt:   r,
+			td:   collector.NewThreadInfo(int32(id)),
+			work: make(chan workItem, 1),
+		}
+		// The descriptor is set up (in the overhead state) just before
+		// the thread is created, so a state query during creation still
+		// gets a correct answer.
+		r.col.BindThread(w.td)
+		r.workers = append(r.workers, w)
+		go w.loop()
+	}
+}
+
+// Parallel runs fn as a parallel region on the default team size. It
+// must be called from serial (non-region) context; inside a region use
+// ThreadCtx.Parallel for a nested region.
+func (r *RT) Parallel(fn func(tc *ThreadCtx)) {
+	r.parallel(callerPC(), 0, fn)
+}
+
+// ParallelN runs fn as a parallel region with a team of n threads
+// (n <= 0 means the configured default).
+func (r *RT) ParallelN(n int, fn func(tc *ThreadCtx)) {
+	r.parallel(callerPC(), n, fn)
+}
+
+// ParallelFor is the combined "parallel for" construct: it forks a team
+// and statically distributes iterations [0, n) over it.
+func (r *RT) ParallelFor(n int, body func(tc *ThreadCtx, i int)) {
+	r.parallel(callerPC(), 0, func(tc *ThreadCtx) {
+		tc.For(n, func(i int) { body(tc, i) })
+	})
+}
+
+func callerPC() uintptr {
+	var pcs [1]uintptr
+	// Skip runtime.Callers, callerPC and the exported wrapper: the site
+	// is the user's call.
+	if runtime.Callers(3, pcs[:]) == 0 {
+		return 0
+	}
+	return pcs[0]
+}
+
+// parallel is __ompc_fork: the master packages the region, wakes the
+// slaves, executes the region itself as thread 0, and joins at the
+// implicit barrier that ends the region.
+func (r *RT) parallel(site uintptr, n int, fn func(tc *ThreadCtx)) {
+	if n <= 0 {
+		n = r.cfg.NumThreads
+	}
+	master := r.masterSerial
+
+	// The master transitions from the serial state to the overhead
+	// state while it prepares the fork: this happens whether or not a
+	// collector is attached (state tracking is always on).
+	master.SetState(collector.StateOverhead)
+
+	r.regionCalls.Add(1)
+	r.noteSite(site)
+
+	// The team descriptor is prepared before the fork event so that
+	// the event (and any query made from its callback) already sees
+	// the region and its site.
+	info := &collector.TeamInfo{
+		RegionID:       r.regionSeq.Add(1),
+		ParentRegionID: 0, // non-nested regions always have parent ID zero
+		Size:           int32(n),
+		SitePC:         site,
+	}
+	team := newTeam(r, n, info)
+	master.SetTeam(info)
+
+	// Conceptually there is a fork at the beginning of each parallel
+	// region even when no new threads are created, so the fork event is
+	// triggered on every region entry, before any thread creation. The
+	// fork and join callbacks are only invoked by the master thread.
+	r.col.Event(master, collector.EventFork)
+	r.ensureWorkers(n)
+
+	// Wake the slaves: the master updates the slave thread descriptors
+	// with the outlined procedure while in the overhead state.
+	for i := 1; i < n; i++ {
+		r.workers[i-1].work <- workItem{team: team, tid: i, fn: fn}
+	}
+
+	// The master switches to its parallel-mode descriptor and runs the
+	// region as thread 0.
+	mp := r.masterParallel
+	mp.SetState(collector.StateOverhead)
+	mp.SetTeam(info)
+	r.col.BindThread(mp)
+	// The serial-mode descriptor leaves region scope once the
+	// parallel-mode descriptor takes over.
+	master.SetTeam(nil)
+
+	tc := &ThreadCtx{rt: r, team: team, id: 0, td: mp, level: 1}
+	mp.SetState(collector.StateWorking)
+	runRegionBody(tc, fn)
+	tc.implicitBarrier()
+
+	// Join: as soon as the master leaves the implicit barrier at the
+	// end of the parallel region its state is set to the overhead state
+	// and the join event is triggered.
+	mp.SetState(collector.StateOverhead)
+	r.col.Event(mp, collector.EventJoin)
+	mp.SetTeam(nil)
+	r.col.BindThread(master)
+	master.SetState(collector.StateSerial)
+
+	// A panic raised by any thread's region body is re-raised on the
+	// master once the fork-join structure has been restored.
+	if p := team.firstPanic(); p != nil {
+		panic(p)
+	}
+}
+
+// worker is a slave OpenMP thread: a goroutine that survives, sleeping,
+// between non-nested parallel regions.
+type worker struct {
+	rt   *RT
+	td   *collector.ThreadInfo
+	work chan workItem
+}
+
+type workItem struct {
+	team *Team
+	tid  int
+	fn   func(tc *ThreadCtx)
+}
+
+func (w *worker) loop() {
+	col := w.rt.col
+	// As soon as the thread is created it is set to the idle state and
+	// the begin-idle event triggers.
+	w.td.SetState(collector.StateIdle)
+	col.Event(w.td, collector.EventThrBeginIdle)
+
+	for item := range w.work {
+		col.Event(w.td, collector.EventThrEndIdle)
+		w.td.SetTeam(item.team.info)
+		w.td.SetState(collector.StateWorking)
+
+		tc := &ThreadCtx{rt: w.rt, team: item.team, id: item.tid, td: w.td, level: 1}
+		runRegionBody(tc, item.fn)
+		tc.implicitBarrier()
+
+		w.td.SetTeam(nil)
+		w.td.SetState(collector.StateIdle)
+		col.Event(w.td, collector.EventThrBeginIdle)
+	}
+}
+
+// ThreadCtx is the per-thread view of a parallel region: the explicit
+// stand-in for the gtid argument and thread-local runtime state the
+// compiler passes to an outlined procedure.
+type ThreadCtx struct {
+	rt   *RT
+	team *Team
+	id   int
+	td   *collector.ThreadInfo
+
+	loopSeq   uint64 // worksharing construct counter (must match across the team)
+	singleSeq uint64
+	group     *taskGroup // children created by this context (lazily made)
+
+	level  int        // nesting depth of active parallel regions (outermost is 1)
+	parent *ThreadCtx // context of the encountering thread for nested regions
+}
+
+// ThreadNum returns the thread's number within its team (master is 0).
+func (tc *ThreadCtx) ThreadNum() int { return tc.id }
+
+// NumThreads returns the team size.
+func (tc *ThreadCtx) NumThreads() int { return tc.team.size }
+
+// RegionID returns the ID of the parallel region the thread is
+// executing.
+func (tc *ThreadCtx) RegionID() uint64 { return tc.team.info.RegionID }
+
+// Info returns the thread's collector descriptor (for tools and tests).
+func (tc *ThreadCtx) Info() *collector.ThreadInfo { return tc.td }
+
+// Parallel executes a nested parallel region. By default nested
+// regions are serialized — the encountering thread runs fn as a team of
+// one and no fork event is triggered, matching the paper's compiler.
+// With Config.Nested, a true nested team of n goroutines is created,
+// a fork event is generated, and the nested team's parent region ID is
+// the current region ID of the team that spawned it.
+func (tc *ThreadCtx) Parallel(n int, fn func(tc *ThreadCtx)) {
+	r := tc.rt
+	r.nestedCalls.Add(1)
+	if !r.cfg.Nested || n == 1 {
+		info := &collector.TeamInfo{
+			// A serialized nested region still gets a region ID so
+			// tools can tell it apart, but its team is the one thread.
+			RegionID:       r.regionSeq.Add(1),
+			ParentRegionID: tc.team.info.RegionID,
+			Size:           1,
+		}
+		team := newTeam(r, 1, info)
+		prevTeam := tc.td.Team()
+		tc.td.SetTeam(info)
+		inner := &ThreadCtx{rt: r, team: team, id: 0, td: tc.td, level: tc.level + 1, parent: tc}
+		fn(inner)
+		inner.implicitBarrier()
+		tc.td.SetTeam(prevTeam)
+		return
+	}
+	if n <= 0 {
+		n = r.cfg.NumThreads
+	}
+	// True nesting: a fork event is generated whenever a nested
+	// parallel region and its OpenMP threads are created.
+	r.col.Event(tc.td, collector.EventFork)
+	info := &collector.TeamInfo{
+		RegionID:       r.regionSeq.Add(1),
+		ParentRegionID: tc.team.info.RegionID,
+		Size:           int32(n),
+	}
+	team := newTeam(r, n, info)
+	var wg sync.WaitGroup
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			// Nested slaves are transient goroutines with their own
+			// descriptors; they are not bound in the collector's global
+			// thread table (their IDs would collide with the flat
+			// numbering), but carry team info for region-ID queries.
+			td := collector.NewThreadInfo(int32(tid))
+			td.SetTeam(info)
+			td.SetState(collector.StateWorking)
+			itc := &ThreadCtx{rt: r, team: team, id: tid, td: td, level: tc.level + 1, parent: tc}
+			runRegionBody(itc, fn)
+			itc.implicitBarrier()
+		}(i)
+	}
+	prevTeam := tc.td.Team()
+	tc.td.SetTeam(info)
+	inner := &ThreadCtx{rt: r, team: team, id: 0, td: tc.td, level: tc.level + 1, parent: tc}
+	runRegionBody(inner, fn)
+	inner.implicitBarrier()
+	wg.Wait()
+	tc.td.SetTeam(prevTeam)
+	r.col.Event(tc.td, collector.EventJoin)
+	if p := team.firstPanic(); p != nil {
+		panic(p)
+	}
+}
+
+// String identifies the runtime in diagnostics.
+func (r *RT) String() string {
+	return fmt.Sprintf("omp.RT(threads=%d, nested=%v)", r.cfg.NumThreads, r.cfg.Nested)
+}

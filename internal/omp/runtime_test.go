@@ -1,0 +1,630 @@
+package omp
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"goomp/internal/collector"
+)
+
+func newRT(t *testing.T, cfg Config) *RT {
+	t.Helper()
+	r := New(cfg)
+	t.Cleanup(r.Close)
+	return r
+}
+
+func TestParallelTeamSizeAndThreadNums(t *testing.T) {
+	r := newRT(t, Config{NumThreads: 4})
+	var seen [4]atomic.Int32
+	r.Parallel(func(tc *ThreadCtx) {
+		if tc.NumThreads() != 4 {
+			t.Errorf("NumThreads = %d, want 4", tc.NumThreads())
+		}
+		seen[tc.ThreadNum()].Add(1)
+	})
+	for i := range seen {
+		if got := seen[i].Load(); got != 1 {
+			t.Errorf("thread %d ran %d times, want 1", i, got)
+		}
+	}
+}
+
+func TestParallelNOverridesTeamSize(t *testing.T) {
+	r := newRT(t, Config{NumThreads: 2})
+	var count atomic.Int32
+	r.ParallelN(6, func(tc *ThreadCtx) {
+		if tc.NumThreads() != 6 {
+			t.Errorf("NumThreads = %d, want 6", tc.NumThreads())
+		}
+		count.Add(1)
+	})
+	if count.Load() != 6 {
+		t.Errorf("%d threads ran, want 6 (pool must grow on demand)", count.Load())
+	}
+	// Shrinking back is also legal: idle workers simply stay asleep.
+	count.Store(0)
+	r.ParallelN(2, func(tc *ThreadCtx) { count.Add(1) })
+	if count.Load() != 2 {
+		t.Errorf("%d threads ran, want 2", count.Load())
+	}
+}
+
+func TestSequentialRegionsReuseWorkers(t *testing.T) {
+	r := newRT(t, Config{NumThreads: 3})
+	total := int64(0)
+	for k := 0; k < 50; k++ {
+		var local atomic.Int64
+		r.Parallel(func(tc *ThreadCtx) { local.Add(1) })
+		total += local.Load()
+	}
+	if total != 150 {
+		t.Errorf("total executions = %d, want 150", total)
+	}
+	if got := r.RegionCalls(); got != 50 {
+		t.Errorf("RegionCalls = %d, want 50", got)
+	}
+}
+
+func TestStaticBoundsPartitionProperty(t *testing.T) {
+	// Every iteration is assigned to exactly one thread, blocks are
+	// contiguous and balanced within one iteration.
+	f := func(nRaw, pRaw uint16) bool {
+		n := int(nRaw % 2000)
+		p := 1 + int(pRaw%33)
+		covered := 0
+		prevHi := 0
+		minSz, maxSz := n+1, -1
+		for tid := 0; tid < p; tid++ {
+			lo, hi := StaticBounds(tid, p, n)
+			if lo != prevHi || hi < lo {
+				return false
+			}
+			sz := hi - lo
+			if sz < minSz {
+				minSz = sz
+			}
+			if sz > maxSz {
+				maxSz = sz
+			}
+			covered += sz
+			prevHi = hi
+		}
+		if covered != n || prevHi != n {
+			return false
+		}
+		return n == 0 || maxSz-minSz <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStaticBoundsDegenerate(t *testing.T) {
+	if lo, hi := StaticBounds(0, 0, 10); lo != 0 || hi != 0 {
+		t.Errorf("zero threads: (%d,%d)", lo, hi)
+	}
+	if lo, hi := StaticBounds(3, 4, 0); lo != 0 || hi != 0 {
+		t.Errorf("zero iterations: (%d,%d)", lo, hi)
+	}
+	if lo, hi := StaticBounds(0, 1, 5); lo != 0 || hi != 5 {
+		t.Errorf("single thread: (%d,%d)", lo, hi)
+	}
+}
+
+// checkCoverage runs a worksharing loop and verifies each iteration
+// executes exactly once.
+func checkCoverage(t *testing.T, threads, n int, run func(tc *ThreadCtx, mark func(i int))) {
+	t.Helper()
+	r := newRT(t, Config{NumThreads: threads})
+	counts := make([]int32, n)
+	r.Parallel(func(tc *ThreadCtx) {
+		run(tc, func(i int) { atomic.AddInt32(&counts[i], 1) })
+	})
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("iteration %d executed %d times, want 1", i, c)
+		}
+	}
+}
+
+func TestForCoversAllIterations(t *testing.T) {
+	checkCoverage(t, 4, 1037, func(tc *ThreadCtx, mark func(int)) {
+		tc.For(1037, mark)
+	})
+}
+
+func TestForNoWaitCoversAllIterations(t *testing.T) {
+	checkCoverage(t, 3, 100, func(tc *ThreadCtx, mark func(int)) {
+		tc.ForNoWait(100, mark)
+		tc.Barrier()
+	})
+}
+
+func TestForSchedCoverage(t *testing.T) {
+	cases := []struct {
+		name  string
+		sched Schedule
+		chunk int
+	}{
+		{"static-even", ScheduleStatic, 0},
+		{"static-chunk1", ScheduleStatic, 1},
+		{"static-chunk7", ScheduleStatic, 7},
+		{"dynamic-chunk1", ScheduleDynamic, 1},
+		{"dynamic-chunk13", ScheduleDynamic, 13},
+		{"guided-chunk1", ScheduleGuided, 1},
+		{"guided-chunk4", ScheduleGuided, 4},
+		{"runtime", ScheduleRuntime, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			checkCoverage(t, 4, 509, func(tc *ThreadCtx, mark func(int)) {
+				tc.ForSched(509, c.sched, c.chunk, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						mark(i)
+					}
+				})
+			})
+		})
+	}
+}
+
+// Property: every schedule covers every iteration exactly once for
+// arbitrary loop and team sizes.
+func TestScheduleCoverageProperty(t *testing.T) {
+	scheds := []Schedule{ScheduleStatic, ScheduleDynamic, ScheduleGuided}
+	f := func(nRaw uint16, pRaw, cRaw, sRaw uint8) bool {
+		n := int(nRaw % 600)
+		p := 1 + int(pRaw%8)
+		chunk := int(cRaw % 16)
+		sched := scheds[int(sRaw)%len(scheds)]
+		r := New(Config{NumThreads: p})
+		defer r.Close()
+		counts := make([]int32, n)
+		r.Parallel(func(tc *ThreadCtx) {
+			tc.ForSched(n, sched, chunk, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&counts[i], 1)
+				}
+			})
+		})
+		for _, c := range counts {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConsecutiveWorksharingLoops(t *testing.T) {
+	// Descriptor sequence numbers must stay aligned across threads over
+	// many constructs, including nowait ones.
+	r := newRT(t, Config{NumThreads: 4})
+	const loops = 20
+	const n = 64
+	counts := make([]int32, loops*n)
+	r.Parallel(func(tc *ThreadCtx) {
+		for l := 0; l < loops; l++ {
+			base := l * n
+			switch l % 3 {
+			case 0:
+				tc.ForSched(n, ScheduleDynamic, 3, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&counts[base+i], 1)
+					}
+				})
+			case 1:
+				tc.ForSchedNoWait(n, ScheduleGuided, 2, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&counts[base+i], 1)
+					}
+				})
+				tc.Barrier()
+			default:
+				tc.For(n, func(i int) { atomic.AddInt32(&counts[base+i], 1) })
+			}
+		}
+	})
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("slot %d executed %d times, want 1", i, c)
+		}
+	}
+	// All loop descriptors must have been retired.
+	if got := len(lastTeamLoops(r)); got != 0 {
+		t.Errorf("%d loop descriptors leaked", got)
+	}
+}
+
+// lastTeamLoops inspects the most recent team's loop map; the team is
+// reachable through a fresh region.
+func lastTeamLoops(r *RT) map[uint64]*loopDesc {
+	var m map[uint64]*loopDesc
+	r.Parallel(func(tc *ThreadCtx) {
+		if tc.ThreadNum() == 0 {
+			m = tc.team.loops
+		}
+	})
+	return m
+}
+
+func TestBarrierPhases(t *testing.T) {
+	// After each barrier, every thread must observe the full previous
+	// phase: a data race across phases would show as a torn counter.
+	r := newRT(t, Config{NumThreads: 4})
+	const phases = 25
+	var counter atomic.Int64
+	fail := make(chan string, 4)
+	r.Parallel(func(tc *ThreadCtx) {
+		for p := 1; p <= phases; p++ {
+			counter.Add(1)
+			tc.Barrier()
+			if got := counter.Load(); got != int64(4*p) {
+				select {
+				case fail <- "phase tear":
+				default:
+				}
+			}
+			tc.Barrier()
+		}
+	})
+	select {
+	case msg := <-fail:
+		t.Fatal(msg)
+	default:
+	}
+}
+
+func TestSpinBarrier(t *testing.T) {
+	r := newRT(t, Config{NumThreads: 4, SpinBarrier: true})
+	var counter atomic.Int64
+	r.Parallel(func(tc *ThreadCtx) {
+		for p := 1; p <= 10; p++ {
+			counter.Add(1)
+			tc.Barrier()
+			if got := counter.Load(); got != int64(4*p) {
+				t.Errorf("phase %d: counter = %d, want %d", p, got, 4*p)
+			}
+			tc.Barrier()
+		}
+	})
+}
+
+func TestSingleRunsExactlyOnce(t *testing.T) {
+	r := newRT(t, Config{NumThreads: 4})
+	var ran atomic.Int32
+	var after atomic.Int32
+	r.Parallel(func(tc *ThreadCtx) {
+		for k := 0; k < 10; k++ {
+			tc.Single(func() { ran.Add(1) })
+			// The implicit barrier guarantees the single completed.
+			after.Add(ran.Load())
+		}
+	})
+	if ran.Load() != 10 {
+		t.Errorf("single ran %d times, want 10", ran.Load())
+	}
+}
+
+func TestSingleNoWait(t *testing.T) {
+	r := newRT(t, Config{NumThreads: 4})
+	var ran atomic.Int32
+	r.Parallel(func(tc *ThreadCtx) {
+		tc.SingleNoWait(func() { ran.Add(1) })
+		tc.Barrier()
+	})
+	if ran.Load() != 1 {
+		t.Errorf("single ran %d times, want 1", ran.Load())
+	}
+}
+
+func TestMasterOnlyThreadZero(t *testing.T) {
+	r := newRT(t, Config{NumThreads: 4})
+	var who atomic.Int32
+	who.Store(-1)
+	var runs atomic.Int32
+	r.Parallel(func(tc *ThreadCtx) {
+		tc.Master(func() {
+			who.Store(int32(tc.ThreadNum()))
+			runs.Add(1)
+		})
+	})
+	if who.Load() != 0 || runs.Load() != 1 {
+		t.Errorf("master ran %d times on thread %d", runs.Load(), who.Load())
+	}
+}
+
+func TestSectionsRunAllExactlyOnce(t *testing.T) {
+	r := newRT(t, Config{NumThreads: 3})
+	var counts [7]atomic.Int32
+	fns := make([]func(), 7)
+	for i := range fns {
+		i := i
+		fns[i] = func() { counts[i].Add(1) }
+	}
+	r.Parallel(func(tc *ThreadCtx) {
+		tc.Sections(fns...)
+	})
+	for i := range counts {
+		if counts[i].Load() != 1 {
+			t.Errorf("section %d ran %d times, want 1", i, counts[i].Load())
+		}
+	}
+}
+
+func TestOrderedSectionsRetireInOrder(t *testing.T) {
+	r := newRT(t, Config{NumThreads: 4})
+	const n = 200
+	order := make([]int, 0, n)
+	r.Parallel(func(tc *ThreadCtx) {
+		tc.ForOrdered(n, func(i int, ord *Ordered) {
+			ord.Do(func() { order = append(order, i) }) // ordered: no race
+		})
+	})
+	if len(order) != n {
+		t.Fatalf("got %d ordered sections, want %d", len(order), n)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d; ordered sections retired out of order", i, v)
+		}
+	}
+}
+
+func TestRegionIDsMonotonicAndParentZero(t *testing.T) {
+	r := newRT(t, Config{NumThreads: 2})
+	var ids []uint64
+	for k := 0; k < 5; k++ {
+		r.Parallel(func(tc *ThreadCtx) {
+			tc.Master(func() {
+				ids = append(ids, tc.RegionID())
+				if p := tc.Info().Team().ParentRegionID; p != 0 {
+					t.Errorf("non-nested parent region ID = %d, want 0", p)
+				}
+			})
+		})
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			t.Errorf("region IDs not increasing: %v", ids)
+		}
+	}
+}
+
+func TestSerializedNestedRegion(t *testing.T) {
+	r := newRT(t, Config{NumThreads: 4}) // Nested: false
+	var forks, inner atomic.Int64
+	q := r.Collector().NewQueue()
+	collector.Control(q, collector.ReqStart)
+	h := r.Collector().NewCallbackHandle(func(e collector.Event, ti *collector.ThreadInfo) {
+		forks.Add(1)
+	})
+	collector.Register(q, collector.EventFork, h)
+
+	var outerID uint64
+	var nestedParent uint64
+	r.Parallel(func(tc *ThreadCtx) {
+		if tc.ThreadNum() == 0 {
+			outerID = tc.RegionID()
+		}
+		tc.Parallel(3, func(in *ThreadCtx) {
+			inner.Add(1)
+			if in.NumThreads() != 1 {
+				t.Errorf("serialized nested team size = %d, want 1", in.NumThreads())
+			}
+			if tc.ThreadNum() == 0 && in.ThreadNum() == 0 {
+				nestedParent = in.team.info.ParentRegionID
+			}
+		})
+	})
+	// Serialized nesting: one fork for the outer region only.
+	if forks.Load() != 1 {
+		t.Errorf("fork events = %d, want 1 (no fork for serialized nested regions)", forks.Load())
+	}
+	if inner.Load() != 4 {
+		t.Errorf("nested bodies = %d, want 4 (one per encountering thread)", inner.Load())
+	}
+	if nestedParent != outerID {
+		t.Errorf("nested parent region ID = %d, want outer ID %d", nestedParent, outerID)
+	}
+	if r.NestedRegionCalls() != 4 {
+		t.Errorf("NestedRegionCalls = %d, want 4", r.NestedRegionCalls())
+	}
+}
+
+func TestTrueNestedRegion(t *testing.T) {
+	r := newRT(t, Config{NumThreads: 2, Nested: true})
+	var innerThreads atomic.Int64
+	var outerID, parentSeen uint64
+	r.Parallel(func(tc *ThreadCtx) {
+		if tc.ThreadNum() == 0 {
+			outerID = tc.RegionID()
+			tc.Parallel(3, func(in *ThreadCtx) {
+				innerThreads.Add(1)
+				if in.ThreadNum() == 0 {
+					parentSeen = in.team.info.ParentRegionID
+				}
+			})
+		}
+	})
+	if innerThreads.Load() != 3 {
+		t.Errorf("true nested team ran %d threads, want 3", innerThreads.Load())
+	}
+	if parentSeen != outerID {
+		t.Errorf("nested parent region ID = %d, want %d", parentSeen, outerID)
+	}
+}
+
+func TestRegionSitesTableI(t *testing.T) {
+	r := newRT(t, Config{NumThreads: 2})
+	for k := 0; k < 3; k++ {
+		r.Parallel(func(tc *ThreadCtx) {}) // site A
+	}
+	r.Parallel(func(tc *ThreadCtx) {}) // site B
+	sites := r.Sites()
+	if len(sites) != 2 {
+		t.Fatalf("distinct sites = %d, want 2", len(sites))
+	}
+	var calls uint64
+	for _, s := range sites {
+		calls += s.Calls
+		if s.File == "?" || s.Line == 0 {
+			t.Errorf("site missing source mapping: %+v", s)
+		}
+	}
+	if calls != 4 || r.RegionCalls() != 4 {
+		t.Errorf("calls = %d / RegionCalls = %d, want 4", calls, r.RegionCalls())
+	}
+	r.ResetStats()
+	if len(r.Sites()) != 0 || r.RegionCalls() != 0 {
+		t.Error("ResetStats did not clear statistics")
+	}
+}
+
+func TestMasterStateOutsideRegions(t *testing.T) {
+	r := newRT(t, Config{NumThreads: 2})
+	q := r.Collector().NewQueue()
+	st, _, ec := collector.QueryState(q, 0)
+	if ec != collector.ErrOK || st != collector.StateSerial {
+		t.Errorf("master state outside regions = (%v, %v), want serial", st, ec)
+	}
+	r.Parallel(func(tc *ThreadCtx) {})
+	st, _, ec = collector.QueryState(q, 0)
+	if ec != collector.ErrOK || st != collector.StateSerial {
+		t.Errorf("master state after region = (%v, %v), want serial", st, ec)
+	}
+}
+
+func TestSlaveIdleStateBetweenRegions(t *testing.T) {
+	r := newRT(t, Config{NumThreads: 3})
+	r.Parallel(func(tc *ThreadCtx) {})
+	// After the region, slaves return to the idle state. The loop
+	// tolerates the short window in which a slave is still finishing
+	// its post-barrier bookkeeping.
+	q := r.Collector().NewQueue()
+	for _, id := range []int32{1, 2} {
+		ok := false
+		for try := 0; try < 200; try++ {
+			st, _, ec := collector.QueryState(q, id)
+			if ec == collector.ErrOK && st == collector.StateIdle {
+				ok = true
+				break
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+		if !ok {
+			t.Errorf("slave %d never reached the idle state", id)
+		}
+	}
+}
+
+func TestPRIDQueryDuringRegion(t *testing.T) {
+	r := newRT(t, Config{NumThreads: 2})
+	q := r.Collector().NewQueue()
+	var got uint64
+	var ec collector.ErrorCode
+	r.Parallel(func(tc *ThreadCtx) {
+		tc.Master(func() {
+			got, ec = collector.QueryPRID(q, collector.ReqCurrentPRID, 0)
+		})
+		tc.Barrier()
+	})
+	if ec != collector.ErrOK || got == 0 {
+		t.Errorf("in-region PRID query = (%d, %v)", got, ec)
+	}
+	// Outside the region the master has no team: sequence error.
+	_, ec = collector.QueryPRID(q, collector.ReqCurrentPRID, 0)
+	if ec != collector.ErrSequence {
+		t.Errorf("out-of-region PRID query ec = %v, want %v", ec, collector.ErrSequence)
+	}
+}
+
+func TestCloseIsIdempotentAndUnbinds(t *testing.T) {
+	r := New(Config{NumThreads: 3})
+	r.Parallel(func(tc *ThreadCtx) {})
+	r.Close()
+	r.Close() // second close must be a no-op
+	if r.Collector().Thread(1) != nil {
+		t.Error("slave descriptor still bound after Close")
+	}
+}
+
+func TestRegisterSymbolLifecycle(t *testing.T) {
+	r := New(Config{NumThreads: 2})
+	if err := r.RegisterSymbol(); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	r2 := New(Config{NumThreads: 2})
+	if err := r2.RegisterSymbol(); err == nil {
+		t.Error("second runtime registered the same symbol")
+	}
+	r2.Close()
+	r.Close()
+	// After Close the symbol is free again.
+	r3 := New(Config{NumThreads: 2})
+	if err := r3.RegisterSymbol(); err != nil {
+		t.Errorf("register after close: %v", err)
+	}
+	r3.Close()
+}
+
+func TestScheduleStrings(t *testing.T) {
+	for _, s := range []Schedule{ScheduleStatic, ScheduleDynamic, ScheduleGuided, ScheduleRuntime} {
+		if s.String() == "" || s.String() == "schedule(?)" {
+			t.Errorf("schedule %d unnamed", s)
+		}
+	}
+	if Schedule(99).String() != "schedule(?)" {
+		t.Error("invalid schedule name")
+	}
+}
+
+func TestParallelForConvenience(t *testing.T) {
+	r := newRT(t, Config{NumThreads: 4})
+	counts := make([]int32, 500)
+	r.ParallelFor(500, func(tc *ThreadCtx, i int) {
+		atomic.AddInt32(&counts[i], 1)
+	})
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("iteration %d executed %d times", i, c)
+		}
+	}
+}
+
+func TestDefaultNumThreads(t *testing.T) {
+	r := New(Config{})
+	defer r.Close()
+	if r.Config().NumThreads < 1 {
+		t.Error("default NumThreads must be at least 1")
+	}
+}
+
+func TestConcurrentRuntimes(t *testing.T) {
+	// Distinct RT instances (e.g. one per simulated MPI rank) must not
+	// interfere.
+	var wg sync.WaitGroup
+	for k := 0; k < 4; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := New(Config{NumThreads: 2})
+			defer r.Close()
+			var sum atomic.Int64
+			for i := 0; i < 20; i++ {
+				r.Parallel(func(tc *ThreadCtx) { sum.Add(1) })
+			}
+			if sum.Load() != 40 {
+				t.Errorf("sum = %d, want 40", sum.Load())
+			}
+		}()
+	}
+	wg.Wait()
+}

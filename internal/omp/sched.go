@@ -1,0 +1,287 @@
+package omp
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"goomp/internal/collector"
+)
+
+// Schedule selects how a worksharing loop's iterations are divided
+// among the team, mirroring OpenMP's schedule kinds.
+type Schedule int
+
+const (
+	// ScheduleStatic divides iterations into contiguous blocks, one per
+	// thread (chunk 0), or round-robins fixed chunks (chunk > 0). This
+	// is OMP_STATIC_EVEN / __ompc_static_init_4 territory: each thread
+	// computes its own bounds with no shared state.
+	ScheduleStatic Schedule = iota
+	// ScheduleDynamic hands out chunks first-come first-served from a
+	// shared counter.
+	ScheduleDynamic
+	// ScheduleGuided hands out shrinking chunks proportional to the
+	// remaining iterations, bounded below by the chunk size.
+	ScheduleGuided
+	// ScheduleRuntime defers to the runtime's configured Schedule/Chunk
+	// ICVs.
+	ScheduleRuntime
+)
+
+var scheduleNames = [...]string{
+	ScheduleStatic:  "static",
+	ScheduleDynamic: "dynamic",
+	ScheduleGuided:  "guided",
+	ScheduleRuntime: "runtime",
+}
+
+func (s Schedule) String() string {
+	if s < 0 || int(s) >= len(scheduleNames) {
+		return "schedule(?)"
+	}
+	return scheduleNames[s]
+}
+
+// StaticBounds computes the iteration block [lo, hi) of thread tid in a
+// team of nthr for a loop of n iterations under the even static
+// schedule — the calculation __ompc_static_init_4 performs for the
+// outlined loop in Fig. 2 of the paper. Iterations are distributed as
+// evenly as possible, the first n%nthr threads receiving one extra.
+func StaticBounds(tid, nthr, n int) (lo, hi int) {
+	if nthr <= 0 || n <= 0 {
+		return 0, 0
+	}
+	base := n / nthr
+	rem := n % nthr
+	lo = tid*base + min(tid, rem)
+	hi = lo + base
+	if tid < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// loopDesc is the shared descriptor of one worksharing loop instance.
+type loopDesc struct {
+	n     int
+	chunk int
+
+	next    atomic.Int64 // next unassigned iteration (dynamic/guided)
+	arrived atomic.Int32 // threads that finished the loop body
+
+	// Ordered-clause support: ordered sections retire strictly in
+	// iteration order.
+	omu         sync.Mutex
+	ocond       *sync.Cond
+	orderedNext int64
+}
+
+// getLoop returns the descriptor for the worksharing construct with
+// this thread's current sequence number, creating it if this thread is
+// the first to arrive, and advances the thread's sequence.
+func (tc *ThreadCtx) getLoop(n, chunk int) *loopDesc {
+	seq := tc.loopSeq
+	tc.loopSeq++
+	t := tc.team
+	t.wsMu.Lock()
+	ld := t.loops[seq]
+	if ld == nil {
+		ld = &loopDesc{n: n, chunk: chunk}
+		ld.ocond = sync.NewCond(&ld.omu)
+		t.loops[seq] = ld
+	}
+	t.wsMu.Unlock()
+	return ld
+}
+
+// doneLoop retires the thread from the loop; the last thread to leave
+// removes the descriptor so the map does not grow with the iteration
+// count of the program.
+func (tc *ThreadCtx) doneLoop(seq uint64, ld *loopDesc) {
+	if int(ld.arrived.Add(1)) == tc.team.size {
+		t := tc.team
+		t.wsMu.Lock()
+		delete(t.loops, seq)
+		t.wsMu.Unlock()
+	}
+}
+
+// loopBegin fires the worksharing-loop begin event and advances the
+// thread's loop ID when the extension is enabled. A tool relates the
+// loop to its closing barrier by pairing this loop ID with the barrier
+// wait ID that follows.
+func (tc *ThreadCtx) loopBegin() {
+	if !tc.rt.cfg.LoopEvents {
+		return
+	}
+	tc.td.EnterLoop()
+	tc.rt.col.Event(tc.td, collector.EventThrBeginLoop)
+}
+
+func (tc *ThreadCtx) loopEnd() {
+	if !tc.rt.cfg.LoopEvents {
+		return
+	}
+	tc.rt.col.Event(tc.td, collector.EventThrEndLoop)
+}
+
+// For distributes iterations [0, n) over the team with the even static
+// schedule and calls body for each local iteration, then joins the
+// implicit barrier that ends the construct.
+func (tc *ThreadCtx) For(n int, body func(i int)) {
+	tc.ForNoWait(n, body)
+	tc.implicitBarrier()
+}
+
+// ForNoWait is For with the nowait clause: no barrier at loop end.
+func (tc *ThreadCtx) ForNoWait(n int, body func(i int)) {
+	tc.loopBegin()
+	lo, hi := StaticBounds(tc.id, tc.team.size, n)
+	for i := lo; i < hi; i++ {
+		body(i)
+	}
+	tc.loopEnd()
+}
+
+// ForSched distributes iterations [0, n) under the given schedule and
+// chunk size, invoking body once per assigned chunk [lo, hi), then
+// joins the implicit barrier. Every thread of the team must execute
+// the construct (OpenMP worksharing rule).
+func (tc *ThreadCtx) ForSched(n int, sched Schedule, chunk int, body func(lo, hi int)) {
+	tc.ForSchedNoWait(n, sched, chunk, body)
+	tc.implicitBarrier()
+}
+
+// ForSchedNoWait is ForSched with the nowait clause.
+func (tc *ThreadCtx) ForSchedNoWait(n int, sched Schedule, chunk int, body func(lo, hi int)) {
+	tc.loopBegin()
+	defer tc.loopEnd()
+	if sched == ScheduleRuntime {
+		sched = tc.rt.cfg.Schedule
+		if sched == ScheduleRuntime {
+			sched = ScheduleStatic
+		}
+		chunk = tc.rt.cfg.Chunk
+	}
+	if chunk <= 0 && sched != ScheduleStatic {
+		chunk = 1
+	}
+	switch sched {
+	case ScheduleStatic:
+		if chunk <= 0 {
+			lo, hi := StaticBounds(tc.id, tc.team.size, n)
+			if lo < hi {
+				body(lo, hi)
+			}
+			return
+		}
+		// Round-robin chunks: thread tid takes chunks tid, tid+p,
+		// tid+2p, ...
+		p := tc.team.size
+		for lo := tc.id * chunk; lo < n; lo += p * chunk {
+			hi := min(lo+chunk, n)
+			body(lo, hi)
+		}
+	case ScheduleDynamic:
+		seq := tc.loopSeq
+		ld := tc.getLoop(n, chunk)
+		for {
+			lo := int(ld.next.Add(int64(chunk))) - chunk
+			if lo >= n {
+				break
+			}
+			body(lo, min(lo+chunk, n))
+		}
+		tc.doneLoop(seq, ld)
+	case ScheduleGuided:
+		seq := tc.loopSeq
+		ld := tc.getLoop(n, chunk)
+		p := int64(tc.team.size)
+		for {
+			lo := ld.next.Load()
+			if lo >= int64(n) {
+				break
+			}
+			size := (int64(n) - lo) / (2 * p)
+			if size < int64(chunk) {
+				size = int64(chunk)
+			}
+			if !ld.next.CompareAndSwap(lo, lo+size) {
+				continue
+			}
+			body(int(lo), min(int(lo+size), n))
+		}
+		tc.doneLoop(seq, ld)
+	default:
+		panic("omp: unknown schedule kind")
+	}
+}
+
+// Ordered is the handle a ForOrdered body uses to run its ordered
+// section in iteration order.
+type Ordered struct {
+	tc *ThreadCtx
+	ld *loopDesc
+	i  int
+}
+
+// Do executes fn as the ordered section of iteration i: it waits until
+// every earlier iteration's ordered section has retired. While
+// waiting, the thread is in THR_ODWT_STATE and triggers the ordered
+// wait events; its ordered wait ID increments per wait.
+func (o *Ordered) Do(fn func()) {
+	tc, ld := o.tc, o.ld
+	ld.omu.Lock()
+	if ld.orderedNext != int64(o.i) {
+		tc.td.EnterWait(collector.StateOrderedWait)
+		tc.rt.col.Event(tc.td, collector.EventThrBeginOdwt)
+		for ld.orderedNext != int64(o.i) {
+			ld.ocond.Wait()
+		}
+		tc.rt.col.Event(tc.td, collector.EventThrEndOdwt)
+		tc.td.SetState(collector.StateWorking)
+	}
+	ld.omu.Unlock()
+
+	tc.rt.col.Event(tc.td, collector.EventThrBeginOrdered)
+	fn()
+	tc.rt.col.Event(tc.td, collector.EventThrEndOrdered)
+
+	ld.omu.Lock()
+	ld.orderedNext++
+	ld.ocond.Broadcast()
+	ld.omu.Unlock()
+}
+
+// ForOrdered runs a worksharing loop with the ordered clause: body
+// receives each iteration index and an Ordered handle whose Do method
+// serializes its section in iteration order. The schedule is static
+// with per-iteration granularity so ordered sections cannot deadlock:
+// every thread processes its iterations in increasing order.
+func (tc *ThreadCtx) ForOrdered(n int, body func(i int, ord *Ordered)) {
+	seq := tc.loopSeq
+	ld := tc.getLoop(n, 1)
+	lo, hi := StaticBounds(tc.id, tc.team.size, n)
+	for i := lo; i < hi; i++ {
+		body(i, &Ordered{tc: tc, ld: ld, i: i})
+	}
+	tc.doneLoop(seq, ld)
+	tc.implicitBarrier()
+}
+
+// Sections executes each function as an OpenMP section: sections are
+// handed to threads first-come first-served, and the construct ends
+// with an implicit barrier.
+func (tc *ThreadCtx) Sections(fns ...func()) {
+	seq := tc.loopSeq
+	ld := tc.getLoop(len(fns), 1)
+	for {
+		i := int(ld.next.Add(1)) - 1
+		if i >= len(fns) {
+			break
+		}
+		fns[i]()
+	}
+	tc.doneLoop(seq, ld)
+	tc.implicitBarrier()
+}

@@ -1,0 +1,140 @@
+package omp
+
+import (
+	"sync"
+
+	"goomp/internal/collector"
+)
+
+// Explicit tasks — the OpenMP 3.0 construct the paper's §VI names as
+// the next step for the interface ("More work will be needed to extend
+// the interface to handle the constructs in the recent OpenMP 3.0
+// standard"). A task is deferred work any thread of the team may
+// execute; threads drain the team's task pool at barriers and at
+// taskwait points, so every task of a region completes by the region's
+// closing barrier. The collector extension defines three events:
+// task creation (EventTaskCreate, fired by the creating thread) and
+// begin/end of task execution (EventThrBeginTask/EventThrEndTask,
+// fired by the executing thread).
+
+// task is one deferred unit plus the group its completion signals.
+type task struct {
+	fn     func(tc *ThreadCtx)
+	parent *taskGroup
+}
+
+// taskGroup counts outstanding children of one creating context; the
+// pool's lock guards it.
+type taskGroup struct {
+	pending int
+}
+
+// taskPool is the per-team task queue. One lock guards the queue and
+// every group counter; the condition variable is broadcast on each
+// push and each completion, so a taskwait never misses either the
+// arrival of stealable work or the completion of its last child.
+type taskPool struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []task
+}
+
+func (p *taskPool) init() {
+	p.cond = sync.NewCond(&p.mu)
+}
+
+// Task defers fn as an explicit task. Any thread of the team may run
+// it — at a barrier, at a taskwait, or while another taskwait spins.
+func (tc *ThreadCtx) Task(fn func(tc *ThreadCtx)) {
+	p := &tc.team.tasks
+	tc.rt.col.Event(tc.td, collector.EventTaskCreate)
+	p.mu.Lock()
+	if tc.group == nil {
+		tc.group = new(taskGroup)
+	}
+	tc.group.pending++
+	p.queue = append(p.queue, task{fn: fn, parent: tc.group})
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// Taskwait blocks until every task created by this context has
+// finished. While waiting it executes ready tasks (its own or other
+// threads') instead of idling.
+func (tc *ThreadCtx) Taskwait() {
+	if tc.group == nil {
+		return
+	}
+	p := &tc.team.tasks
+	p.mu.Lock()
+	for tc.group.pending > 0 {
+		if t, ok := p.popLocked(); ok {
+			p.mu.Unlock()
+			tc.execTask(t)
+			p.mu.Lock()
+			continue
+		}
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+}
+
+func (p *taskPool) popLocked() (task, bool) {
+	n := len(p.queue)
+	if n == 0 {
+		return task{}, false
+	}
+	t := p.queue[n-1]
+	p.queue[n-1] = task{}
+	p.queue = p.queue[:n-1]
+	return t, true
+}
+
+// execTask runs one task (lock not held). The task body gets a fresh
+// context so children it creates form its own group, joined by the
+// implicit taskwait at task end (the tied-task guarantee that a task's
+// children complete before it reports completion).
+func (tc *ThreadCtx) execTask(t task) {
+	col := tc.rt.col
+	col.Event(tc.td, collector.EventThrBeginTask)
+	inner := &ThreadCtx{rt: tc.rt, team: tc.team, id: tc.id, td: tc.td,
+		level: tc.level, parent: tc.parent}
+	func() {
+		// A panicking task is recorded like a panicking region body;
+		// the completion accounting below must still run or a
+		// taskwait would deadlock.
+		defer func() {
+			if r := recover(); r != nil {
+				tc.team.recordPanic(tc.id, r)
+			}
+		}()
+		t.fn(inner)
+		if inner.group != nil {
+			inner.Taskwait()
+		}
+	}()
+	col.Event(tc.td, collector.EventThrEndTask)
+	p := &tc.team.tasks
+	p.mu.Lock()
+	t.parent.pending--
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// drainTasks runs ready tasks until the pool is empty. Barriers call
+// it on entry: the last thread to reach the barrier finds every
+// remaining task (all other threads are already inside, so nothing new
+// can be pushed), which gives the OpenMP guarantee that all tasks of
+// the region complete at the barrier.
+func (tc *ThreadCtx) drainTasks() {
+	p := &tc.team.tasks
+	for {
+		p.mu.Lock()
+		t, ok := p.popLocked()
+		p.mu.Unlock()
+		if !ok {
+			return
+		}
+		tc.execTask(t)
+	}
+}

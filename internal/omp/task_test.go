@@ -1,0 +1,263 @@
+package omp
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"goomp/internal/collector"
+)
+
+func TestTasksAllExecuteByBarrier(t *testing.T) {
+	r := newRT(t, Config{NumThreads: 4})
+	const perThread = 50
+	var ran atomic.Int64
+	r.Parallel(func(tc *ThreadCtx) {
+		for i := 0; i < perThread; i++ {
+			tc.Task(func(*ThreadCtx) { ran.Add(1) })
+		}
+		tc.Barrier()
+		// Every task of the region completes at the barrier.
+		if got := ran.Load(); got != 4*perThread {
+			t.Errorf("after barrier: %d tasks ran, want %d", got, 4*perThread)
+		}
+	})
+}
+
+func TestTasksCompleteAtRegionEnd(t *testing.T) {
+	r := newRT(t, Config{NumThreads: 3})
+	var ran atomic.Int64
+	r.Parallel(func(tc *ThreadCtx) {
+		for i := 0; i < 20; i++ {
+			tc.Task(func(*ThreadCtx) { ran.Add(1) })
+		}
+		// No explicit barrier: the region's closing implicit barrier
+		// must still drain everything.
+	})
+	if got := ran.Load(); got != 60 {
+		t.Errorf("%d tasks ran, want 60", got)
+	}
+}
+
+func TestTaskwaitWaitsForChildren(t *testing.T) {
+	r := newRT(t, Config{NumThreads: 4})
+	r.Parallel(func(tc *ThreadCtx) {
+		tc.Master(func() {
+			var done atomic.Int64
+			for i := 0; i < 30; i++ {
+				tc.Task(func(*ThreadCtx) { done.Add(1) })
+			}
+			tc.Taskwait()
+			if done.Load() != 30 {
+				t.Errorf("taskwait returned with %d/30 children done", done.Load())
+			}
+		})
+	})
+}
+
+func TestTaskwaitWithoutTasksIsNoop(t *testing.T) {
+	r := newRT(t, Config{NumThreads: 2})
+	r.Parallel(func(tc *ThreadCtx) {
+		tc.Taskwait() // must not block or panic
+	})
+}
+
+func TestNestedTasks(t *testing.T) {
+	r := newRT(t, Config{NumThreads: 4})
+	var leaves atomic.Int64
+	r.Parallel(func(tc *ThreadCtx) {
+		tc.Master(func() {
+			for i := 0; i < 8; i++ {
+				tc.Task(func(inner *ThreadCtx) {
+					for j := 0; j < 4; j++ {
+						inner.Task(func(*ThreadCtx) { leaves.Add(1) })
+					}
+					// The implicit taskwait at task end joins the
+					// four children before the task completes.
+				})
+			}
+			tc.Taskwait()
+			if got := leaves.Load(); got != 32 {
+				t.Errorf("after taskwait: %d leaves, want 32", got)
+			}
+		})
+	})
+}
+
+func TestTaskRecursiveFibonacci(t *testing.T) {
+	// The canonical OpenMP 3.0 demo: task-parallel fib with taskwait.
+	r := newRT(t, Config{NumThreads: 4})
+	var fib func(tc *ThreadCtx, n int) int64
+	fib = func(tc *ThreadCtx, n int) int64 {
+		if n < 2 {
+			return int64(n)
+		}
+		var a, b int64
+		tc.Task(func(inner *ThreadCtx) { a = fib(inner, n-1) })
+		b = fib(tc, n-2)
+		tc.Taskwait()
+		return a + b
+	}
+	var got int64
+	r.Parallel(func(tc *ThreadCtx) {
+		tc.SingleNoWait(func() { got = fib(tc, 15) })
+		tc.Barrier()
+	})
+	if got != 610 {
+		t.Errorf("fib(15) = %d, want 610", got)
+	}
+}
+
+func TestTaskEvents(t *testing.T) {
+	r := newRT(t, Config{NumThreads: 2})
+	q := r.Collector().NewQueue()
+	collector.Control(q, collector.ReqStart)
+	var created, began, ended atomic.Int64
+	h := r.Collector().NewCallbackHandle(func(e collector.Event, ti *collector.ThreadInfo) {
+		switch e {
+		case collector.EventTaskCreate:
+			created.Add(1)
+		case collector.EventThrBeginTask:
+			began.Add(1)
+		case collector.EventThrEndTask:
+			ended.Add(1)
+		}
+	})
+	for _, e := range []collector.Event{
+		collector.EventTaskCreate, collector.EventThrBeginTask, collector.EventThrEndTask,
+	} {
+		collector.Register(q, e, h)
+	}
+	r.Parallel(func(tc *ThreadCtx) {
+		for i := 0; i < 10; i++ {
+			tc.Task(func(*ThreadCtx) {})
+		}
+		tc.Taskwait()
+	})
+	if created.Load() != 20 || began.Load() != 20 || ended.Load() != 20 {
+		t.Errorf("task events = create %d, begin %d, end %d; want 20 each",
+			created.Load(), began.Load(), ended.Load())
+	}
+}
+
+// Property: an arbitrary tree of task creations always fully executes
+// by region end, with every task run exactly once.
+func TestTaskTreeProperty(t *testing.T) {
+	f := func(widths []uint8, pRaw uint8) bool {
+		if len(widths) > 6 {
+			widths = widths[:6]
+		}
+		p := 1 + int(pRaw%4)
+		r := New(Config{NumThreads: p})
+		defer r.Close()
+		var count atomic.Int64
+		var expect int64 = 0
+		// Expected count: sum over levels of products of widths.
+		prod := int64(1)
+		for _, w := range widths {
+			prod *= int64(w%3 + 1)
+			expect += prod
+		}
+		var spawn func(tc *ThreadCtx, level int)
+		spawn = func(tc *ThreadCtx, level int) {
+			if level >= len(widths) {
+				return
+			}
+			n := int(widths[level]%3 + 1)
+			for i := 0; i < n; i++ {
+				tc.Task(func(inner *ThreadCtx) {
+					count.Add(1)
+					spawn(inner, level+1)
+				})
+			}
+		}
+		r.Parallel(func(tc *ThreadCtx) {
+			tc.SingleNoWait(func() { spawn(tc, 0) })
+			tc.Barrier()
+		})
+		return count.Load() == expect
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLoopEventsOption(t *testing.T) {
+	run := func(enabled bool) (int64, uint64) {
+		r := New(Config{NumThreads: 2, LoopEvents: enabled})
+		defer r.Close()
+		q := r.Collector().NewQueue()
+		collector.Control(q, collector.ReqStart)
+		var begins atomic.Int64
+		h := r.Collector().NewCallbackHandle(func(e collector.Event, ti *collector.ThreadInfo) {
+			if e == collector.EventThrBeginLoop {
+				begins.Add(1)
+			}
+		})
+		collector.Register(q, collector.EventThrBeginLoop, h)
+		r.Parallel(func(tc *ThreadCtx) {
+			tc.For(16, func(int) {})
+			tc.ForSched(16, ScheduleDynamic, 2, func(lo, hi int) {})
+		})
+		var loopID uint64
+		if ti := r.Collector().Thread(1); ti != nil {
+			loopID = ti.LoopID()
+		}
+		return begins.Load(), loopID
+	}
+	begins, loopID := run(true)
+	// 2 threads × 2 loops.
+	if begins != 4 {
+		t.Errorf("loop begin events = %d, want 4", begins)
+	}
+	if loopID != 2 {
+		t.Errorf("slave loop ID = %d, want 2", loopID)
+	}
+	begins, loopID = run(false)
+	if begins != 0 || loopID != 0 {
+		t.Errorf("loop events fired with option off: %d events, ID %d", begins, loopID)
+	}
+}
+
+func TestLoopIDRelatesToBarrierID(t *testing.T) {
+	// The extension's purpose: after each worksharing loop with its
+	// implicit barrier, loop ID k pairs with barrier wait ID k (when
+	// the region does nothing else).
+	r := newRT(t, Config{NumThreads: 2, LoopEvents: true})
+	r.Parallel(func(tc *ThreadCtx) {
+		for k := 0; k < 5; k++ {
+			tc.For(8, func(int) {})
+			if got := tc.Info().LoopID(); got != uint64(k+1) {
+				t.Errorf("loop ID = %d, want %d", got, k+1)
+			}
+			if got := tc.Info().WaitID(collector.WaitBarrier); got != uint64(k+1) {
+				t.Errorf("barrier ID = %d, want %d", got, k+1)
+			}
+		}
+	})
+}
+
+func TestTeamInfoSitePC(t *testing.T) {
+	r := newRT(t, Config{NumThreads: 2})
+	var pc1, pc2, pc3 uintptr
+	for i := 0; i < 2; i++ {
+		r.Parallel(func(tc *ThreadCtx) {
+			tc.Master(func() {
+				if i == 0 {
+					pc1 = tc.Info().Team().SitePC
+				} else {
+					pc2 = tc.Info().Team().SitePC
+				}
+			})
+		})
+	}
+	r.Parallel(func(tc *ThreadCtx) {
+		tc.Master(func() { pc3 = tc.Info().Team().SitePC })
+	})
+	if pc1 == 0 || pc1 != pc2 {
+		t.Errorf("same site got PCs %#x and %#x", pc1, pc2)
+	}
+	if pc3 == pc1 {
+		t.Error("distinct sites share a PC")
+	}
+}

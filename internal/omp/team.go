@@ -1,0 +1,193 @@
+package omp
+
+import (
+	"fmt"
+	"sync"
+
+	"goomp/internal/collector"
+)
+
+// RegionPanic wraps a panic raised inside a parallel region body (or a
+// task body) on any thread of the team. The runtime keeps the
+// fork-join structure intact around a panicking body: the team's
+// barrier is cancelled so no thread deadlocks waiting for the
+// panicked one, every thread finishes the region, and the first panic
+// is re-raised on the master after the join event.
+type RegionPanic struct {
+	Thread int
+	Value  any
+}
+
+func (p *RegionPanic) Error() string {
+	return fmt.Sprintf("omp: panic in parallel region on thread %d: %v", p.Thread, p.Value)
+}
+
+// Team is the thread-team descriptor for one parallel region instance:
+// the barrier the team synchronizes on, the shared worksharing state,
+// and the region/parent IDs the collector exposes.
+type Team struct {
+	rt   *RT
+	size int
+	info *collector.TeamInfo
+
+	barrier barrier
+
+	// Worksharing constructs are identified by their per-thread
+	// sequence number: every thread in a team executes the same
+	// sequence of worksharing constructs, so equal sequence numbers
+	// address the same construct instance. Descriptors are created by
+	// the first thread to arrive and removed by the last to leave.
+	wsMu    sync.Mutex
+	loops   map[uint64]*loopDesc
+	singles map[uint64]*singleDesc
+
+	// reduction is the compiler-generated lock serializing updates of
+	// shared reduction variables (generated the same way as critical
+	// region locks).
+	reduction Lock
+
+	// tasks is the team's explicit-task pool (OpenMP 3.0 extension).
+	tasks taskPool
+
+	panicMu sync.Mutex
+	panics  []*RegionPanic
+}
+
+// recordPanic stores a recovered panic and cancels the team barrier so
+// the remaining threads cannot deadlock waiting for the unwound one.
+// Synchronization within the torn-down region is best-effort from this
+// point; the region's results are discarded when the master re-raises.
+func (t *Team) recordPanic(thread int, value any) {
+	t.panicMu.Lock()
+	t.panics = append(t.panics, &RegionPanic{Thread: thread, Value: value})
+	t.panicMu.Unlock()
+	t.barrier.cancel()
+}
+
+// firstPanic returns the first recorded panic, or nil.
+func (t *Team) firstPanic() *RegionPanic {
+	t.panicMu.Lock()
+	defer t.panicMu.Unlock()
+	if len(t.panics) == 0 {
+		return nil
+	}
+	return t.panics[0]
+}
+
+// runRegionBody executes a region body, converting a panic into a team
+// panic record so the thread still joins the closing barrier.
+func runRegionBody(tc *ThreadCtx, fn func(*ThreadCtx)) {
+	defer func() {
+		if r := recover(); r != nil {
+			tc.team.recordPanic(tc.id, r)
+		}
+	}()
+	fn(tc)
+}
+
+func newTeam(r *RT, size int, info *collector.TeamInfo) *Team {
+	t := &Team{
+		rt:      r,
+		size:    size,
+		info:    info,
+		loops:   make(map[uint64]*loopDesc),
+		singles: make(map[uint64]*singleDesc),
+	}
+	if r.cfg.SpinBarrier {
+		t.barrier = newSpinBarrier(size)
+	} else {
+		t.barrier = newBlockingBarrier(size)
+	}
+	t.tasks.init()
+	return t
+}
+
+// Barrier is the explicit barrier construct (#pragma omp barrier). The
+// compiler translation generates a distinct runtime call for explicit
+// barriers so the runtime can distinguish them from implicit ones
+// (§IV-C.2); this is that entry point.
+func (tc *ThreadCtx) Barrier() {
+	tc.barrierImpl(collector.StateExplicitBarrier,
+		collector.EventThrBeginEBar, collector.EventThrEndEBar)
+}
+
+// implicitBarrier is __ompc_ibarrier: the barrier ending parallel
+// regions and (by default) worksharing constructs.
+func (tc *ThreadCtx) implicitBarrier() {
+	tc.barrierImpl(collector.StateImplicitBarrier,
+		collector.EventThrBeginIBar, collector.EventThrEndIBar)
+}
+
+func (tc *ThreadCtx) barrierImpl(state collector.State, begin, end collector.Event) {
+	// All explicit tasks of the region complete at a barrier: the last
+	// thread to arrive drains whatever remains.
+	tc.drainTasks()
+	if tc.team.size == 1 {
+		// A team of one still counts the barrier (the barrier ID
+		// increments each time a thread enters a barrier) but has
+		// nobody to wait for.
+		tc.td.EnterWait(state)
+		tc.rt.col.Event(tc.td, begin)
+		tc.rt.col.Event(tc.td, end)
+		tc.td.SetState(collector.StateWorking)
+		return
+	}
+	tc.td.EnterWait(state)
+	tc.rt.col.Event(tc.td, begin)
+	tc.team.barrier.await()
+	tc.rt.col.Event(tc.td, end)
+	tc.td.SetState(collector.StateWorking)
+}
+
+// barrier is a reusable team barrier. cancel releases all current and
+// future waiters (used when a region body panics).
+type barrier interface {
+	await()
+	cancel()
+}
+
+// blockingBarrier is a central sense-reversing barrier that blocks
+// waiters on a condition variable. It is the default: threads may be
+// oversubscribed on the host, and a blocked waiter frees its core.
+type blockingBarrier struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	size      int
+	count     int
+	sense     bool
+	cancelled bool
+}
+
+func newBlockingBarrier(size int) *blockingBarrier {
+	b := &blockingBarrier{size: size}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *blockingBarrier) await() {
+	b.mu.Lock()
+	if b.cancelled {
+		b.mu.Unlock()
+		return
+	}
+	sense := b.sense
+	b.count++
+	if b.count == b.size {
+		b.count = 0
+		b.sense = !sense
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for b.sense == sense && !b.cancelled {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+func (b *blockingBarrier) cancel() {
+	b.mu.Lock()
+	b.cancelled = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}

@@ -1,0 +1,65 @@
+package omp
+
+import "sync"
+
+// Threadprivate is per-thread storage that persists across parallel
+// regions, the runtime support behind OpenMP's threadprivate
+// directive: each OpenMP thread (by global thread number) owns one
+// slot of T, initialized on first touch, surviving between regions as
+// long as the runtime's thread pool does.
+type Threadprivate[T any] struct {
+	init func() T
+
+	mu    sync.RWMutex
+	slots map[int]*T
+}
+
+// NewThreadprivate returns threadprivate storage whose slots are
+// initialized by init on first access (nil means zero value).
+func NewThreadprivate[T any](init func() T) *Threadprivate[T] {
+	return &Threadprivate[T]{init: init, slots: make(map[int]*T)}
+}
+
+// Get returns the calling thread's slot, creating it on first touch.
+func (tp *Threadprivate[T]) Get(tc *ThreadCtx) *T {
+	id := tc.ThreadNum()
+	tp.mu.RLock()
+	p := tp.slots[id]
+	tp.mu.RUnlock()
+	if p != nil {
+		return p
+	}
+	tp.mu.Lock()
+	defer tp.mu.Unlock()
+	if p = tp.slots[id]; p != nil {
+		return p
+	}
+	var v T
+	if tp.init != nil {
+		v = tp.init()
+	}
+	tp.slots[id] = &v
+	return tp.slots[id]
+}
+
+// CopyIn sets every existing slot (and the master's) to a copy of v —
+// the copyin clause: broadcast the master's value to the team at
+// region entry. Call it from one thread.
+func (tp *Threadprivate[T]) CopyIn(team int, v T) {
+	tp.mu.Lock()
+	defer tp.mu.Unlock()
+	for id := 0; id < team; id++ {
+		val := v
+		tp.slots[id] = &val
+	}
+}
+
+// Range visits every initialized slot in unspecified order; useful for
+// post-region aggregation of per-thread partials.
+func (tp *Threadprivate[T]) Range(f func(thread int, v *T)) {
+	tp.mu.RLock()
+	defer tp.mu.RUnlock()
+	for id, p := range tp.slots {
+		f(id, p)
+	}
+}

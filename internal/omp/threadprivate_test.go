@@ -1,0 +1,67 @@
+package omp
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestThreadprivatePersistsAcrossRegions(t *testing.T) {
+	r := newRT(t, Config{NumThreads: 4})
+	tp := NewThreadprivate[int](nil)
+	for round := 1; round <= 3; round++ {
+		r.Parallel(func(tc *ThreadCtx) {
+			*tp.Get(tc)++
+		})
+	}
+	seen := 0
+	tp.Range(func(thread int, v *int) {
+		seen++
+		if *v != 3 {
+			t.Errorf("thread %d slot = %d, want 3 (must persist across regions)", thread, *v)
+		}
+	})
+	if seen != 4 {
+		t.Errorf("slots = %d, want 4", seen)
+	}
+}
+
+func TestThreadprivateInitializer(t *testing.T) {
+	r := newRT(t, Config{NumThreads: 3})
+	var inits atomic.Int32
+	tp := NewThreadprivate[[]float64](func() []float64 {
+		inits.Add(1)
+		return make([]float64, 8)
+	})
+	r.Parallel(func(tc *ThreadCtx) {
+		buf := tp.Get(tc)
+		(*buf)[0] = float64(tc.ThreadNum())
+		// Second Get must return the same slot, not re-initialize.
+		if &(*tp.Get(tc))[0] != &(*buf)[0] {
+			t.Error("Get returned a different slot")
+		}
+	})
+	if inits.Load() != 3 {
+		t.Errorf("initializer ran %d times, want 3", inits.Load())
+	}
+}
+
+func TestThreadprivateCopyIn(t *testing.T) {
+	r := newRT(t, Config{NumThreads: 3})
+	tp := NewThreadprivate[int](nil)
+	tp.CopyIn(3, 41)
+	var bad atomic.Int32
+	r.Parallel(func(tc *ThreadCtx) {
+		if *tp.Get(tc) != 41 {
+			bad.Add(1)
+		}
+		*tp.Get(tc)++
+	})
+	if bad.Load() != 0 {
+		t.Errorf("%d threads missed the copyin value", bad.Load())
+	}
+	tp.Range(func(thread int, v *int) {
+		if *v != 42 {
+			t.Errorf("thread %d = %d, want 42", thread, *v)
+		}
+	})
+}

@@ -1,0 +1,197 @@
+package omp
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"goomp/internal/collector"
+)
+
+// Torture test: random but team-uniform sequences of every construct,
+// executed repeatedly, with exact accounting. This is the runtime
+// analogue of a fuzzer — any miscounted single, lost loop iteration,
+// unbalanced barrier or broken ordered chain fails loudly, and any
+// synchronization bug tends to deadlock (caught by the test timeout).
+
+type tortureOp struct {
+	kind  int
+	n     int // iterations / sections
+	sched Schedule
+	chunk int
+}
+
+const (
+	opFor = iota
+	opForSched
+	opBarrier
+	opSingle
+	opCritical
+	opReduce
+	opSections
+	opOrdered
+	opTasks
+	numTortureOps
+)
+
+func buildTortureProgram(rng *rand.Rand, length int) []tortureOp {
+	ops := make([]tortureOp, length)
+	scheds := []Schedule{ScheduleStatic, ScheduleDynamic, ScheduleGuided}
+	for i := range ops {
+		ops[i] = tortureOp{
+			kind:  rng.Intn(numTortureOps),
+			n:     rng.Intn(40) + 1,
+			sched: scheds[rng.Intn(len(scheds))],
+			chunk: rng.Intn(5) + 1,
+		}
+	}
+	return ops
+}
+
+func TestConstructTorture(t *testing.T) {
+	const trials = 12
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		rng := rand.New(rand.NewSource(int64(trial) * 7919))
+		threads := rng.Intn(6) + 1
+		length := rng.Intn(12) + 3
+		ops := buildTortureProgram(rng, length)
+
+		r := New(Config{NumThreads: threads, LoopEvents: trial%2 == 0})
+		var loopIters atomic.Int64 // every executed loop iteration
+		var singles atomic.Int64
+		var criticals int64 // protected by the critical construct itself
+		var reduced int64
+		var sections atomic.Int64
+		var tasks atomic.Int64
+		orderedOK := true
+
+		var wantLoop, wantSingle, wantCritical, wantReduce, wantSections, wantTasks int64
+		for _, op := range ops {
+			switch op.kind {
+			case opFor, opForSched, opOrdered:
+				wantLoop += int64(op.n)
+			case opSingle:
+				wantSingle++
+			case opCritical:
+				wantCritical += int64(threads)
+			case opReduce:
+				wantReduce += int64(threads)
+			case opSections:
+				wantSections += int64(op.n)
+			case opTasks:
+				wantTasks += int64(op.n)
+			}
+		}
+
+		r.Parallel(func(tc *ThreadCtx) {
+			for _, op := range ops {
+				switch op.kind {
+				case opFor:
+					tc.For(op.n, func(int) { loopIters.Add(1) })
+				case opForSched:
+					tc.ForSched(op.n, op.sched, op.chunk, func(lo, hi int) {
+						loopIters.Add(int64(hi - lo))
+					})
+				case opBarrier:
+					tc.Barrier()
+				case opSingle:
+					tc.Single(func() { singles.Add(1) })
+				case opCritical:
+					tc.Critical("torture", func() { criticals++ })
+				case opReduce:
+					tc.ReduceInt64(&reduced, 1)
+				case opSections:
+					fns := make([]func(), op.n)
+					for i := range fns {
+						fns[i] = func() { sections.Add(1) }
+					}
+					tc.Sections(fns...)
+				case opOrdered:
+					prev := int64(-1)
+					_ = prev
+					tc.ForOrdered(op.n, func(i int, ord *Ordered) {
+						ord.Do(func() {
+							loopIters.Add(1)
+						})
+					})
+				case opTasks:
+					tc.SingleNoWait(func() {
+						for i := 0; i < op.n; i++ {
+							tc.Task(func(*ThreadCtx) { tasks.Add(1) })
+						}
+					})
+					tc.Barrier() // all tasks drain here
+				}
+			}
+		})
+		r.Close()
+
+		if loopIters.Load() != wantLoop {
+			t.Errorf("trial %d: loop iterations %d, want %d", trial, loopIters.Load(), wantLoop)
+		}
+		if singles.Load() != wantSingle {
+			t.Errorf("trial %d: singles %d, want %d", trial, singles.Load(), wantSingle)
+		}
+		if criticals != wantCritical {
+			t.Errorf("trial %d: criticals %d, want %d", trial, criticals, wantCritical)
+		}
+		if reduced != wantReduce {
+			t.Errorf("trial %d: reduced %d, want %d", trial, reduced, wantReduce)
+		}
+		if sections.Load() != wantSections {
+			t.Errorf("trial %d: sections %d, want %d", trial, sections.Load(), wantSections)
+		}
+		if tasks.Load() != wantTasks {
+			t.Errorf("trial %d: tasks %d, want %d", trial, tasks.Load(), wantTasks)
+		}
+		if !orderedOK {
+			t.Errorf("trial %d: ordered sections out of order", trial)
+		}
+	}
+}
+
+// TestTortureUnderCollector repeats a torture program with a collector
+// attached and every event registered: event generation must never
+// change construct semantics.
+func TestTortureUnderCollector(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ops := buildTortureProgram(rng, 10)
+	run := func(withCollector bool) (int64, int64) {
+		r := New(Config{NumThreads: 4, LoopEvents: true, AtomicEvents: true})
+		defer r.Close()
+		if withCollector {
+			q := r.Collector().NewQueue()
+			if ec := collector.Control(q, collector.ReqStart); ec != collector.ErrOK {
+				t.Fatalf("start: %v", ec)
+			}
+			h := r.Collector().NewCallbackHandle(func(collector.Event, *collector.ThreadInfo) {})
+			for e := collector.Event(0); int32(e) < collector.NumEvents; e++ {
+				if ec := collector.Register(q, e, h); ec != collector.ErrOK {
+					t.Fatalf("register %v: %v", e, ec)
+				}
+			}
+		}
+		var iters atomic.Int64
+		var singles atomic.Int64
+		r.Parallel(func(tc *ThreadCtx) {
+			for _, op := range ops {
+				switch op.kind {
+				case opFor, opForSched, opOrdered:
+					tc.For(op.n, func(int) { iters.Add(1) })
+				case opSingle:
+					tc.Single(func() { singles.Add(1) })
+				default:
+					tc.Barrier()
+				}
+			}
+		})
+		return iters.Load(), singles.Load()
+	}
+	offIters, offSingles := run(false)
+	onIters, onSingles := run(true)
+	if offIters != onIters || offSingles != onSingles {
+		t.Errorf("collector changed semantics: (%d,%d) vs (%d,%d)",
+			offIters, offSingles, onIters, onSingles)
+	}
+}

@@ -1,0 +1,50 @@
+package perf
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadTrace drives the binary trace reader with arbitrary bytes:
+// it must never panic or over-allocate, and anything it accepts must
+// re-serialize.
+func FuzzReadTrace(f *testing.F) {
+	// Seeds: a valid trace with samples and stacks, an empty trace,
+	// and corrupt variants.
+	b := NewTraceBuffer(0, 0)
+	sid := b.InternStack([]uintptr{0x10, 0x20})
+	b.Append(Sample{Time: 5, Thread: 1, Event: 2, State: 3, Region: 4, Site: 9, StackID: sid})
+	var valid bytes.Buffer
+	if err := WriteTrace(&valid, b); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	var empty bytes.Buffer
+	if err := WriteTrace(&empty, NewTraceBuffer(0, 0)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty.Bytes())
+	f.Add([]byte("PSXT"))
+	f.Add([]byte{})
+	corrupt := append([]byte(nil), valid.Bytes()...)
+	corrupt[10] ^= 0xFF
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteTrace(&out, got); err != nil {
+			t.Fatalf("accepted trace failed to re-serialize: %v", err)
+		}
+		again, err := ReadTrace(&out)
+		if err != nil {
+			t.Fatalf("round trip of accepted trace failed: %v", err)
+		}
+		if len(again.Samples()) != len(got.Samples()) {
+			t.Fatal("round trip changed sample count")
+		}
+	})
+}

@@ -1,0 +1,100 @@
+package perf
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+)
+
+// Software event counters — the stand-in for the PAPI hardware
+// counters PerfSuite wraps. Real hardware counters are unavailable to
+// a portable Go library, so the counter set exposes the language
+// runtime's own events (allocations, GC activity, goroutines), which
+// play the same role in the measurement pipeline: cheap numeric event
+// sources sampled before and after a measured section.
+
+// CounterKind names one software event counter.
+type CounterKind int
+
+// Counter kinds.
+const (
+	CounterAllocBytes   CounterKind = iota // cumulative bytes allocated
+	CounterAllocObjects                    // cumulative heap objects allocated
+	CounterGCCycles                        // completed GC cycles
+	CounterGCPauseNs                       // cumulative stop-the-world pause
+	CounterGoroutines                      // current goroutine count (level, not cumulative)
+
+	numCounterKinds int = iota
+)
+
+var counterNames = [...]string{
+	CounterAllocBytes:   "ALLOC_BYTES",
+	CounterAllocObjects: "ALLOC_OBJECTS",
+	CounterGCCycles:     "GC_CYCLES",
+	CounterGCPauseNs:    "GC_PAUSE_NS",
+	CounterGoroutines:   "GOROUTINES",
+}
+
+func (k CounterKind) String() string {
+	if k < 0 || int(k) >= len(counterNames) {
+		return fmt.Sprintf("COUNTER(%d)", int(k))
+	}
+	return counterNames[k]
+}
+
+// Counters is a snapshot of all counter kinds.
+type Counters struct {
+	Values [numCounterKinds]uint64
+}
+
+// ReadCounters samples the current counter values.
+func ReadCounters() Counters {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	var c Counters
+	c.Values[CounterAllocBytes] = ms.TotalAlloc
+	c.Values[CounterAllocObjects] = ms.Mallocs
+	c.Values[CounterGCCycles] = uint64(ms.NumGC)
+	c.Values[CounterGCPauseNs] = ms.PauseTotalNs
+	c.Values[CounterGoroutines] = uint64(runtime.NumGoroutine())
+	return c
+}
+
+// Delta returns the per-counter difference now − earlier. Cumulative
+// counters subtract; the goroutine level is reported as the later
+// value.
+func (c Counters) Delta(earlier Counters) Counters {
+	var d Counters
+	for k := 0; k < numCounterKinds; k++ {
+		if CounterKind(k) == CounterGoroutines {
+			d.Values[k] = c.Values[k]
+			continue
+		}
+		d.Values[k] = c.Values[k] - earlier.Values[k]
+	}
+	return d
+}
+
+// Measure runs fn and returns the counter deltas across it alongside
+// the wall time, the combined sample a PerfSuite-style measurement
+// produces for a section.
+func Measure(fn func()) (Counters, int64) {
+	before := ReadCounters()
+	t0 := Cycles()
+	fn()
+	elapsed := Cycles() - t0
+	return ReadCounters().Delta(before), elapsed
+}
+
+// WriteCounters renders a counter snapshot.
+func WriteCounters(w io.Writer, c Counters) {
+	kinds := make([]int, numCounterKinds)
+	for i := range kinds {
+		kinds[i] = i
+	}
+	sort.Ints(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(w, "  %-14s %d\n", CounterKind(k), c.Values[k])
+	}
+}

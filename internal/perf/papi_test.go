@@ -1,0 +1,64 @@
+package perf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCounterNames(t *testing.T) {
+	for k := CounterKind(0); int(k) < numCounterKinds; k++ {
+		if k.String() == "" || strings.HasPrefix(k.String(), "COUNTER(") {
+			t.Errorf("counter %d unnamed", k)
+		}
+	}
+	if CounterKind(99).String() != "COUNTER(99)" {
+		t.Error("invalid kind name")
+	}
+}
+
+func TestMeasureCountsAllocations(t *testing.T) {
+	var sink [][]byte
+	delta, elapsed := Measure(func() {
+		for i := 0; i < 100; i++ {
+			sink = append(sink, make([]byte, 4096))
+		}
+	})
+	if elapsed <= 0 {
+		t.Error("non-positive elapsed")
+	}
+	if delta.Values[CounterAllocBytes] < 100*4096 {
+		t.Errorf("alloc bytes = %d, want >= %d", delta.Values[CounterAllocBytes], 100*4096)
+	}
+	if delta.Values[CounterAllocObjects] < 100 {
+		t.Errorf("alloc objects = %d, want >= 100", delta.Values[CounterAllocObjects])
+	}
+	_ = sink
+}
+
+func TestDeltaGoroutinesIsLevel(t *testing.T) {
+	a := Counters{}
+	b := Counters{}
+	a.Values[CounterGoroutines] = 3
+	b.Values[CounterGoroutines] = 7
+	d := b.Delta(a)
+	if d.Values[CounterGoroutines] != 7 {
+		t.Errorf("goroutine level = %d, want 7 (levels are not subtracted)", d.Values[CounterGoroutines])
+	}
+	a.Values[CounterGCCycles] = 2
+	b.Values[CounterGCCycles] = 5
+	if b.Delta(a).Values[CounterGCCycles] != 3 {
+		t.Error("cumulative counter did not subtract")
+	}
+}
+
+func TestWriteCounters(t *testing.T) {
+	var buf bytes.Buffer
+	WriteCounters(&buf, ReadCounters())
+	out := buf.String()
+	for _, want := range []string{"ALLOC_BYTES", "GC_CYCLES", "GOROUTINES"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,352 @@
+package perf
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCallstackAndResolve(t *testing.T) {
+	pcs := Callstack(0, 32)
+	if len(pcs) == 0 {
+		t.Fatal("empty callstack")
+	}
+	frames := Resolve(pcs)
+	if len(frames) == 0 {
+		t.Fatal("no frames resolved")
+	}
+	// The innermost frame must be this test function.
+	if !strings.Contains(frames[0].Func, "TestCallstackAndResolve") {
+		t.Errorf("leaf frame = %q, want this test", frames[0].Func)
+	}
+	if frames[0].File == "" || frames[0].Line == 0 {
+		t.Errorf("leaf frame missing source mapping: %+v", frames[0])
+	}
+}
+
+func TestCallstackSkip(t *testing.T) {
+	var inner, skipped []uintptr
+	func() {
+		inner = Callstack(0, 32)
+		skipped = Callstack(1, 32)
+	}()
+	if len(skipped) >= len(inner) {
+		t.Errorf("skip=1 stack (%d frames) not shorter than skip=0 (%d)",
+			len(skipped), len(inner))
+	}
+}
+
+func TestResolveEmpty(t *testing.T) {
+	if got := Resolve(nil); got != nil {
+		t.Errorf("Resolve(nil) = %v, want nil", got)
+	}
+}
+
+func TestUserModelStripsImplementationFrames(t *testing.T) {
+	frames := []Frame{
+		{Func: "goomp/internal/perf.Callstack"},
+		{Func: "goomp/internal/omp.(*ThreadCtx).implicitBarrier"},
+		{Func: "main.computeSum", File: "main.go", Line: 10},
+		{Func: "goomp/internal/omp.(*RT).parallel"},
+		{Func: "main.main", File: "main.go", Line: 30},
+		{Func: "runtime.main"},
+	}
+	s := NewStripper()
+	um := s.UserModel(frames)
+	if len(um) != 2 {
+		t.Fatalf("user model has %d frames, want 2: %+v", len(um), um)
+	}
+	if um[0].Func != "main.computeSum" || um[1].Func != "main.main" {
+		t.Errorf("user model frames = %+v", um)
+	}
+	leaf, ok := s.Leaf(frames)
+	if !ok || leaf.Func != "main.computeSum" {
+		t.Errorf("leaf = %+v, ok=%v", leaf, ok)
+	}
+}
+
+func TestUserModelExtraPrefixes(t *testing.T) {
+	s := NewStripper("mylib.")
+	frames := []Frame{{Func: "mylib.helper"}, {Func: "app.work"}}
+	um := s.UserModel(frames)
+	if len(um) != 1 || um[0].Func != "app.work" {
+		t.Errorf("user model = %+v", um)
+	}
+}
+
+func TestLeafNoUserFrames(t *testing.T) {
+	s := NewStripper()
+	if _, ok := s.Leaf([]Frame{{Func: "runtime.goexit"}}); ok {
+		t.Error("leaf found in pure-implementation stack")
+	}
+}
+
+func TestCyclesMonotonic(t *testing.T) {
+	prev := Cycles()
+	for i := 0; i < 1000; i++ {
+		now := Cycles()
+		if now < prev {
+			t.Fatalf("counter went backwards: %d -> %d", prev, now)
+		}
+		prev = now
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	sw := NewStopwatch()
+	sw.Start()
+	time.Sleep(2 * time.Millisecond)
+	sw.Stop()
+	if sw.Total() < time.Millisecond {
+		t.Errorf("total = %v, want >= 1ms", sw.Total())
+	}
+	if sw.Laps() != 1 {
+		t.Errorf("laps = %d, want 1", sw.Laps())
+	}
+	sw.Reset()
+	if sw.Total() != 0 || sw.Laps() != 0 {
+		t.Error("reset did not clear")
+	}
+}
+
+func TestStopwatchMisusePanics(t *testing.T) {
+	sw := NewStopwatch()
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("stop while stopped", sw.Stop)
+	sw.Start()
+	mustPanic("start while running", sw.Start)
+}
+
+func TestTimeHelper(t *testing.T) {
+	d := Time(func() { time.Sleep(time.Millisecond) })
+	if d < 500*time.Microsecond {
+		t.Errorf("Time = %v, want >= 0.5ms", d)
+	}
+}
+
+func TestTraceBufferAppendAndLimit(t *testing.T) {
+	b := NewTraceBuffer(4, 3)
+	for i := 0; i < 5; i++ {
+		b.Append(Sample{Time: int64(i), Thread: 0, Event: -1, State: -1, StackID: NoStack})
+	}
+	if len(b.Samples()) != 3 {
+		t.Errorf("samples = %d, want 3 (limit)", len(b.Samples()))
+	}
+	if b.Dropped() != 2 {
+		t.Errorf("dropped = %d, want 2", b.Dropped())
+	}
+	b.Reset()
+	if len(b.Samples()) != 0 || b.Dropped() != 0 || b.NumStacks() != 0 {
+		t.Error("reset did not clear buffer")
+	}
+}
+
+func TestTraceBufferStackInterning(t *testing.T) {
+	b := NewTraceBuffer(0, 0)
+	pcs := []uintptr{1, 2, 3}
+	id := b.InternStack(pcs)
+	pcs[0] = 99 // the buffer must have copied
+	got := b.Stack(id)
+	if len(got) != 3 || got[0] != 1 {
+		t.Errorf("interned stack = %v", got)
+	}
+	if b.Stack(-1) != nil || b.Stack(42) != nil {
+		t.Error("out-of-range stack IDs must return nil")
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	b := NewTraceBuffer(0, 0)
+	sid := b.InternStack([]uintptr{0x1000, 0x2000})
+	b.Append(Sample{Time: 5, Thread: 1, Event: 0, State: 3, Region: 7, StackID: sid})
+	b.Append(Sample{Time: 9, Thread: 2, Event: 1, State: -1, Region: 7, StackID: NoStack})
+	b.dropped = 4
+
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Samples()) != 2 {
+		t.Fatalf("read %d samples, want 2", len(got.Samples()))
+	}
+	if got.Samples()[0] != b.Samples()[0] || got.Samples()[1] != b.Samples()[1] {
+		t.Errorf("samples differ: %+v vs %+v", got.Samples(), b.Samples())
+	}
+	if st := got.Stack(0); len(st) != 2 || st[0] != 0x1000 || st[1] != 0x2000 {
+		t.Errorf("stack = %v", st)
+	}
+	if got.Dropped() != 4 {
+		t.Errorf("dropped = %d, want 4", got.Dropped())
+	}
+}
+
+func TestTraceRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewTraceBuffer(0, 0)
+		stacks := int(n % 8)
+		for i := 0; i < stacks; i++ {
+			depth := rng.Intn(20)
+			pcs := make([]uintptr, depth)
+			for j := range pcs {
+				pcs[j] = uintptr(rng.Uint64())
+			}
+			b.InternStack(pcs)
+		}
+		for i := 0; i < int(n); i++ {
+			sid := NoStack
+			if stacks > 0 && rng.Intn(2) == 0 {
+				sid = int32(rng.Intn(stacks))
+			}
+			b.Append(Sample{
+				Time:    rng.Int63(),
+				Thread:  int32(rng.Intn(64)),
+				Event:   int32(rng.Intn(30)) - 1,
+				State:   int32(rng.Intn(12)) - 1,
+				Region:  rng.Uint64(),
+				StackID: sid,
+			})
+		}
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, b); err != nil {
+			return false
+		}
+		got, err := ReadTrace(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got.Samples()) != len(b.Samples()) || got.NumStacks() != b.NumStacks() {
+			return false
+		}
+		for i := range b.Samples() {
+			if got.Samples()[i] != b.Samples()[i] {
+				return false
+			}
+		}
+		for i := 0; i < b.NumStacks(); i++ {
+			a, c := b.Stack(int32(i)), got.Stack(int32(i))
+			if len(a) != len(c) {
+				return false
+			}
+			for j := range a {
+				if a[j] != c[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewReader([]byte("not a trace at all"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadTrace(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream accepted")
+	}
+	// Correct magic, truncated afterwards.
+	if _, err := ReadTrace(bytes.NewReader([]byte("PSXT"))); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}
+
+func TestStateHistogram(t *testing.T) {
+	h := NewStateHistogram()
+	h.Observe(0, 1)
+	h.Observe(0, 1)
+	h.Observe(0, 2)
+	h.Observe(1, 3)
+	if h.Total(0) != 3 || h.Total(1) != 1 || h.Total(9) != 0 {
+		t.Errorf("totals wrong: %d %d %d", h.Total(0), h.Total(1), h.Total(9))
+	}
+	if f := h.Fraction(0, 1); f < 0.66 || f > 0.67 {
+		t.Errorf("fraction = %v, want 2/3", f)
+	}
+	if h.Fraction(9, 1) != 0 {
+		t.Error("fraction of unobserved thread should be 0")
+	}
+	other := NewStateHistogram()
+	other.Observe(0, 1)
+	h.Merge(other)
+	if h.Counts[0][1] != 3 {
+		t.Errorf("merged count = %d, want 3", h.Counts[0][1])
+	}
+}
+
+func TestRegionProfile(t *testing.T) {
+	samples := []Sample{
+		{Time: 10, Event: 0, Region: 0},            // fork (region unknown at fork)
+		{Time: 30, Event: 1, Region: 1},            // join region 1: 20ns
+		{Time: 100, Event: 0},                      // fork
+		{Time: 160, Event: 1, Region: 2},           // join region 2: 60ns
+		{Time: 200, Event: 0},                      // fork
+		{Time: 240, Event: 1, Region: 2},           // join region 2: 40ns
+		{Time: 300, Event: 1, Region: 3},           // join without fork: ignored
+		{Time: 400, Event: 5, Region: 9, State: 1}, // unrelated event
+	}
+	stats := RegionProfile(samples, 0, 1)
+	if len(stats) != 2 {
+		t.Fatalf("regions = %d, want 2", len(stats))
+	}
+	r1, r2 := stats[0], stats[1]
+	if r1.Region != 1 || r1.Calls != 1 || r1.TotalTime != 20 {
+		t.Errorf("region 1 stats = %+v", r1)
+	}
+	if r2.Region != 2 || r2.Calls != 2 || r2.TotalTime != 100 ||
+		r2.MinTime != 40 || r2.MaxTime != 60 {
+		t.Errorf("region 2 stats = %+v", r2)
+	}
+}
+
+func TestSiteProfiles(t *testing.T) {
+	b := NewTraceBuffer(0, 0)
+	// Real stacks from this test: leaves must resolve to this function.
+	// Capture from one line so both stacks share a leaf site.
+	for i := 0; i < 2; i++ {
+		b.InternStack(Callstack(0, 16))
+	}
+	s := NewStripper()
+	// The testing prefix is stripped by default, so retain this test's
+	// frames by removing the testing prefix from a copy.
+	s2 := &Stripper{Prefixes: []string{"runtime.", "goomp/internal/perf.Callstack"}}
+	sites := SiteProfiles(b, s2)
+	if len(sites) == 0 {
+		t.Fatal("no sites")
+	}
+	if sites[0].Count != 2 {
+		t.Errorf("top site count = %d, want 2", sites[0].Count)
+	}
+	if !strings.Contains(sites[0].Leaf.Func, "TestSiteProfiles") {
+		t.Errorf("top site leaf = %q", sites[0].Leaf.Func)
+	}
+	_ = s
+}
+
+func TestWriteRegionTable(t *testing.T) {
+	var buf bytes.Buffer
+	WriteRegionTable(&buf, []RegionStats{
+		{Region: 1, Calls: 2, TotalTime: 100, MinTime: 40, MaxTime: 60},
+	})
+	out := buf.String()
+	if !strings.Contains(out, "region") || !strings.Contains(out, "1") {
+		t.Errorf("table output missing content:\n%s", out)
+	}
+}

@@ -1,0 +1,241 @@
+package perf
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// RegionStats aggregates one parallel region across its invocations.
+type RegionStats struct {
+	Region    uint64
+	Calls     int
+	TotalTime time.Duration
+	MinTime   time.Duration
+	MaxTime   time.Duration
+}
+
+// StateHistogram counts asynchronous state-sampler observations per
+// thread and state. Indexing is [thread][state]; the profile's Threads
+// and States bounds come from the caller.
+type StateHistogram struct {
+	Counts map[int32]map[int32]uint64
+}
+
+// NewStateHistogram returns an empty histogram.
+func NewStateHistogram() *StateHistogram {
+	return &StateHistogram{Counts: make(map[int32]map[int32]uint64)}
+}
+
+// Observe adds one observation of thread in state.
+func (h *StateHistogram) Observe(thread, state int32) {
+	m := h.Counts[thread]
+	if m == nil {
+		m = make(map[int32]uint64)
+		h.Counts[thread] = m
+	}
+	m[state]++
+}
+
+// Total returns all observations of a thread.
+func (h *StateHistogram) Total(thread int32) uint64 {
+	var t uint64
+	for _, c := range h.Counts[thread] {
+		t += c
+	}
+	return t
+}
+
+// Fraction returns the share of thread's observations spent in state,
+// or 0 when the thread was never observed.
+func (h *StateHistogram) Fraction(thread, state int32) float64 {
+	t := h.Total(thread)
+	if t == 0 {
+		return 0
+	}
+	return float64(h.Counts[thread][state]) / float64(t)
+}
+
+// Merge adds other's counts into h.
+func (h *StateHistogram) Merge(other *StateHistogram) {
+	for th, m := range other.Counts {
+		for st, c := range m {
+			dst := h.Counts[th]
+			if dst == nil {
+				dst = make(map[int32]uint64)
+				h.Counts[th] = dst
+			}
+			dst[st] += c
+		}
+	}
+}
+
+// RegionProfile computes per-region statistics from fork/join sample
+// pairs on the master thread: the duration of each invocation is the
+// join sample's counter minus the preceding fork sample's counter.
+// forkEvent and joinEvent identify the two event codes in the trace.
+func RegionProfile(samples []Sample, forkEvent, joinEvent int32) []RegionStats {
+	byRegion := make(map[uint64]*RegionStats)
+	var lastFork int64
+	haveFork := false
+	for _, s := range samples {
+		switch s.Event {
+		case forkEvent:
+			lastFork = s.Time
+			haveFork = true
+		case joinEvent:
+			if !haveFork {
+				continue
+			}
+			d := time.Duration(s.Time - lastFork)
+			haveFork = false
+			st := byRegion[s.Region]
+			if st == nil {
+				st = &RegionStats{Region: s.Region, MinTime: d, MaxTime: d}
+				byRegion[s.Region] = st
+			}
+			st.Calls++
+			st.TotalTime += d
+			if d < st.MinTime {
+				st.MinTime = d
+			}
+			if d > st.MaxTime {
+				st.MaxTime = d
+			}
+		}
+	}
+	out := make([]RegionStats, 0, len(byRegion))
+	for _, st := range byRegion {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Region < out[j].Region })
+	return out
+}
+
+// RegionSiteStats aggregates all invocations of one static parallel
+// region (identified by its site PC) from fork/join sample pairs.
+type RegionSiteStats struct {
+	Site      uint64
+	Calls     int
+	TotalTime time.Duration
+	MinTime   time.Duration
+	MaxTime   time.Duration
+}
+
+// RegionProfileBySite is RegionProfile aggregated per static region:
+// one row per parallel region of the source program, with its
+// invocation count — the per-region view a profile presents.
+func RegionProfileBySite(samples []Sample, forkEvent, joinEvent int32) []RegionSiteStats {
+	bySite := make(map[uint64]*RegionSiteStats)
+	var lastFork int64
+	haveFork := false
+	for _, s := range samples {
+		switch s.Event {
+		case forkEvent:
+			lastFork = s.Time
+			haveFork = true
+		case joinEvent:
+			if !haveFork {
+				continue
+			}
+			d := time.Duration(s.Time - lastFork)
+			haveFork = false
+			st := bySite[s.Site]
+			if st == nil {
+				st = &RegionSiteStats{Site: s.Site, MinTime: d, MaxTime: d}
+				bySite[s.Site] = st
+			}
+			st.Calls++
+			st.TotalTime += d
+			if d < st.MinTime {
+				st.MinTime = d
+			}
+			if d > st.MaxTime {
+				st.MaxTime = d
+			}
+		}
+	}
+	out := make([]RegionSiteStats, 0, len(bySite))
+	for _, st := range bySite {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TotalTime > out[j].TotalTime })
+	return out
+}
+
+// WriteRegionSiteTable renders per-site region statistics; resolve
+// maps a site PC to a label (pass nil for hex PCs).
+func WriteRegionSiteTable(w io.Writer, stats []RegionSiteStats, resolve func(uint64) string) {
+	fmt.Fprintf(w, "%-40s %8s %14s %14s\n", "region site", "calls", "total", "mean")
+	for _, st := range stats {
+		label := fmt.Sprintf("%#x", st.Site)
+		if resolve != nil {
+			label = resolve(st.Site)
+		}
+		mean := time.Duration(0)
+		if st.Calls > 0 {
+			mean = st.TotalTime / time.Duration(st.Calls)
+		}
+		fmt.Fprintf(w, "%-40s %8d %14v %14v\n", label, st.Calls, st.TotalTime, mean)
+	}
+}
+
+// SiteProfile attributes interned join-time callstacks to user-model
+// leaf frames: the count of joins whose reconstructed user stack ends
+// at each source location. This is the offline reconstruction step
+// that maps events back to the user's source code.
+type SiteProfile struct {
+	Leaf  Frame
+	Count int
+}
+
+// SiteProfiles resolves every stack in the buffer, strips it to the
+// user model with s, and tallies leaf frames.
+func SiteProfiles(b *TraceBuffer, s *Stripper) []SiteProfile {
+	type key struct {
+		fn   string
+		file string
+		line int
+	}
+	tally := make(map[key]*SiteProfile)
+	for id := int32(0); int(id) < b.NumStacks(); id++ {
+		frames := Resolve(b.Stack(id))
+		leaf, ok := s.Leaf(frames)
+		if !ok {
+			continue
+		}
+		k := key{leaf.Func, leaf.File, leaf.Line}
+		sp := tally[k]
+		if sp == nil {
+			sp = &SiteProfile{Leaf: leaf}
+			tally[k] = sp
+		}
+		sp.Count++
+	}
+	out := make([]SiteProfile, 0, len(tally))
+	for _, sp := range tally {
+		out = append(out, *sp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Leaf.Func < out[j].Leaf.Func
+	})
+	return out
+}
+
+// WriteRegionTable renders region statistics as a fixed-width table.
+func WriteRegionTable(w io.Writer, stats []RegionStats) {
+	fmt.Fprintf(w, "%-10s %8s %14s %14s %14s %14s\n",
+		"region", "calls", "total", "mean", "min", "max")
+	for _, st := range stats {
+		mean := time.Duration(0)
+		if st.Calls > 0 {
+			mean = st.TotalTime / time.Duration(st.Calls)
+		}
+		fmt.Fprintf(w, "%-10d %8d %14v %14v %14v %14v\n",
+			st.Region, st.Calls, st.TotalTime, mean, st.MinTime, st.MaxTime)
+	}
+}

@@ -1,0 +1,129 @@
+// Package perf is the measurement library of the system: the Go
+// counterpart of PerfSuite's core libraries and the libpsx extensions
+// the paper adds for the ORA (§IV-F). It provides
+//
+//   - call-stack retrieval (runtime.Callers standing in for libunwind):
+//     instruction-pointer values for each stack frame at the point of
+//     inquiry,
+//   - mapping of instruction pointers to source code locations
+//     (runtime.CallersFrames standing in for the GNU BFD library),
+//   - reconstruction of the user-model callstack from the
+//     implementation-model callstack, by stripping the frames that
+//     belong to the OpenMP runtime and measurement infrastructure,
+//   - a hardware-style time counter and stopwatches,
+//   - preallocated per-thread trace buffers with a binary on-disk
+//     format, and profile aggregation over them.
+package perf
+
+import (
+	"runtime"
+	"strings"
+)
+
+// Frame is one resolved stack frame: the instruction pointer and its
+// source mapping.
+type Frame struct {
+	PC   uintptr
+	Func string
+	File string
+	Line int
+}
+
+// Callstack captures up to max instruction-pointer values of the
+// calling goroutine's stack, skipping skip frames above the caller
+// (skip 0 starts at the caller of Callstack). This is the
+// implementation-model callstack: it includes runtime-library and
+// measurement frames, which UserModel later removes.
+func Callstack(skip, max int) []uintptr {
+	if max <= 0 {
+		max = 64
+	}
+	pcs := make([]uintptr, max)
+	n := runtime.Callers(skip+2, pcs)
+	return pcs[:n]
+}
+
+// Resolve maps instruction pointers to frames — function name, file
+// and line — the role the BFD API plays in libpsx. Inlined frames are
+// expanded, so the result may be longer than pcs.
+func Resolve(pcs []uintptr) []Frame {
+	if len(pcs) == 0 {
+		return nil
+	}
+	out := make([]Frame, 0, len(pcs))
+	frames := runtime.CallersFrames(pcs)
+	for {
+		fr, more := frames.Next()
+		out = append(out, Frame{PC: fr.PC, Func: fr.Function, File: fr.File, Line: fr.Line})
+		if !more {
+			return out
+		}
+	}
+}
+
+// DefaultStripPrefixes are the function-name prefixes that belong to
+// the implementation model: the OpenMP runtime library, the collector
+// interface, this measurement library, the tool, and the language
+// runtime itself. Frames with these prefixes are invisible in the
+// user model of OpenMP.
+var DefaultStripPrefixes = []string{
+	"goomp/internal/omp.",
+	"goomp/internal/collector.",
+	"goomp/internal/perf.",
+	"goomp/internal/tool.",
+	"runtime.",
+	"testing.",
+}
+
+// Stripper reconstructs user-model callstacks. Performance data is
+// collected coupled with the implementation-model callstack; the
+// stripper removes the frames the user never wrote so the data can be
+// presented in the context of the user's source code.
+type Stripper struct {
+	Prefixes []string
+}
+
+// NewStripper returns a stripper using DefaultStripPrefixes plus any
+// extra prefixes.
+func NewStripper(extra ...string) *Stripper {
+	p := make([]string, 0, len(DefaultStripPrefixes)+len(extra))
+	p = append(p, DefaultStripPrefixes...)
+	p = append(p, extra...)
+	return &Stripper{Prefixes: p}
+}
+
+// UserModel returns the frames of the user model: implementation
+// frames are dropped wherever they appear (outlined region bodies run
+// user code above runtime frames and below them again, so interior
+// frames must be filtered too, not just a prefix of the stack).
+func (s *Stripper) UserModel(frames []Frame) []Frame {
+	out := make([]Frame, 0, len(frames))
+	for _, fr := range frames {
+		if s.implementation(fr.Func) {
+			continue
+		}
+		out = append(out, fr)
+	}
+	return out
+}
+
+func (s *Stripper) implementation(fn string) bool {
+	for _, p := range s.Prefixes {
+		if strings.HasPrefix(fn, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Leaf returns the innermost user-model frame of an implementation
+// stack, or a zero frame if none survives stripping. This is the frame
+// a profiler attributes a sample to.
+func (s *Stripper) Leaf(frames []Frame) (Frame, bool) {
+	for _, fr := range frames {
+		if !s.implementation(fr.Func) {
+			return fr, true
+		}
+	}
+	return Frame{}, false
+}

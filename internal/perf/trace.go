@@ -1,0 +1,357 @@
+package perf
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Sample is one trace record: an event observed on a thread at a
+// counter value, optionally with a captured callstack.
+type Sample struct {
+	Time    int64  // counter value (ns)
+	Thread  int32  // global OpenMP thread number
+	Event   int32  // collector event, or -1 for sampler records
+	State   int32  // thread state at the sample, or -1
+	Region  uint64 // parallel region ID (per invocation), or 0
+	Site    uint64 // static region site (PC of the region's call site), or 0
+	StackID int32  // index into the buffer's stack table, or -1
+}
+
+// NoStack marks a sample without an associated callstack.
+const NoStack int32 = -1
+
+// TraceBuffer stores samples and interned callstacks for one thread.
+// Buffers are single-writer (the owning thread appends from event
+// callbacks) and preallocated so that appends on the measurement path
+// do not allocate until the initial capacity is exhausted.
+type TraceBuffer struct {
+	mu      sync.Mutex
+	samples []Sample
+	stacks  [][]uintptr
+	dropped uint64
+	limit   int
+}
+
+// NewTraceBuffer returns a buffer preallocated for capacity samples.
+// If limit > 0, the buffer stops recording (counting drops) beyond
+// limit samples, bounding measurement memory.
+func NewTraceBuffer(capacity, limit int) *TraceBuffer {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &TraceBuffer{
+		samples: make([]Sample, 0, capacity),
+		limit:   limit,
+	}
+}
+
+// Append records a sample. The buffer is internally synchronized: the
+// owning thread appends while a tool thread may concurrently snapshot,
+// so every operation takes the buffer's (normally uncontended) lock.
+func (b *TraceBuffer) Append(s Sample) {
+	b.mu.Lock()
+	if b.limit > 0 && len(b.samples) >= b.limit {
+		b.dropped++
+		b.mu.Unlock()
+		return
+	}
+	b.samples = append(b.samples, s)
+	b.mu.Unlock()
+}
+
+// InternStack stores a callstack and returns its stack ID for use in
+// subsequent samples. The buffer copies pcs.
+func (b *TraceBuffer) InternStack(pcs []uintptr) int32 {
+	cp := make([]uintptr, len(pcs))
+	copy(cp, pcs)
+	b.mu.Lock()
+	b.stacks = append(b.stacks, cp)
+	id := int32(len(b.stacks) - 1)
+	b.mu.Unlock()
+	return id
+}
+
+// Samples returns a snapshot copy of the recorded samples; it is safe
+// to call while the owning thread is still appending.
+func (b *TraceBuffer) Samples() []Sample {
+	b.mu.Lock()
+	out := make([]Sample, len(b.samples))
+	copy(out, b.samples)
+	b.mu.Unlock()
+	return out
+}
+
+// Stack returns the interned callstack for id, or nil.
+func (b *TraceBuffer) Stack(id int32) []uintptr {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if id < 0 || int(id) >= len(b.stacks) {
+		return nil
+	}
+	return b.stacks[id] // interned stacks are immutable once stored
+}
+
+// NumStacks returns the number of interned callstacks.
+func (b *TraceBuffer) NumStacks() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.stacks)
+}
+
+// Dropped returns how many samples were discarded due to the limit.
+func (b *TraceBuffer) Dropped() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+// Reset clears the buffer, retaining capacity.
+func (b *TraceBuffer) Reset() {
+	b.mu.Lock()
+	b.samples = b.samples[:0]
+	b.stacks = b.stacks[:0]
+	b.dropped = 0
+	b.mu.Unlock()
+}
+
+// Binary trace format: performance data is written out during or after
+// the run and the user-model reconstruction happens offline, after the
+// application finishes (§IV). The format is little-endian:
+//
+//	magic "PSXT", version uint32
+//	nsamples uint64, then nsamples fixed-size records
+//	nstacks uint64, then per stack: depth uint32, depth × uint64 PCs
+//	dropped uint64
+
+var traceMagic = [4]byte{'P', 'S', 'X', 'T'}
+
+const traceVersion = 2
+
+// ErrBadTrace reports a malformed trace stream.
+var ErrBadTrace = errors.New("perf: malformed trace stream")
+
+// WriteTrace serializes the buffer to w, holding the buffer's lock for
+// the duration.
+func WriteTrace(w io.Writer, b *TraceBuffer) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return err
+	}
+	var scratch [8]byte
+	put32 := func(v uint32) error {
+		binary.LittleEndian.PutUint32(scratch[:4], v)
+		_, err := bw.Write(scratch[:4])
+		return err
+	}
+	put64 := func(v uint64) error {
+		binary.LittleEndian.PutUint64(scratch[:8], v)
+		_, err := bw.Write(scratch[:8])
+		return err
+	}
+	if err := put32(traceVersion); err != nil {
+		return err
+	}
+	if err := put64(uint64(len(b.samples))); err != nil {
+		return err
+	}
+	for i := range b.samples {
+		s := &b.samples[i]
+		if err := put64(uint64(s.Time)); err != nil {
+			return err
+		}
+		if err := put32(uint32(s.Thread)); err != nil {
+			return err
+		}
+		if err := put32(uint32(s.Event)); err != nil {
+			return err
+		}
+		if err := put32(uint32(s.State)); err != nil {
+			return err
+		}
+		if err := put64(s.Region); err != nil {
+			return err
+		}
+		if err := put64(s.Site); err != nil {
+			return err
+		}
+		if err := put32(uint32(s.StackID)); err != nil {
+			return err
+		}
+	}
+	if err := put64(uint64(len(b.stacks))); err != nil {
+		return err
+	}
+	for _, st := range b.stacks {
+		if err := put32(uint32(len(st))); err != nil {
+			return err
+		}
+		for _, pc := range st {
+			if err := put64(uint64(pc)); err != nil {
+				return err
+			}
+		}
+	}
+	if err := put64(b.dropped); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadTrace deserializes a trace stream written by WriteTrace.
+func ReadTrace(r io.Reader) (*TraceBuffer, error) {
+	br := bufio.NewReader(r)
+	var scratch [8]byte
+	get32 := func() (uint32, error) {
+		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(scratch[:4]), nil
+	}
+	get64 := func() (uint64, error) {
+		if _, err := io.ReadFull(br, scratch[:8]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(scratch[:8]), nil
+	}
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != traceMagic {
+		return nil, ErrBadTrace
+	}
+	ver, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	if ver != traceVersion {
+		return nil, fmt.Errorf("perf: unsupported trace version %d", ver)
+	}
+	ns, err := get64()
+	if err != nil {
+		return nil, err
+	}
+	const maxReasonable = 1 << 26
+	if ns > maxReasonable {
+		return nil, ErrBadTrace
+	}
+	// Preallocate conservatively: the declared count is untrusted
+	// until the records actually parse, so a corrupt header must not
+	// drive a huge allocation (a truncated stream fails fast below).
+	prealloc := int(ns)
+	if prealloc > 1<<16 {
+		prealloc = 1 << 16
+	}
+	b := NewTraceBuffer(prealloc, 0)
+	for i := uint64(0); i < ns; i++ {
+		var s Sample
+		t, err := get64()
+		if err != nil {
+			return nil, ErrBadTrace
+		}
+		s.Time = int64(t)
+		v, err := get32()
+		if err != nil {
+			return nil, ErrBadTrace
+		}
+		s.Thread = int32(v)
+		if v, err = get32(); err != nil {
+			return nil, ErrBadTrace
+		}
+		s.Event = int32(v)
+		if v, err = get32(); err != nil {
+			return nil, ErrBadTrace
+		}
+		s.State = int32(v)
+		if s.Region, err = get64(); err != nil {
+			return nil, ErrBadTrace
+		}
+		if s.Site, err = get64(); err != nil {
+			return nil, ErrBadTrace
+		}
+		if v, err = get32(); err != nil {
+			return nil, ErrBadTrace
+		}
+		s.StackID = int32(v)
+		b.samples = append(b.samples, s)
+	}
+	nst, err := get64()
+	if err != nil {
+		return nil, ErrBadTrace
+	}
+	if nst > maxReasonable {
+		return nil, ErrBadTrace
+	}
+	for i := uint64(0); i < nst; i++ {
+		depth, err := get32()
+		if err != nil {
+			return nil, ErrBadTrace
+		}
+		if depth > 4096 {
+			return nil, ErrBadTrace
+		}
+		st := make([]uintptr, depth)
+		for j := range st {
+			pc, err := get64()
+			if err != nil {
+				return nil, ErrBadTrace
+			}
+			st[j] = uintptr(pc)
+		}
+		b.stacks = append(b.stacks, st)
+	}
+	if b.dropped, err = get64(); err != nil {
+		return nil, ErrBadTrace
+	}
+	return b, nil
+}
+
+// Drain atomically moves the buffer's contents into a detached buffer
+// and resets the original, preserving capacity. Samples in the
+// detached buffer reference its (chunk-local) stack table. Streaming
+// writers use this to ship periodic chunks to disk while the owning
+// thread keeps appending.
+func (b *TraceBuffer) Drain() *TraceBuffer {
+	out := &TraceBuffer{}
+	b.mu.Lock()
+	out.samples = append(out.samples, b.samples...)
+	out.stacks = append(out.stacks, b.stacks...)
+	out.dropped = b.dropped
+	b.samples = b.samples[:0]
+	b.stacks = b.stacks[:0]
+	b.dropped = 0
+	b.mu.Unlock()
+	return out
+}
+
+// ReadTraceStream reads a concatenation of trace blocks (as produced
+// by repeatedly serializing drained chunks) until EOF and merges them
+// into one buffer, re-basing each chunk's stack IDs.
+func ReadTraceStream(r io.Reader) (*TraceBuffer, error) {
+	br := bufio.NewReader(r)
+	merged := NewTraceBuffer(0, 0)
+	for {
+		if _, err := br.Peek(1); err == io.EOF {
+			return merged, nil
+		}
+		chunk, err := ReadTrace(br)
+		if err != nil {
+			return nil, err
+		}
+		base := int32(len(merged.stacks))
+		merged.stacks = append(merged.stacks, chunk.stacks...)
+		for _, s := range chunk.samples {
+			if s.StackID != NoStack {
+				s.StackID += base
+			}
+			merged.samples = append(merged.samples, s)
+		}
+		merged.dropped += chunk.dropped
+	}
+}

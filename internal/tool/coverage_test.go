@@ -1,0 +1,90 @@
+package tool_test
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"goomp/internal/omp"
+	. "goomp/internal/tool"
+)
+
+func TestPauseResumeAfterDetachFail(t *testing.T) {
+	rt := omp.New(omp.Config{NumThreads: 1})
+	defer rt.Close()
+	tl, err := AttachRuntime(rt, FullMeasurement())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl.Detach()
+	// After detach the collector is stopped; pause and resume must
+	// surface the sequence error rather than silently succeeding.
+	if err := tl.Pause(); err == nil {
+		t.Error("pause after detach succeeded")
+	}
+	if err := tl.Resume(); err == nil {
+		t.Error("resume after detach succeeded")
+	}
+}
+
+type errWriter struct{}
+
+func (errWriter) Write([]byte) (int, error) { return 0, errors.New("boom") }
+
+func TestWriteTracesErrorPropagation(t *testing.T) {
+	rt := omp.New(omp.Config{NumThreads: 1})
+	defer rt.Close()
+	tl, err := AttachRuntime(rt, FullMeasurement())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Detach()
+	rt.Parallel(func(tc *omp.ThreadCtx) {})
+
+	if err := tl.WriteTraces(func(int32) (io.Writer, error) {
+		return nil, errors.New("open failed")
+	}); err == nil {
+		t.Error("open error not propagated")
+	}
+	if err := tl.WriteTraces(func(int32) (io.Writer, error) {
+		return errWriter{}, nil
+	}); err == nil {
+		t.Error("write error not propagated")
+	}
+}
+
+func TestReportWriteToErrorPropagation(t *testing.T) {
+	rt := omp.New(omp.Config{NumThreads: 1})
+	defer rt.Close()
+	tl, err := AttachRuntime(rt, FullMeasurement())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Detach()
+	rt.Parallel(func(tc *omp.ThreadCtx) {})
+	if _, err := tl.Report().WriteTo(errWriter{}); err == nil {
+		t.Error("report write error not propagated")
+	}
+}
+
+func TestAttachRejectsDoubleStart(t *testing.T) {
+	rt := omp.New(omp.Config{NumThreads: 1})
+	defer rt.Close()
+	tl1, err := AttachRuntime(rt, FullMeasurement())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl1.Detach()
+	// A second tool on the same collector is out of sync: the start
+	// request fails.
+	if _, err := AttachRuntime(rt, FullMeasurement()); err == nil {
+		t.Error("second attach succeeded while first is active")
+	}
+}
+
+func TestErrNoCollectorMessage(t *testing.T) {
+	e := &ErrNoCollector{Symbol: "sym"}
+	if e.Error() == "" {
+		t.Error("empty error message")
+	}
+}

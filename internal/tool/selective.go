@@ -1,0 +1,74 @@
+package tool
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Selective data collection — the §VI strategy for controlling runtime
+// overheads: "tools can reduce the number of times data is collected
+// by distinguishing between either the same parallel region or the
+// calling context for a parallel region". The runtime stamps each
+// team descriptor with the static region's site PC, so the tool can
+// throttle per region without capturing a callstack: once a region
+// site has produced MaxSamplesPerSite samples, further events from
+// that site are counted but not stored, and join callstacks are not
+// retrieved for it.
+//
+// This targets exactly the costs the decomposition experiment (§V-B)
+// identifies as dominant — measurement and storage — while keeping the
+// cheap callback path intact, so event counts stay exact.
+
+// siteThrottle tracks per-region-site sample budgets.
+type siteThrottle struct {
+	max     uint64
+	mu      sync.Mutex
+	sites   map[uintptr]*atomic.Uint64
+	skipped atomic.Uint64
+}
+
+func newSiteThrottle(max int) *siteThrottle {
+	if max <= 0 {
+		return nil
+	}
+	return &siteThrottle{max: uint64(max), sites: make(map[uintptr]*atomic.Uint64)}
+}
+
+// allow reports whether a sample from the given region site is within
+// budget, consuming one slot if so. Site 0 (no site information, e.g.
+// idle events outside regions) is never throttled.
+func (st *siteThrottle) allow(site uintptr) bool {
+	if st == nil || site == 0 {
+		return true
+	}
+	st.mu.Lock()
+	ctr := st.sites[site]
+	if ctr == nil {
+		ctr = new(atomic.Uint64)
+		st.sites[site] = ctr
+	}
+	st.mu.Unlock()
+	if ctr.Add(1) <= st.max {
+		return true
+	}
+	st.skipped.Add(1)
+	return false
+}
+
+// Skipped returns how many samples the throttle suppressed.
+func (st *siteThrottle) Skipped() uint64 {
+	if st == nil {
+		return 0
+	}
+	return st.skipped.Load()
+}
+
+// Sites returns how many distinct region sites were observed.
+func (st *siteThrottle) Sites() int {
+	if st == nil {
+		return 0
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.sites)
+}

@@ -1,0 +1,98 @@
+package tool_test
+
+import (
+	"testing"
+
+	"goomp/internal/collector"
+	"goomp/internal/npb"
+	"goomp/internal/omp"
+	. "goomp/internal/tool"
+)
+
+func TestSelectiveCollectionThrottlesPerSite(t *testing.T) {
+	rt := omp.New(omp.Config{NumThreads: 2})
+	defer rt.Close()
+	opts := FullMeasurement()
+	opts.MaxSamplesPerSite = 6
+	tl, err := AttachRuntime(rt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Detach()
+
+	// One hot site invoked many times, one cold site invoked once.
+	for i := 0; i < 50; i++ {
+		rt.Parallel(func(tc *omp.ThreadCtx) {}) // hot site
+	}
+	rt.Parallel(func(tc *omp.ThreadCtx) {}) // cold site
+
+	rep := tl.Report()
+	// Event counts stay exact: throttling only skips storage.
+	if got := rep.Events[collector.EventFork]; got != 51 {
+		t.Errorf("fork events = %d, want 51 (throttle must not drop events)", got)
+	}
+	if rep.Throttled == 0 {
+		t.Error("no samples throttled despite 50 hot invocations")
+	}
+	if rep.ThrottledSites != 2 {
+		t.Errorf("sites observed = %d, want 2", rep.ThrottledSites)
+	}
+	// The stored sample count is bounded by the per-site budget times
+	// sites (plus site-0 idle/barrier events outside regions, which
+	// are never throttled — here there are none on the master buffer).
+	if rep.Samples > 2*6+10 {
+		t.Errorf("samples = %d, want bounded by per-site budget", rep.Samples)
+	}
+}
+
+func TestSelectiveCollectionOffByDefault(t *testing.T) {
+	rt := omp.New(omp.Config{NumThreads: 1})
+	defer rt.Close()
+	tl, err := AttachRuntime(rt, FullMeasurement())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Detach()
+	for i := 0; i < 30; i++ {
+		rt.Parallel(func(tc *omp.ThreadCtx) {})
+	}
+	rep := tl.Report()
+	if rep.Throttled != 0 || rep.ThrottledSites != 0 {
+		t.Errorf("throttle active without MaxSamplesPerSite: %+v", rep)
+	}
+	if rep.Samples == 0 {
+		t.Error("no samples without throttle")
+	}
+}
+
+func TestSelectiveCollectionReducesStorageOnLUHP(t *testing.T) {
+	// The motivating case: LU-HP's enormous region-call count. With a
+	// small per-site budget the stored-sample count collapses while
+	// the fork-event count (and thus Table I) stays exact.
+	run := func(maxPerSite int) (samples int, forks uint64) {
+		rt := omp.New(omp.Config{NumThreads: 2})
+		defer rt.Close()
+		opts := FullMeasurement()
+		opts.MaxSamplesPerSite = maxPerSite
+		tl, err := AttachRuntime(rt, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tl.Detach()
+		res := npb.RunLUHP(rt, npb.ClassS)
+		if !res.Verified {
+			t.Fatal("LU-HP failed")
+		}
+		rep := tl.Report()
+		return rep.Samples, rep.Events[collector.EventFork]
+	}
+	fullSamples, fullForks := run(0)
+	selSamples, selForks := run(10)
+	if selForks != fullForks {
+		t.Errorf("fork counts differ: %d vs %d", selForks, fullForks)
+	}
+	if selSamples*5 > fullSamples {
+		t.Errorf("selective collection barely reduced storage: %d vs %d",
+			selSamples, fullSamples)
+	}
+}

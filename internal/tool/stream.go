@@ -1,0 +1,111 @@
+package tool
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"goomp/internal/perf"
+)
+
+// Streaming trace storage: instead of holding every sample in memory
+// until the run ends, a flusher goroutine periodically drains each
+// per-thread buffer and appends the chunk to that thread's trace file.
+// This is the "storage phase" of the measurement pipeline as a
+// production tool runs it — bounded memory, write-behind I/O — and the
+// files are read back with perf.ReadTraceStream.
+
+// streamer owns the trace files and the flush loop.
+type streamer struct {
+	t      *Tool
+	dir    string
+	period time.Duration
+
+	mu    sync.Mutex
+	files map[int32]*os.File
+	err   error
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+func startStreamer(t *Tool, dir string, period time.Duration) (*streamer, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("tool: stream dir: %w", err)
+	}
+	if period <= 0 {
+		period = 50 * time.Millisecond
+	}
+	s := &streamer{
+		t:      t,
+		dir:    dir,
+		period: period,
+		files:  make(map[int32]*os.File),
+		done:   make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.loop()
+	return s, nil
+}
+
+func (s *streamer) loop() {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-tick.C:
+			s.flush()
+		}
+	}
+}
+
+// flush drains every thread buffer and appends non-empty chunks.
+func (s *streamer) flush() {
+	s.t.buffers.Range(func(k, v any) bool {
+		thread := k.(int32)
+		buf := v.(*perf.TraceBuffer)
+		chunk := buf.Drain()
+		if len(chunk.Samples()) == 0 && chunk.Dropped() == 0 {
+			return true
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		f := s.files[thread]
+		if f == nil {
+			var err error
+			f, err = os.Create(filepath.Join(s.dir, fmt.Sprintf("trace.%d.psxt", thread)))
+			if err != nil {
+				s.err = err
+				return false
+			}
+			s.files[thread] = f
+		}
+		if err := perf.WriteTrace(f, chunk); err != nil {
+			s.err = err
+			return false
+		}
+		return true
+	})
+}
+
+// stop performs a final flush and closes the files; it returns the
+// first error the flush loop encountered.
+func (s *streamer) stop() error {
+	close(s.done)
+	s.wg.Wait()
+	s.flush()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, f := range s.files {
+		if err := f.Close(); err != nil && s.err == nil {
+			s.err = err
+		}
+	}
+	s.files = nil
+	return s.err
+}

@@ -1,0 +1,461 @@
+// Package tool implements the prototype performance measurement tool of
+// the paper's §V: a collector that discovers the OpenMP runtime's
+// collector API, initiates a start request, registers for the fork,
+// join and implicit-barrier events, and stores a sample of a time
+// counter in the callback invoked at each registered event. To
+// estimate callstack-retrieval overheads it also records the current
+// implementation-model callstack at each join event.
+//
+// The real tool is a shared object LD_PRELOADed into the target; here
+// Attach plays the init section's role, querying the simulated dynamic
+// linker for the collector-API symbol.
+package tool
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"goomp/internal/collector"
+	"goomp/internal/dl"
+	"goomp/internal/omp"
+	"goomp/internal/perf"
+)
+
+// Options configures what the tool measures; the zero value registers
+// the paper's default events with full measurement.
+type Options struct {
+	// Events to register; nil means fork, join and the implicit
+	// barrier begin/end events, as in the paper's experiments.
+	Events []collector.Event
+
+	// Measure stores a counter sample per event. With Measure false
+	// the callbacks still fire but store nothing, isolating the
+	// callback/communication overhead from the measurement/storage
+	// overhead — the decomposition experiment of §V-B.
+	Measure bool
+
+	// JoinStacks records the implementation-model callstack at each
+	// join event (requires Measure).
+	JoinStacks bool
+
+	// BufferCap preallocates each per-thread trace buffer (samples).
+	BufferCap int
+
+	// BufferLimit bounds each per-thread buffer; 0 means unlimited.
+	BufferLimit int
+
+	// SamplePeriod, when nonzero, runs an asynchronous sampler that
+	// polls every thread's state through the collector API at this
+	// period and builds a state histogram. This exercises the
+	// get-state request path from outside any OpenMP thread.
+	SamplePeriod time.Duration
+
+	// SampleThreads is how many thread IDs the sampler polls
+	// (0..SampleThreads-1). Zero defaults to the runtime's configured
+	// thread count when attaching to an *omp.RT, else 1.
+	SampleThreads int
+
+	// StreamDir, when set, streams trace chunks to per-thread files in
+	// this directory during the run (write-behind storage with bounded
+	// memory) instead of accumulating everything in memory. Read the
+	// files back with perf.ReadTraceStream. While streaming, Report
+	// sees only the not-yet-flushed residue of the buffers.
+	StreamDir string
+
+	// FlushInterval is the streaming flush period (default 50ms).
+	FlushInterval time.Duration
+
+	// MaxSamplesPerSite enables selective collection (§VI): after this
+	// many stored samples for one static parallel region (identified
+	// by the site PC in the team descriptor), further events from that
+	// region are counted but not measured or stored. Zero disables
+	// throttling. This bounds the measurement/storage cost — the
+	// dominant overhead per the decomposition experiment — for codes
+	// like LU-HP that invoke small regions hundreds of thousands of
+	// times.
+	MaxSamplesPerSite int
+}
+
+// DefaultEvents are the events the paper's prototype registers.
+func DefaultEvents() []collector.Event {
+	return []collector.Event{
+		collector.EventFork,
+		collector.EventJoin,
+		collector.EventThrBeginIBar,
+		collector.EventThrEndIBar,
+	}
+}
+
+// FullMeasurement returns the options used for the overhead figures:
+// default events, measurement and join callstacks on.
+func FullMeasurement() Options {
+	return Options{Measure: true, JoinStacks: true}
+}
+
+// CallbacksOnly returns the options for the decomposition experiment's
+// communication-only configuration.
+func CallbacksOnly() Options {
+	return Options{Measure: false}
+}
+
+// Tool is an attached collector.
+type Tool struct {
+	col  *collector.Collector
+	q    collector.Queue
+	opts Options
+
+	mu      sync.Mutex // guards histogram and report assembly
+	buffers sync.Map   // int32 → *perf.TraceBuffer; lock-free on the hot path
+
+	handles []uint64
+	events  []collector.Event
+
+	sampler     *sampler
+	streamErr   error
+	histogram   *perf.StateHistogram
+	attachedAt  time.Time
+	detached    bool
+	eventCounts map[collector.Event]uint64
+	throttle    *siteThrottle
+	stream      *streamer
+}
+
+// ErrNoCollector is returned when the target exports no collector API.
+type ErrNoCollector struct{ Symbol string }
+
+func (e *ErrNoCollector) Error() string {
+	return fmt.Sprintf("tool: no collector API symbol %q in target", e.Symbol)
+}
+
+// Attach discovers the collector API through the dynamic linker and
+// initializes it; it fails with *ErrNoCollector if the symbol is
+// absent, as a real tool must degrade gracefully on runtimes without
+// ORA support.
+func Attach(opts Options) (*Tool, error) {
+	sym, ok := dl.Lookup(collector.SymbolName)
+	if !ok {
+		return nil, &ErrNoCollector{Symbol: collector.SymbolName}
+	}
+	col, ok := sym.(*collector.Collector)
+	if !ok {
+		return nil, fmt.Errorf("tool: symbol %q has unexpected type %T",
+			collector.SymbolName, sym)
+	}
+	return AttachCollector(col, opts)
+}
+
+// AttachRuntime attaches directly to a runtime instance, bypassing the
+// symbol lookup; useful when several runtimes coexist (e.g. one per
+// simulated MPI rank).
+func AttachRuntime(rt *omp.RT, opts Options) (*Tool, error) {
+	if opts.SampleThreads == 0 {
+		opts.SampleThreads = rt.Config().NumThreads
+	}
+	return AttachCollector(rt.Collector(), opts)
+}
+
+// AttachCollector initializes the given collector API instance: START,
+// then one REGISTER per requested event — the sequence of the paper's
+// Figure 3.
+func AttachCollector(col *collector.Collector, opts Options) (*Tool, error) {
+	if opts.BufferCap == 0 {
+		opts.BufferCap = 1 << 12
+	}
+	if opts.SampleThreads <= 0 {
+		opts.SampleThreads = 1
+	}
+	t := &Tool{
+		col:         col,
+		q:           col.NewQueue(),
+		opts:        opts,
+		histogram:   perf.NewStateHistogram(),
+		attachedAt:  time.Now(),
+		eventCounts: make(map[collector.Event]uint64),
+		throttle:    newSiteThrottle(opts.MaxSamplesPerSite),
+	}
+	if ec := collector.Control(t.q, collector.ReqStart); ec != collector.ErrOK {
+		return nil, fmt.Errorf("tool: start request failed: %v", ec)
+	}
+	events := opts.Events
+	if events == nil {
+		events = DefaultEvents()
+	}
+	t.events = events
+	for _, e := range events {
+		h := col.NewCallbackHandle(t.callback)
+		t.handles = append(t.handles, h)
+		if ec := collector.Register(t.q, e, h); ec != collector.ErrOK {
+			t.Detach()
+			return nil, fmt.Errorf("tool: register %v failed: %v", e, ec)
+		}
+	}
+	if opts.StreamDir != "" {
+		st, err := startStreamer(t, opts.StreamDir, opts.FlushInterval)
+		if err != nil {
+			t.Detach()
+			return nil, err
+		}
+		t.stream = st
+	}
+	if opts.SamplePeriod > 0 {
+		t.sampler = startSampler(t, opts.SamplePeriod, opts.SampleThreads)
+	}
+	return t, nil
+}
+
+// callback is invoked by the runtime on the event's thread. It is the
+// measurement hot path: one counter read, one append, and for join
+// events optionally a callstack capture.
+func (t *Tool) callback(e collector.Event, ti *collector.ThreadInfo) {
+	if !t.opts.Measure {
+		return
+	}
+	team := ti.Team()
+	if t.throttle != nil {
+		var site uintptr
+		if team != nil {
+			site = team.SitePC
+		}
+		// Selective collection: over-budget regions keep their exact
+		// event counts (the collector tallies dispatches) but skip the
+		// expensive measurement/storage below.
+		if !t.throttle.allow(site) {
+			return
+		}
+	}
+	now := perf.Cycles()
+	buf := t.buffer(ti.ID)
+	sample := perf.Sample{
+		Time:    now,
+		Thread:  ti.ID,
+		Event:   int32(e),
+		State:   int32(ti.State()),
+		StackID: perf.NoStack,
+	}
+	if team != nil {
+		sample.Region = team.RegionID
+		sample.Site = uint64(team.SitePC)
+	}
+	if t.opts.JoinStacks && e == collector.EventJoin {
+		sample.StackID = buf.InternStack(perf.Callstack(1, 32))
+	}
+	buf.Append(sample)
+}
+
+// buffer returns the per-thread trace buffer, creating it on first
+// use. Each buffer has a single writer (its thread), so only creation
+// needs synchronization.
+func (t *Tool) buffer(id int32) *perf.TraceBuffer {
+	if b, ok := t.buffers.Load(id); ok {
+		return b.(*perf.TraceBuffer)
+	}
+	b, _ := t.buffers.LoadOrStore(id, perf.NewTraceBuffer(t.opts.BufferCap, t.opts.BufferLimit))
+	return b.(*perf.TraceBuffer)
+}
+
+// Pause suspends event generation without losing registrations.
+func (t *Tool) Pause() error {
+	if ec := collector.Control(t.q, collector.ReqPause); ec != collector.ErrOK {
+		return fmt.Errorf("tool: pause failed: %v", ec)
+	}
+	return nil
+}
+
+// Resume re-enables event generation after Pause.
+func (t *Tool) Resume() error {
+	if ec := collector.Control(t.q, collector.ReqResume); ec != collector.ErrOK {
+		return fmt.Errorf("tool: resume failed: %v", ec)
+	}
+	return nil
+}
+
+// Detach stops the sampler, unregisters the events and sends the stop
+// request. It is idempotent.
+func (t *Tool) Detach() {
+	if t.detached {
+		return
+	}
+	t.detached = true
+	if t.sampler != nil {
+		t.sampler.stop()
+	}
+	if t.stream != nil {
+		t.streamErr = t.stream.stop()
+	}
+	for _, e := range t.events {
+		collector.Unregister(t.q, e)
+	}
+	for _, h := range t.handles {
+		t.col.ReleaseCallbackHandle(h)
+	}
+	collector.Control(t.q, collector.ReqStop)
+}
+
+// StreamError returns the first error the streaming storage hit, if
+// any; valid after Detach.
+func (t *Tool) StreamError() error { return t.streamErr }
+
+// QueryState asks the runtime for a thread's current state and wait ID
+// through the protocol (usable while attached).
+func (t *Tool) QueryState(thread int32) (collector.State, uint64, collector.ErrorCode) {
+	return collector.QueryState(t.q, thread)
+}
+
+// sampler polls thread states asynchronously, standing in for the
+// SIGPROF-style sampling a real profiler performs.
+type sampler struct {
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+func startSampler(t *Tool, period time.Duration, threads int) *sampler {
+	s := &sampler{done: make(chan struct{})}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		// A private queue: the sampler is its own tool thread.
+		q := t.col.NewQueue()
+		tick := time.NewTicker(period)
+		defer tick.Stop()
+		for {
+			select {
+			case <-s.done:
+				return
+			case <-tick.C:
+				for id := int32(0); id < int32(threads); id++ {
+					st, _, ec := collector.QueryState(q, id)
+					if ec == collector.ErrOK {
+						t.mu.Lock()
+						t.histogram.Observe(id, int32(st))
+						t.mu.Unlock()
+					}
+				}
+			}
+		}
+	}()
+	return s
+}
+
+func (s *sampler) stop() {
+	close(s.done)
+	s.wg.Wait()
+}
+
+// Report summarizes everything the tool observed.
+type Report struct {
+	// Events tallies callback invocations per event (from the
+	// collector's own dispatch counters).
+	Events map[collector.Event]uint64
+	// Samples is the total number of stored trace samples.
+	Samples int
+	// Dropped counts samples lost to buffer limits.
+	Dropped uint64
+	// Regions holds per-region timing built from the master thread's
+	// fork/join samples.
+	Regions []perf.RegionStats
+	// JoinSites attributes join callstacks to user-model source sites.
+	JoinSites []perf.SiteProfile
+	// States is the asynchronous state-sampling histogram (nil without
+	// a sampler).
+	States *perf.StateHistogram
+	// Throttled counts samples suppressed by selective collection, and
+	// ThrottledSites the distinct region sites observed (zero when
+	// MaxSamplesPerSite is off).
+	Throttled      uint64
+	ThrottledSites int
+}
+
+// Report builds the current report. It may be called after Detach.
+func (t *Tool) Report() *Report {
+	r := &Report{Events: make(map[collector.Event]uint64)}
+	for _, e := range t.events {
+		r.Events[e] = t.col.EventCount(e)
+	}
+	var ids []int32
+	bufs := make(map[int32]*perf.TraceBuffer)
+	t.buffers.Range(func(k, v any) bool {
+		id := k.(int32)
+		ids = append(ids, id)
+		bufs[id] = v.(*perf.TraceBuffer)
+		return true
+	})
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	stripper := perf.NewStripper()
+	for _, id := range ids {
+		b := bufs[id]
+		r.Samples += len(b.Samples())
+		r.Dropped += b.Dropped()
+		if id == 0 {
+			r.Regions = perf.RegionProfile(b.Samples(),
+				int32(collector.EventFork), int32(collector.EventJoin))
+		}
+		r.JoinSites = append(r.JoinSites, perf.SiteProfiles(b, stripper)...)
+	}
+	if t.sampler != nil {
+		t.mu.Lock()
+		r.States = t.histogram
+		t.mu.Unlock()
+	}
+	r.Throttled = t.throttle.Skipped()
+	r.ThrottledSites = t.throttle.Sites()
+	return r
+}
+
+// WriteTraces serializes every per-thread buffer through write, which
+// receives the thread ID and must return the destination stream.
+func (t *Tool) WriteTraces(write func(thread int32) (io.Writer, error)) error {
+	var err error
+	t.buffers.Range(func(k, v any) bool {
+		var w io.Writer
+		if w, err = write(k.(int32)); err != nil {
+			return false
+		}
+		err = perf.WriteTrace(w, v.(*perf.TraceBuffer))
+		return err == nil
+	})
+	return err
+}
+
+// WriteReport renders the report as text.
+func (r *Report) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	p := func(format string, args ...any) error {
+		m, err := fmt.Fprintf(w, format, args...)
+		n += int64(m)
+		return err
+	}
+	if err := p("collector tool report\n"); err != nil {
+		return n, err
+	}
+	events := make([]collector.Event, 0, len(r.Events))
+	for e := range r.Events {
+		events = append(events, e)
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i] < events[j] })
+	for _, e := range events {
+		if err := p("  %-32s %d\n", e, r.Events[e]); err != nil {
+			return n, err
+		}
+	}
+	if err := p("  samples stored: %d (dropped %d)\n", r.Samples, r.Dropped); err != nil {
+		return n, err
+	}
+	if len(r.Regions) > 0 {
+		if err := p("  parallel regions timed: %d\n", len(r.Regions)); err != nil {
+			return n, err
+		}
+	}
+	for i, s := range r.JoinSites {
+		if i >= 10 {
+			break
+		}
+		if err := p("  join site %s:%d (%s) ×%d\n",
+			s.Leaf.File, s.Leaf.Line, s.Leaf.Func, s.Count); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
