@@ -1,0 +1,25 @@
+# Offline, stdlib-only module: every target is plain go tooling.
+
+GO ?= go
+
+.PHONY: build test check race bench
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# check is the pre-merge gate for the lock-free measurement path: vet,
+# then the race detector over the packages that share trace buffers.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/perf ./internal/tool ./internal/collector
+
+# race runs the detector over everything (slower; check covers the
+# concurrency-critical packages).
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -12,6 +12,7 @@ package goomp_test
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"goomp/internal/collector"
@@ -20,6 +21,7 @@ import (
 	"goomp/internal/mz"
 	"goomp/internal/npb"
 	"goomp/internal/omp"
+	"goomp/internal/perf"
 	"goomp/internal/tool"
 )
 
@@ -429,6 +431,71 @@ func BenchmarkAblationLock(b *testing.B) {
 			l.Acquire(tc)
 			l.Release()
 		}
+	})
+}
+
+// BenchmarkEventOverhead measures the per-event record cost of the
+// measurement hot path — the §V-B "measurement/storage" share the
+// paper concludes dominates tool overhead. record appends a sample to
+// a per-thread trace buffer; record-stacked also interns a callstack;
+// event-full dispatches through the collector into the tool's storage
+// path; event-full-parallel does so from many threads at once, each on
+// its own descriptor. Run with a fixed iteration count (e.g.
+// -benchtime=1000000x) so the buffers stay bounded; before/after
+// numbers for the lock-free rebuild are recorded in EXPERIMENTS.md.
+func BenchmarkEventOverhead(b *testing.B) {
+	b.Run("record", func(b *testing.B) {
+		buf := perf.NewTraceBuffer(1<<20, 0)
+		s := perf.Sample{Time: 1, Thread: 0, Event: 1, State: 2, StackID: perf.NoStack}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf.Append(s)
+		}
+	})
+	b.Run("record-stacked", func(b *testing.B) {
+		buf := perf.NewTraceBuffer(1<<20, 0)
+		pcs := perf.Callstack(0, 32)
+		s := perf.Sample{Time: 1, Thread: 0, Event: 1, State: 2}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf.AppendStacked(s, pcs)
+		}
+	})
+	b.Run("event-full", func(b *testing.B) {
+		c := collector.New()
+		ti := collector.NewThreadInfo(0)
+		c.BindThread(ti)
+		tl, err := tool.AttachCollector(c, tool.Options{Measure: true, BufferCap: 1 << 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer tl.Detach()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Event(ti, collector.EventThrBeginIBar)
+		}
+	})
+	b.Run("event-full-parallel", func(b *testing.B) {
+		c := collector.New()
+		const nthreads = 64
+		tis := make([]*collector.ThreadInfo, nthreads)
+		for i := range tis {
+			tis[i] = collector.NewThreadInfo(int32(i))
+			c.BindThread(tis[i])
+		}
+		tl, err := tool.AttachCollector(c, tool.Options{Measure: true, BufferCap: 1 << 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer tl.Detach()
+		var next atomic.Int32
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			ti := tis[int(next.Add(1)-1)%nthreads]
+			for pb.Next() {
+				c.Event(ti, collector.EventThrBeginIBar)
+			}
+		})
 	})
 }
 

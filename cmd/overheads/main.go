@@ -8,22 +8,60 @@
 //
 // Usage:
 //
-//	overheads [-class S|W|A|B] [-reps 3]
+//	overheads [-class S|W|A|B] [-reps 3] [-probe N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"goomp/internal/collector"
 	"goomp/internal/experiments"
 	"goomp/internal/npb"
+	"goomp/internal/tool"
 )
+
+// probeEventCost measures the bare per-event record cost of the
+// measurement hot path — one dispatched event through the descriptor-
+// pinned single-writer buffer — by dispatching n events on one bound
+// descriptor and timing them.
+func probeEventCost(n int) (time.Duration, error) {
+	col := collector.New()
+	tl, err := tool.AttachCollector(col, tool.Options{Measure: true})
+	if err != nil {
+		return 0, err
+	}
+	defer tl.Detach()
+	ti := collector.NewThreadInfo(0)
+	col.BindThread(ti)
+	const resetEvery = 1 << 20 // bound probe memory
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if i%resetEvery == 0 && i > 0 {
+			tl.ResetTraces()
+		}
+		col.Event(ti, collector.EventFork)
+	}
+	return time.Since(start) / time.Duration(n), nil
+}
 
 func main() {
 	classFlag := flag.String("class", "W", "problem class: S, W, A or B")
 	reps := flag.Int("reps", 5, "timings per configuration (minimum taken)")
+	probe := flag.Int("probe", 0,
+		"also measure the bare per-event record cost over N dispatched events")
 	flag.Parse()
+
+	if *probe > 0 {
+		per, err := probeEventCost(*probe)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "overheads:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("per-event record cost: %v (over %d events)\n\n", per, *probe)
+	}
 
 	class := npb.Class((*classFlag)[0])
 	if !class.Valid() {

@@ -46,7 +46,9 @@ func dump(path string, summary bool) error {
 		return err
 	}
 	defer f.Close()
-	buf, err := perf.ReadTrace(f)
+	// Streamed traces are a sequence of chunk blocks; ReadTraceStream
+	// merges them (and reads single-block WriteTraces files unchanged).
+	buf, err := perf.ReadTraceStream(f)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package collector
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -45,11 +46,23 @@ type Collector struct {
 	// eventCounts tallies dispatched notifications per event.
 	eventCounts [NumEvents]atomic.Uint64
 
-	// threads maps global thread numbers to their current descriptor.
-	// The master (thread 0) rebinds between its serial-mode and
-	// parallel-mode descriptors.
+	// inflight counts event callbacks currently executing; Quiesce
+	// spins on it so a detaching tool can wait out dispatches that
+	// were in flight when it unregistered.
+	inflight atomic.Int64
+
+	// threads maps global thread numbers to their current descriptor
+	// slot. The slot indirection keeps rebinding cheap: the master
+	// rebinds between its serial-mode and parallel-mode descriptors on
+	// every region fork and join, which is one atomic store into an
+	// existing slot rather than a write-locked map update.
 	threadMu sync.RWMutex
-	threads  map[int32]*ThreadInfo
+	threads  map[int32]*atomic.Pointer[ThreadInfo]
+
+	// bindHook, when set by an attached tool, is invoked after every
+	// BindThread so the tool can pin per-thread measurement state
+	// (the trace buffer) into the descriptor.
+	bindHook atomic.Pointer[func(*ThreadInfo)]
 
 	// handles resolves the callback handles carried in ReqRegister
 	// payloads (wire messages cannot carry Go funcs).
@@ -77,7 +90,7 @@ func WithGlobalQueue() Option {
 // New returns an empty, uninitialized Collector.
 func New(opts ...Option) *Collector {
 	c := &Collector{
-		threads: make(map[int32]*ThreadInfo),
+		threads: make(map[int32]*atomic.Pointer[ThreadInfo]),
 		handles: make(map[uint64]Callback),
 	}
 	c.defaultQ = newQueue(c)
@@ -96,11 +109,27 @@ func (c *Collector) Paused() bool { return c.paused.Load() }
 
 // BindThread installs ti as the current descriptor for its thread
 // number. The runtime calls this when threads are created and when the
-// master switches between its serial and parallel descriptors.
+// master switches between its serial and parallel descriptors; the
+// per-region rebind is the fast path (read lock plus an atomic slot
+// store). An attached tool's bind hook runs after the binding is
+// visible.
 func (c *Collector) BindThread(ti *ThreadInfo) {
-	c.threadMu.Lock()
-	c.threads[ti.ID] = ti
-	c.threadMu.Unlock()
+	c.threadMu.RLock()
+	slot := c.threads[ti.ID]
+	c.threadMu.RUnlock()
+	if slot == nil {
+		c.threadMu.Lock()
+		slot = c.threads[ti.ID]
+		if slot == nil {
+			slot = new(atomic.Pointer[ThreadInfo])
+			c.threads[ti.ID] = slot
+		}
+		c.threadMu.Unlock()
+	}
+	slot.Store(ti)
+	if h := c.bindHook.Load(); h != nil {
+		(*h)(ti)
+	}
 }
 
 // UnbindThread removes the descriptor binding for thread id.
@@ -113,9 +142,38 @@ func (c *Collector) UnbindThread(id int32) {
 // Thread returns the current descriptor for thread id, or nil.
 func (c *Collector) Thread(id int32) *ThreadInfo {
 	c.threadMu.RLock()
-	ti := c.threads[id]
+	slot := c.threads[id]
 	c.threadMu.RUnlock()
-	return ti
+	if slot == nil {
+		return nil
+	}
+	return slot.Load()
+}
+
+// Threads returns a snapshot of every currently bound descriptor. A
+// tool attaching mid-run uses it to pin measurement state into
+// descriptors bound before its bind hook was installed.
+func (c *Collector) Threads() []*ThreadInfo {
+	c.threadMu.RLock()
+	defer c.threadMu.RUnlock()
+	out := make([]*ThreadInfo, 0, len(c.threads))
+	for _, slot := range c.threads {
+		if ti := slot.Load(); ti != nil {
+			out = append(out, ti)
+		}
+	}
+	return out
+}
+
+// SetBindHook installs (or, with nil, removes) the function invoked
+// after every BindThread. Only one tool may attach at a time, so the
+// hook is a single slot.
+func (c *Collector) SetBindHook(h func(*ThreadInfo)) {
+	if h == nil {
+		c.bindHook.Store(nil)
+		return
+	}
+	c.bindHook.Store(&h)
 }
 
 // Event dispatches an event notification for thread t. This is the
@@ -131,8 +189,29 @@ func (c *Collector) Event(t *ThreadInfo, e Event) {
 	if !c.initialized.Load() || c.paused.Load() {
 		return
 	}
-	c.eventCounts[e].Add(1)
-	(*cb)(e, t)
+	// Run the callback under the inflight guard so Quiesce can wait
+	// out dispatches racing an unregister. The callback is re-checked
+	// after the increment: a dispatch that loses the race against
+	// Store(nil) either sees nil here and backs out, or had its
+	// increment ordered before the unregistering thread's subsequent
+	// Quiesce loads — so Quiesce never misses a running callback.
+	c.inflight.Add(1)
+	if cb := c.callbacks[e].Load(); cb != nil {
+		c.eventCounts[e].Add(1)
+		(*cb)(e, t)
+	}
+	c.inflight.Add(-1)
+}
+
+// Quiesce blocks until no event callback is executing. Callers must
+// first unregister the events (or pause/stop the collector) so no new
+// dispatch can start; Quiesce then waits out the ones already past
+// the registration check. A detaching tool uses this to make its
+// final buffer drains race-free against callback appends.
+func (c *Collector) Quiesce() {
+	for c.inflight.Load() != 0 {
+		runtime.Gosched()
+	}
 }
 
 // EventCount returns the number of notifications dispatched for e

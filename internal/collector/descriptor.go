@@ -2,6 +2,8 @@ package collector
 
 import (
 	"sync/atomic"
+
+	"goomp/internal/perf"
 )
 
 // TeamInfo is the part of an OpenMP thread-team descriptor the
@@ -53,7 +55,22 @@ type ThreadInfo struct {
 	loopID atomic.Uint64
 
 	team atomic.Pointer[TeamInfo]
+
+	// buffer is the descriptor-pinned trace buffer of an attached
+	// tool's measurement hot path: the tool installs the thread's
+	// single-writer buffer here at bind time, so recording an event
+	// costs one pointer load and one append — no map lookup, no lock.
+	buffer atomic.Pointer[perf.TraceBuffer]
 }
+
+// SetTraceBuffer pins (or, with nil, unpins) a trace buffer on the
+// descriptor. Called by the attached tool from the collector's bind
+// hook and at detach.
+func (t *ThreadInfo) SetTraceBuffer(b *perf.TraceBuffer) { t.buffer.Store(b) }
+
+// TraceBuffer returns the pinned trace buffer, or nil when no tool has
+// claimed the descriptor.
+func (t *ThreadInfo) TraceBuffer() *perf.TraceBuffer { return t.buffer.Load() }
 
 // EnterLoop increments and returns the thread's worksharing-loop ID.
 func (t *ThreadInfo) EnterLoop() uint64 { return t.loopID.Add(1) }

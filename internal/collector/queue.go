@@ -23,11 +23,19 @@ type Queue interface {
 
 type queue struct {
 	c       *Collector
-	mu      sync.Mutex
-	pending []Request
+	process func(*Request) ErrorCode // c.process; indirection for tests
+
+	mu       sync.Mutex
+	pending  []Request
+	head     int  // index of the next entry to drain
+	draining bool // a drain loop is active on this queue
 }
 
-func newQueue(c *Collector) *queue { return &queue{c: c} }
+func newQueue(c *Collector) *queue {
+	q := &queue{c: c}
+	q.process = c.process
+	return q
+}
 
 func (q *queue) Submit(arg []byte) int {
 	reqs, err := ParseRequests(arg)
@@ -37,21 +45,43 @@ func (q *queue) Submit(arg []byte) int {
 	return q.SubmitRequests(reqs)
 }
 
+// SubmitRequests enqueues reqs and drains the queue. Requests are
+// processed outside the queue lock, so processing that re-submits to
+// the same queue (re-entrancy) cannot self-deadlock: the inner call
+// finds a drain already active, leaves its entries for the active
+// drain loop further up the stack, and returns 0 immediately — those
+// entries complete (their error codes written into the wire entries)
+// before the outermost SubmitRequests returns. The same hand-off
+// applies to a concurrent submitter on a shared queue (only the
+// rejected global-queue design shares queues; see WithGlobalQueue),
+// whose entries then complete asynchronously.
 func (q *queue) SubmitRequests(reqs []Request) int {
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	q.pending = append(q.pending, reqs...)
+	if q.draining {
+		q.mu.Unlock()
+		return 0
+	}
+	q.draining = true
 	ok := 0
-	for len(q.pending) > 0 {
-		req := q.pending[0]
-		q.pending = q.pending[1:]
-		ec := q.c.process(&req)
+	for q.head < len(q.pending) {
+		req := q.pending[q.head]
+		// Zero the consumed slot so the retained backing array does
+		// not pin request payload buffers.
+		q.pending[q.head] = Request{}
+		q.head++
+		q.mu.Unlock()
+		ec := q.process(&req)
 		req.SetError(ec)
 		if ec == ErrOK {
 			ok++
 		}
+		q.mu.Lock()
 	}
-	q.pending = nil
+	q.pending = q.pending[:0]
+	q.head = 0
+	q.draining = false
+	q.mu.Unlock()
 	return ok
 }
 

@@ -89,6 +89,15 @@ type RT struct {
 	siteMu sync.Mutex
 	sites  map[uintptr]*RegionSite
 
+	// nestedFree pools the transient descriptors of true-nested team
+	// threads, keyed by thread number within the nested team. Reusing
+	// descriptors keeps per-descriptor measurement state (the trace
+	// buffer an attached tool pins at first event) bounded by the peak
+	// number of concurrent nested threads instead of growing with
+	// every nested region invocation.
+	nestedMu   sync.Mutex
+	nestedFree map[int32][]*collector.ThreadInfo
+
 	symbol   string // dl symbol this runtime registered, if any
 	critMu   sync.Mutex
 	critical map[string]*Lock
@@ -116,10 +125,11 @@ func New(cfg Config) *RT {
 		cfg.Chunk = 1
 	}
 	r := &RT{
-		cfg:      cfg,
-		col:      collector.New(),
-		sites:    make(map[uintptr]*RegionSite),
-		critical: make(map[string]*Lock),
+		cfg:        cfg,
+		col:        collector.New(),
+		sites:      make(map[uintptr]*RegionSite),
+		critical:   make(map[string]*Lock),
+		nestedFree: make(map[int32][]*collector.ThreadInfo),
 	}
 	// The serial-mode master descriptor exists from runtime creation so
 	// that a tool may initialize the collector API before the OpenMP
@@ -330,7 +340,10 @@ func (r *RT) parallel(site uintptr, n int, fn func(tc *ThreadCtx)) {
 	}
 
 	// The master switches to its parallel-mode descriptor and runs the
-	// region as thread 0.
+	// region as thread 0. This per-region rebind is on the fork hot
+	// path: BindThread stores into an existing descriptor slot under a
+	// read lock, and an attached tool's bind hook re-validates its
+	// pinned trace buffer with a single atomic load.
 	mp := r.masterParallel
 	mp.SetState(collector.StateOverhead)
 	mp.SetTeam(info)
@@ -469,11 +482,12 @@ func (tc *ThreadCtx) Parallel(n int, fn func(tc *ThreadCtx)) {
 		wg.Add(1)
 		go func(tid int) {
 			defer wg.Done()
-			// Nested slaves are transient goroutines with their own
+			// Nested slaves are transient goroutines with pooled
 			// descriptors; they are not bound in the collector's global
 			// thread table (their IDs would collide with the flat
 			// numbering), but carry team info for region-ID queries.
-			td := collector.NewThreadInfo(int32(tid))
+			td := r.getNestedDesc(int32(tid))
+			defer r.putNestedDesc(td)
 			td.SetTeam(info)
 			td.SetState(collector.StateWorking)
 			itc := &ThreadCtx{rt: r, team: team, id: tid, td: td, level: tc.level + 1, parent: tc}
@@ -492,6 +506,33 @@ func (tc *ThreadCtx) Parallel(n int, fn func(tc *ThreadCtx)) {
 	if p := team.firstPanic(); p != nil {
 		panic(p)
 	}
+}
+
+// getNestedDesc returns a descriptor for a true-nested team thread
+// with number tid, reusing a pooled one when available. A pooled
+// descriptor is handed to one goroutine at a time, so any measurement
+// state pinned on it keeps a single writer.
+func (r *RT) getNestedDesc(tid int32) *collector.ThreadInfo {
+	r.nestedMu.Lock()
+	if free := r.nestedFree[tid]; len(free) > 0 {
+		td := free[len(free)-1]
+		r.nestedFree[tid] = free[:len(free)-1]
+		r.nestedMu.Unlock()
+		td.SetState(collector.StateOverhead)
+		return td
+	}
+	r.nestedMu.Unlock()
+	return collector.NewThreadInfo(tid)
+}
+
+// putNestedDesc returns a transient descriptor to the pool once its
+// nested region completes.
+func (r *RT) putNestedDesc(td *collector.ThreadInfo) {
+	td.SetTeam(nil)
+	td.SetState(collector.StateIdle)
+	r.nestedMu.Lock()
+	r.nestedFree[td.ID] = append(r.nestedFree[td.ID], td)
+	r.nestedMu.Unlock()
 }
 
 // String identifies the runtime in diagnostics.

@@ -170,7 +170,7 @@ func TestTraceRoundTrip(t *testing.T) {
 	sid := b.InternStack([]uintptr{0x1000, 0x2000})
 	b.Append(Sample{Time: 5, Thread: 1, Event: 0, State: 3, Region: 7, StackID: sid})
 	b.Append(Sample{Time: 9, Thread: 2, Event: 1, State: -1, Region: 7, StackID: NoStack})
-	b.dropped = 4
+	b.dropped.Store(4)
 
 	var buf bytes.Buffer
 	if err := WriteTrace(&buf, b); err != nil {

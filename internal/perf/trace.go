@@ -6,7 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"sync"
+	"sync/atomic"
 )
 
 // Sample is one trace record: an event observed on a thread at a
@@ -24,98 +24,414 @@ type Sample struct {
 // NoStack marks a sample without an associated callstack.
 const NoStack int32 = -1
 
+// ChunkSamples is the capacity of one trace-buffer chunk: the unit of
+// preallocation, of atomic publication to snapshot readers, and of
+// hand-off to the streaming writer.
+const ChunkSamples = 256
+
+// chunk is one fixed-size segment of a trace buffer. The owning thread
+// fills samples[wn] and stacks[wns] (writer-private cursors) and then
+// publishes each entry with a release-store of the corresponding count;
+// snapshot readers acquire-load the counts and may read only the
+// published prefixes. A chunk is never written again once the writer
+// has moved past it, so sealed chunks are immutable.
+type chunk struct {
+	samples []Sample    // len == ChunkSamples, allocated at creation
+	stacks  [][]uintptr // len == ChunkSamples, allocated on first stack
+
+	// stackBase is the global stack ID of stacks[0]. The writer sets it
+	// when it activates the chunk, before publishing any stack, so
+	// readers must load nStacks (and observe it nonzero) before reading
+	// stackBase.
+	stackBase int32
+
+	wn, wns int32 // writer-private cursors; nobody else reads these
+
+	n       atomic.Int32 // published sample count
+	nStacks atomic.Int32 // published stack count
+}
+
+func newChunk() *chunk {
+	return &chunk{samples: make([]Sample, ChunkSamples)}
+}
+
+// bufState is the atomically published chunk list. The slice header is
+// immutable once stored; growth publishes a new state whose backing
+// array may extend the old one but never overwrites a slot a previous
+// state exposed.
+type bufState struct {
+	chunks []*chunk
+}
+
+// SealedChunk is a full chunk handed off from the owning thread to the
+// streaming writer. Its counts are final.
+type SealedChunk struct {
+	thread int32
+	c      *chunk
+}
+
+// Thread returns the thread tag the buffer was given in SetRelay.
+func (s *SealedChunk) Thread() int32 { return s.thread }
+
+// Len returns the number of samples in the sealed chunk.
+func (s *SealedChunk) Len() int { return int(s.c.n.Load()) }
+
+// Encode writes the chunk as one self-contained trace block (stack IDs
+// rebased to the chunk's own table) suitable for ReadTraceStream.
+func (s *SealedChunk) Encode(w io.Writer) error {
+	c := s.c
+	return writeBlock(w, []chunkView{{c: c, n: c.n.Load(), nst: c.nStacks.Load()}},
+		c.stackBase, 0)
+}
+
 // TraceBuffer stores samples and interned callstacks for one thread.
-// Buffers are single-writer (the owning thread appends from event
-// callbacks) and preallocated so that appends on the measurement path
-// do not allocate until the initial capacity is exhausted.
+//
+// Buffers are strictly single-writer: only the owning thread may call
+// Append, AppendStacked or InternStack. The hot path is wait-free — a
+// limit check, a cursor bump, and one release-store; no lock and no
+// allocation until a chunk fills. Readers (Samples, Stack, Len,
+// WriteTrace, the streamer) take a consistent snapshot through the
+// atomically published chunk list without ever blocking the writer.
+//
+// Drain and Reset bypass the writer's cursors and therefore require
+// the writer to be quiescent (no concurrent append); the tool
+// guarantees this by unregistering events and waiting for in-flight
+// callbacks before its final flush.
 type TraceBuffer struct {
-	mu      sync.Mutex
-	samples []Sample
-	stacks  [][]uintptr
-	dropped uint64
-	limit   int
+	state atomic.Pointer[bufState]
+
+	// Writer-private fields, touched only by the owning thread.
+	active   *chunk // the chunk being filled
+	wc       int    // index of active in state.chunks
+	retained int    // samples + stacks currently held, for the limit
+
+	limit int
+
+	// relay, when set, receives full chunks for write-behind storage;
+	// thread tags them for the consumer. The push never blocks: if the
+	// consumer falls behind the chunk is discarded and accounted.
+	relay  chan<- *SealedChunk
+	thread int32
+
+	dropped    atomic.Uint64 // samples lost to the limit or a full relay
+	relayDrops atomic.Uint64 // sealed chunks discarded on a full relay
 }
 
-// NewTraceBuffer returns a buffer preallocated for capacity samples.
-// If limit > 0, the buffer stops recording (counting drops) beyond
-// limit samples, bounding measurement memory.
+// NewTraceBuffer returns a buffer preallocated for capacity samples
+// (rounded up to whole chunks). If limit > 0, the buffer stops
+// recording (counting drops) once it retains limit entries; interned
+// callstacks count toward the limit like samples, so the limit bounds
+// measurement memory as a whole.
 func NewTraceBuffer(capacity, limit int) *TraceBuffer {
-	if capacity < 0 {
-		capacity = 0
+	nchunks := (capacity + ChunkSamples - 1) / ChunkSamples
+	if nchunks < 1 {
+		nchunks = 1
 	}
-	return &TraceBuffer{
-		samples: make([]Sample, 0, capacity),
-		limit:   limit,
+	chunks := make([]*chunk, nchunks)
+	for i := range chunks {
+		chunks[i] = newChunk()
 	}
+	b := &TraceBuffer{limit: limit, active: chunks[0]}
+	b.state.Store(&bufState{chunks: chunks})
+	return b
 }
 
-// Append records a sample. The buffer is internally synchronized: the
-// owning thread appends while a tool thread may concurrently snapshot,
-// so every operation takes the buffer's (normally uncontended) lock.
+// SetRelay routes every filled chunk to ch, tagged with thread. It must
+// be called before the first append; the streamer configures buffers at
+// creation.
+func (b *TraceBuffer) SetRelay(ch chan<- *SealedChunk, thread int32) {
+	b.relay = ch
+	b.thread = thread
+}
+
+// Append records a sample. Owning thread only.
 func (b *TraceBuffer) Append(s Sample) {
-	b.mu.Lock()
-	if b.limit > 0 && len(b.samples) >= b.limit {
-		b.dropped++
-		b.mu.Unlock()
+	if b.limit > 0 && b.retained >= b.limit {
+		b.dropped.Add(1)
 		return
 	}
-	b.samples = append(b.samples, s)
-	b.mu.Unlock()
+	c := b.active
+	if c.wn == ChunkSamples {
+		c = b.seal()
+	}
+	c.samples[c.wn] = s
+	c.wn++
+	c.n.Store(c.wn) // release: publish the sample
+	b.retained++
 }
 
-// InternStack stores a callstack and returns its stack ID for use in
-// subsequent samples. The buffer copies pcs.
-func (b *TraceBuffer) InternStack(pcs []uintptr) int32 {
+// AppendStacked records a sample together with its callstack, interning
+// the stack only if the sample is actually recorded — a sample dropped
+// at the limit must not leak a retained stack. The stack and the sample
+// land in the same chunk so a streamed chunk is self-contained. Owning
+// thread only.
+func (b *TraceBuffer) AppendStacked(s Sample, pcs []uintptr) {
+	if b.limit > 0 && b.retained >= b.limit {
+		b.dropped.Add(1)
+		return
+	}
+	c := b.active
+	if c.wn == ChunkSamples || c.wns == ChunkSamples {
+		c = b.seal()
+	}
+	if c.stacks == nil {
+		c.stacks = make([][]uintptr, ChunkSamples)
+	}
 	cp := make([]uintptr, len(pcs))
 	copy(cp, pcs)
-	b.mu.Lock()
-	b.stacks = append(b.stacks, cp)
-	id := int32(len(b.stacks) - 1)
-	b.mu.Unlock()
+	c.stacks[c.wns] = cp
+	s.StackID = c.stackBase + c.wns
+	c.wns++
+	c.nStacks.Store(c.wns) // release: publish the stack first
+	c.samples[c.wn] = s
+	c.wn++
+	c.n.Store(c.wn) // ... then the sample referencing it
+	b.retained += 2
+}
+
+// InternStack stores a callstack and returns its (global) stack ID for
+// use in subsequent samples; the buffer copies pcs. At the retention
+// limit it records nothing and returns NoStack. Owning thread only.
+// Callers that pair a stack with one sample should prefer
+// AppendStacked, which keeps the pair in one chunk and cannot leak the
+// stack when the sample is dropped.
+func (b *TraceBuffer) InternStack(pcs []uintptr) int32 {
+	if b.limit > 0 && b.retained >= b.limit {
+		return NoStack
+	}
+	c := b.active
+	if c.wns == ChunkSamples {
+		c = b.seal()
+	}
+	if c.stacks == nil {
+		c.stacks = make([][]uintptr, ChunkSamples)
+	}
+	cp := make([]uintptr, len(pcs))
+	copy(cp, pcs)
+	c.stacks[c.wns] = cp
+	id := c.stackBase + c.wns
+	c.wns++
+	c.nStacks.Store(c.wns)
+	b.retained++
 	return id
+}
+
+// seal retires the active chunk and returns a fresh active chunk. With
+// a relay configured the full chunk is handed to the consumer (or
+// dropped, with accounting, if the consumer is behind); otherwise the
+// writer advances into the next preallocated chunk or grows the list.
+func (b *TraceBuffer) seal() *chunk {
+	old := b.active
+	st := b.state.Load()
+	if b.relay != nil {
+		select {
+		case b.relay <- &SealedChunk{thread: b.thread, c: old}:
+		default:
+			// Bounded hand-off is full: discard rather than stall the
+			// OpenMP thread, and account the loss explicitly.
+			b.relayDrops.Add(1)
+			b.dropped.Add(uint64(old.wn))
+		}
+		b.retained -= int(old.wn) + int(old.wns)
+		nc := newChunk()
+		nc.stackBase = old.stackBase + old.wns
+		b.state.Store(&bufState{chunks: []*chunk{nc}})
+		b.active = nc
+		b.wc = 0
+		return nc
+	}
+	if b.wc+1 < len(st.chunks) {
+		nc := st.chunks[b.wc+1]
+		nc.stackBase = old.stackBase + old.wns
+		b.wc++
+		b.active = nc
+		return nc
+	}
+	nc := newChunk()
+	nc.stackBase = old.stackBase + old.wns
+	chunks := st.chunks
+	if cap(chunks) > len(chunks) {
+		// Extend in place: the new slot was never visible to any
+		// previously published state, so old snapshots are unaffected.
+		chunks = chunks[: len(chunks)+1 : cap(chunks)]
+		chunks[len(chunks)-1] = nc
+	} else {
+		grown := make([]*chunk, len(chunks)+1, 2*len(chunks)+1)
+		copy(grown, chunks)
+		grown[len(grown)-1] = nc
+		chunks = grown
+	}
+	b.state.Store(&bufState{chunks: chunks})
+	b.wc = len(chunks) - 1
+	b.active = nc
+	return nc
+}
+
+// chunkView is a consistent per-chunk snapshot: the chunk and the
+// published counts captured by snapshot().
+type chunkView struct {
+	c   *chunk
+	n   int32
+	nst int32
+}
+
+// snapshot captures a consistent view of the buffer and the global
+// stack ID of its first captured stack slot. All sample counts are
+// read before any stack count: a stack is published before the sample
+// that references it, so every stack referenced by a captured sample
+// is itself captured.
+func (b *TraceBuffer) snapshot() ([]chunkView, int32) {
+	st := b.state.Load()
+	views := make([]chunkView, len(st.chunks))
+	for i, c := range st.chunks {
+		views[i] = chunkView{c: c, n: c.n.Load()}
+	}
+	for i, c := range st.chunks {
+		views[i].nst = c.nStacks.Load()
+	}
+	return views, st.chunks[0].stackBase
 }
 
 // Samples returns a snapshot copy of the recorded samples; it is safe
 // to call while the owning thread is still appending.
 func (b *TraceBuffer) Samples() []Sample {
-	b.mu.Lock()
-	out := make([]Sample, len(b.samples))
-	copy(out, b.samples)
-	b.mu.Unlock()
+	st := b.state.Load()
+	total := 0
+	ns := make([]int32, len(st.chunks))
+	for i, c := range st.chunks {
+		ns[i] = c.n.Load()
+		total += int(ns[i])
+	}
+	out := make([]Sample, 0, total)
+	for i, c := range st.chunks {
+		out = append(out, c.samples[:ns[i]]...)
+	}
 	return out
 }
 
-// Stack returns the interned callstack for id, or nil.
+// Len returns the number of recorded samples without copying them.
+func (b *TraceBuffer) Len() int {
+	st := b.state.Load()
+	total := 0
+	for _, c := range st.chunks {
+		total += int(c.n.Load())
+	}
+	return total
+}
+
+// Stack returns a copy of the interned callstack for id, or nil. (A
+// copy, not the interned slice: interned stacks are shared with
+// concurrent snapshot readers and must stay immutable.)
 func (b *TraceBuffer) Stack(id int32) []uintptr {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if id < 0 || int(id) >= len(b.stacks) {
+	if id < 0 {
 		return nil
 	}
-	return b.stacks[id] // interned stacks are immutable once stored
+	st := b.state.Load()
+	for _, c := range st.chunks {
+		k := c.nStacks.Load()
+		if k == 0 {
+			continue
+		}
+		if id >= c.stackBase && id < c.stackBase+k {
+			src := c.stacks[id-c.stackBase]
+			cp := make([]uintptr, len(src))
+			copy(cp, src)
+			return cp
+		}
+	}
+	return nil
 }
 
-// NumStacks returns the number of interned callstacks.
+// ForEachStack calls fn for every interned stack in a snapshot, in
+// global-ID order. fn must not modify or retain pcs.
+func (b *TraceBuffer) ForEachStack(fn func(id int32, pcs []uintptr)) {
+	st := b.state.Load()
+	for _, c := range st.chunks {
+		k := c.nStacks.Load()
+		for i := int32(0); i < k; i++ {
+			fn(c.stackBase+i, c.stacks[i])
+		}
+	}
+}
+
+// NumStacks returns the number of interned callstacks currently held.
 func (b *TraceBuffer) NumStacks() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return len(b.stacks)
+	st := b.state.Load()
+	total := 0
+	for _, c := range st.chunks {
+		total += int(c.nStacks.Load())
+	}
+	return total
 }
 
-// Dropped returns how many samples were discarded due to the limit.
-func (b *TraceBuffer) Dropped() uint64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.dropped
-}
+// Dropped returns how many samples were discarded, whether at the
+// retention limit or on a full relay channel.
+func (b *TraceBuffer) Dropped() uint64 { return b.dropped.Load() }
 
-// Reset clears the buffer, retaining capacity.
+// RelayDropped returns how many sealed chunks were discarded because
+// the streaming consumer fell behind.
+func (b *TraceBuffer) RelayDropped() uint64 { return b.relayDrops.Load() }
+
+// Reset clears the buffer, retaining its chunk count. Like the append
+// operations it belongs to the writer: it must not race with them.
 func (b *TraceBuffer) Reset() {
-	b.mu.Lock()
-	b.samples = b.samples[:0]
-	b.stacks = b.stacks[:0]
-	b.dropped = 0
-	b.mu.Unlock()
+	b.reset(len(b.state.Load().chunks))
+	b.dropped.Store(0)
+	b.relayDrops.Store(0)
+}
+
+func (b *TraceBuffer) reset(nchunks int) {
+	chunks := make([]*chunk, nchunks)
+	for i := range chunks {
+		chunks[i] = newChunk()
+	}
+	b.active = chunks[0]
+	b.wc = 0
+	b.retained = 0
+	b.state.Store(&bufState{chunks: chunks})
+}
+
+// Drain moves the buffer's contents into a detached buffer and resets
+// the original, preserving capacity. Samples in the detached buffer
+// reference its own (rebased, zero-based) stack table. Drain requires
+// the writer to be quiescent: the streaming storage calls it only
+// after event generation has stopped and in-flight callbacks have
+// completed.
+func (b *TraceBuffer) Drain() *TraceBuffer {
+	st := b.state.Load()
+	total := 0
+	for _, c := range st.chunks {
+		total += int(c.n.Load())
+	}
+	out := NewTraceBuffer(total, 0)
+	base0 := st.chunks[0].stackBase
+	var nstacks int32
+	for _, c := range st.chunks {
+		k := c.nStacks.Load()
+		for i := int32(0); i < k; i++ {
+			out.InternStack(c.stacks[i])
+		}
+		nstacks += k
+	}
+	for _, c := range st.chunks {
+		n := c.n.Load()
+		for i := int32(0); i < n; i++ {
+			s := c.samples[i]
+			if s.StackID != NoStack {
+				rel := s.StackID - base0
+				if rel < 0 || rel >= nstacks {
+					s.StackID = NoStack
+				} else {
+					s.StackID = rel
+				}
+			}
+			out.Append(s)
+		}
+	}
+	out.dropped.Store(b.dropped.Swap(0))
+	b.relayDrops.Store(0)
+	b.reset(len(st.chunks))
+	return out
 }
 
 // Binary trace format: performance data is written out during or after
@@ -134,11 +450,20 @@ const traceVersion = 2
 // ErrBadTrace reports a malformed trace stream.
 var ErrBadTrace = errors.New("perf: malformed trace stream")
 
-// WriteTrace serializes the buffer to w, holding the buffer's lock for
-// the duration.
+// WriteTrace serializes a snapshot of the buffer to w. It no longer
+// blocks the owning thread: the snapshot is taken through the
+// published chunk list, so it may run concurrently with appends.
+// Stack IDs are rebased to the snapshot's own zero-based table.
 func WriteTrace(w io.Writer, b *TraceBuffer) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	views, base0 := b.snapshot()
+	return writeBlock(w, views, base0, b.dropped.Load())
+}
+
+// writeBlock serializes one trace block from chunk views: the shared
+// backend of WriteTrace and SealedChunk.Encode. Sample stack IDs are
+// rebased by base0; IDs falling outside the captured stack table (a
+// stack shipped in an earlier block) degrade to NoStack.
+func writeBlock(w io.Writer, views []chunkView, base0 int32, dropped uint64) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(traceMagic[:]); err != nil {
 		return err
@@ -157,47 +482,66 @@ func WriteTrace(w io.Writer, b *TraceBuffer) error {
 	if err := put32(traceVersion); err != nil {
 		return err
 	}
-	if err := put64(uint64(len(b.samples))); err != nil {
+	var nsamples, nstacks uint64
+	for _, v := range views {
+		nsamples += uint64(v.n)
+		nstacks += uint64(v.nst)
+	}
+	if err := put64(nsamples); err != nil {
 		return err
 	}
-	for i := range b.samples {
-		s := &b.samples[i]
-		if err := put64(uint64(s.Time)); err != nil {
-			return err
-		}
-		if err := put32(uint32(s.Thread)); err != nil {
-			return err
-		}
-		if err := put32(uint32(s.Event)); err != nil {
-			return err
-		}
-		if err := put32(uint32(s.State)); err != nil {
-			return err
-		}
-		if err := put64(s.Region); err != nil {
-			return err
-		}
-		if err := put64(s.Site); err != nil {
-			return err
-		}
-		if err := put32(uint32(s.StackID)); err != nil {
-			return err
-		}
-	}
-	if err := put64(uint64(len(b.stacks))); err != nil {
-		return err
-	}
-	for _, st := range b.stacks {
-		if err := put32(uint32(len(st))); err != nil {
-			return err
-		}
-		for _, pc := range st {
-			if err := put64(uint64(pc)); err != nil {
+	for _, v := range views {
+		for i := int32(0); i < v.n; i++ {
+			s := &v.c.samples[i]
+			sid := s.StackID
+			if sid != NoStack {
+				rel := sid - base0
+				if rel < 0 || uint64(rel) >= nstacks {
+					sid = NoStack
+				} else {
+					sid = rel
+				}
+			}
+			if err := put64(uint64(s.Time)); err != nil {
+				return err
+			}
+			if err := put32(uint32(s.Thread)); err != nil {
+				return err
+			}
+			if err := put32(uint32(s.Event)); err != nil {
+				return err
+			}
+			if err := put32(uint32(s.State)); err != nil {
+				return err
+			}
+			if err := put64(s.Region); err != nil {
+				return err
+			}
+			if err := put64(s.Site); err != nil {
+				return err
+			}
+			if err := put32(uint32(sid)); err != nil {
 				return err
 			}
 		}
 	}
-	if err := put64(b.dropped); err != nil {
+	if err := put64(nstacks); err != nil {
+		return err
+	}
+	for _, v := range views {
+		for i := int32(0); i < v.nst; i++ {
+			st := v.c.stacks[i]
+			if err := put32(uint32(len(st))); err != nil {
+				return err
+			}
+			for _, pc := range st {
+				if err := put64(uint64(pc)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if err := put64(dropped); err != nil {
 		return err
 	}
 	return bw.Flush()
@@ -279,7 +623,7 @@ func ReadTrace(r io.Reader) (*TraceBuffer, error) {
 			return nil, ErrBadTrace
 		}
 		s.StackID = int32(v)
-		b.samples = append(b.samples, s)
+		b.Append(s)
 	}
 	nst, err := get64()
 	if err != nil {
@@ -304,35 +648,20 @@ func ReadTrace(r io.Reader) (*TraceBuffer, error) {
 			}
 			st[j] = uintptr(pc)
 		}
-		b.stacks = append(b.stacks, st)
+		b.InternStack(st)
 	}
-	if b.dropped, err = get64(); err != nil {
+	dropped, err := get64()
+	if err != nil {
 		return nil, ErrBadTrace
 	}
+	b.dropped.Store(dropped)
 	return b, nil
 }
 
-// Drain atomically moves the buffer's contents into a detached buffer
-// and resets the original, preserving capacity. Samples in the
-// detached buffer reference its (chunk-local) stack table. Streaming
-// writers use this to ship periodic chunks to disk while the owning
-// thread keeps appending.
-func (b *TraceBuffer) Drain() *TraceBuffer {
-	out := &TraceBuffer{}
-	b.mu.Lock()
-	out.samples = append(out.samples, b.samples...)
-	out.stacks = append(out.stacks, b.stacks...)
-	out.dropped = b.dropped
-	b.samples = b.samples[:0]
-	b.stacks = b.stacks[:0]
-	b.dropped = 0
-	b.mu.Unlock()
-	return out
-}
-
 // ReadTraceStream reads a concatenation of trace blocks (as produced
-// by repeatedly serializing drained chunks) until EOF and merges them
-// into one buffer, re-basing each chunk's stack IDs.
+// by the streaming storage: one block per sealed chunk plus a final
+// residue block) until EOF and merges them into one buffer, re-basing
+// each block's stack IDs.
 func ReadTraceStream(r io.Reader) (*TraceBuffer, error) {
 	br := bufio.NewReader(r)
 	merged := NewTraceBuffer(0, 0)
@@ -340,18 +669,20 @@ func ReadTraceStream(r io.Reader) (*TraceBuffer, error) {
 		if _, err := br.Peek(1); err == io.EOF {
 			return merged, nil
 		}
-		chunk, err := ReadTrace(br)
+		block, err := ReadTrace(br)
 		if err != nil {
 			return nil, err
 		}
-		base := int32(len(merged.stacks))
-		merged.stacks = append(merged.stacks, chunk.stacks...)
-		for _, s := range chunk.samples {
+		base := int32(merged.NumStacks())
+		block.ForEachStack(func(_ int32, pcs []uintptr) {
+			merged.InternStack(pcs)
+		})
+		for _, s := range block.Samples() {
 			if s.StackID != NoStack {
 				s.StackID += base
 			}
-			merged.samples = append(merged.samples, s)
+			merged.Append(s)
 		}
-		merged.dropped += chunk.dropped
+		merged.dropped.Add(block.Dropped())
 	}
 }

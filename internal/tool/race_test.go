@@ -1,0 +1,110 @@
+package tool_test
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+
+	"goomp/internal/omp"
+	"goomp/internal/perf"
+	. "goomp/internal/tool"
+)
+
+// TestDetachConcurrent is the regression test for the Detach race:
+// many goroutines detaching (and reading StreamError) at once must
+// tear the tool down exactly once, with no double-closed files and no
+// torn error reads. Run with -race.
+func TestDetachConcurrent(t *testing.T) {
+	rt := omp.New(omp.Config{NumThreads: 2})
+	defer rt.Close()
+	tl, err := AttachRuntime(rt, Options{
+		Measure:    true,
+		JoinStacks: true,
+		StreamDir:  t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		rt.Parallel(func(tc *omp.ThreadCtx) {})
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tl.Detach()
+			if err := tl.StreamError(); err != nil {
+				t.Errorf("stream error after detach: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	// Events stay off afterwards and the report is still readable: the
+	// drained streaming buffers hold no residue and post-detach regions
+	// record nothing.
+	rt.Parallel(func(tc *omp.ThreadCtx) {})
+	if rep := tl.Report(); rep.Samples != 0 {
+		t.Errorf("samples after drained detach = %d, want 0", rep.Samples)
+	}
+}
+
+// TestJoinStackRetentionBounded is the regression test for the
+// join-stack leak: with a small buffer limit, stacks interned for
+// samples that the limit then rejects must not accumulate. Before the
+// fix every join interned its callstack whether or not the sample was
+// recorded, so stack retention grew with region count even at the
+// limit.
+func TestJoinStackRetentionBounded(t *testing.T) {
+	rt := omp.New(omp.Config{NumThreads: 1})
+	defer rt.Close()
+	const limit = 6
+	tl, err := AttachRuntime(rt, Options{
+		Measure:     true,
+		JoinStacks:  true,
+		BufferLimit: limit,
+		BufferCap:   4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Detach()
+
+	const regions = 50
+	for i := 0; i < regions; i++ {
+		rt.Parallel(func(tc *omp.ThreadCtx) {})
+	}
+
+	streams := make(map[int32]*bytes.Buffer)
+	if err := tl.WriteTraces(func(thread int32) (io.Writer, error) {
+		b := new(bytes.Buffer)
+		streams[thread] = b
+		return b, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	samples, stacks := 0, 0
+	var dropped uint64
+	for id, s := range streams {
+		b, err := perf.ReadTraceStream(bytes.NewReader(s.Bytes()))
+		if err != nil {
+			t.Fatalf("thread %d: %v", id, err)
+		}
+		samples += b.Len()
+		stacks += b.NumStacks()
+		dropped += b.Dropped()
+	}
+	// The limit covers stacks too: retained samples + stacks never
+	// exceed it, however many regions ran.
+	if samples+stacks > limit {
+		t.Errorf("retained %d samples + %d stacks > limit %d", samples, stacks, limit)
+	}
+	if stacks >= regions/2 {
+		t.Errorf("%d stacks retained over %d regions: join stacks leak past the limit", stacks, regions)
+	}
+	if dropped == 0 {
+		t.Error("no drops recorded despite exceeding the limit")
+	}
+}

@@ -5,25 +5,32 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
-	"time"
 
 	"goomp/internal/perf"
 )
 
 // Streaming trace storage: instead of holding every sample in memory
-// until the run ends, a flusher goroutine periodically drains each
-// per-thread buffer and appends the chunk to that thread's trace file.
-// This is the "storage phase" of the measurement pipeline as a
-// production tool runs it — bounded memory, write-behind I/O — and the
+// until the run ends, each per-thread buffer relays its filled chunks
+// over a bounded channel to a writer goroutine that appends them to
+// that thread's trace file. This is the "storage phase" of the
+// measurement pipeline as a production tool runs it — bounded memory,
+// write-behind I/O that never stalls an OpenMP thread (a chunk is
+// dropped, with accounting, if the writer falls behind) — and the
 // files are read back with perf.ReadTraceStream.
 
-// streamer owns the trace files and the flush loop.
-type streamer struct {
-	t      *Tool
-	dir    string
-	period time.Duration
+// relayCapacity bounds the chunk hand-off channel. At ChunkSamples
+// samples per chunk this queues up to ~16k samples of backlog before
+// the buffers start dropping.
+const relayCapacity = 64
 
-	mu    sync.Mutex
+// streamer owns the trace files and the chunk-writer goroutine. files
+// and err are touched only by that goroutine until stop's wg.Wait
+// establishes the ordering for the final flush, so neither needs a
+// lock.
+type streamer struct {
+	t     *Tool
+	dir   string
+	relay chan *perf.SealedChunk
 	files map[int32]*os.File
 	err   error
 
@@ -31,19 +38,16 @@ type streamer struct {
 	wg   sync.WaitGroup
 }
 
-func startStreamer(t *Tool, dir string, period time.Duration) (*streamer, error) {
+func startStreamer(t *Tool, dir string) (*streamer, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("tool: stream dir: %w", err)
 	}
-	if period <= 0 {
-		period = 50 * time.Millisecond
-	}
 	s := &streamer{
-		t:      t,
-		dir:    dir,
-		period: period,
-		files:  make(map[int32]*os.File),
-		done:   make(chan struct{}),
+		t:     t,
+		dir:   dir,
+		relay: make(chan *perf.SealedChunk, relayCapacity),
+		files: make(map[int32]*os.File),
+		done:  make(chan struct{}),
 	}
 	s.wg.Add(1)
 	go s.loop()
@@ -52,55 +56,81 @@ func startStreamer(t *Tool, dir string, period time.Duration) (*streamer, error)
 
 func (s *streamer) loop() {
 	defer s.wg.Done()
-	tick := time.NewTicker(s.period)
-	defer tick.Stop()
 	for {
 		select {
+		case sc := <-s.relay:
+			s.writeChunk(sc)
 		case <-s.done:
 			return
-		case <-tick.C:
-			s.flush()
 		}
 	}
 }
 
-// flush drains every thread buffer and appends non-empty chunks.
-func (s *streamer) flush() {
-	s.t.buffers.Range(func(k, v any) bool {
-		thread := k.(int32)
-		buf := v.(*perf.TraceBuffer)
-		chunk := buf.Drain()
-		if len(chunk.Samples()) == 0 && chunk.Dropped() == 0 {
-			return true
-		}
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		f := s.files[thread]
-		if f == nil {
-			var err error
-			f, err = os.Create(filepath.Join(s.dir, fmt.Sprintf("trace.%d.psxt", thread)))
-			if err != nil {
-				s.err = err
-				return false
-			}
-			s.files[thread] = f
-		}
-		if err := perf.WriteTrace(f, chunk); err != nil {
-			s.err = err
-			return false
-		}
-		return true
-	})
+// writeChunk appends one sealed chunk to its thread's trace file,
+// creating the file on first use. After the first error the streamer
+// discards further chunks; the error surfaces through StreamError.
+func (s *streamer) writeChunk(sc *perf.SealedChunk) {
+	if s.err != nil {
+		return
+	}
+	f, err := s.file(sc.Thread())
+	if err != nil {
+		s.err = err
+		return
+	}
+	if err := sc.Encode(f); err != nil {
+		s.err = err
+	}
 }
 
-// stop performs a final flush and closes the files; it returns the
-// first error the flush loop encountered.
+func (s *streamer) file(thread int32) (*os.File, error) {
+	f := s.files[thread]
+	if f == nil {
+		var err error
+		f, err = os.Create(filepath.Join(s.dir, fmt.Sprintf("trace.%d.psxt", thread)))
+		if err != nil {
+			return nil, err
+		}
+		s.files[thread] = f
+	}
+	return f, nil
+}
+
+// stop shuts down the writer goroutine, drains the chunks still queued
+// on the relay, flushes each buffer's residue as a final block, and
+// closes the files. Detach calls it only after unregistering the
+// events and quiescing the collector, so no writer appends while the
+// residue is drained.
 func (s *streamer) stop() error {
 	close(s.done)
 	s.wg.Wait()
-	s.flush()
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	for {
+		select {
+		case sc := <-s.relay:
+			s.writeChunk(sc)
+			continue
+		default:
+		}
+		break
+	}
+	for _, tb := range s.t.snapshotBuffers() {
+		chunk := tb.buf.Drain()
+		if chunk.Len() == 0 && chunk.NumStacks() == 0 && chunk.Dropped() == 0 {
+			continue
+		}
+		if s.err != nil {
+			break
+		}
+		f, err := s.file(tb.id)
+		if err != nil {
+			s.err = err
+			break
+		}
+		if err := perf.WriteTrace(f, chunk); err != nil {
+			s.err = err
+			break
+		}
+	}
 	for _, f := range s.files {
 		if err := f.Close(); err != nil && s.err == nil {
 			s.err = err

@@ -16,6 +16,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"goomp/internal/collector"
@@ -65,7 +66,9 @@ type Options struct {
 	// sees only the not-yet-flushed residue of the buffers.
 	StreamDir string
 
-	// FlushInterval is the streaming flush period (default 50ms).
+	// FlushInterval is retained for compatibility but no longer used:
+	// streaming is chunk-driven (each filled chunk is handed to the
+	// writer immediately), not timer-driven.
 	FlushInterval time.Duration
 
 	// MaxSamplesPerSite enables selective collection (§VI): after this
@@ -107,20 +110,39 @@ type Tool struct {
 	q    collector.Queue
 	opts Options
 
-	mu      sync.Mutex // guards histogram and report assembly
-	buffers sync.Map   // int32 → *perf.TraceBuffer; lock-free on the hot path
+	mu sync.Mutex // guards histogram
+
+	// Buffer registry. The measurement hot path never touches it:
+	// callbacks read the buffer pinned into the event's ThreadInfo
+	// descriptor at bind time. byID holds the buffer for each bound
+	// thread number, copy-on-write so the bind hook's already-pinned
+	// check is one atomic load; extras holds private buffers adopted
+	// by transient descriptors (true-nested team threads reuse bound
+	// thread numbers concurrently, and buffers are single-writer, so
+	// they must not share by ID). bufMu serializes registry growth and
+	// pinned tracks every descriptor holding one of our buffers so
+	// Detach can unpin them.
+	bufMu  sync.Mutex
+	byID   atomic.Pointer[[]*perf.TraceBuffer]
+	extras []threadBuf
+	pinned map[*collector.ThreadInfo]struct{}
 
 	handles []uint64
 	events  []collector.Event
 
-	sampler     *sampler
-	streamErr   error
-	histogram   *perf.StateHistogram
-	attachedAt  time.Time
-	detached    bool
-	eventCounts map[collector.Event]uint64
-	throttle    *siteThrottle
-	stream      *streamer
+	sampler    *sampler
+	stream     *streamer
+	streamErr  atomic.Pointer[error]
+	histogram  *perf.StateHistogram
+	attachedAt time.Time
+	detachOnce sync.Once
+	throttle   *siteThrottle
+}
+
+// threadBuf pairs a buffer with the thread number it records for.
+type threadBuf struct {
+	id  int32
+	buf *perf.TraceBuffer
 }
 
 // ErrNoCollector is returned when the target exports no collector API.
@@ -168,16 +190,33 @@ func AttachCollector(col *collector.Collector, opts Options) (*Tool, error) {
 		opts.SampleThreads = 1
 	}
 	t := &Tool{
-		col:         col,
-		q:           col.NewQueue(),
-		opts:        opts,
-		histogram:   perf.NewStateHistogram(),
-		attachedAt:  time.Now(),
-		eventCounts: make(map[collector.Event]uint64),
-		throttle:    newSiteThrottle(opts.MaxSamplesPerSite),
+		col:        col,
+		q:          col.NewQueue(),
+		opts:       opts,
+		histogram:  perf.NewStateHistogram(),
+		attachedAt: time.Now(),
+		throttle:   newSiteThrottle(opts.MaxSamplesPerSite),
+		pinned:     make(map[*collector.ThreadInfo]struct{}),
 	}
+	empty := make([]*perf.TraceBuffer, 0)
+	t.byID.Store(&empty)
 	if ec := collector.Control(t.q, collector.ReqStart); ec != collector.ErrOK {
 		return nil, fmt.Errorf("tool: start request failed: %v", ec)
+	}
+	if opts.StreamDir != "" {
+		st, err := startStreamer(t, opts.StreamDir)
+		if err != nil {
+			t.Detach()
+			return nil, err
+		}
+		t.stream = st
+	}
+	// Pin a buffer into every descriptor bound so far, and into each
+	// one bound from now on, before any event can be dispatched: the
+	// callback then finds its buffer with a single descriptor load.
+	col.SetBindHook(t.pinDescriptor)
+	for _, ti := range col.Threads() {
+		t.pinDescriptor(ti)
 	}
 	events := opts.Events
 	if events == nil {
@@ -191,14 +230,6 @@ func AttachCollector(col *collector.Collector, opts Options) (*Tool, error) {
 			t.Detach()
 			return nil, fmt.Errorf("tool: register %v failed: %v", e, ec)
 		}
-	}
-	if opts.StreamDir != "" {
-		st, err := startStreamer(t, opts.StreamDir, opts.FlushInterval)
-		if err != nil {
-			t.Detach()
-			return nil, err
-		}
-		t.stream = st
 	}
 	if opts.SamplePeriod > 0 {
 		t.sampler = startSampler(t, opts.SamplePeriod, opts.SampleThreads)
@@ -227,7 +258,12 @@ func (t *Tool) callback(e collector.Event, ti *collector.ThreadInfo) {
 		}
 	}
 	now := perf.Cycles()
-	buf := t.buffer(ti.ID)
+	buf := ti.TraceBuffer()
+	if buf == nil {
+		// Unbound descriptor: a transient thread of a true-nested
+		// team. Adopt it once; subsequent events hit the pinned path.
+		buf = t.adoptDescriptor(ti)
+	}
 	sample := perf.Sample{
 		Time:    now,
 		Thread:  ti.ID,
@@ -240,20 +276,117 @@ func (t *Tool) callback(e collector.Event, ti *collector.ThreadInfo) {
 		sample.Site = uint64(team.SitePC)
 	}
 	if t.opts.JoinStacks && e == collector.EventJoin {
-		sample.StackID = buf.InternStack(perf.Callstack(1, 32))
+		buf.AppendStacked(sample, perf.Callstack(1, 32))
+		return
 	}
 	buf.Append(sample)
 }
 
-// buffer returns the per-thread trace buffer, creating it on first
-// use. Each buffer has a single writer (its thread), so only creation
-// needs synchronization.
-func (t *Tool) buffer(id int32) *perf.TraceBuffer {
-	if b, ok := t.buffers.Load(id); ok {
-		return b.(*perf.TraceBuffer)
+// pinDescriptor is the collector's bind hook: it installs the thread's
+// trace buffer in the descriptor. The master rebinds on every region
+// fork and join, so the already-pinned check must stay lock-free — it
+// is one descriptor load plus one atomic registry load. The check
+// verifies the pin against this tool's registry rather than trusting
+// any non-nil pin, so a stale pin from a previous tool (or a bind that
+// raced a detach) is always replaced.
+func (t *Tool) pinDescriptor(ti *collector.ThreadInfo) {
+	id := ti.ID
+	if id >= 0 {
+		bufs := *t.byID.Load()
+		if cur := ti.TraceBuffer(); cur != nil && int(id) < len(bufs) && bufs[id] == cur {
+			return
+		}
 	}
-	b, _ := t.buffers.LoadOrStore(id, perf.NewTraceBuffer(t.opts.BufferCap, t.opts.BufferLimit))
-	return b.(*perf.TraceBuffer)
+	t.bufMu.Lock()
+	defer t.bufMu.Unlock()
+	var b *perf.TraceBuffer
+	if id >= 0 {
+		b = t.boundBufferLocked(id)
+	} else {
+		b = t.newBuffer(id)
+		t.extras = append(t.extras, threadBuf{id: id, buf: b})
+	}
+	ti.SetTraceBuffer(b)
+	t.pinned[ti] = struct{}{}
+}
+
+// boundBufferLocked returns the shared buffer for bound thread id,
+// growing the dense registry if needed. All descriptors bound to one
+// thread number share its buffer — the master's serial and parallel
+// descriptors both carry ID 0 and run on the same goroutine, so the
+// buffer keeps a single writer and thread 0's fork and join samples
+// land in one stream.
+func (t *Tool) boundBufferLocked(id int32) *perf.TraceBuffer {
+	bufs := *t.byID.Load()
+	if int(id) < len(bufs) && bufs[id] != nil {
+		return bufs[id]
+	}
+	n := len(bufs)
+	if int(id)+1 > n {
+		n = int(id) + 1
+	}
+	grown := make([]*perf.TraceBuffer, n)
+	copy(grown, bufs)
+	b := t.newBuffer(id)
+	grown[id] = b
+	t.byID.Store(&grown)
+	return b
+}
+
+// adoptDescriptor gives an unbound descriptor its own private buffer.
+// Transient descriptors of true-nested teams reuse the bound threads'
+// numbers while running concurrently with them; sharing the bound
+// buffer would put two writers on a single-writer buffer, so each
+// transient descriptor records into its own.
+func (t *Tool) adoptDescriptor(ti *collector.ThreadInfo) *perf.TraceBuffer {
+	t.bufMu.Lock()
+	defer t.bufMu.Unlock()
+	if b := ti.TraceBuffer(); b != nil {
+		return b
+	}
+	b := t.newBuffer(ti.ID)
+	t.extras = append(t.extras, threadBuf{id: ti.ID, buf: b})
+	t.pinned[ti] = struct{}{}
+	ti.SetTraceBuffer(b)
+	return b
+}
+
+// newBuffer creates one per-thread trace buffer. While streaming, the
+// buffer holds a single chunk and relays filled chunks to the
+// streamer, so in-memory residue stays bounded by one chunk per
+// thread.
+func (t *Tool) newBuffer(id int32) *perf.TraceBuffer {
+	if t.stream != nil {
+		b := perf.NewTraceBuffer(perf.ChunkSamples, t.opts.BufferLimit)
+		b.SetRelay(t.stream.relay, id)
+		return b
+	}
+	return perf.NewTraceBuffer(t.opts.BufferCap, t.opts.BufferLimit)
+}
+
+// snapshotBuffers returns every registered buffer with its thread
+// number: bound threads in ID order, then adopted extras.
+func (t *Tool) snapshotBuffers() []threadBuf {
+	t.bufMu.Lock()
+	defer t.bufMu.Unlock()
+	bufs := *t.byID.Load()
+	out := make([]threadBuf, 0, len(bufs)+len(t.extras))
+	for id, b := range bufs {
+		if b != nil {
+			out = append(out, threadBuf{id: int32(id), buf: b})
+		}
+	}
+	return append(out, t.extras...)
+}
+
+// ResetTraces clears every per-thread trace buffer (benchmark
+// harnesses use it to bound memory across iterations). Buffers are
+// single-writer, so this must not be called while events are being
+// generated.
+func (t *Tool) ResetTraces() {
+	for _, tb := range t.snapshotBuffers() {
+		tb.buf.Reset()
+	}
 }
 
 // Pause suspends event generation without losing registrations.
@@ -272,31 +405,47 @@ func (t *Tool) Resume() error {
 	return nil
 }
 
-// Detach stops the sampler, unregisters the events and sends the stop
-// request. It is idempotent.
-func (t *Tool) Detach() {
-	if t.detached {
-		return
-	}
-	t.detached = true
+// Detach stops the sampler, unregisters the events, waits out
+// in-flight callbacks, flushes the streaming storage and sends the
+// stop request. It is idempotent and safe to call concurrently.
+func (t *Tool) Detach() { t.detachOnce.Do(t.detach) }
+
+func (t *Tool) detach() {
 	if t.sampler != nil {
 		t.sampler.stop()
 	}
-	if t.stream != nil {
-		t.streamErr = t.stream.stop()
-	}
+	// Stop event generation first, then wait for dispatches already in
+	// flight: after Quiesce no writer can touch a buffer, so the final
+	// stream flush and the unpinning below are race-free.
 	for _, e := range t.events {
 		collector.Unregister(t.q, e)
+	}
+	t.col.SetBindHook(nil)
+	t.col.Quiesce()
+	if t.stream != nil {
+		if err := t.stream.stop(); err != nil {
+			t.streamErr.Store(&err)
+		}
 	}
 	for _, h := range t.handles {
 		t.col.ReleaseCallbackHandle(h)
 	}
 	collector.Control(t.q, collector.ReqStop)
+	t.bufMu.Lock()
+	for ti := range t.pinned {
+		ti.SetTraceBuffer(nil)
+	}
+	t.bufMu.Unlock()
 }
 
 // StreamError returns the first error the streaming storage hit, if
-// any; valid after Detach.
-func (t *Tool) StreamError() error { return t.streamErr }
+// any; valid after Detach (and safe to call concurrently with it).
+func (t *Tool) StreamError() error {
+	if p := t.streamErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
 
 // QueryState asks the runtime for a thread's current state and wait ID
 // through the protocol (usable while attached).
@@ -374,25 +523,17 @@ func (t *Tool) Report() *Report {
 	for _, e := range t.events {
 		r.Events[e] = t.col.EventCount(e)
 	}
-	var ids []int32
-	bufs := make(map[int32]*perf.TraceBuffer)
-	t.buffers.Range(func(k, v any) bool {
-		id := k.(int32)
-		ids = append(ids, id)
-		bufs[id] = v.(*perf.TraceBuffer)
-		return true
-	})
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	stripper := perf.NewStripper()
-	for _, id := range ids {
-		b := bufs[id]
-		r.Samples += len(b.Samples())
-		r.Dropped += b.Dropped()
-		if id == 0 {
-			r.Regions = perf.RegionProfile(b.Samples(),
+	seenRegions := false
+	for _, tb := range t.snapshotBuffers() {
+		r.Samples += tb.buf.Len()
+		r.Dropped += tb.buf.Dropped()
+		if tb.id == 0 && !seenRegions {
+			seenRegions = true
+			r.Regions = perf.RegionProfile(tb.buf.Samples(),
 				int32(collector.EventFork), int32(collector.EventJoin))
 		}
-		r.JoinSites = append(r.JoinSites, perf.SiteProfiles(b, stripper)...)
+		r.JoinSites = append(r.JoinSites, perf.SiteProfiles(tb.buf, stripper)...)
 	}
 	if t.sampler != nil {
 		t.mu.Lock()
@@ -405,18 +546,29 @@ func (t *Tool) Report() *Report {
 }
 
 // WriteTraces serializes every per-thread buffer through write, which
-// receives the thread ID and must return the destination stream.
+// receives the thread ID and must return the destination stream. When
+// a thread number has several buffers (transient true-nested
+// descriptors reuse bound thread numbers), each extra buffer is
+// written as a further block to the same stream; read multi-block
+// streams back with perf.ReadTraceStream.
 func (t *Tool) WriteTraces(write func(thread int32) (io.Writer, error)) error {
-	var err error
-	t.buffers.Range(func(k, v any) bool {
-		var w io.Writer
-		if w, err = write(k.(int32)); err != nil {
-			return false
+	snap := t.snapshotBuffers()
+	sort.SliceStable(snap, func(i, j int) bool { return snap[i].id < snap[j].id })
+	writers := make(map[int32]io.Writer)
+	for _, tb := range snap {
+		w := writers[tb.id]
+		if w == nil {
+			var err error
+			if w, err = write(tb.id); err != nil {
+				return err
+			}
+			writers[tb.id] = w
 		}
-		err = perf.WriteTrace(w, v.(*perf.TraceBuffer))
-		return err == nil
-	})
-	return err
+		if err := perf.WriteTrace(w, tb.buf); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // WriteReport renders the report as text.
