@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test check race bench
+.PHONY: build test check race bench chaos
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,13 @@ test: build
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/perf ./internal/tool ./internal/collector
+
+# chaos runs the deterministic fault-injection suite — panicking and
+# hung callbacks, failing/torn trace writes, forced chunk drops —
+# under the race detector, bounded to one pass so it stays CI-sized.
+chaos:
+	$(GO) test -race -count=1 ./internal/faultinject ./internal/tool -run 'Chaos|Stream|Truncated'
+	$(GO) test -race -count=1 ./internal/perf -run TraceStream
 
 # race runs the detector over everything (slower; check covers the
 # concurrency-critical packages).

@@ -32,6 +32,8 @@ func main() {
 	sample := flag.Duration("sample", time.Millisecond, "state sampler period (0 disables)")
 	traceDir := flag.String("trace", "", "directory to write per-thread binary traces into (at exit)")
 	streamDir := flag.String("stream", "", "directory to stream trace chunks into during the run")
+	budget := flag.Duration("callback-budget", 0, "per-callback latency budget before the watchdog trips the breaker (0 disables)")
+	detachTimeout := flag.Duration("detach-timeout", 0, "bounded wait for in-flight callbacks at detach (0 waits forever)")
 	flag.Parse()
 
 	rt := omp.New(omp.Config{NumThreads: *threads})
@@ -46,6 +48,8 @@ func main() {
 	opts.SamplePeriod = *sample
 	opts.SampleThreads = *threads
 	opts.StreamDir = *streamDir
+	opts.CallbackBudget = *budget
+	opts.DetachTimeout = *detachTimeout
 	tl, err := tool.Attach(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ompprof:", err)
@@ -59,9 +63,10 @@ func main() {
 	}
 	elapsed := time.Since(start)
 	tl.Detach()
+	// A stream failure degrades the run, it does not void it: the
+	// in-memory report (with its discard accounting) is still printed.
 	if err := tl.StreamError(); err != nil {
-		fmt.Fprintln(os.Stderr, "ompprof: stream:", err)
-		os.Exit(1)
+		fmt.Fprintln(os.Stderr, "ompprof: warning: stream:", err)
 	}
 	if *streamDir != "" {
 		fmt.Printf("trace chunks streamed to %s\n", *streamDir)

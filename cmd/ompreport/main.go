@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -26,21 +27,38 @@ func main() {
 		os.Exit(2)
 	}
 	var samples []perf.Sample
+	var dropped uint64
+	truncated := 0
 	for _, path := range flag.Args() {
 		f, err := os.Open(path)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ompreport:", err)
 			os.Exit(1)
 		}
-		buf, err := perf.ReadTrace(f)
+		// Streamed traces are chunk-block sequences; a torn file still
+		// yields its gap-free prefix, which is worth analyzing.
+		buf, err := perf.ReadTraceStream(f)
 		f.Close()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ompreport: %s: %v\n", path, err)
-			os.Exit(1)
+			if !errors.Is(err, perf.ErrBadTrace) || buf == nil {
+				fmt.Fprintf(os.Stderr, "ompreport: %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			truncated++
+			fmt.Fprintf(os.Stderr, "ompreport: warning: %s: %v; using the intact prefix (%d samples)\n",
+				path, err, len(buf.Samples()))
 		}
+		dropped += buf.Dropped()
 		samples = append(samples, buf.Samples()...)
 	}
-	fmt.Printf("%d samples from %d trace files\n\n", len(samples), flag.NArg())
+	fmt.Printf("%d samples from %d trace files", len(samples), flag.NArg())
+	if dropped > 0 {
+		fmt.Printf(" (%d samples dropped at capture)", dropped)
+	}
+	if truncated > 0 {
+		fmt.Printf(" [%d truncated file(s): partial data]", truncated)
+	}
+	fmt.Printf("\n\n")
 
 	// Per-region timing from the master's fork/join markers, grouped
 	// by static region site (one row per parallel region of the source

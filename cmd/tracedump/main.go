@@ -48,9 +48,15 @@ func dump(path string, summary bool) error {
 	defer f.Close()
 	// Streamed traces are a sequence of chunk blocks; ReadTraceStream
 	// merges them (and reads single-block WriteTraces files unchanged).
+	// A torn file — truncated by a crash or a failed write — still
+	// yields its gap-free prefix: print what survived with a warning
+	// rather than discarding a salvageable trace.
 	buf, err := perf.ReadTraceStream(f)
 	if err != nil {
-		return err
+		if buf == nil || len(buf.Samples()) == 0 {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "tracedump: %s: %v; dumping the intact prefix\n", path, err)
 	}
 	samples := buf.Samples()
 	fmt.Printf("%s: %d samples, %d stacks, %d dropped\n",

@@ -46,10 +46,19 @@ type Collector struct {
 	// eventCounts tallies dispatched notifications per event.
 	eventCounts [NumEvents]atomic.Uint64
 
-	// inflight counts event callbacks currently executing; Quiesce
-	// spins on it so a detaching tool can wait out dispatches that
-	// were in flight when it unregistered.
-	inflight atomic.Int64
+	// guards holds the per-event inflight counters Quiesce spins on so
+	// a detaching tool can wait out dispatches that were in flight when
+	// it unregistered — per event (rather than one global counter) so a
+	// bounded quiesce can name the event a wedged callback belongs to.
+	guards [NumEvents]eventGuard
+
+	// budget and sampleMask configure the callback watchdog (see
+	// health.go): with a nonzero budget, dispatches whose per-event
+	// count masks to zero are timed, and an over-budget callback trips
+	// the breaker. health is the cold-path fault record.
+	budget     atomic.Int64
+	sampleMask uint64
+	health     healthState
 
 	// threads maps global thread numbers to their current descriptor
 	// slot. The slot indirection keeps rebinding cheap: the master
@@ -90,8 +99,9 @@ func WithGlobalQueue() Option {
 // New returns an empty, uninitialized Collector.
 func New(opts ...Option) *Collector {
 	c := &Collector{
-		threads: make(map[int32]*atomic.Pointer[ThreadInfo]),
-		handles: make(map[uint64]Callback),
+		threads:    make(map[int32]*atomic.Pointer[ThreadInfo]),
+		handles:    make(map[uint64]Callback),
+		sampleMask: sampleMaskFor(defaultWatchdogSample),
 	}
 	c.defaultQ = newQueue(c)
 	c.queueMaker = func() Queue { return newQueue(c) }
@@ -182,34 +192,47 @@ func (c *Collector) SetBindHook(h func(*ThreadInfo)) {
 // the common case when no tool is attached — cost one atomic load and
 // no further checking.
 func (c *Collector) Event(t *ThreadInfo, e Event) {
-	cb := c.callbacks[e].Load()
-	if cb == nil {
+	if c.callbacks[e].Load() == nil {
 		return
 	}
 	if !c.initialized.Load() || c.paused.Load() {
 		return
 	}
-	// Run the callback under the inflight guard so Quiesce can wait
-	// out dispatches racing an unregister. The callback is re-checked
-	// after the increment: a dispatch that loses the race against
-	// Store(nil) either sees nil here and backs out, or had its
-	// increment ordered before the unregistering thread's subsequent
-	// Quiesce loads — so Quiesce never misses a running callback.
-	c.inflight.Add(1)
+	c.dispatch(t, e)
+}
+
+// dispatch runs the registered callback under the event's inflight
+// guard so Quiesce can wait out dispatches racing an unregister. The
+// callback is re-checked after the increment: a dispatch that loses
+// the race against Store(nil) either sees nil here and backs out, or
+// had its increment ordered before the unregistering thread's
+// subsequent Quiesce loads — so Quiesce never misses a running
+// callback. The callback itself runs behind the fault-isolation
+// boundary (health.go): panics are contained, and with a watchdog
+// budget armed, sampled dispatches are timed.
+func (c *Collector) dispatch(t *ThreadInfo, e Event) {
+	g := &c.guards[e]
+	g.inflight.Add(1)
 	if cb := c.callbacks[e].Load(); cb != nil {
-		c.eventCounts[e].Add(1)
-		(*cb)(e, t)
+		n := c.eventCounts[e].Add(1)
+		if b := c.budget.Load(); b > 0 && n&c.sampleMask == 0 {
+			c.invokeTimed(cb, e, t, g, b)
+		} else {
+			c.invoke(cb, e, t)
+		}
 	}
-	c.inflight.Add(-1)
+	g.inflight.Add(-1)
 }
 
 // Quiesce blocks until no event callback is executing. Callers must
 // first unregister the events (or pause/stop the collector) so no new
 // dispatch can start; Quiesce then waits out the ones already past
 // the registration check. A detaching tool uses this to make its
-// final buffer drains race-free against callback appends.
+// final buffer drains race-free against callback appends. For a
+// deadline-bounded variant that survives a wedged callback, see
+// QuiesceWithin.
 func (c *Collector) Quiesce() {
-	for c.inflight.Load() != 0 {
+	for !c.quiescent() {
 		runtime.Gosched()
 	}
 }

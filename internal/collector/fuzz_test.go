@@ -1,8 +1,56 @@
 package collector
 
 import (
+	"encoding/binary"
 	"testing"
 )
+
+// wireErrorCode reads the error code the runtime wrote back into the
+// wire entry.
+func wireErrorCode(r *Request) ErrorCode {
+	return ErrorCode(int32(binary.LittleEndian.Uint32(r.buf[offEC:])))
+}
+
+// TestRequestErrorCodesPerEntry drives one multi-request buffer — with
+// trailing garbage after the terminator — through the protocol and
+// checks the exact per-request error codes: a malformed entry poisons
+// only itself, never its neighbors.
+func TestRequestErrorCodesPerEntry(t *testing.T) {
+	buf, _ := AppendRequest(nil, ReqStart, 0)
+	buf, mem := AppendRequest(buf, ReqState, StatePayloadSize) // ok
+	EncodeStateQuery(mem, 0)
+	buf, _ = AppendRequest(buf, ReqState, StatePayloadSize-2) // undersized mem
+	buf, _ = AppendRequest(buf, RequestKind(77), 4)           // unknown kind
+	buf, mem = AppendRequest(buf, ReqState, StatePayloadSize) // unknown thread
+	EncodeStateQuery(mem, 1234)
+	buf, mem = AppendRequest(buf, ReqRegister, RegisterPayloadSize) // bogus handle
+	EncodeRegister(mem, EventFork, 0xDEAD)
+	buf, _ = AppendRequest(buf, ReqStop, 0)
+	buf = Terminate(buf)
+	buf = append(buf, 0xBA, 0xD0, 0xFF) // garbage past the terminator
+
+	reqs, err := ParseRequests(buf)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	want := []ErrorCode{ErrOK, ErrOK, ErrMemTooSmall, ErrBadRequest, ErrThread, ErrBadRequest, ErrOK}
+	if len(reqs) != len(want) {
+		t.Fatalf("parsed %d entries, want %d", len(reqs), len(want))
+	}
+	c := New()
+	c.BindThread(NewThreadInfo(0))
+	for i := range reqs {
+		reqs[i].SetError(c.process(&reqs[i]))
+	}
+	for i := range reqs {
+		if reqs[i].EC != want[i] {
+			t.Errorf("req %d (%v): ec = %v, want %v", i, reqs[i].Kind, reqs[i].EC, want[i])
+		}
+		if wire := wireErrorCode(&reqs[i]); wire != reqs[i].EC {
+			t.Errorf("req %d: wire ec = %v, decoded %v", i, wire, reqs[i].EC)
+		}
+	}
+}
 
 // FuzzParseRequests drives the wire-protocol parser with arbitrary
 // bytes: it must never panic, must stop at buffer bounds, and any
@@ -30,6 +78,25 @@ func FuzzParseRequests(f *testing.F) {
 	f.Add(Terminate(all))
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0x7F, 1, 2, 3})
 
+	// A multi-request buffer with trailing garbage past the terminator:
+	// the parser must stop at the terminator and never look at the tail.
+	multi, _ := AppendRequest(nil, ReqStart, 0)
+	multi, _ = AppendRequest(multi, ReqState, StatePayloadSize)
+	multi, _ = AppendRequest(multi, ReqStop, 0)
+	f.Add(append(Terminate(multi), 0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x00, 0x00, 0x7F))
+
+	// Undersized mem: a state query whose payload cannot hold the
+	// response, and a region-ID query one byte short.
+	small, _ := AppendRequest(nil, ReqState, StatePayloadSize-1)
+	small, _ = AppendRequest(small, ReqCurrentPRID, PRIDPayloadSize-1)
+	f.Add(Terminate(small))
+
+	// Unknown request kinds, in and beyond the int32 range.
+	unk, _ := AppendRequest(nil, RequestKind(numRequestKinds), 4)
+	unk, _ = AppendRequest(unk, RequestKind(-1), 0)
+	unk, _ = AppendRequest(unk, RequestKind(0x7FFFFFFF), 8)
+	f.Add(Terminate(unk))
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		reqs, err := ParseRequests(data)
 		if err != nil && err != ErrTruncated {
@@ -37,15 +104,71 @@ func FuzzParseRequests(f *testing.F) {
 		}
 		c := New()
 		c.BindThread(NewThreadInfo(0))
+		// initialized mirrors the collector's start/stop state machine so
+		// the per-request error codes can be checked, not just "did not
+		// panic".
+		initialized := false
 		for i := range reqs {
-			ec := c.process(&reqs[i])
-			reqs[i].SetError(ec)
+			req := &reqs[i]
+			ec := c.process(req)
+			req.SetError(ec)
+
+			switch {
+			case !req.Kind.Valid():
+				if ec != ErrBadRequest {
+					t.Fatalf("req %d: unknown kind %d got %v, want ErrBadRequest", i, req.Kind, ec)
+				}
+			case req.Kind == ReqState && len(req.Mem) < StatePayloadSize:
+				if ec != ErrMemTooSmall {
+					t.Fatalf("req %d: undersized state mem got %v, want ErrMemTooSmall", i, ec)
+				}
+			case (req.Kind == ReqCurrentPRID || req.Kind == ReqParentPRID) && len(req.Mem) < PRIDPayloadSize:
+				if ec != ErrMemTooSmall {
+					t.Fatalf("req %d: undersized PRID mem got %v, want ErrMemTooSmall", i, ec)
+				}
+			case req.Kind == ReqStart:
+				want := ErrOK
+				if initialized {
+					want = ErrSequence
+				}
+				if ec != want {
+					t.Fatalf("req %d: start while initialized=%v got %v, want %v", i, initialized, ec, want)
+				}
+				initialized = true
+			case req.Kind == ReqStop:
+				want := ErrOK
+				if !initialized {
+					want = ErrSequence
+				}
+				if ec != want {
+					t.Fatalf("req %d: stop while initialized=%v got %v, want %v", i, initialized, ec, want)
+				}
+				initialized = false
+			case (req.Kind == ReqPause || req.Kind == ReqResume ||
+				req.Kind == ReqRegister || req.Kind == ReqUnregister) && !initialized:
+				if ec != ErrSequence {
+					t.Fatalf("req %d: %v before start got %v, want ErrSequence", i, req.Kind, ec)
+				}
+			}
+			// The code written back into the wire matches the decision.
+			if wire := wireErrorCode(req); wire != ec {
+				t.Fatalf("req %d: wire holds %v, process returned %v", i, wire, ec)
+			}
 		}
 		// Reparse after the runtime wrote error codes back: framing
-		// must be intact.
+		// must be intact and every entry must carry its error code.
 		if err == nil {
-			if _, err2 := ParseRequests(data); err2 != nil {
+			reqs2, err2 := ParseRequests(data)
+			if err2 != nil {
 				t.Fatalf("reparse failed: %v", err2)
+			}
+			if len(reqs2) != len(reqs) {
+				t.Fatalf("reparse found %d entries, first parse %d", len(reqs2), len(reqs))
+			}
+			for i := range reqs2 {
+				if reqs2[i].EC != reqs[i].EC {
+					t.Fatalf("req %d: reparsed EC %v, want %v", i, reqs2[i].EC, reqs[i].EC)
+				}
 			}
 		}
 	})

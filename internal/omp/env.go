@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // OpenMP environment-variable configuration: real OpenMP runtimes read
@@ -22,6 +23,8 @@ import (
 //
 //	GOMP_ATOMIC_EVENTS=true|false    atomic wait events (§IV-C.7)
 //	GOMP_LOOP_EVENTS=true|false      worksharing loop events (§VI)
+//	GOMP_CALLBACK_BUDGET=duration    callback watchdog budget (e.g. 100us)
+//	GOMP_WATCHDOG_SAMPLE=n           watchdog sampling interval
 
 // ConfigFromEnv parses the OpenMP environment variables from lookup
 // (typically os.LookupEnv) over the given base configuration. Unset
@@ -74,6 +77,20 @@ func ConfigFromEnv(base Config, lookup func(string) (string, bool)) (Config, err
 			return cfg, fmt.Errorf("omp: bad GOMP_LOOP_EVENTS %q", v)
 		}
 		cfg.LoopEvents = b
+	}
+	if v, ok := lookup("GOMP_CALLBACK_BUDGET"); ok {
+		d, err := time.ParseDuration(strings.TrimSpace(v))
+		if err != nil || d < 0 {
+			return cfg, fmt.Errorf("omp: bad GOMP_CALLBACK_BUDGET %q", v)
+		}
+		cfg.CallbackBudget = d
+	}
+	if v, ok := lookup("GOMP_WATCHDOG_SAMPLE"); ok {
+		n, err := strconv.Atoi(strings.TrimSpace(v))
+		if err != nil || n < 1 {
+			return cfg, fmt.Errorf("omp: bad GOMP_WATCHDOG_SAMPLE %q", v)
+		}
+		cfg.WatchdogSample = n
 	}
 	return cfg, nil
 }

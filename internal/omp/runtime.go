@@ -22,6 +22,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"goomp/internal/collector"
 	"goomp/internal/dl"
@@ -64,6 +65,18 @@ type Config struct {
 	// loops.
 	Schedule Schedule
 	Chunk    int
+
+	// CallbackBudget arms the collector's callback watchdog: a sampled
+	// event dispatch that observes a tool callback running longer than
+	// this budget trips a circuit breaker that pauses event generation.
+	// Zero (the default) disarms the watchdog.
+	CallbackBudget time.Duration
+
+	// WatchdogSample is the watchdog's dispatch-sampling interval: one
+	// dispatch in this many (per event, rounded up to a power of two)
+	// is timed. Zero keeps the collector default; 1 times every
+	// dispatch.
+	WatchdogSample int
 }
 
 // RT is an OpenMP runtime instance: a thread pool, its collector, and
@@ -124,9 +137,16 @@ func New(cfg Config) *RT {
 	if cfg.Chunk <= 0 {
 		cfg.Chunk = 1
 	}
+	var colOpts []collector.Option
+	if cfg.CallbackBudget > 0 {
+		colOpts = append(colOpts, collector.WithCallbackBudget(cfg.CallbackBudget))
+	}
+	if cfg.WatchdogSample > 0 {
+		colOpts = append(colOpts, collector.WithWatchdogSampling(cfg.WatchdogSample))
+	}
 	r := &RT{
 		cfg:        cfg,
-		col:        collector.New(),
+		col:        collector.New(colOpts...),
 		sites:      make(map[uintptr]*RegionSite),
 		critical:   make(map[string]*Lock),
 		nestedFree: make(map[int32][]*collector.ThreadInfo),

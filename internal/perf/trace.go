@@ -662,6 +662,13 @@ func ReadTrace(r io.Reader) (*TraceBuffer, error) {
 // by the streaming storage: one block per sealed chunk plus a final
 // residue block) until EOF and merges them into one buffer, re-basing
 // each block's stack IDs.
+//
+// A truncated or corrupt stream — a trace file torn by a mid-write
+// failure or an interrupted run — does not void the data before the
+// damage: the merged gap-free prefix of complete blocks is returned
+// alongside a non-nil error wrapping ErrBadTrace, so readers can
+// salvage a partial trace while still reporting the damage. Blocks are
+// written in append order, so the prefix has no holes.
 func ReadTraceStream(r io.Reader) (*TraceBuffer, error) {
 	br := bufio.NewReader(r)
 	merged := NewTraceBuffer(0, 0)
@@ -671,7 +678,10 @@ func ReadTraceStream(r io.Reader) (*TraceBuffer, error) {
 		}
 		block, err := ReadTrace(br)
 		if err != nil {
-			return nil, err
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				err = fmt.Errorf("%w: truncated block", ErrBadTrace)
+			}
+			return merged, err
 		}
 		base := int32(merged.NumStacks())
 		block.ForEachStack(func(_ int32, pcs []uintptr) {

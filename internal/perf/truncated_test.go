@@ -1,0 +1,108 @@
+package perf
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// buildStream writes nblocks trace blocks of blocksamples samples each
+// (with one stacked sample per block so stack rebasing is exercised)
+// and returns the encoding plus the per-block boundaries.
+func buildStream(t *testing.T, nblocks, blockSamples int) ([]byte, []int) {
+	t.Helper()
+	var out bytes.Buffer
+	var bounds []int
+	for blk := 0; blk < nblocks; blk++ {
+		b := NewTraceBuffer(blockSamples, 0)
+		for i := 0; i < blockSamples-1; i++ {
+			b.Append(Sample{Time: int64(blk*1000 + i), Thread: 0, Event: int32(i % 4), StackID: NoStack})
+		}
+		b.AppendStacked(Sample{Time: int64(blk*1000 + blockSamples - 1), Thread: 0},
+			[]uintptr{uintptr(0x1000 + blk), 0x2000})
+		if err := WriteTrace(&out, b); err != nil {
+			t.Fatal(err)
+		}
+		bounds = append(bounds, out.Len())
+	}
+	return out.Bytes(), bounds
+}
+
+func TestReadTraceStreamTornFileReturnsPrefix(t *testing.T) {
+	const nblocks, blockSamples = 3, 5
+	enc, bounds := buildStream(t, nblocks, blockSamples)
+
+	// Cut the stream at every byte offset inside the last block: the
+	// reader must return exactly the first two blocks and flag the
+	// damage with ErrBadTrace.
+	for cut := bounds[1] + 1; cut < bounds[2]; cut++ {
+		buf, err := ReadTraceStream(bytes.NewReader(enc[:cut]))
+		if !errors.Is(err, ErrBadTrace) {
+			t.Fatalf("cut %d: err = %v, want ErrBadTrace", cut, err)
+		}
+		if buf == nil {
+			t.Fatalf("cut %d: no prefix buffer returned", cut)
+		}
+		if got := len(buf.Samples()); got != 2*blockSamples {
+			t.Fatalf("cut %d: prefix holds %d samples, want %d", cut, got, 2*blockSamples)
+		}
+		// The prefix is gap-free and in order.
+		for i, s := range buf.Samples() {
+			want := int64((i/blockSamples)*1000 + i%blockSamples)
+			if s.Time != want {
+				t.Fatalf("cut %d: sample %d time %d, want %d (gap in prefix)", cut, i, s.Time, want)
+			}
+		}
+		// Stacks of complete blocks still resolve after rebasing.
+		if buf.NumStacks() != 2 {
+			t.Fatalf("cut %d: prefix stacks = %d, want 2", cut, buf.NumStacks())
+		}
+	}
+
+	// A cut exactly on a block boundary is simply a shorter valid
+	// stream: no error.
+	buf, err := ReadTraceStream(bytes.NewReader(enc[:bounds[1]]))
+	if err != nil {
+		t.Fatalf("boundary cut: %v", err)
+	}
+	if got := len(buf.Samples()); got != 2*blockSamples {
+		t.Fatalf("boundary cut: %d samples, want %d", got, 2*blockSamples)
+	}
+}
+
+func TestReadTraceStreamTrailingGarbageReturnsPrefix(t *testing.T) {
+	enc, _ := buildStream(t, 2, 4)
+	for _, garbage := range [][]byte{
+		[]byte("garbage that is not a block"),
+		{'P'},           // torn magic
+		{'P', 'S', 'X'}, // torn magic
+		{0, 0, 0, 0, 0}, // wrong magic
+		bytes.Repeat([]byte{0xff}, 64),
+	} {
+		stream := append(append([]byte(nil), enc...), garbage...)
+		buf, err := ReadTraceStream(bytes.NewReader(stream))
+		if !errors.Is(err, ErrBadTrace) {
+			t.Fatalf("garbage %q: err = %v, want ErrBadTrace", garbage[:min(8, len(garbage))], err)
+		}
+		if buf == nil || len(buf.Samples()) != 8 {
+			t.Fatalf("garbage tail voided the valid prefix: %v", buf)
+		}
+	}
+}
+
+func TestReadTraceStreamEmptyAndIntact(t *testing.T) {
+	// Empty stream: no blocks, no error.
+	buf, err := ReadTraceStream(bytes.NewReader(nil))
+	if err != nil || len(buf.Samples()) != 0 {
+		t.Fatalf("empty stream: buf=%v err=%v", buf, err)
+	}
+	// Intact stream: unchanged behavior.
+	enc, _ := buildStream(t, 3, 6)
+	buf, err = ReadTraceStream(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(buf.Samples()); got != 18 {
+		t.Fatalf("intact stream: %d samples, want 18", got)
+	}
+}

@@ -1,0 +1,226 @@
+package tool_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"goomp/internal/faultinject"
+	"goomp/internal/omp"
+	"goomp/internal/perf"
+	. "goomp/internal/tool"
+)
+
+// readDirSamples parses every streamed trace file (tolerating torn
+// files, whose complete-block prefix counts) and returns total samples
+// plus the per-file sample counts keyed by filename.
+func readDirSamples(t *testing.T, dir string) (int, map[string]int) {
+	t.Helper()
+	perFile := make(map[string]int)
+	total := 0
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, err := perf.ReadTraceStream(f)
+		f.Close()
+		if err != nil && !errors.Is(err, perf.ErrBadTrace) {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		perFile[e.Name()] = len(buf.Samples())
+		total += len(buf.Samples())
+	}
+	return total, perFile
+}
+
+func dispatched(rep *Report) uint64 {
+	var n uint64
+	for _, c := range rep.Events {
+		n += c
+	}
+	return n
+}
+
+// TestStreamTransientWriteErrorsRetryWithoutLoss: write errors within
+// the retry budget are retried on the writer goroutine and lose no
+// data — the stream finishes clean, with the retries surfaced in the
+// report.
+func TestStreamTransientWriteErrorsRetryWithoutLoss(t *testing.T) {
+	rt := omp.New(omp.Config{NumThreads: 1})
+	defer rt.Close()
+	plan := faultinject.New(11)
+	plan.FailWrite(0, 0, 2) // two clean failures, third attempt lands
+	plan.FailWrite(0, 1, 1)
+
+	dir := t.TempDir()
+	opts := FullMeasurement()
+	opts.StreamDir = dir
+	plan.Apply(&opts)
+	tl, err := AttachRuntime(rt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		rt.Parallel(func(tc *omp.ThreadCtx) {})
+	}
+	tl.Detach()
+
+	if err := tl.StreamError(); err != nil {
+		t.Fatalf("transient errors within the retry budget surfaced: %v", err)
+	}
+	rep := tl.Report()
+	total, _ := readDirSamples(t, dir)
+	if want := dispatched(rep); uint64(total) != want {
+		t.Errorf("parsed %d samples, want all %d dispatched", total, want)
+	}
+	if rep.StreamRetries < 3 {
+		t.Errorf("report shows %d retries, want >= 3", rep.StreamRetries)
+	}
+	if rep.StreamDiscardedSamples != 0 || rep.DegradedThreads != 0 {
+		t.Errorf("clean recovery still discarded %d samples / degraded %d threads",
+			rep.StreamDiscardedSamples, rep.DegradedThreads)
+	}
+}
+
+// TestStreamStopDrainsEveryThreadPastFailure: one thread's permanently
+// failing file must not stop the final flush from draining the other
+// threads' residues (the old stop() broke out of the loop at the first
+// error).
+func TestStreamStopDrainsEveryThreadPastFailure(t *testing.T) {
+	rt := omp.New(omp.Config{NumThreads: 4})
+	defer rt.Close()
+	plan := faultinject.New(5)
+	plan.FailOpen(2, 1<<20) // thread 2's file never opens
+
+	dir := t.TempDir()
+	opts := FullMeasurement()
+	opts.StreamDir = dir
+	plan.Apply(&opts)
+	tl, err := AttachRuntime(rt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		rt.Parallel(func(tc *omp.ThreadCtx) {})
+	}
+	tl.Detach()
+
+	serr := tl.StreamError()
+	if serr == nil || !strings.Contains(serr.Error(), "thread 2") {
+		t.Fatalf("stream error does not name the failed thread: %v", serr)
+	}
+	_, perFile := readDirSamples(t, dir)
+	for _, name := range []string{"trace.0.psxt", "trace.1.psxt", "trace.3.psxt"} {
+		if perFile[name] == 0 {
+			t.Errorf("%s empty: stop abandoned a healthy thread after thread 2 failed", name)
+		}
+	}
+	rep := tl.Report()
+	if rep.DegradedThreads != 1 {
+		t.Errorf("degraded threads = %d, want 1", rep.DegradedThreads)
+	}
+	if rep.StreamDiscardedSamples == 0 {
+		t.Error("thread 2's lost samples are not accounted")
+	}
+	total, _ := readDirSamples(t, dir)
+	got := uint64(total) + rep.StreamDiscardedSamples + rep.Dropped + uint64(rep.Samples)
+	if want := dispatched(rep); got != want {
+		t.Errorf("accounting: %d accounted, %d dispatched", got, want)
+	}
+}
+
+// TestStreamDegradedThreadRecoversAtStop: a thread whose file cannot
+// be opened during the run retains its chunks in memory; when the
+// final flush's reopen succeeds, everything lands on disk and nothing
+// is discarded.
+func TestStreamDegradedThreadRecoversAtStop(t *testing.T) {
+	rt := omp.New(omp.Config{NumThreads: 1})
+	defer rt.Close()
+	plan := faultinject.New(8)
+	// The streamer makes 1 + 3 open attempts during the run (all fail,
+	// degrading the thread); the stop-time recovery attempt succeeds.
+	plan.FailOpen(0, 4)
+
+	dir := t.TempDir()
+	opts := FullMeasurement()
+	opts.StreamDir = dir
+	plan.Apply(&opts)
+	tl, err := AttachRuntime(rt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		rt.Parallel(func(tc *omp.ThreadCtx) {})
+	}
+	tl.Detach()
+
+	rep := tl.Report()
+	total, _ := readDirSamples(t, dir)
+	if want := dispatched(rep); uint64(total) != want {
+		t.Errorf("recovered %d samples, want all %d dispatched", total, want)
+	}
+	if rep.StreamDiscardedSamples != 0 {
+		t.Errorf("stop-time recovery still discarded %d samples", rep.StreamDiscardedSamples)
+	}
+	if rep.DegradedThreads != 1 {
+		t.Errorf("degraded threads = %d, want 1 (the thread did degrade mid-run)", rep.DegradedThreads)
+	}
+	if plan.FiredCount(faultinject.KindOpenError) != 4 {
+		t.Errorf("open faults fired %d times, want 4", plan.FiredCount(faultinject.KindOpenError))
+	}
+}
+
+// TestStreamTornFileNotAppendedAfterTear: once a write tears a file,
+// no further block may be appended (it would corrupt the readable
+// prefix); the remaining chunks are discarded with exact accounting
+// and the prefix parses.
+func TestStreamTornFileNotAppendedAfterTear(t *testing.T) {
+	rt := omp.New(omp.Config{NumThreads: 1})
+	defer rt.Close()
+	plan := faultinject.New(13)
+	plan.TearWrite(0, 1) // second block tears mid-write
+
+	dir := t.TempDir()
+	opts := FullMeasurement()
+	opts.StreamDir = dir
+	plan.Apply(&opts)
+	tl, err := AttachRuntime(rt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		rt.Parallel(func(tc *omp.ThreadCtx) {})
+	}
+	tl.Detach()
+
+	serr := tl.StreamError()
+	if serr == nil || !strings.Contains(serr.Error(), "torn") {
+		t.Fatalf("torn write not reported: %v", serr)
+	}
+	f, err := os.Open(filepath.Join(dir, "trace.0.psxt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf, err := perf.ReadTraceStream(f)
+	if !errors.Is(err, perf.ErrBadTrace) {
+		t.Fatalf("torn file parsed with err=%v, want ErrBadTrace", err)
+	}
+	// The first block (one full chunk) survived intact ahead of the
+	// tear.
+	if got := len(buf.Samples()); got != perf.ChunkSamples {
+		t.Errorf("prefix holds %d samples, want the %d of the first chunk", got, perf.ChunkSamples)
+	}
+	rep := tl.Report()
+	got := uint64(len(buf.Samples())) + rep.StreamDiscardedSamples + rep.Dropped + uint64(rep.Samples)
+	if want := dispatched(rep); got != want {
+		t.Errorf("accounting after tear: %d accounted, %d dispatched", got, want)
+	}
+}

@@ -1,10 +1,15 @@
 package tool
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"goomp/internal/perf"
 )
@@ -17,23 +22,78 @@ import (
 // write-behind I/O that never stalls an OpenMP thread (a chunk is
 // dropped, with accounting, if the writer falls behind) — and the
 // files are read back with perf.ReadTraceStream.
+//
+// The storage is fault-isolated per thread. Every block is staged in
+// memory and written with a single Write call, so a clean failure
+// (zero bytes written) is retried with capped backoff — on the writer
+// goroutine, never an OpenMP thread — while a partial write marks the
+// file torn: appending again would corrupt the readable prefix that
+// perf.ReadTraceStream can still recover. A thread whose file fails
+// permanently enters degraded mode: its chunks are retained in memory
+// (bounded) for one recovery attempt at stop, and whatever still
+// cannot be written is discarded with exact chunk/sample accounting.
+// One thread's failure never touches another thread's file.
 
 // relayCapacity bounds the chunk hand-off channel. At ChunkSamples
 // samples per chunk this queues up to ~16k samples of backlog before
 // the buffers start dropping.
 const relayCapacity = 64
 
-// streamer owns the trace files and the chunk-writer goroutine. files
-// and err are touched only by that goroutine until stop's wg.Wait
-// establishes the ordering for the final flush, so neither needs a
-// lock.
+// degradedRetain bounds the chunks a degraded thread retains in memory
+// for the final recovery attempt (~10 KiB per chunk); beyond it chunks
+// are discarded with accounting.
+const degradedRetain = 64
+
+// Stream retry defaults; Options.StreamRetries/StreamBackoff override.
+const (
+	defaultStreamRetries = 3
+	defaultStreamBackoff = time.Millisecond
+	maxStreamBackoff     = 50 * time.Millisecond
+)
+
+// streamFile is the per-thread file state. It is touched only by the
+// writer goroutine until stop's wg.Wait establishes the ordering for
+// the final flush, so it needs no lock.
+type streamFile struct {
+	path string
+	w    io.WriteCloser
+	err  error // permanent failure; non-nil = degraded mode
+	torn bool  // a partial write left a torn block; no further appends
+	// retained is the degraded-mode in-memory backlog, replayed once
+	// at stop.
+	retained []*perf.SealedChunk
+}
+
+// streamer owns the trace files and the chunk-writer goroutine.
 type streamer struct {
 	t     *Tool
 	dir   string
 	relay chan *perf.SealedChunk
-	files map[int32]*os.File
-	err   error
+	files map[int32]*streamFile
+	seqs  map[int32]int // per-thread chunk sequence, for the drop hook
 
+	open       func(path string) (io.WriteCloser, error)
+	drop       func(thread int32, seq int) bool
+	retryLimit int
+	backoff    time.Duration
+
+	// Degradation accounting, exact: every chunk the streamer gives up
+	// on is counted here (and nowhere else). Atomics because Report
+	// reads them while the writer goroutine runs.
+	retries           atomic.Uint64 // transient-error retries performed
+	discardedChunks   atomic.Uint64 // chunks/blocks abandoned after retries + recovery
+	discardedSamples  atomic.Uint64 // samples inside those blocks
+	forcedDrops       atomic.Uint64 // chunks dropped by the DropChunk hook
+	forcedDropSamples atomic.Uint64
+	degraded          atomic.Int64 // threads that entered degraded mode
+
+	// finalDropped/finalRelayDropped capture each buffer's drop
+	// counters at stop, before Drain consumes them, so Report keeps
+	// exact totals after detach.
+	finalDropped      atomic.Uint64
+	finalRelayDropped atomic.Uint64
+
+	errs []error // writer-goroutine private until stop's wg.Wait
 	done chan struct{}
 	wg   sync.WaitGroup
 }
@@ -43,11 +103,25 @@ func startStreamer(t *Tool, dir string) (*streamer, error) {
 		return nil, fmt.Errorf("tool: stream dir: %w", err)
 	}
 	s := &streamer{
-		t:     t,
-		dir:   dir,
-		relay: make(chan *perf.SealedChunk, relayCapacity),
-		files: make(map[int32]*os.File),
-		done:  make(chan struct{}),
+		t:          t,
+		dir:        dir,
+		relay:      make(chan *perf.SealedChunk, relayCapacity),
+		files:      make(map[int32]*streamFile),
+		seqs:       make(map[int32]int),
+		open:       t.opts.OpenTraceFile,
+		drop:       t.opts.DropChunk,
+		retryLimit: t.opts.StreamRetries,
+		backoff:    t.opts.StreamBackoff,
+		done:       make(chan struct{}),
+	}
+	if s.open == nil {
+		s.open = func(path string) (io.WriteCloser, error) { return os.Create(path) }
+	}
+	if s.retryLimit <= 0 {
+		s.retryLimit = defaultStreamRetries
+	}
+	if s.backoff <= 0 {
+		s.backoff = defaultStreamBackoff
 	}
 	s.wg.Add(1)
 	go s.loop()
@@ -67,41 +141,205 @@ func (s *streamer) loop() {
 }
 
 // writeChunk appends one sealed chunk to its thread's trace file,
-// creating the file on first use. After the first error the streamer
-// discards further chunks; the error surfaces through StreamError.
+// creating the file on first use. Failures degrade only this thread:
+// the chunk is retained for the stop-time recovery attempt (or
+// discarded with accounting once the backlog bound is hit).
 func (s *streamer) writeChunk(sc *perf.SealedChunk) {
-	if s.err != nil {
+	thread := sc.Thread()
+	seq := s.seqs[thread]
+	s.seqs[thread] = seq + 1
+	if s.drop != nil && s.drop(thread, seq) {
+		s.forcedDrops.Add(1)
+		s.forcedDropSamples.Add(uint64(sc.Len()))
 		return
 	}
-	f, err := s.file(sc.Thread())
-	if err != nil {
-		s.err = err
+	sf := s.file(thread)
+	if sf.err != nil {
+		s.retain(sf, sc)
 		return
 	}
-	if err := sc.Encode(f); err != nil {
-		s.err = err
+	var staged bytes.Buffer
+	if err := sc.Encode(&staged); err != nil {
+		s.fail(thread, sf, fmt.Errorf("encode: %w", err))
+		s.retain(sf, sc)
+		return
+	}
+	if err := s.writeBlock(sf, staged.Bytes()); err != nil {
+		s.fail(thread, sf, err)
+		s.retain(sf, sc)
 	}
 }
 
-func (s *streamer) file(thread int32) (*os.File, error) {
-	f := s.files[thread]
-	if f == nil {
-		var err error
-		f, err = os.Create(filepath.Join(s.dir, fmt.Sprintf("trace.%d.psxt", thread)))
-		if err != nil {
-			return nil, err
-		}
-		s.files[thread] = f
+// file returns (creating if needed) the per-thread file state. A
+// failed open degrades the thread but still returns usable state so
+// its chunks are retained and accounted rather than lost.
+func (s *streamer) file(thread int32) *streamFile {
+	sf := s.files[thread]
+	if sf != nil {
+		return sf
 	}
-	return f, nil
+	sf = &streamFile{path: filepath.Join(s.dir, fmt.Sprintf("trace.%d.psxt", thread))}
+	s.files[thread] = sf
+	backoff := s.backoff
+	for attempt := 0; ; attempt++ {
+		w, err := s.open(sf.path)
+		if err == nil {
+			sf.w = w
+			return sf
+		}
+		if attempt >= s.retryLimit {
+			s.fail(thread, sf, fmt.Errorf("open: %w", err))
+			return sf
+		}
+		s.retries.Add(1)
+		backoff = s.sleep(backoff)
+	}
+}
+
+// writeBlock writes one staged trace block with a single Write call,
+// retrying clean failures (zero bytes written) with capped backoff. A
+// partial write is not retried: the file now holds a torn block, and
+// appending again would corrupt the prefix ReadTraceStream recovers.
+func (s *streamer) writeBlock(sf *streamFile, b []byte) error {
+	backoff := s.backoff
+	for attempt := 0; ; attempt++ {
+		n, err := sf.w.Write(b)
+		if err == nil {
+			return nil
+		}
+		if n > 0 {
+			sf.torn = true
+			return fmt.Errorf("torn write (%d/%d bytes): %w", n, len(b), err)
+		}
+		if attempt >= s.retryLimit {
+			return err
+		}
+		s.retries.Add(1)
+		backoff = s.sleep(backoff)
+	}
+}
+
+// sleep waits one backoff step (writer goroutine only — OpenMP threads
+// never block on the stream) and returns the next, capped step.
+func (s *streamer) sleep(backoff time.Duration) time.Duration {
+	time.Sleep(backoff)
+	if next := backoff * 2; next <= maxStreamBackoff {
+		return next
+	}
+	return backoff
+}
+
+// fail moves a thread's file into degraded mode and records why.
+func (s *streamer) fail(thread int32, sf *streamFile, err error) {
+	if sf.err == nil {
+		s.degraded.Add(1)
+	}
+	sf.err = err
+	s.errs = append(s.errs, fmt.Errorf("tool: stream thread %d: %w", thread, err))
+}
+
+// retain holds a chunk a degraded thread could not write, bounded;
+// beyond the bound the chunk is discarded with exact accounting.
+func (s *streamer) retain(sf *streamFile, sc *perf.SealedChunk) {
+	if len(sf.retained) < degradedRetain {
+		sf.retained = append(sf.retained, sc)
+		return
+	}
+	s.discardedChunks.Add(1)
+	s.discardedSamples.Add(uint64(sc.Len()))
+}
+
+// flushRetained makes one recovery attempt for a degraded thread's
+// in-memory backlog: reopen if the open itself had failed, replay the
+// retained chunks in order, and discard — with accounting — whatever
+// still cannot be written. On full success the thread leaves degraded
+// mode so its residue can follow.
+func (s *streamer) flushRetained(thread int32, sf *streamFile) {
+	if len(sf.retained) == 0 {
+		return
+	}
+	if sf.w == nil {
+		if w, err := s.open(sf.path); err == nil {
+			sf.w = w
+		}
+	}
+	if sf.w != nil && !sf.torn {
+		flushed := true
+		for i, sc := range sf.retained {
+			var staged bytes.Buffer
+			if err := sc.Encode(&staged); err == nil {
+				if err := s.writeBlock(sf, staged.Bytes()); err == nil {
+					continue
+				} else {
+					s.fail(thread, sf, fmt.Errorf("retained flush: %w", err))
+				}
+			}
+			sf.retained = sf.retained[i:]
+			flushed = false
+			break
+		}
+		if flushed {
+			sf.retained = nil
+			sf.err = nil
+			return
+		}
+	}
+	for _, sc := range sf.retained {
+		s.discardedChunks.Add(1)
+		s.discardedSamples.Add(uint64(sc.Len()))
+	}
+	sf.retained = nil
+}
+
+// writeResidue flushes one buffer's not-yet-relayed samples as a final
+// block. With the collector quiescent the buffer is drained (writer
+// handoff); with a wedged callback still running it falls back to the
+// concurrency-safe snapshot write and leaves the buffer untouched.
+func (s *streamer) writeResidue(tb threadBuf, sf *streamFile, quiesced bool) {
+	src := tb.buf
+	if quiesced {
+		s.finalDropped.Add(src.Dropped())
+		s.finalRelayDropped.Add(src.RelayDropped())
+		src = src.Drain()
+	}
+	if src.Len() == 0 && src.NumStacks() == 0 && src.Dropped() == 0 {
+		return
+	}
+	var staged bytes.Buffer
+	if err := perf.WriteTrace(&staged, src); err != nil {
+		s.errs = append(s.errs, fmt.Errorf("tool: stream thread %d: residue encode: %w", tb.id, err))
+		return
+	}
+	if sf.w == nil && !sf.torn {
+		// Last-chance reopen for a thread whose open failed during the
+		// run (flushRetained only reopens when it has a backlog).
+		if w, err := s.open(sf.path); err == nil {
+			sf.w = w
+			sf.err = nil
+		}
+	}
+	if sf.err != nil || sf.w == nil || sf.torn {
+		s.discardedChunks.Add(1)
+		s.discardedSamples.Add(uint64(src.Len()))
+		return
+	}
+	if err := s.writeBlock(sf, staged.Bytes()); err != nil {
+		s.fail(tb.id, sf, fmt.Errorf("residue: %w", err))
+		s.discardedChunks.Add(1)
+		s.discardedSamples.Add(uint64(src.Len()))
+	}
 }
 
 // stop shuts down the writer goroutine, drains the chunks still queued
-// on the relay, flushes each buffer's residue as a final block, and
-// closes the files. Detach calls it only after unregistering the
-// events and quiescing the collector, so no writer appends while the
-// residue is drained.
-func (s *streamer) stop() error {
+// on the relay, replays each degraded thread's retained backlog,
+// flushes every buffer's residue — continuing past per-thread failures
+// rather than abandoning the remaining threads — and closes every
+// file. The returned error joins every per-thread failure. quiesced
+// reports whether Detach actually quiesced the collector; when false
+// (a wedged callback survived the bounded wait) residues are written
+// from snapshots instead of drains, which is safe against the
+// still-running writer.
+func (s *streamer) stop(quiesced bool) error {
 	close(s.done)
 	s.wg.Wait()
 	for {
@@ -114,28 +352,20 @@ func (s *streamer) stop() error {
 		break
 	}
 	for _, tb := range s.t.snapshotBuffers() {
-		chunk := tb.buf.Drain()
-		if chunk.Len() == 0 && chunk.NumStacks() == 0 && chunk.Dropped() == 0 {
-			continue
-		}
-		if s.err != nil {
-			break
-		}
-		f, err := s.file(tb.id)
-		if err != nil {
-			s.err = err
-			break
-		}
-		if err := perf.WriteTrace(f, chunk); err != nil {
-			s.err = err
-			break
-		}
+		sf := s.file(tb.id)
+		// Replay the retained backlog first so blocks stay in append
+		// order, then the residue.
+		s.flushRetained(tb.id, sf)
+		s.writeResidue(tb, sf, quiesced)
 	}
-	for _, f := range s.files {
-		if err := f.Close(); err != nil && s.err == nil {
-			s.err = err
+	for thread, sf := range s.files {
+		s.flushRetained(thread, sf) // files whose buffer never resurfaced
+		if sf.w != nil {
+			if err := sf.w.Close(); err != nil {
+				s.errs = append(s.errs, fmt.Errorf("tool: stream close thread %d: %w", thread, err))
+			}
 		}
 	}
 	s.files = nil
-	return s.err
+	return errors.Join(s.errs...)
 }

@@ -80,6 +80,42 @@ type Options struct {
 	// like LU-HP that invoke small regions hundreds of thousands of
 	// times.
 	MaxSamplesPerSite int
+
+	// DetachTimeout bounds how long Detach waits for in-flight
+	// callbacks to finish. Zero waits indefinitely. When the bounded
+	// wait times out, Detach completes anyway: the wedged events are
+	// recorded in the report and the final stream flush falls back to
+	// concurrency-safe snapshots instead of buffer drains.
+	DetachTimeout time.Duration
+
+	// CallbackBudget arms the collector's callback watchdog at attach:
+	// a sampled dispatch that observes a callback running over this
+	// budget trips the circuit breaker, pausing event generation until
+	// a resume request. Zero leaves the watchdog disarmed.
+	CallbackBudget time.Duration
+
+	// OpenTraceFile overrides how the streaming storage opens each
+	// per-thread trace file (fault injection and tests). Nil means
+	// os.Create.
+	OpenTraceFile func(path string) (io.WriteCloser, error)
+
+	// WrapCallback, when set, wraps the tool's event callback before
+	// registration; the collector dispatches the wrapped callback
+	// (fault injection).
+	WrapCallback func(collector.Callback) collector.Callback
+
+	// DropChunk, when set, is consulted with the thread number and
+	// per-thread chunk sequence before each streamed chunk is written;
+	// returning true discards the chunk, counted by the report's
+	// forced-drop counters (fault injection).
+	DropChunk func(thread int32, seq int) bool
+
+	// StreamRetries and StreamBackoff tune the streaming writer's
+	// retry policy for transient I/O errors: up to StreamRetries
+	// retries per block, starting at StreamBackoff and doubling with a
+	// cap. Zero values take the defaults (3 retries, 1ms).
+	StreamRetries int
+	StreamBackoff time.Duration
 }
 
 // DefaultEvents are the events the paper's prototype registers.
@@ -133,6 +169,7 @@ type Tool struct {
 	sampler    *sampler
 	stream     *streamer
 	streamErr  atomic.Pointer[error]
+	wedged     atomic.Pointer[[]collector.WedgedEvent]
 	histogram  *perf.StateHistogram
 	attachedAt time.Time
 	detachOnce sync.Once
@@ -200,6 +237,9 @@ func AttachCollector(col *collector.Collector, opts Options) (*Tool, error) {
 	}
 	empty := make([]*perf.TraceBuffer, 0)
 	t.byID.Store(&empty)
+	if opts.CallbackBudget > 0 {
+		col.SetCallbackBudget(opts.CallbackBudget)
+	}
 	if ec := collector.Control(t.q, collector.ReqStart); ec != collector.ErrOK {
 		return nil, fmt.Errorf("tool: start request failed: %v", ec)
 	}
@@ -223,8 +263,12 @@ func AttachCollector(col *collector.Collector, opts Options) (*Tool, error) {
 		events = DefaultEvents()
 	}
 	t.events = events
+	cb := collector.Callback(t.callback)
+	if opts.WrapCallback != nil {
+		cb = opts.WrapCallback(cb)
+	}
 	for _, e := range events {
-		h := col.NewCallbackHandle(t.callback)
+		h := col.NewCallbackHandle(cb)
 		t.handles = append(t.handles, h)
 		if ec := collector.Register(t.q, e, h); ec != collector.ErrOK {
 			t.Detach()
@@ -406,8 +450,11 @@ func (t *Tool) Resume() error {
 }
 
 // Detach stops the sampler, unregisters the events, waits out
-// in-flight callbacks, flushes the streaming storage and sends the
-// stop request. It is idempotent and safe to call concurrently.
+// in-flight callbacks (bounded by Options.DetachTimeout when set),
+// flushes the streaming storage and sends the stop request. It is
+// idempotent and safe to call concurrently, and it completes even when
+// a callback is wedged: the wedged events are recorded for the report
+// and the stream flush degrades to snapshot writes.
 func (t *Tool) Detach() { t.detachOnce.Do(t.detach) }
 
 func (t *Tool) detach() {
@@ -415,15 +462,27 @@ func (t *Tool) detach() {
 		t.sampler.stop()
 	}
 	// Stop event generation first, then wait for dispatches already in
-	// flight: after Quiesce no writer can touch a buffer, so the final
-	// stream flush and the unpinning below are race-free.
+	// flight: once quiescent no writer can touch a buffer, so the final
+	// stream flush and the unpinning below are race-free. With a
+	// detach deadline the wait is bounded; on timeout the flush must
+	// not drain buffers (the wedged callback may still append), so it
+	// falls back to concurrency-safe snapshots.
 	for _, e := range t.events {
 		collector.Unregister(t.q, e)
 	}
 	t.col.SetBindHook(nil)
-	t.col.Quiesce()
+	quiesced := true
+	if d := t.opts.DetachTimeout; d > 0 {
+		ok, wedged := t.col.QuiesceWithin(d)
+		if !ok {
+			quiesced = false
+			t.wedged.Store(&wedged)
+		}
+	} else {
+		t.col.Quiesce()
+	}
 	if t.stream != nil {
-		if err := t.stream.stop(); err != nil {
+		if err := t.stream.stop(quiesced); err != nil {
 			t.streamErr.Store(&err)
 		}
 	}
@@ -515,6 +574,31 @@ type Report struct {
 	// MaxSamplesPerSite is off).
 	Throttled      uint64
 	ThrottledSites int
+
+	// RelayDropped counts sealed chunks discarded because the
+	// streaming relay was full (their samples are part of Dropped).
+	RelayDropped uint64
+	// StreamRetries counts transient stream-I/O failures that were
+	// retried (successfully or not).
+	StreamRetries uint64
+	// StreamDiscardedChunks/Samples count the trace blocks (and the
+	// samples inside them) the streaming storage gave up on after
+	// retries and the stop-time recovery attempt.
+	StreamDiscardedChunks  uint64
+	StreamDiscardedSamples uint64
+	// ForcedDrops/ForcedDropSamples count chunks discarded by the
+	// DropChunk fault-injection hook.
+	ForcedDrops       uint64
+	ForcedDropSamples uint64
+	// DegradedThreads counts threads whose trace file failed
+	// permanently and fell back to in-memory retention.
+	DegradedThreads int
+	// Health is the collector's fault-isolation snapshot: contained
+	// callback panics, watchdog breaker trips, wedged callbacks.
+	Health *collector.Health
+	// Wedged lists the events whose callbacks were still in flight
+	// when a bounded Detach gave up waiting (nil otherwise).
+	Wedged []collector.WedgedEvent
 }
 
 // Report builds the current report. It may be called after Detach.
@@ -528,6 +612,7 @@ func (t *Tool) Report() *Report {
 	for _, tb := range t.snapshotBuffers() {
 		r.Samples += tb.buf.Len()
 		r.Dropped += tb.buf.Dropped()
+		r.RelayDropped += tb.buf.RelayDropped()
 		if tb.id == 0 && !seenRegions {
 			seenRegions = true
 			r.Regions = perf.RegionProfile(tb.buf.Samples(),
@@ -542,6 +627,23 @@ func (t *Tool) Report() *Report {
 	}
 	r.Throttled = t.throttle.Skipped()
 	r.ThrottledSites = t.throttle.Sites()
+	if s := t.stream; s != nil {
+		// The final drains consumed the buffers' drop counters; the
+		// streamer captured them first so totals stay exact after
+		// Detach.
+		r.Dropped += s.finalDropped.Load()
+		r.RelayDropped += s.finalRelayDropped.Load()
+		r.StreamRetries = s.retries.Load()
+		r.StreamDiscardedChunks = s.discardedChunks.Load()
+		r.StreamDiscardedSamples = s.discardedSamples.Load()
+		r.ForcedDrops = s.forcedDrops.Load()
+		r.ForcedDropSamples = s.forcedDropSamples.Load()
+		r.DegradedThreads = int(s.degraded.Load())
+	}
+	r.Health = t.col.Health()
+	if p := t.wedged.Load(); p != nil {
+		r.Wedged = *p
+	}
 	return r
 }
 
@@ -594,6 +696,25 @@ func (r *Report) WriteTo(w io.Writer) (int64, error) {
 	}
 	if err := p("  samples stored: %d (dropped %d)\n", r.Samples, r.Dropped); err != nil {
 		return n, err
+	}
+	if r.RelayDropped > 0 || r.StreamRetries > 0 || r.StreamDiscardedChunks > 0 ||
+		r.ForcedDrops > 0 || r.DegradedThreads > 0 {
+		if err := p("  stream: %d retries, %d relay-dropped chunks, %d discarded chunks (%d samples), %d forced drops (%d samples), %d degraded threads\n",
+			r.StreamRetries, r.RelayDropped, r.StreamDiscardedChunks,
+			r.StreamDiscardedSamples, r.ForcedDrops, r.ForcedDropSamples,
+			r.DegradedThreads); err != nil {
+			return n, err
+		}
+	}
+	if r.Health != nil && !r.Health.Healthy() {
+		if err := p("  %s\n", r.Health); err != nil {
+			return n, err
+		}
+	}
+	for _, w := range r.Wedged {
+		if err := p("  wedged at detach: %s (running %v)\n", w.Event, w.Age); err != nil {
+			return n, err
+		}
 	}
 	if len(r.Regions) > 0 {
 		if err := p("  parallel regions timed: %d\n", len(r.Regions)); err != nil {
