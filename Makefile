@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test check race bench chaos
+.PHONY: build test check race bench chaos obs-demo
 
 build:
 	$(GO) build ./...
@@ -30,3 +30,9 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# obs-demo runs an EPCC sweep with the live observability plane on a
+# known port; scrape /metrics or follow it from another terminal with:
+#   go run ./cmd/ompreport -follow 127.0.0.1:9461
+obs-demo:
+	$(GO) run ./cmd/epccbench -threads 2,4 -obs 127.0.0.1:9461

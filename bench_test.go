@@ -12,8 +12,11 @@ package goomp_test
 
 import (
 	"fmt"
+	"io"
+	"net/http"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"goomp/internal/collector"
 	"goomp/internal/epcc"
@@ -475,6 +478,73 @@ func BenchmarkEventOverhead(b *testing.B) {
 			c.Event(ti, collector.EventThrBeginIBar)
 		}
 	})
+	// event-full-obs is event-full with the observability plane enabled
+	// (registry wired, HTTP server up, /metrics verified live before and
+	// after the timed loop): the acceptance check that enabling the
+	// plane adds nothing to the measurement path — obs reads the hot
+	// path's existing atomics and snapshots at scrape time only.
+	b.Run("event-full-obs", func(b *testing.B) {
+		c := collector.New()
+		ti := collector.NewThreadInfo(0)
+		c.BindThread(ti)
+		tl, err := tool.AttachCollector(c, tool.Options{
+			Measure: true, BufferCap: 1 << 20, ObsAddr: "127.0.0.1:0",
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer tl.Detach()
+		scrapeMetrics(b, tl.ObsURL())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Event(ti, collector.EventThrBeginIBar)
+		}
+		b.StopTimer()
+		scrapeMetrics(b, tl.ObsURL())
+	})
+	// event-full-obs-scraped adds a goroutine scraping /metrics in a
+	// tight-ish loop during the timed section. The scrape never blocks
+	// the writer (lock-free snapshots), but its CPU is real: on a
+	// multi-core host it lands on the scraper's core; on a single-CPU
+	// host it time-shares with the event loop, and this subbenchmark
+	// quantifies that worst case.
+	b.Run("event-full-obs-scraped", func(b *testing.B) {
+		c := collector.New()
+		ti := collector.NewThreadInfo(0)
+		c.BindThread(ti)
+		tl, err := tool.AttachCollector(c, tool.Options{
+			Measure: true, BufferCap: 1 << 20, ObsAddr: "127.0.0.1:0",
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer tl.Detach()
+		stop := make(chan struct{})
+		var scraped atomic.Int64
+		go func() {
+			client := &http.Client{Timeout: 10 * time.Second}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					if resp, err := client.Get(tl.ObsURL() + "/metrics"); err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						scraped.Add(1)
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Event(ti, collector.EventThrBeginIBar)
+		}
+		b.StopTimer()
+		close(stop)
+		b.ReportMetric(float64(scraped.Load()), "scrapes")
+	})
 	b.Run("event-full-parallel", func(b *testing.B) {
 		c := collector.New()
 		const nthreads = 64
@@ -497,6 +567,18 @@ func BenchmarkEventOverhead(b *testing.B) {
 			}
 		})
 	})
+}
+
+// scrapeMetrics pulls /metrics once and fails the benchmark if the
+// plane is not serving.
+func scrapeMetrics(b *testing.B, base string) {
+	b.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		b.Fatalf("obs plane not serving: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
 }
 
 // sanitize makes benchmark sub-names shell-friendly.

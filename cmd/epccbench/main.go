@@ -18,6 +18,7 @@ import (
 	"goomp/internal/epcc"
 	"goomp/internal/experiments"
 	"goomp/internal/omp"
+	"goomp/internal/tool"
 )
 
 func main() {
@@ -27,6 +28,7 @@ func main() {
 	delay := flag.Int("delay", 64, "delay-loop length inside each construct")
 	sched := flag.Bool("sched", false, "also run the schedule benchmarks")
 	array := flag.Bool("array", false, "also run the data-clause (arraybench) benchmarks")
+	obsAddr := flag.String("obs", os.Getenv("GOMP_OBS_ADDR"), "serve the live observability plane on this host:port during the ORA-on measurements; defaults to $GOMP_OBS_ADDR, empty disables")
 	flag.Parse()
 
 	threads, err := parseInts(*threadsFlag)
@@ -35,9 +37,17 @@ func main() {
 		os.Exit(1)
 	}
 
+	var toolOpts *tool.Options
+	if *obsAddr != "" {
+		o := tool.FullMeasurement()
+		o.ObsAddr = *obsAddr
+		toolOpts = &o
+		fmt.Printf("observability plane on %s during ORA-on runs\n", *obsAddr)
+	}
+
 	fmt.Printf("Figure 4: EPCC directive overhead increase with ORA enabled\n")
 	fmt.Printf("(inner=%d outer=%d delay=%d)\n\n", *inner, *outer, *delay)
-	results, err := experiments.Figure4(threads, *inner, *outer, *delay)
+	results, err := experiments.Figure4Tool(threads, *inner, *outer, *delay, toolOpts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "epccbench:", err)
 		os.Exit(1)

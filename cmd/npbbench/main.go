@@ -27,6 +27,7 @@ func main() {
 	benchFlag := flag.String("bench", "", "comma-separated benchmark subset (default all)")
 	csvOut := flag.Bool("csv", false, "emit the figure rows as CSV and exit")
 	tablesOnly := flag.Bool("tables", false, "print Table I only (skip overhead timing)")
+	obsAddr := flag.String("obs", os.Getenv("GOMP_OBS_ADDR"), "serve the live observability plane on this host:port during the profiled runs; defaults to $GOMP_OBS_ADDR, empty disables")
 	flag.Parse()
 
 	class := npb.Class((*classFlag)[0])
@@ -57,12 +58,17 @@ func main() {
 		}
 	}
 
+	toolOpts := tool.FullMeasurement()
+	toolOpts.ObsAddr = *obsAddr
+	if *obsAddr != "" {
+		fmt.Printf("observability plane on %s during profiled runs\n", *obsAddr)
+	}
 	params := experiments.Figure5Params{
 		Class:        class,
 		ThreadCounts: threads,
 		Reps:         *reps,
 		Benchmarks:   names,
-		ToolOptions:  tool.FullMeasurement(),
+		ToolOptions:  toolOpts,
 	}
 	rows, err := experiments.Figure5(params)
 	if err != nil {

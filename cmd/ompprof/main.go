@@ -8,7 +8,7 @@
 // Usage:
 //
 //	ompprof [-workload pi|EP|CG|MG|FT|BT|SP|LU|LU-HP] [-class S|W|A|B]
-//	        [-threads 4] [-sample 1ms] [-trace DIR]
+//	        [-threads 4] [-sample 1ms] [-trace DIR] [-obs HOST:PORT]
 package main
 
 import (
@@ -34,6 +34,7 @@ func main() {
 	streamDir := flag.String("stream", "", "directory to stream trace chunks into during the run")
 	budget := flag.Duration("callback-budget", 0, "per-callback latency budget before the watchdog trips the breaker (0 disables)")
 	detachTimeout := flag.Duration("detach-timeout", 0, "bounded wait for in-flight callbacks at detach (0 waits forever)")
+	obsAddr := flag.String("obs", os.Getenv("GOMP_OBS_ADDR"), "serve the live observability plane (/metrics, /healthz, /state, /profile) on this host:port while attached; defaults to $GOMP_OBS_ADDR, empty disables")
 	flag.Parse()
 
 	rt := omp.New(omp.Config{NumThreads: *threads})
@@ -50,10 +51,14 @@ func main() {
 	opts.StreamDir = *streamDir
 	opts.CallbackBudget = *budget
 	opts.DetachTimeout = *detachTimeout
+	opts.ObsAddr = *obsAddr
 	tl, err := tool.Attach(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ompprof:", err)
 		os.Exit(1)
+	}
+	if url := tl.ObsURL(); url != "" {
+		fmt.Printf("observability plane at %s (follow with: ompreport -follow %s)\n", url, url)
 	}
 
 	start := time.Now()

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"goomp/internal/obs"
+)
+
+// followPlane polls a live observability plane and renders a
+// live-updating report: region profile, thread states, and health.
+// It returns nil once the plane disappears (the measured run detached)
+// or maxPolls polls have been rendered.
+func followPlane(base string, interval time.Duration, maxPolls int) error {
+	base = strings.TrimRight(base, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	rendered := 0
+	for {
+		var profile obs.ProfileSnapshot
+		var state obs.StateSnapshot
+		var health obs.HealthStatus
+		if err := getJSON(client, base+"/profile", &profile); err != nil {
+			if rendered > 0 {
+				// The plane served us before and is gone now: the run
+				// detached. That is the normal way a follow ends.
+				fmt.Println("\nplane went away (run detached)")
+				return nil
+			}
+			return fmt.Errorf("poll %s: %w", base, err)
+		}
+		// State and health are best-effort per poll; /healthz answers
+		// with its JSON body on 503 too, so decode errors are real.
+		getJSON(client, base+"/state", &state)
+		healthErr := getJSON(client, base+"/healthz", &health)
+
+		rendered++
+		render(base, rendered, profile, state, health, healthErr)
+		if maxPolls > 0 && rendered >= maxPolls {
+			return nil
+		}
+		time.Sleep(interval)
+	}
+}
+
+// getJSON decodes one endpoint's body; non-2xx responses that still
+// carry a JSON body (the degraded /healthz) decode without error.
+func getJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return fmt.Errorf("%s: not served", url)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// render writes one refresh of the live report. When stdout is a
+// terminal the previous frame is cleared so the report updates in
+// place; otherwise frames are appended, which keeps piped output
+// usable.
+func render(base string, poll int, profile obs.ProfileSnapshot, state obs.StateSnapshot, health obs.HealthStatus, healthErr error) {
+	if fi, err := os.Stdout.Stat(); err == nil && fi.Mode()&os.ModeCharDevice != 0 {
+		fmt.Print("\033[H\033[2J")
+	} else if poll > 1 {
+		fmt.Println()
+	}
+	status := "healthy"
+	switch {
+	case healthErr != nil:
+		status = "health unknown"
+	case !health.Healthy:
+		status = "DEGRADED"
+		if health.BreakerTripped {
+			status += " (breaker tripped)"
+		}
+	}
+	fmt.Printf("following %s  poll %d  uptime %.1fs  %s\n",
+		base, poll, health.UptimeSeconds, status)
+	for _, line := range health.Panics {
+		fmt.Printf("  panic: %s\n", line)
+	}
+	for _, line := range health.Trips {
+		fmt.Printf("  trip: %s\n", line)
+	}
+	for _, line := range health.Wedged {
+		fmt.Printf("  wedged: %s\n", line)
+	}
+
+	fmt.Printf("\nparallel regions (%d samples in buffers):\n", profile.Samples)
+	fmt.Printf("  %-18s %8s %14s %14s %14s\n", "site", "calls", "total", "mean", "max")
+	for _, s := range profile.Sites {
+		fmt.Printf("  %-18s %8d %14v %14v %14v\n", s.Site, s.Calls,
+			time.Duration(s.TotalNs), time.Duration(s.MeanNs), time.Duration(s.MaxNs))
+	}
+	if len(profile.Sites) == 0 {
+		fmt.Println("  (none yet)")
+	}
+
+	if len(state.Threads) > 0 {
+		fmt.Println("\nthread states:")
+		for _, t := range state.Threads {
+			if t.WaitID != 0 {
+				fmt.Printf("  thread %-3d %s (wait %#x)\n", t.Thread, t.State, t.WaitID)
+			} else {
+				fmt.Printf("  thread %-3d %s\n", t.Thread, t.State)
+			}
+		}
+	}
+}

@@ -1,12 +1,15 @@
-// Command ompreport is the offline analyzer: it reads the binary
+// Command ompreport is the analyzer: offline, it reads the binary
 // per-thread traces a collector tool wrote (ompprof -trace DIR) and
 // reconstructs per-thread activity timelines, per-region timing and a
 // barrier-imbalance metric — the after-the-run reconstruction step of
-// the paper's measurement pipeline.
+// the paper's measurement pipeline. With -follow it instead polls a
+// live observability plane (ompprof -obs / GOMP_OBS_ADDR) and renders
+// a refreshing report while the program still runs.
 //
 // Usage:
 //
 //	ompreport trace.0.psxt [trace.1.psxt ...]
+//	ompreport -follow http://127.0.0.1:9464 [-interval 1s] [-polls N]
 package main
 
 import (
@@ -14,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"goomp/internal/analysis"
 	"goomp/internal/collector"
@@ -21,9 +25,19 @@ import (
 )
 
 func main() {
+	follow := flag.String("follow", "", "base URL of a live observability plane to poll instead of reading trace files")
+	interval := flag.Duration("interval", time.Second, "poll period with -follow")
+	polls := flag.Int("polls", 0, "with -follow, stop after this many polls (0 = until the plane goes away)")
 	flag.Parse()
+	if *follow != "" {
+		if err := followPlane(*follow, *interval, *polls); err != nil {
+			fmt.Fprintln(os.Stderr, "ompreport:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: ompreport trace.psxt ...")
+		fmt.Fprintln(os.Stderr, "usage: ompreport trace.psxt ... | ompreport -follow URL")
 		os.Exit(2)
 	}
 	var samples []perf.Sample

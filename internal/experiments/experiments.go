@@ -390,6 +390,13 @@ func decompRow(name, cfg string, off, cb, full time.Duration) DecompositionRow {
 // Figure4 regenerates the EPCC experiment at each thread count; it is
 // a thin wrapper over epcc.Compare.
 func Figure4(threadCounts []int, inner, outer, delay int) (map[int][]epcc.OverheadRow, error) {
+	return Figure4Tool(threadCounts, inner, outer, delay, nil)
+}
+
+// Figure4Tool is Figure4 with explicit tool options for the "on"
+// measurements — how the benchmark drivers enable the observability
+// plane during a run. Nil opts means the paper's full measurement.
+func Figure4Tool(threadCounts []int, inner, outer, delay int, opts *tool.Options) (map[int][]epcc.OverheadRow, error) {
 	out := make(map[int][]epcc.OverheadRow)
 	for _, threads := range threadCounts {
 		rows, err := epcc.Compare(epcc.CompareParams{
@@ -397,6 +404,7 @@ func Figure4(threadCounts []int, inner, outer, delay int) (map[int][]epcc.Overhe
 			InnerReps:   inner,
 			OuterReps:   outer,
 			DelayLength: delay,
+			ToolOptions: opts,
 		})
 		if err != nil {
 			return nil, err

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Log-linear duration histograms. Each power-of-two octave of the
+// nanosecond range is split into histSubBuckets linear sub-buckets, so
+// bucket width is bounded relative to the value (≤ 1/histSubBuckets of
+// the bucket's lower bound) while the whole range from 1ns to minutes
+// fits in a few hundred buckets — the same shape HDR-style profilers
+// and the Go runtime's time histograms use. All mutation is a pair of
+// atomic adds, so histograms may be fed and snapshotted concurrently
+// without locks.
+
+const (
+	histSubBits    = 3
+	histSubBuckets = 1 << histSubBits // 8 linear sub-buckets per octave
+
+	// histMaxShift bounds the covered range: values needing a larger
+	// shift than this land in the overflow bucket. 36 covers up to
+	// (16<<36)-1 ns ≈ 18 minutes, far beyond any fork→join latency.
+	histMaxShift = 36
+
+	numHistBuckets = (histMaxShift+1)<<histSubBits + histSubBuckets + 1
+)
+
+// histBucket maps a nanosecond value to its bucket index. Values below
+// histSubBuckets get exact unit buckets; above, the octave is the
+// shift o that brings the value into [histSubBuckets, 2*histSubBuckets)
+// and the sub-bucket is the shifted value itself.
+func histBucket(u uint64) int {
+	if u < histSubBuckets {
+		return int(u)
+	}
+	o := bits.Len64(u) - histSubBits - 1
+	if o > histMaxShift {
+		return numHistBuckets - 1
+	}
+	return o<<histSubBits + int(u>>uint(o))
+}
+
+// histBucketBound returns the inclusive upper bound in nanoseconds of
+// bucket i, or -1 for the overflow bucket (+Inf).
+func histBucketBound(i int) int64 {
+	if i >= numHistBuckets-1 {
+		return -1
+	}
+	if i < histSubBuckets {
+		return int64(i)
+	}
+	o := uint(i>>histSubBits) - 1
+	m := uint64(i&(histSubBuckets-1)) | histSubBuckets
+	return int64((m+1)<<o) - 1
+}
+
+// Histogram is a log-linear duration histogram with atomic buckets.
+// The zero value is ready to use.
+type Histogram struct {
+	counts [numHistBuckets]atomic.Uint64
+	sum    atomic.Int64 // nanoseconds
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) { h.ObserveNs(int64(d)) }
+
+// ObserveNs records one duration given in nanoseconds; negative values
+// clamp to zero.
+func (h *Histogram) ObserveNs(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[histBucket(uint64(v))].Add(1)
+	h.sum.Add(v)
+}
+
+// HistogramBucket is one occupied bucket of a snapshot. UpperNs is the
+// bucket's inclusive upper bound in nanoseconds, -1 meaning +Inf.
+type HistogramBucket struct {
+	UpperNs int64  `json:"upper_ns"`
+	Count   uint64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram: the
+// occupied buckets in ascending bound order, the total count (the sum
+// of the bucket counts, so the snapshot is internally consistent even
+// against concurrent observers) and the value sum.
+type HistogramSnapshot struct {
+	Count   uint64            `json:"count"`
+	SumNs   int64             `json:"sum_ns"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot captures the histogram's occupied buckets. It is safe to
+// call concurrently with ObserveNs; the result is weakly consistent
+// (it may trail in-flight observations).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		s.Buckets = append(s.Buckets, HistogramBucket{UpperNs: histBucketBound(i), Count: c})
+		s.Count += c
+	}
+	s.SumNs = h.sum.Load()
+	return s
+}

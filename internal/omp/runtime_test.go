@@ -103,6 +103,49 @@ func TestStaticBoundsPartitionProperty(t *testing.T) {
 	}
 }
 
+func TestStaticBoundsOwnershipProperty(t *testing.T) {
+	// The partition property stated directly on an ownership array:
+	// every iteration in [0,n) is claimed by exactly one thread (so the
+	// blocks are disjoint and cover the domain exactly), every block is
+	// in range, and blocks are ordered by thread id.
+	f := func(nRaw uint16, pRaw uint8) bool {
+		n := int(nRaw % 4096)
+		p := 1 + int(pRaw%64)
+		owner := make([]int, n)
+		for i := range owner {
+			owner[i] = -1
+		}
+		prevLo := -1
+		for tid := 0; tid < p; tid++ {
+			lo, hi := StaticBounds(tid, p, n)
+			if lo < 0 || hi < lo || hi > n {
+				return false // block out of range
+			}
+			if hi > lo && lo <= prevLo {
+				return false // non-empty blocks must be ordered by tid
+			}
+			if hi > lo {
+				prevLo = lo
+			}
+			for i := lo; i < hi; i++ {
+				if owner[i] != -1 {
+					return false // iteration claimed twice
+				}
+				owner[i] = tid
+			}
+		}
+		for _, o := range owner {
+			if o == -1 {
+				return false // iteration never claimed
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestStaticBoundsDegenerate(t *testing.T) {
 	if lo, hi := StaticBounds(0, 0, 10); lo != 0 || hi != 0 {
 		t.Errorf("zero threads: (%d,%d)", lo, hi)

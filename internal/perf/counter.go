@@ -52,8 +52,15 @@ func (s *Stopwatch) Total() time.Duration { return s.total }
 // Laps returns the number of completed Start/Stop intervals.
 func (s *Stopwatch) Laps() int { return s.laps }
 
-// Reset zeroes the stopwatch.
-func (s *Stopwatch) Reset() { *s = Stopwatch{started: -1} }
+// Reset zeroes the stopwatch. Resetting while running would silently
+// discard the live interval and desync Laps/Total, so it panics like
+// the other misuse paths.
+func (s *Stopwatch) Reset() {
+	if s.running {
+		panic("perf: Stopwatch.Reset while running")
+	}
+	*s = Stopwatch{started: -1}
+}
 
 // Time runs fn and returns its wall-clock duration on the counter.
 func Time(fn func()) time.Duration {

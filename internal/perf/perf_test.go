@@ -125,6 +125,12 @@ func TestStopwatchMisusePanics(t *testing.T) {
 	mustPanic("stop while stopped", sw.Stop)
 	sw.Start()
 	mustPanic("start while running", sw.Start)
+	mustPanic("reset while running", sw.Reset)
+	// Reset must not have clobbered the live interval.
+	sw.Stop()
+	if sw.Laps() != 1 {
+		t.Errorf("laps after failed reset = %d, want 1", sw.Laps())
+	}
 }
 
 func TestTimeHelper(t *testing.T) {
@@ -313,6 +319,61 @@ func TestRegionProfile(t *testing.T) {
 	if r2.Region != 2 || r2.Calls != 2 || r2.TotalTime != 100 ||
 		r2.MinTime != 40 || r2.MaxTime != 60 {
 		t.Errorf("region 2 stats = %+v", r2)
+	}
+}
+
+func TestRegionProfileNested(t *testing.T) {
+	// An outer region forks at 10; a nested inner region forks at 20 and
+	// joins at 50 (30ns); the outer joins at 100 (90ns). The old single
+	// lastFork pairing attributed 100-20=80ns to the outer region and
+	// dropped the inner join entirely.
+	samples := []Sample{
+		{Time: 10, Event: 0, Site: 0xA},
+		{Time: 20, Event: 0, Site: 0xB},
+		{Time: 50, Event: 1, Region: 2, Site: 0xB},  // inner join: 30ns
+		{Time: 100, Event: 1, Region: 1, Site: 0xA}, // outer join: 90ns
+	}
+	stats := RegionProfile(samples, 0, 1)
+	if len(stats) != 2 {
+		t.Fatalf("regions = %d, want 2", len(stats))
+	}
+	if stats[0].Region != 1 || stats[0].TotalTime != 90 {
+		t.Errorf("outer region stats = %+v, want 90ns", stats[0])
+	}
+	if stats[1].Region != 2 || stats[1].TotalTime != 30 {
+		t.Errorf("inner region stats = %+v, want 30ns", stats[1])
+	}
+
+	bySite := RegionProfileBySite(samples, 0, 1)
+	if len(bySite) != 2 {
+		t.Fatalf("sites = %d, want 2", len(bySite))
+	}
+	// Sorted by descending total time: site A (90) before site B (30).
+	if bySite[0].Site != 0xA || bySite[0].TotalTime != 90 {
+		t.Errorf("site A stats = %+v, want 90ns", bySite[0])
+	}
+	if bySite[1].Site != 0xB || bySite[1].TotalTime != 30 {
+		t.Errorf("site B stats = %+v, want 30ns", bySite[1])
+	}
+}
+
+func TestForkJoinDurationsInterleaved(t *testing.T) {
+	// Two threads forking nested parallel regions concurrently: their
+	// samples interleave in time, but pairing is per thread, so thread
+	// 1's join must not consume thread 2's later fork.
+	samples := []Sample{
+		{Time: 10, Event: 0, Thread: 1},
+		{Time: 15, Event: 0, Thread: 2},
+		{Time: 40, Event: 1, Thread: 1, Region: 1}, // 40-10 = 30ns
+		{Time: 65, Event: 1, Thread: 2, Region: 2}, // 65-15 = 50ns
+		{Time: 70, Event: 1, Thread: 3, Region: 3}, // no fork on thread 3: ignored
+	}
+	got := make(map[uint64]time.Duration)
+	ForkJoinDurations(samples, 0, 1, func(s *Sample, d time.Duration) {
+		got[s.Region] = d
+	})
+	if len(got) != 2 || got[1] != 30 || got[2] != 50 {
+		t.Errorf("durations = %v, want region1=30ns region2=50ns", got)
 	}
 }
 

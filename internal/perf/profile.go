@@ -71,40 +71,58 @@ func (h *StateHistogram) Merge(other *StateHistogram) {
 	}
 }
 
+// ForkJoinDurations pairs fork and join samples and calls visit with
+// each completed invocation's join sample and duration, in join order.
+//
+// Pairing is LIFO per forking thread: each thread keeps a stack of
+// pending fork times, a join pops its own thread's most recent fork.
+// That matches nesting semantics — an inner region forked after an
+// outer one must join before it — and keeps concurrent regions forked
+// by different threads (nested parallelism) from stealing each other's
+// fork times. A join with no pending fork on its thread (truncated
+// trace prefix) is ignored; forks never joined (truncated suffix) are
+// dropped.
+func ForkJoinDurations(samples []Sample, forkEvent, joinEvent int32, visit func(join *Sample, d time.Duration)) {
+	pending := make(map[int32][]int64)
+	for i := range samples {
+		s := &samples[i]
+		switch s.Event {
+		case forkEvent:
+			pending[s.Thread] = append(pending[s.Thread], s.Time)
+		case joinEvent:
+			stack := pending[s.Thread]
+			if len(stack) == 0 {
+				continue
+			}
+			fork := stack[len(stack)-1]
+			pending[s.Thread] = stack[:len(stack)-1]
+			visit(s, time.Duration(s.Time-fork))
+		}
+	}
+}
+
 // RegionProfile computes per-region statistics from fork/join sample
-// pairs on the master thread: the duration of each invocation is the
-// join sample's counter minus the preceding fork sample's counter.
+// pairs: the duration of each invocation is the join sample's counter
+// minus its matching fork sample's counter (paired per thread with a
+// stack, so nested and interleaved regions attribute correctly).
 // forkEvent and joinEvent identify the two event codes in the trace.
 func RegionProfile(samples []Sample, forkEvent, joinEvent int32) []RegionStats {
 	byRegion := make(map[uint64]*RegionStats)
-	var lastFork int64
-	haveFork := false
-	for _, s := range samples {
-		switch s.Event {
-		case forkEvent:
-			lastFork = s.Time
-			haveFork = true
-		case joinEvent:
-			if !haveFork {
-				continue
-			}
-			d := time.Duration(s.Time - lastFork)
-			haveFork = false
-			st := byRegion[s.Region]
-			if st == nil {
-				st = &RegionStats{Region: s.Region, MinTime: d, MaxTime: d}
-				byRegion[s.Region] = st
-			}
-			st.Calls++
-			st.TotalTime += d
-			if d < st.MinTime {
-				st.MinTime = d
-			}
-			if d > st.MaxTime {
-				st.MaxTime = d
-			}
+	ForkJoinDurations(samples, forkEvent, joinEvent, func(s *Sample, d time.Duration) {
+		st := byRegion[s.Region]
+		if st == nil {
+			st = &RegionStats{Region: s.Region, MinTime: d, MaxTime: d}
+			byRegion[s.Region] = st
 		}
-	}
+		st.Calls++
+		st.TotalTime += d
+		if d < st.MinTime {
+			st.MinTime = d
+		}
+		if d > st.MaxTime {
+			st.MaxTime = d
+		}
+	})
 	out := make([]RegionStats, 0, len(byRegion))
 	for _, st := range byRegion {
 		out = append(out, *st)
@@ -128,34 +146,21 @@ type RegionSiteStats struct {
 // invocation count — the per-region view a profile presents.
 func RegionProfileBySite(samples []Sample, forkEvent, joinEvent int32) []RegionSiteStats {
 	bySite := make(map[uint64]*RegionSiteStats)
-	var lastFork int64
-	haveFork := false
-	for _, s := range samples {
-		switch s.Event {
-		case forkEvent:
-			lastFork = s.Time
-			haveFork = true
-		case joinEvent:
-			if !haveFork {
-				continue
-			}
-			d := time.Duration(s.Time - lastFork)
-			haveFork = false
-			st := bySite[s.Site]
-			if st == nil {
-				st = &RegionSiteStats{Site: s.Site, MinTime: d, MaxTime: d}
-				bySite[s.Site] = st
-			}
-			st.Calls++
-			st.TotalTime += d
-			if d < st.MinTime {
-				st.MinTime = d
-			}
-			if d > st.MaxTime {
-				st.MaxTime = d
-			}
+	ForkJoinDurations(samples, forkEvent, joinEvent, func(s *Sample, d time.Duration) {
+		st := bySite[s.Site]
+		if st == nil {
+			st = &RegionSiteStats{Site: s.Site, MinTime: d, MaxTime: d}
+			bySite[s.Site] = st
 		}
-	}
+		st.Calls++
+		st.TotalTime += d
+		if d < st.MinTime {
+			st.MinTime = d
+		}
+		if d > st.MaxTime {
+			st.MaxTime = d
+		}
+	})
 	out := make([]RegionSiteStats, 0, len(bySite))
 	for _, st := range bySite {
 		out = append(out, *st)

@@ -1,0 +1,270 @@
+package tool
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"goomp/internal/collector"
+	"goomp/internal/obs"
+	"goomp/internal/perf"
+)
+
+// The observability adapter: everything the obs plane serves is read
+// from state the tool already maintains for the measurement itself —
+// the collector's atomic per-event dispatch counters (the same source
+// Report uses, so a scrape and the final report agree exactly for
+// completed events), the streamer's accounting atomics, the cold-path
+// health record, the sampler's state histogram, and the trace buffers'
+// atomic chunk snapshots (the same path a degraded Detach flush takes).
+// A scrape therefore costs only the scraping goroutine; the event hot
+// path carries no extra instruction.
+
+// startObs builds the tool's metric registry and starts serving it.
+func (t *Tool) startObs(addr string) (*obs.Server, error) {
+	t.obsQ = t.col.NewQueue()
+	reg := obs.NewRegistry()
+
+	reg.GaugeFunc("goomp_tool_uptime_seconds",
+		"Seconds since the tool attached.",
+		func() float64 { return time.Since(t.attachedAt).Seconds() })
+	reg.GaugeFunc("goomp_tool_threads",
+		"Bound thread descriptors currently known to the collector.",
+		func() float64 { return float64(len(t.liveThreadIDs(0))) })
+
+	reg.CounterSeries("goomp_events_total",
+		"Event callback dispatches per registered event.",
+		func(emit obs.Emit) {
+			for _, e := range t.events {
+				emit(float64(t.col.EventCount(e)), obs.Label{Name: "event", Value: e.String()})
+			}
+		})
+
+	reg.GaugeSeries("goomp_trace_samples",
+		"Trace samples currently held in each thread's buffer (while streaming, only the unflushed residue).",
+		func(emit obs.Emit) {
+			for _, tb := range t.snapshotBuffers() {
+				emit(float64(tb.buf.Len()), obs.Label{Name: "thread", Value: fmt.Sprint(tb.id)})
+			}
+		})
+	reg.CounterSeries("goomp_trace_dropped_total",
+		"Samples lost to buffer limits, per thread.",
+		func(emit obs.Emit) {
+			for _, tb := range t.snapshotBuffers() {
+				emit(float64(tb.buf.Dropped()), obs.Label{Name: "thread", Value: fmt.Sprint(tb.id)})
+			}
+		})
+	reg.CounterFunc("goomp_throttled_samples_total",
+		"Samples suppressed by selective collection (MaxSamplesPerSite).",
+		func() float64 { return float64(t.throttle.Skipped()) })
+
+	reg.CounterSeries("goomp_thread_state_samples_total",
+		"Asynchronous state-sampler observations per thread and state.",
+		func(emit obs.Emit) {
+			if t.sampler == nil {
+				return
+			}
+			t.mu.Lock()
+			defer t.mu.Unlock()
+			threads := make([]int32, 0, len(t.histogram.Counts))
+			for th := range t.histogram.Counts {
+				threads = append(threads, th)
+			}
+			sort.Slice(threads, func(i, j int) bool { return threads[i] < threads[j] })
+			for _, th := range threads {
+				m := t.histogram.Counts[th]
+				states := make([]int32, 0, len(m))
+				for st := range m {
+					states = append(states, st)
+				}
+				sort.Slice(states, func(i, j int) bool { return states[i] < states[j] })
+				for _, st := range states {
+					emit(float64(m[st]),
+						obs.Label{Name: "thread", Value: fmt.Sprint(th)},
+						obs.Label{Name: "state", Value: collector.State(st).String()})
+				}
+			}
+		})
+
+	reg.HistogramSeries("goomp_region_seconds",
+		"Fork-to-join latency per static parallel region site, recomputed from buffer snapshots at scrape time.",
+		func(emit obs.EmitHistogram) {
+			hists := make(map[uint64]*obs.Histogram)
+			for _, tb := range t.snapshotBuffers() {
+				perf.ForkJoinDurations(tb.buf.Samples(),
+					int32(collector.EventFork), int32(collector.EventJoin),
+					func(s *perf.Sample, d time.Duration) {
+						h := hists[s.Site]
+						if h == nil {
+							h = &obs.Histogram{}
+							hists[s.Site] = h
+						}
+						h.Observe(d)
+					})
+			}
+			sites := make([]uint64, 0, len(hists))
+			for site := range hists {
+				sites = append(sites, site)
+			}
+			sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+			for _, site := range sites {
+				emit(hists[site].Snapshot(),
+					obs.Label{Name: "site", Value: fmt.Sprintf("%#x", site)})
+			}
+		})
+
+	reg.GaugeFunc("goomp_collector_healthy",
+		"1 while no callback panic, breaker trip or wedged callback has been observed.",
+		func() float64 {
+			if t.col.Health().Healthy() {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("goomp_breaker_tripped",
+		"1 after the callback watchdog has tripped (event generation paused until resume).",
+		func() float64 {
+			if t.col.BreakerTripped() {
+				return 1
+			}
+			return 0
+		})
+	reg.CounterSeries("goomp_callback_panics_total",
+		"Contained callback panics per event (the callback was auto-unregistered).",
+		func(emit obs.Emit) {
+			for _, p := range t.col.Health().Panics {
+				emit(float64(p.Count), obs.Label{Name: "event", Value: p.Event.String()})
+			}
+		})
+	reg.CounterFunc("goomp_breaker_trips_total",
+		"Circuit-breaker trips recorded by the callback watchdog.",
+		func() float64 { return float64(len(t.col.Health().Trips)) })
+
+	if s := t.stream; s != nil {
+		reg.CounterFunc("goomp_stream_retries_total",
+			"Transient stream-I/O failures that were retried.",
+			func() float64 { return float64(s.retries.Load()) })
+		reg.CounterFunc("goomp_stream_discarded_chunks_total",
+			"Trace blocks the streaming storage gave up on after retries.",
+			func() float64 { return float64(s.discardedChunks.Load()) })
+		reg.CounterFunc("goomp_stream_discarded_samples_total",
+			"Samples inside discarded trace blocks.",
+			func() float64 { return float64(s.discardedSamples.Load()) })
+		reg.CounterFunc("goomp_stream_forced_drops_total",
+			"Chunks discarded by the DropChunk fault-injection hook.",
+			func() float64 { return float64(s.forcedDrops.Load()) })
+		reg.GaugeFunc("goomp_stream_degraded_threads",
+			"Threads whose trace file failed permanently and fell back to in-memory retention.",
+			func() float64 { return float64(s.degraded.Load()) })
+	}
+
+	return obs.Serve(addr, obs.Config{
+		Registry: reg,
+		Health:   t.obsHealth,
+		State:    t.obsState,
+		Profile:  t.obsProfile,
+	})
+}
+
+// obsHealth renders the collector's fault-isolation snapshot for
+// /healthz.
+func (t *Tool) obsHealth() obs.HealthStatus {
+	h := t.col.Health()
+	st := obs.HealthStatus{
+		Healthy:        h.Healthy(),
+		BreakerTripped: t.col.BreakerTripped(),
+		UptimeSeconds:  time.Since(t.attachedAt).Seconds(),
+	}
+	for _, p := range h.Panics {
+		st.Panics = append(st.Panics,
+			fmt.Sprintf("%s ×%d (unregistered): %s", p.Event, p.Count, p.Last))
+	}
+	for _, tr := range h.Trips {
+		st.Trips = append(st.Trips,
+			fmt.Sprintf("%s after %v (events paused)", tr.Event, tr.Elapsed))
+	}
+	for _, w := range h.Wedged {
+		st.Wedged = append(st.Wedged, fmt.Sprintf("%s for %v", w.Event, w.Age))
+	}
+	return st
+}
+
+// obsState answers /state: one get-state protocol request per live
+// thread. Handlers share one private queue; requests on it are
+// serialized by obsMu (the collector's queues are not reusable
+// concurrently, and the tool's own queue must stay free for Detach).
+func (t *Tool) obsState() obs.StateSnapshot {
+	var snap obs.StateSnapshot
+	t.obsMu.Lock()
+	defer t.obsMu.Unlock()
+	for _, id := range t.liveThreadIDs(0) {
+		st, wait, ec := collector.QueryState(t.obsQ, id)
+		if ec != collector.ErrOK {
+			continue
+		}
+		snap.Threads = append(snap.Threads, obs.ThreadState{
+			Thread: id,
+			State:  st.String(),
+			WaitID: wait,
+		})
+	}
+	return snap
+}
+
+// obsProfile answers /profile: the per-site region profile recomputed
+// from the buffers' atomic snapshots — the same gap-free path a
+// degraded Detach flush reads, so it never blocks or races a writer.
+func (t *Tool) obsProfile() obs.ProfileSnapshot {
+	var snap obs.ProfileSnapshot
+	// Pair fork/join per buffer, then merge the per-site stats:
+	// each buffer is one descriptor's time-ordered stream, but distinct
+	// buffers can carry the same thread number (transient nested
+	// descriptors), so concatenating them before pairing could mismatch.
+	bySite := make(map[uint64]*perf.RegionSiteStats)
+	for _, tb := range t.snapshotBuffers() {
+		samples := tb.buf.Samples()
+		snap.Samples += len(samples)
+		for _, st := range perf.RegionProfileBySite(samples,
+			int32(collector.EventFork), int32(collector.EventJoin)) {
+			agg := bySite[st.Site]
+			if agg == nil {
+				c := st
+				bySite[st.Site] = &c
+				continue
+			}
+			agg.Calls += st.Calls
+			agg.TotalTime += st.TotalTime
+			if st.MinTime < agg.MinTime {
+				agg.MinTime = st.MinTime
+			}
+			if st.MaxTime > agg.MaxTime {
+				agg.MaxTime = st.MaxTime
+			}
+		}
+	}
+	sites := make([]*perf.RegionSiteStats, 0, len(bySite))
+	for _, st := range bySite {
+		sites = append(sites, st)
+	}
+	sort.Slice(sites, func(i, j int) bool {
+		if sites[i].TotalTime != sites[j].TotalTime {
+			return sites[i].TotalTime > sites[j].TotalTime
+		}
+		return sites[i].Site < sites[j].Site
+	})
+	for _, st := range sites {
+		mean := time.Duration(0)
+		if st.Calls > 0 {
+			mean = st.TotalTime / time.Duration(st.Calls)
+		}
+		snap.Sites = append(snap.Sites, obs.RegionSite{
+			Site:    fmt.Sprintf("%#x", st.Site),
+			Calls:   st.Calls,
+			TotalNs: int64(st.TotalTime),
+			MeanNs:  int64(mean),
+			MinNs:   int64(st.MinTime),
+			MaxNs:   int64(st.MaxTime),
+		})
+	}
+	return snap
+}

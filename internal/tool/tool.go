@@ -21,6 +21,7 @@ import (
 
 	"goomp/internal/collector"
 	"goomp/internal/dl"
+	"goomp/internal/obs"
 	"goomp/internal/omp"
 	"goomp/internal/perf"
 )
@@ -54,10 +55,22 @@ type Options struct {
 	// get-state request path from outside any OpenMP thread.
 	SamplePeriod time.Duration
 
-	// SampleThreads is how many thread IDs the sampler polls
-	// (0..SampleThreads-1). Zero defaults to the runtime's configured
-	// thread count when attaching to an *omp.RT, else 1.
+	// SampleThreads is a floor on how many thread IDs the sampler
+	// polls: IDs 0..SampleThreads-1 are always queried, plus every
+	// thread currently bound in the collector's descriptor table — so
+	// teams grown after attach (SetNumThreads, larger teams) are
+	// observed without reattaching. Zero defaults to the runtime's
+	// configured thread count when attaching to an *omp.RT, else 1.
 	SampleThreads int
+
+	// ObsAddr, when set, serves the observability plane ("host:port";
+	// ":0" picks a free port, readable via ObsURL) for the lifetime of
+	// the attachment: /metrics, /healthz, /state and /profile, all fed
+	// from the collector's existing lock-free counters and buffer
+	// snapshots — nothing is added to the event hot path. Empty (the
+	// default) serves nothing. cmd front-ends default it from
+	// GOMP_OBS_ADDR.
+	ObsAddr string
 
 	// StreamDir, when set, streams trace chunks to per-thread files in
 	// this directory during the run (write-behind storage with bounded
@@ -168,6 +181,9 @@ type Tool struct {
 
 	sampler    *sampler
 	stream     *streamer
+	obsSrv     *obs.Server
+	obsMu      sync.Mutex // serializes obs handlers' protocol requests
+	obsQ       collector.Queue
 	streamErr  atomic.Pointer[error]
 	wedged     atomic.Pointer[[]collector.WedgedEvent]
 	histogram  *perf.StateHistogram
@@ -278,7 +294,24 @@ func AttachCollector(col *collector.Collector, opts Options) (*Tool, error) {
 	if opts.SamplePeriod > 0 {
 		t.sampler = startSampler(t, opts.SamplePeriod, opts.SampleThreads)
 	}
+	if opts.ObsAddr != "" {
+		srv, err := t.startObs(opts.ObsAddr)
+		if err != nil {
+			t.Detach()
+			return nil, err
+		}
+		t.obsSrv = srv
+	}
 	return t, nil
+}
+
+// ObsURL returns the observability plane's base URL, or "" when
+// Options.ObsAddr was unset.
+func (t *Tool) ObsURL() string {
+	if t.obsSrv == nil {
+		return ""
+	}
+	return t.obsSrv.URL()
 }
 
 // callback is invoked by the runtime on the event's thread. It is the
@@ -458,6 +491,11 @@ func (t *Tool) Resume() error {
 func (t *Tool) Detach() { t.detachOnce.Do(t.detach) }
 
 func (t *Tool) detach() {
+	if t.obsSrv != nil {
+		// Stop serving before teardown: Close also interrupts in-flight
+		// handlers, so no scrape can race the unpinning below.
+		t.obsSrv.Close()
+	}
 	if t.sampler != nil {
 		t.sampler.stop()
 	}
@@ -519,7 +557,7 @@ type sampler struct {
 	wg   sync.WaitGroup
 }
 
-func startSampler(t *Tool, period time.Duration, threads int) *sampler {
+func startSampler(t *Tool, period time.Duration, floor int) *sampler {
 	s := &sampler{done: make(chan struct{})}
 	s.wg.Add(1)
 	go func() {
@@ -533,7 +571,10 @@ func startSampler(t *Tool, period time.Duration, threads int) *sampler {
 			case <-s.done:
 				return
 			case <-tick.C:
-				for id := int32(0); id < int32(threads); id++ {
+				// Poll the live descriptor set each tick, not a thread
+				// count frozen at attach: threads added by a later
+				// SetNumThreads or a larger team must be observed too.
+				for _, id := range t.liveThreadIDs(floor) {
 					st, _, ec := collector.QueryState(q, id)
 					if ec == collector.ErrOK {
 						t.mu.Lock()
@@ -545,6 +586,32 @@ func startSampler(t *Tool, period time.Duration, threads int) *sampler {
 		}
 	}()
 	return s
+}
+
+// liveThreadIDs returns the sorted, deduplicated bound thread numbers
+// currently present in the collector's descriptor table, extended to
+// cover at least IDs 0..floor-1 (the master binds two descriptors with
+// ID 0; transient nested descriptors carry -1 and have no queryable
+// number).
+func (t *Tool) liveThreadIDs(floor int) []int32 {
+	seen := make(map[int32]struct{})
+	var ids []int32
+	add := func(id int32) {
+		if _, ok := seen[id]; !ok {
+			seen[id] = struct{}{}
+			ids = append(ids, id)
+		}
+	}
+	for _, ti := range t.col.Threads() {
+		if ti.ID >= 0 {
+			add(ti.ID)
+		}
+	}
+	for id := int32(0); id < int32(floor); id++ {
+		add(id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 func (s *sampler) stop() {
