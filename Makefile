@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test check race bench chaos obs-demo
+.PHONY: build test check race bench bench-sync chaos obs-demo
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,12 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-sync measures the synchronization core (barrier, reduction,
+# dynamic/guided scheduling) through the EPCC overheads harness and
+# writes the machine-readable artifact BENCH_sync.json.
+bench-sync:
+	$(GO) run ./cmd/overheads -sync -threads 8 -reps 10 -json BENCH_sync.json
 
 # obs-demo runs an EPCC sweep with the live observability plane on a
 # known port; scrape /metrics or follow it from another terminal with:

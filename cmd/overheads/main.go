@@ -6,20 +6,31 @@
 // for LU-HP and 99.35% for SP-MZ, concluding that optimization effort
 // belongs in the measurement/storage phase of tool development.
 //
+// With -sync the command instead benchmarks the synchronization core
+// through the EPCC suite — barrier and reduction directive overheads
+// and the dynamic/guided schedule costs — and, with -json, writes the
+// numbers to a machine-readable file (the BENCH_sync.json artifact the
+// bench-sync make target produces).
+//
 // Usage:
 //
 //	overheads [-class S|W|A|B] [-reps 3] [-probe N]
+//	overheads -sync [-threads 8] [-reps 10] [-json BENCH_sync.json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"goomp/internal/collector"
+	"goomp/internal/epcc"
 	"goomp/internal/experiments"
 	"goomp/internal/npb"
+	"goomp/internal/omp"
 	"goomp/internal/tool"
 )
 
@@ -47,12 +58,95 @@ func probeEventCost(n int) (time.Duration, error) {
 	return time.Since(start) / time.Duration(n), nil
 }
 
+// syncPoint is one synchronization-core measurement in the JSON
+// artifact; directive overheads fill OverheadNs, schedule points fill
+// PerIterationNs.
+type syncPoint struct {
+	Name           string  `json:"name"`
+	OverheadNs     float64 `json:"overhead_ns,omitempty"`
+	PerIterationNs float64 `json:"per_iteration_ns,omitempty"`
+	MeanNs         float64 `json:"mean_ns"`
+	SDNs           float64 `json:"sd_ns"`
+}
+
+type syncReport struct {
+	Threads    int         `json:"threads"`
+	GoMaxProcs int         `json:"gomaxprocs"`
+	Results    []syncPoint `json:"results"`
+}
+
+// runSyncBench measures the barrier, reduction and dynamic/guided
+// scheduling costs of the synchronization core through the EPCC suite
+// and optionally writes them as JSON.
+func runSyncBench(threads, reps int, jsonPath string) error {
+	rt := omp.New(omp.Config{NumThreads: threads})
+	defer rt.Close()
+	s := epcc.NewSuite(rt)
+	s.OuterReps = reps
+
+	rep := syncReport{Threads: threads, GoMaxProcs: runtime.GOMAXPROCS(0)}
+	for _, name := range []string{"BARRIER", "REDUCTION"} {
+		d, err := epcc.Lookup(name)
+		if err != nil {
+			return err
+		}
+		r := s.Measure(d)
+		rep.Results = append(rep.Results, syncPoint{
+			Name:       name,
+			OverheadNs: float64(r.Overhead.Nanoseconds()),
+			MeanNs:     float64(r.Time.Mean.Nanoseconds()),
+			SDNs:       float64(r.Time.SD.Nanoseconds()),
+		})
+		fmt.Printf("%-12s overhead %v/rep (mean %v, sd %v)\n",
+			name, r.Overhead, r.Time.Mean, r.Time.SD)
+	}
+	const itersPerThread = 128
+	for _, sc := range []struct {
+		sched omp.Schedule
+		chunk int
+	}{{omp.ScheduleDynamic, 4}, {omp.ScheduleGuided, 4}} {
+		r := s.MeasureSchedule(sc.sched, sc.chunk, itersPerThread)
+		name := fmt.Sprintf("%s,%d", sc.sched, sc.chunk)
+		rep.Results = append(rep.Results, syncPoint{
+			Name:           name,
+			PerIterationNs: float64(r.PerIteration.Nanoseconds()),
+			MeanNs:         float64(r.Time.Mean.Nanoseconds()),
+			SDNs:           float64(r.Time.SD.Nanoseconds()),
+		})
+		fmt.Printf("%-12s %v/iter (mean %v, sd %v)\n",
+			name, r.PerIteration, r.Time.Mean, r.Time.SD)
+	}
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
 func main() {
 	classFlag := flag.String("class", "W", "problem class: S, W, A or B")
 	reps := flag.Int("reps", 5, "timings per configuration (minimum taken)")
 	probe := flag.Int("probe", 0,
 		"also measure the bare per-event record cost over N dispatched events")
+	syncBench := flag.Bool("sync", false,
+		"benchmark the synchronization core (barrier, reduction, schedules) instead")
+	threads := flag.Int("threads", 8, "team size for -sync")
+	jsonPath := flag.String("json", "", "with -sync, write the results to this JSON file")
 	flag.Parse()
+
+	if *syncBench {
+		if err := runSyncBench(*threads, *reps, *jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "overheads:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *probe > 0 {
 		per, err := probeEventCost(*probe)

@@ -1,0 +1,157 @@
+package omp
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Synchronization-core tuning constants. The barrier topology and the
+// waiter policy are picked per team in newTeamBarrier; DESIGN.md
+// "Synchronization topology" discusses the choices.
+const (
+	// cacheLinePad is the assumed cache-line size used to pad
+	// per-waiter slots and hot counters against false sharing.
+	cacheLinePad = 64
+
+	// barrierFanIn is the arity of the combining tree barrier: thread
+	// i's children are threads i*fanIn+1 .. i*fanIn+fanIn. Four keeps
+	// the tree depth at 2 for teams up to 20 while spreading arrival
+	// traffic over size/4 counters instead of one.
+	barrierFanIn = 4
+
+	// defaultTreeThreshold is the team size above which the tree
+	// barrier replaces the central one. Small teams fit one cache line
+	// of arrival traffic; the tree only pays off once several waiters
+	// would otherwise hammer the same line.
+	defaultTreeThreshold = 4
+
+	// defaultActiveSpin / defaultPassiveSpin bound the hybrid waiter's
+	// spin phase (flag checks before parking) for
+	// OMP_WAIT_POLICY=active and =passive. Passive still spins
+	// briefly: barriers are usually released within a few microseconds
+	// and a park/unpark round trip costs more than the residual spin.
+	defaultActiveSpin  = 4096
+	defaultPassiveSpin = 256
+
+	// spinYieldMask: the spin phase yields to the scheduler every
+	// (mask+1)-th check, so a waiting thread cannot starve the
+	// releasing thread off the CPU when the team is oversubscribed.
+	spinYieldMask = 3
+)
+
+// effectiveSpin resolves the configured spin budget for a team.
+func effectiveSpin(cfg Config, size int) int {
+	spin := cfg.BarrierSpin
+	if spin == 0 {
+		if cfg.SpinBarrier {
+			spin = defaultActiveSpin
+		} else {
+			spin = defaultPassiveSpin
+		}
+	}
+	if spin < 0 {
+		spin = 0
+	}
+	return spin
+}
+
+// newTeamBarrier picks the barrier implementation for a team: a
+// combining tree above the size threshold, otherwise the central
+// hybrid spin barrier; both honor the wait policy through the spin
+// budget. BarrierSpin < 0 (never spin) selects the central blocking
+// (condition-variable) barrier for non-tree teams. With the threshold
+// left at its default the tree also requires GOMAXPROCS > 1: the tree
+// exists to spread arrival traffic across cache lines, and on a
+// single P its extra release hop is pure scheduling latency. combine
+// is invoked by the releasing thread once per episode, after every
+// thread has arrived and before any is released — the hook pending
+// reductions are flushed through.
+func newTeamBarrier(size int, cfg Config, combine func()) barrier {
+	thr := cfg.TreeBarrierThreshold
+	if thr == 0 {
+		thr = defaultTreeThreshold
+		if runtime.GOMAXPROCS(0) == 1 {
+			thr = -1
+		}
+	}
+	if thr > 0 && size > thr {
+		return newTreeBarrier(size, effectiveSpin(cfg, size), combine)
+	}
+	if cfg.BarrierSpin < 0 {
+		return newBlockingBarrier(size, combine)
+	}
+	return newSpinBarrier(size, effectiveSpin(cfg, size), combine)
+}
+
+// waitcell is one waiter's park slot: a release-generation flag the
+// waiter spins on briefly and a channel it parks on when the spin
+// budget runs out. The flag and park state live on the waiter's own
+// cache-line-padded slot, so the only cross-thread traffic is the
+// releaser's single store-and-wake.
+type waitcell struct {
+	flag   atomic.Uint32 // last released generation (monotonic)
+	parked atomic.Uint32 // nonzero while the waiter may be parked on ch
+	ch     chan struct{}
+	_      [cacheLinePad - 16]byte
+}
+
+func initWaitcells(cells []waitcell) {
+	for i := range cells {
+		cells[i].ch = make(chan struct{}, 1)
+	}
+}
+
+// reached reports whether generation gen has been released. Flags are
+// monotonic, so the signed difference survives wraparound.
+func (w *waitcell) reached(gen uint32) bool {
+	return int32(w.flag.Load()-gen) >= 0
+}
+
+// wake releases the waiter into generation gen, unparking it if
+// needed. Exactly one thread wakes a given cell per episode.
+func (w *waitcell) wake(gen uint32) {
+	w.flag.Store(gen)
+	w.interrupt()
+}
+
+// interrupt unparks the waiter without advancing its generation; the
+// waiter re-evaluates its condition (used by wake and by cancel). The
+// leading load keeps the common no-parked-waiter path free of atomic
+// read-modify-writes; it cannot miss a parking waiter, because the
+// waiter publishes parked before re-checking the flag and both
+// operations are sequentially consistent — if our load sees parked=0,
+// the waiter's re-check sees our flag store and it never sleeps.
+func (w *waitcell) interrupt() {
+	if w.parked.Load() != 0 && w.parked.Swap(0) != 0 {
+		select {
+		case w.ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// await blocks until generation gen is released or the barrier is
+// cancelled: spin (yielding periodically) for up to spin checks, then
+// park. A stale token from a previous episode at worst causes one
+// spurious re-check.
+func (w *waitcell) await(gen uint32, spin int, cancelled *atomic.Bool) {
+	for i := 0; i < spin; i++ {
+		if w.reached(gen) || cancelled.Load() {
+			return
+		}
+		if i&spinYieldMask == spinYieldMask {
+			runtime.Gosched()
+		}
+	}
+	for !w.reached(gen) && !cancelled.Load() {
+		w.parked.Store(1)
+		// Re-check after publishing the parked flag: a releaser that
+		// stored the flag before seeing us parked will not send a
+		// token, so we must not sleep.
+		if w.reached(gen) || cancelled.Load() {
+			w.parked.Store(0)
+			return
+		}
+		<-w.ch
+	}
+}

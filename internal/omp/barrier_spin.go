@@ -1,41 +1,70 @@
 package omp
 
 import (
-	"runtime"
 	"sync/atomic"
 )
 
-// spinBarrier is a central sense-reversing barrier whose waiters spin
-// (yielding to the scheduler) instead of blocking. On dedicated cores
-// this trades CPU for latency; oversubscribed it wastes time, which is
-// exactly what the ablation benchmark demonstrates.
+// spinBarrier is the central barrier for the active wait policy
+// (OMP_WAIT_POLICY=active) at small team sizes: one arrival counter,
+// per-waiter cache-line-padded release flags, and the hybrid
+// bounded-spin-then-park waiter. It replaces the earlier unbounded
+// runtime.Gosched() loop: a waiter that exhausts its spin budget parks
+// on its own cell, so an oversubscribed team (threads > GOMAXPROCS)
+// makes progress without burning whole scheduler quanta, while a team
+// on dedicated cores is released within the spin phase and never pays
+// a park/unpark round trip.
 type spinBarrier struct {
-	size      int64
-	count     atomic.Int64
-	sense     atomic.Bool
+	size    int
+	spin    int
+	combine func()
+
+	count atomic.Int64 // arrivals this episode (hot: own line)
+	_     [cacheLinePad - 8]byte
+
+	epoch     atomic.Uint32 // completed episodes
 	cancelled atomic.Bool
+	_         [cacheLinePad - 5]byte
+
+	cells []waitcell // per-waiter padded release flags
 }
 
-func newSpinBarrier(size int) *spinBarrier {
-	return &spinBarrier{size: int64(size)}
+func newSpinBarrier(size, spin int, combine func()) *spinBarrier {
+	b := &spinBarrier{size: size, spin: spin, combine: combine,
+		cells: make([]waitcell, size)}
+	initWaitcells(b.cells)
+	return b
 }
 
-func (b *spinBarrier) await() {
+func (b *spinBarrier) await(tid int) {
 	if b.cancelled.Load() {
 		return
 	}
-	sense := b.sense.Load()
-	if b.count.Add(1) == b.size {
+	// The episode this arrival belongs to: epoch cannot advance past
+	// the current episode until this thread's arrival is counted, so
+	// the pre-arrival read is stable.
+	gen := b.epoch.Load() + 1
+	if b.count.Add(1) == int64(b.size) {
+		// Last arriver: the team is quiescent — run the combine hook,
+		// re-arm the counter, publish the episode and release every
+		// waiter through its own cell.
+		if !b.cancelled.Load() && b.combine != nil {
+			b.combine()
+		}
 		b.count.Store(0)
-		b.sense.Store(!sense)
+		b.epoch.Store(gen)
+		for i := range b.cells {
+			if i != tid {
+				b.cells[i].wake(gen)
+			}
+		}
 		return
 	}
-	for b.sense.Load() == sense && !b.cancelled.Load() {
-		// Gosched rather than a pure spin: with GOMAXPROCS below the
-		// team size a pure spin could live-lock the releasing thread
-		// off the CPU entirely.
-		runtime.Gosched()
-	}
+	b.cells[tid].await(gen, b.spin, &b.cancelled)
 }
 
-func (b *spinBarrier) cancel() { b.cancelled.Store(true) }
+func (b *spinBarrier) cancel() {
+	b.cancelled.Store(true)
+	for i := range b.cells {
+		b.cells[i].interrupt()
+	}
+}

@@ -1,0 +1,151 @@
+package omp
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// treeBarrier is a fixed-degree combining tree barrier (fan-in
+// barrierFanIn) in the Mellor-Crummey & Scott family: arrivals combine
+// up the tree through per-node padded counters, the root runs the
+// team's combine hook (reduction flush), and the release wave
+// propagates back down through per-waiter padded flags. No two waiters
+// ever spin on the same cache line, so barrier cost grows with tree
+// depth instead of with team-size contention on one central line.
+//
+// Thread i's parent is (i-1)/fanIn; its children are i*fanIn+1 ..
+// i*fanIn+fanIn (clipped to the team). Waiters use the hybrid
+// bounded-spin-then-park policy from waitcell, so the barrier honors
+// OMP_WAIT_POLICY on dedicated cores and cannot live-lock when the
+// team is oversubscribed.
+type treeBarrier struct {
+	size      int
+	spin      int
+	combine   func()
+	cancelled atomic.Bool
+	nodes     []treeNode
+}
+
+// treeNode is one thread's slot in the tree. pending and the arrival
+// park state are written by the node's children; release is written by
+// its parent; epoch is owner-only. Each group sits on its own padded
+// region so child arrival traffic never invalidates the release flag.
+type treeNode struct {
+	pending atomic.Int32  // children yet to arrive this episode
+	aparked atomic.Uint32 // nonzero while the owner parks awaiting children
+	ach     chan struct{}
+	_       [cacheLinePad - 16]byte
+
+	release waitcell // parent -> owner release flag + park slot
+
+	children int32  // static child count
+	epoch    uint32 // episodes completed (owner-only)
+	_        [cacheLinePad - 12]byte
+}
+
+func newTreeBarrier(size, spin int, combine func()) *treeBarrier {
+	b := &treeBarrier{
+		size:    size,
+		spin:    spin,
+		combine: combine,
+		nodes:   make([]treeNode, size),
+	}
+	for i := range b.nodes {
+		n := &b.nodes[i]
+		first := i*barrierFanIn + 1
+		for c := first; c < first+barrierFanIn && c < size; c++ {
+			n.children++
+		}
+		n.pending.Store(n.children)
+		n.ach = make(chan struct{}, 1)
+		n.release.ch = make(chan struct{}, 1)
+	}
+	return b
+}
+
+func (b *treeBarrier) await(tid int) {
+	if b.cancelled.Load() {
+		return
+	}
+	n := &b.nodes[tid]
+	n.epoch++
+	gen := n.epoch
+
+	// Arrival phase: wait for this node's subtree, then report one
+	// combined arrival to the parent.
+	if n.children > 0 {
+		b.awaitChildren(n)
+	}
+	if tid == 0 {
+		// Root: every other thread has arrived (arrivals only
+		// propagate upward once a subtree is complete). Run the
+		// combine hook while the team is quiescent, then start the
+		// release wave.
+		if !b.cancelled.Load() && b.combine != nil {
+			b.combine()
+		}
+		n.pending.Store(n.children)
+		b.releaseChildren(tid, gen)
+		return
+	}
+	parent := &b.nodes[(tid-1)/barrierFanIn]
+	if parent.pending.Add(-1) == 0 && parent.aparked.Swap(0) != 0 {
+		select {
+		case parent.ach <- struct{}{}:
+		default:
+		}
+	}
+
+	// Release phase: wait for the parent's wave, re-arm the arrival
+	// counter for the next episode (safe: our children re-arrive only
+	// after we release them), then extend the wave to our subtree.
+	n.release.await(gen, b.spin, &b.cancelled)
+	n.pending.Store(n.children)
+	b.releaseChildren(tid, gen)
+}
+
+// awaitChildren waits until every child of n has arrived, with the
+// same hybrid spin-then-park policy as waitcell but predicated on the
+// arrival counter.
+func (b *treeBarrier) awaitChildren(n *treeNode) {
+	for i := 0; i < b.spin; i++ {
+		if n.pending.Load() <= 0 || b.cancelled.Load() {
+			return
+		}
+		if i&spinYieldMask == spinYieldMask {
+			runtime.Gosched()
+		}
+	}
+	for n.pending.Load() > 0 && !b.cancelled.Load() {
+		n.aparked.Store(1)
+		if n.pending.Load() <= 0 || b.cancelled.Load() {
+			n.aparked.Store(0)
+			return
+		}
+		<-n.ach
+	}
+}
+
+func (b *treeBarrier) releaseChildren(tid int, gen uint32) {
+	first := tid*barrierFanIn + 1
+	for c := first; c < first+barrierFanIn && c < b.size; c++ {
+		b.nodes[c].release.wake(gen)
+	}
+}
+
+// cancel releases every current and future waiter (a region body
+// panicked): both wait predicates check the cancelled flag, and every
+// park slot is interrupted so parked waiters re-evaluate it.
+func (b *treeBarrier) cancel() {
+	b.cancelled.Store(true)
+	for i := range b.nodes {
+		n := &b.nodes[i]
+		if n.aparked.Swap(0) != 0 {
+			select {
+			case n.ach <- struct{}{}:
+			default:
+			}
+		}
+		n.release.interrupt()
+	}
+}

@@ -1,0 +1,236 @@
+package omp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Tests for the scalable synchronization core: guided chunk sequences,
+// oversubscribed teams on both barrier topologies, and tree-barrier
+// cancellation.
+
+// TestGuidedChunkSequence pins the exact chunk sequence a
+// single-threaded guided loop hands out: each claim takes
+// remaining/(2p) iterations, clamped below by the chunk size, so the
+// sequence is deterministic for p=1. Regressions in the claim
+// arithmetic (batching must never change guided boundaries) show up as
+// a different table.
+func TestGuidedChunkSequence(t *testing.T) {
+	type span struct{ lo, hi int }
+	cases := []struct {
+		name  string
+		n     int
+		chunk int
+		want  []span
+	}{
+		{
+			// Halving sequence down to single iterations.
+			name: "n10-chunk1", n: 10, chunk: 1,
+			want: []span{{0, 5}, {5, 7}, {7, 8}, {8, 9}, {9, 10}},
+		},
+		{
+			// A chunk larger than the whole loop: one clamped claim.
+			name: "chunk-exceeds-n", n: 5, chunk: 8,
+			want: []span{{0, 5}},
+		},
+		{
+			// Min-chunk clamping: once remaining/(2p) drops below the
+			// chunk size, claims stay at chunk granularity (the final
+			// claim is truncated at n).
+			name: "n16-chunk3-clamp", n: 16, chunk: 3,
+			want: []span{{0, 8}, {8, 12}, {12, 15}, {15, 16}},
+		},
+		{
+			// Zero iterations: no chunks at all.
+			name: "empty", n: 0, chunk: 4,
+			want: nil,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r := newRT(t, Config{NumThreads: 1})
+			var got []span
+			r.Parallel(func(tc *ThreadCtx) {
+				tc.ForSched(c.n, ScheduleGuided, c.chunk, func(lo, hi int) {
+					got = append(got, span{lo, hi})
+				})
+			})
+			if len(got) != len(c.want) {
+				t.Fatalf("chunk sequence %v, want %v", got, c.want)
+			}
+			for i := range got {
+				if got[i] != c.want[i] {
+					t.Fatalf("chunk %d = %v, want %v (full: %v)", i, got[i], c.want[i], got)
+				}
+			}
+		})
+	}
+}
+
+// runOversubscribed runs a team much larger than GOMAXPROCS through a
+// stretch of barriers under the active (spinning) wait policy and
+// fails if it does not finish before the deadline: the hybrid waiter
+// must park rather than spin forever, or descheduled threads starve
+// the releasing thread.
+func runOversubscribed(t *testing.T, cfg Config) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(prev)
+	const threads, rounds = 16, 50
+	cfg.NumThreads = threads
+	r := New(cfg)
+	defer r.Close()
+	var counter atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r.Parallel(func(tc *ThreadCtx) {
+			for i := 0; i < rounds; i++ {
+				counter.Add(1)
+				tc.Barrier()
+			}
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("oversubscribed team did not finish: barrier waiters starved the releaser")
+	}
+	if got := counter.Load(); got != threads*rounds {
+		t.Errorf("counter = %d, want %d", got, threads*rounds)
+	}
+}
+
+func TestOversubscribedCentralBarrier(t *testing.T) {
+	// TreeBarrierThreshold < 0 forces the central barrier at any size.
+	runOversubscribed(t, Config{SpinBarrier: true, TreeBarrierThreshold: -1})
+}
+
+func TestOversubscribedTreeBarrier(t *testing.T) {
+	// Threshold 1 forces the tree for the 16-thread team.
+	runOversubscribed(t, Config{SpinBarrier: true, TreeBarrierThreshold: 1})
+}
+
+// TestTreeBarrierPhases is the cross-phase visibility test on the tree
+// topology: after every barrier each thread must observe the complete
+// previous phase.
+func TestTreeBarrierPhases(t *testing.T) {
+	r := newRT(t, Config{NumThreads: 8, TreeBarrierThreshold: 1})
+	const phases = 25
+	var counter atomic.Int64
+	fail := make(chan string, 8)
+	r.Parallel(func(tc *ThreadCtx) {
+		for p := 1; p <= phases; p++ {
+			counter.Add(1)
+			tc.Barrier()
+			if got := counter.Load(); got != int64(8*p) {
+				select {
+				case fail <- "phase tear":
+				default:
+				}
+			}
+			tc.Barrier()
+		}
+	})
+	select {
+	case msg := <-fail:
+		t.Fatal(msg)
+	default:
+	}
+}
+
+// TestTreeBarrierCancelReleasesPartialArrival parks part of a team in
+// a tree barrier — internal nodes waiting on children and leaves
+// waiting for release — cancels it, and requires every waiter back
+// exactly once, with later arrivals passing straight through.
+func TestTreeBarrierCancelReleasesPartialArrival(t *testing.T) {
+	const size = 8
+	b := newTreeBarrier(size, 16, nil)
+	arrivers := []int{1, 2, 3, 4, 5} // root 0 and leaves 6, 7 never arrive
+	var returned atomic.Int32
+	var wg sync.WaitGroup
+	for _, tid := range arrivers {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			b.await(tid)
+			returned.Add(1)
+		}(tid)
+	}
+	// Give the waiters time to arrive and park; the barrier cannot
+	// complete with three threads missing.
+	time.Sleep(50 * time.Millisecond)
+	if got := returned.Load(); got != 0 {
+		t.Fatalf("%d waiters returned before cancel with the team incomplete", got)
+	}
+	b.cancel()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("cancel released %d of %d waiters", returned.Load(), len(arrivers))
+	}
+	if got := returned.Load(); got != int32(len(arrivers)) {
+		t.Fatalf("%d waiters returned, want %d", got, len(arrivers))
+	}
+	// A cancelled barrier never blocks again: the threads that had not
+	// arrived pass straight through.
+	for _, tid := range []int{0, 6, 7} {
+		c := make(chan struct{})
+		go func(tid int) { b.await(tid); close(c) }(tid)
+		select {
+		case <-c:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("await(%d) blocked after cancel", tid)
+		}
+	}
+}
+
+// TestPanicReleasesTreeBarrier is the runtime-level companion: a panic
+// on one thread of a tree-barrier team must cancel the barrier so the
+// region joins, and the panic must reach the master.
+func TestPanicReleasesTreeBarrier(t *testing.T) {
+	r := newRT(t, Config{NumThreads: 8, TreeBarrierThreshold: 1})
+	expectRegionPanic(t, "thread 3", func() {
+		r.Parallel(func(tc *ThreadCtx) {
+			if tc.ThreadNum() == 3 {
+				panic("tree boom")
+			}
+			tc.Barrier()
+		})
+	})
+	var ok atomic.Int32
+	r.Parallel(func(tc *ThreadCtx) { ok.Add(1) })
+	if ok.Load() != 8 {
+		t.Errorf("region after panic ran %d threads, want 8", ok.Load())
+	}
+}
+
+// TestConfigFromEnvSyncKnobs covers the GOMP_TREE_THRESHOLD and
+// GOMP_BARRIER_SPIN extension variables.
+func TestConfigFromEnvSyncKnobs(t *testing.T) {
+	cfg, err := ConfigFromEnv(Config{}, envLookup(map[string]string{
+		"GOMP_TREE_THRESHOLD": "-1",
+		"GOMP_BARRIER_SPIN":   "512",
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.TreeBarrierThreshold != -1 || cfg.BarrierSpin != 512 {
+		t.Errorf("sync knobs wrong: %+v", cfg)
+	}
+	if _, err := ConfigFromEnv(Config{}, envLookup(map[string]string{
+		"GOMP_TREE_THRESHOLD": "many",
+	})); err == nil {
+		t.Error("malformed GOMP_TREE_THRESHOLD accepted")
+	}
+	if _, err := ConfigFromEnv(Config{}, envLookup(map[string]string{
+		"GOMP_BARRIER_SPIN": "1e4",
+	})); err == nil {
+		t.Error("malformed GOMP_BARRIER_SPIN accepted")
+	}
+}

@@ -25,6 +25,10 @@ import (
 //	GOMP_LOOP_EVENTS=true|false      worksharing loop events (§VI)
 //	GOMP_CALLBACK_BUDGET=duration    callback watchdog budget (e.g. 100us)
 //	GOMP_WATCHDOG_SAMPLE=n           watchdog sampling interval
+//	GOMP_TREE_THRESHOLD=n            team size above which barriers use the
+//	                                 combining tree (0 default, <0 never)
+//	GOMP_BARRIER_SPIN=n              barrier waiter spin budget before
+//	                                 parking (0 policy default, <0 none)
 
 // ConfigFromEnv parses the OpenMP environment variables from lookup
 // (typically os.LookupEnv) over the given base configuration. Unset
@@ -91,6 +95,20 @@ func ConfigFromEnv(base Config, lookup func(string) (string, bool)) (Config, err
 			return cfg, fmt.Errorf("omp: bad GOMP_WATCHDOG_SAMPLE %q", v)
 		}
 		cfg.WatchdogSample = n
+	}
+	if v, ok := lookup("GOMP_TREE_THRESHOLD"); ok {
+		n, err := strconv.Atoi(strings.TrimSpace(v))
+		if err != nil {
+			return cfg, fmt.Errorf("omp: bad GOMP_TREE_THRESHOLD %q", v)
+		}
+		cfg.TreeBarrierThreshold = n
+	}
+	if v, ok := lookup("GOMP_BARRIER_SPIN"); ok {
+		n, err := strconv.Atoi(strings.TrimSpace(v))
+		if err != nil {
+			return cfg, fmt.Errorf("omp: bad GOMP_BARRIER_SPIN %q", v)
+		}
+		cfg.BarrierSpin = n
 	}
 	return cfg, nil
 }

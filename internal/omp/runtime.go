@@ -55,11 +55,25 @@ type Config struct {
 	// default: loops are frequent, so the events are opt-in.
 	LoopEvents bool
 
-	// SpinBarrier selects the spinning barrier implementation instead
-	// of the default blocking (condition-variable) one. Spinning is
-	// only sensible when threads do not exceed cores; it exists for the
-	// ablation benchmarks.
+	// SpinBarrier selects the active wait policy
+	// (OMP_WAIT_POLICY=active): barrier waiters use a larger bounded
+	// spin budget before parking. The waiter always parks eventually,
+	// so oversubscribed teams cannot live-lock; see BarrierSpin.
 	SpinBarrier bool
+
+	// TreeBarrierThreshold is the team size above which team barriers
+	// use the fixed-degree combining tree instead of a central
+	// barrier. Zero selects the default (4); negative disables the
+	// tree barrier entirely. GOMP_TREE_THRESHOLD overrides it.
+	TreeBarrierThreshold int
+
+	// BarrierSpin bounds the hybrid barrier waiter's spin phase: the
+	// number of release-flag checks (yielding periodically) before the
+	// waiter parks. Zero selects the policy default (active 4096,
+	// passive 256); negative means never spin — central teams fall
+	// back to the blocking (condition-variable) barrier and tree
+	// waiters park immediately. GOMP_BARRIER_SPIN overrides it.
+	BarrierSpin int
 
 	// Schedule and Chunk are the ICVs consulted by ScheduleRuntime
 	// loops.

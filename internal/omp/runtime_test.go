@@ -253,7 +253,11 @@ func TestConsecutiveWorksharingLoops(t *testing.T) {
 	const loops = 20
 	const n = 64
 	counts := make([]int32, loops*n)
+	var team *Team
 	r.Parallel(func(tc *ThreadCtx) {
+		if tc.ThreadNum() == 0 {
+			team = tc.team
+		}
 		for l := 0; l < loops; l++ {
 			base := l * n
 			switch l % 3 {
@@ -280,22 +284,14 @@ func TestConsecutiveWorksharingLoops(t *testing.T) {
 			t.Fatalf("slot %d executed %d times, want 1", i, c)
 		}
 	}
-	// All loop descriptors must have been retired.
-	if got := len(lastTeamLoops(r)); got != 0 {
-		t.Errorf("%d loop descriptors leaked", got)
-	}
-}
-
-// lastTeamLoops inspects the most recent team's loop map; the team is
-// reachable through a fresh region.
-func lastTeamLoops(r *RT) map[uint64]*loopDesc {
-	var m map[uint64]*loopDesc
-	r.Parallel(func(tc *ThreadCtx) {
-		if tc.ThreadNum() == 0 {
-			m = tc.team.loops
+	// Every ring slot must have fully retired: its last claimed
+	// episode marked free again.
+	for i := range team.ring {
+		ld := &team.ring[i]
+		if c, f := ld.claim.Load(), ld.free.Load(); c != f {
+			t.Errorf("ring slot %d not retired: claim=%d free=%d", i, c, f)
 		}
-	})
-	return m
+	}
 }
 
 func TestBarrierPhases(t *testing.T) {

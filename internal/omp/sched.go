@@ -1,6 +1,8 @@
 package omp
 
 import (
+	"math/bits"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -61,48 +63,85 @@ func StaticBounds(tid, nthr, n int) (lo, hi int) {
 	return lo, hi
 }
 
-// loopDesc is the shared descriptor of one worksharing loop instance.
+// loopRingSize is the number of preallocated worksharing-loop
+// descriptors per team. A thread can run at most loopRingSize nowait
+// constructs ahead of the slowest team member before it waits for a
+// slot to retire; eight covers every loop-heavy kernel in the repo
+// without ever blocking.
+const loopRingSize = 8
+
+// maxBatchChunks bounds how many schedule chunks a dynamic-loop claim
+// takes from the shared counter in one atomic operation.
+const maxBatchChunks = 16
+
+// loopDesc is the shared descriptor of one worksharing loop instance:
+// one reusable slot of the team's descriptor ring. The slot cycles
+// through episodes identified by the construct sequence number: claim
+// (first arriver wins initialization), ready (initialized fields
+// published), free (all threads retired, slot reusable). The hot
+// atomics next and arrived sit on their own cache lines so chunk
+// claims do not collide with retirement counts or the episode words.
 type loopDesc struct {
+	// Episode configuration: written by the claiming thread, published
+	// by ready, read-only until the slot retires.
 	n     int
 	chunk int
+	seq   int64
 
-	next    atomic.Int64 // next unassigned iteration (dynamic/guided)
+	claim atomic.Int64 // sequence number that claimed the slot
+	ready atomic.Int64 // sequence number whose init is published
+	free  atomic.Int64 // last fully retired sequence number
+	_     [cacheLinePad - 24]byte
+
+	next atomic.Int64 // next unassigned iteration (dynamic/guided)
+	_    [cacheLinePad - 8]byte
+
 	arrived atomic.Int32 // threads that finished the loop body
+	_       [cacheLinePad - 4]byte
 
 	// Ordered-clause support: ordered sections retire strictly in
-	// iteration order.
+	// iteration order. The condition variable is created lazily by the
+	// first Ordered.Do on the slot and persists across episodes.
 	omu         sync.Mutex
 	ocond       *sync.Cond
 	orderedNext int64
 }
 
 // getLoop returns the descriptor for the worksharing construct with
-// this thread's current sequence number, creating it if this thread is
-// the first to arrive, and advances the thread's sequence.
+// this thread's current sequence number and advances the sequence. The
+// descriptor is a ring slot: the first thread to arrive claims and
+// initializes it; later threads wait (yielding) for the published
+// initialization. No lock is taken and nothing is allocated.
 func (tc *ThreadCtx) getLoop(n, chunk int) *loopDesc {
-	seq := tc.loopSeq
+	s := int64(tc.loopSeq)
 	tc.loopSeq++
-	t := tc.team
-	t.wsMu.Lock()
-	ld := t.loops[seq]
-	if ld == nil {
-		ld = &loopDesc{n: n, chunk: chunk}
-		ld.ocond = sync.NewCond(&ld.omu)
-		t.loops[seq] = ld
+	ld := &tc.team.ring[s%loopRingSize]
+	prev := s - loopRingSize
+	// A slot is reusable once its previous tenant has fully retired;
+	// waiting here only happens when this thread is loopRingSize
+	// nowait constructs ahead of a teammate.
+	for ld.free.Load() != prev {
+		runtime.Gosched()
 	}
-	t.wsMu.Unlock()
+	if ld.claim.Load() == prev && ld.claim.CompareAndSwap(prev, s) {
+		ld.n, ld.chunk, ld.seq = n, chunk, s
+		ld.next.Store(0)
+		ld.arrived.Store(0)
+		ld.orderedNext = 0
+		ld.ready.Store(s)
+	} else {
+		for ld.ready.Load() != s {
+			runtime.Gosched()
+		}
+	}
 	return ld
 }
 
 // doneLoop retires the thread from the loop; the last thread to leave
-// removes the descriptor so the map does not grow with the iteration
-// count of the program.
-func (tc *ThreadCtx) doneLoop(seq uint64, ld *loopDesc) {
+// marks the ring slot free for its next tenant.
+func (tc *ThreadCtx) doneLoop(ld *loopDesc) {
 	if int(ld.arrived.Add(1)) == tc.team.size {
-		t := tc.team
-		t.wsMu.Lock()
-		delete(t.loops, seq)
-		t.wsMu.Unlock()
+		ld.free.Store(ld.seq)
 	}
 }
 
@@ -183,18 +222,47 @@ func (tc *ThreadCtx) ForSchedNoWait(n int, sched Schedule, chunk int, body func(
 			body(lo, hi)
 		}
 	case ScheduleDynamic:
-		seq := tc.loopSeq
 		ld := tc.getLoop(n, chunk)
+		// Batched claiming: take a chunk-of-chunks sized to the
+		// remaining work in one atomic add, then drain it locally chunk
+		// by chunk. Chunk boundaries are identical to the unbatched
+		// schedule (every claim is a multiple of chunk); only the
+		// chunk->thread assignment changes, which the dynamic schedule
+		// leaves unspecified. The batch size is remaining >> shift with
+		// 2^shift the largest power of two not above 4p*chunk — a shift
+		// instead of a division on the claim path — so the shrinking
+		// batches bound tail imbalance to about 1/(2p) of the remaining
+		// iterations, capped at maxBatchChunks chunks.
+		shift := bits.Len64(uint64(4*tc.team.size*chunk)) - 1
+		// next is this thread's last-seen claim counter; it may lag the
+		// shared counter (teammates claiming concurrently), which only
+		// overestimates remaining and never the claimed bounds.
+		next := ld.next.Load()
 		for {
-			lo := int(ld.next.Add(int64(chunk))) - chunk
-			if lo >= n {
+			remaining := int64(n) - next
+			if remaining <= 0 {
 				break
 			}
-			body(lo, min(lo+chunk, n))
+			batch := remaining >> shift
+			if batch < 1 {
+				batch = 1
+			} else if batch > maxBatchChunks {
+				batch = maxBatchChunks
+			}
+			claim := batch * int64(chunk)
+			end := ld.next.Add(claim)
+			lo := end - claim
+			if lo >= int64(n) {
+				break
+			}
+			hi := min(end, int64(n))
+			for c := lo; c < hi; c += int64(chunk) {
+				body(int(c), min(int(c)+chunk, n))
+			}
+			next = end
 		}
-		tc.doneLoop(seq, ld)
+		tc.doneLoop(ld)
 	case ScheduleGuided:
-		seq := tc.loopSeq
 		ld := tc.getLoop(n, chunk)
 		p := int64(tc.team.size)
 		for {
@@ -211,7 +279,7 @@ func (tc *ThreadCtx) ForSchedNoWait(n int, sched Schedule, chunk int, body func(
 			}
 			body(int(lo), min(int(lo+size), n))
 		}
-		tc.doneLoop(seq, ld)
+		tc.doneLoop(ld)
 	default:
 		panic("omp: unknown schedule kind")
 	}
@@ -232,6 +300,9 @@ type Ordered struct {
 func (o *Ordered) Do(fn func()) {
 	tc, ld := o.tc, o.ld
 	ld.omu.Lock()
+	if ld.ocond == nil {
+		ld.ocond = sync.NewCond(&ld.omu)
+	}
 	if ld.orderedNext != int64(o.i) {
 		tc.td.EnterWait(collector.StateOrderedWait)
 		tc.rt.col.Event(tc.td, collector.EventThrBeginOdwt)
@@ -259,13 +330,12 @@ func (o *Ordered) Do(fn func()) {
 // with per-iteration granularity so ordered sections cannot deadlock:
 // every thread processes its iterations in increasing order.
 func (tc *ThreadCtx) ForOrdered(n int, body func(i int, ord *Ordered)) {
-	seq := tc.loopSeq
 	ld := tc.getLoop(n, 1)
 	lo, hi := StaticBounds(tc.id, tc.team.size, n)
 	for i := lo; i < hi; i++ {
 		body(i, &Ordered{tc: tc, ld: ld, i: i})
 	}
-	tc.doneLoop(seq, ld)
+	tc.doneLoop(ld)
 	tc.implicitBarrier()
 }
 
@@ -273,7 +343,6 @@ func (tc *ThreadCtx) ForOrdered(n int, body func(i int, ord *Ordered)) {
 // handed to threads first-come first-served, and the construct ends
 // with an implicit barrier.
 func (tc *ThreadCtx) Sections(fns ...func()) {
-	seq := tc.loopSeq
 	ld := tc.getLoop(len(fns), 1)
 	for {
 		i := int(ld.next.Add(1)) - 1
@@ -282,6 +351,6 @@ func (tc *ThreadCtx) Sections(fns ...func()) {
 		}
 		fns[i]()
 	}
-	tc.doneLoop(seq, ld)
+	tc.doneLoop(ld)
 	tc.implicitBarrier()
 }

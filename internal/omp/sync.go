@@ -173,7 +173,10 @@ func (tc *ThreadCtx) enterGeneratedLock(l *Lock, st collector.State, begin, end 
 // Reduce performs the final update of a reduction: whenever a thread
 // enters a reduction operation it sets THR_REDUC_STATE, and the update
 // of the shared value is serialized by the team's reduction lock —
-// __ompc_reduction / __ompc_end_reduction in the paper's Fig. 2.
+// __ompc_reduction / __ompc_end_reduction in the paper's Fig. 2. The
+// generic path keeps the lock because the update closure may touch
+// arbitrary state; the typed ReduceInt64/ReduceFloat64 entry points
+// use the lock-free combining path instead.
 func (tc *ThreadCtx) Reduce(update func()) {
 	td := tc.td
 	prev := td.State()
@@ -187,16 +190,113 @@ func (tc *ThreadCtx) Reduce(update func()) {
 	td.SetState(prev)
 }
 
-// ReduceFloat64 accumulates local into *shared under the team's
-// reduction lock and returns after the update is visible.
-func (tc *ThreadCtx) ReduceFloat64(shared *float64, local float64) {
-	tc.Reduce(func() { *shared += local })
+// redEntry is one pending typed-reduction deposit: the shared target
+// (exactly one of i64/f64 is set) and the value accumulated locally
+// since the last barrier.
+type redEntry struct {
+	i64 *int64
+	f64 *float64
+	iv  int64
+	fv  float64
 }
 
-// ReduceInt64 accumulates local into *shared under the team's
-// reduction lock.
+// redSlot is one thread's reduction deposit slot, padded so deposits
+// never share a cache line across threads. The owning thread is the
+// only writer between barriers; the barrier's releasing thread reads
+// and clears every slot while the team is quiescent (flushReductions).
+// The first int64 and float64 targets live inline — a reduction loop
+// almost always accumulates into one shared variable, so the hot
+// deposit is a pointer compare and an add; further targets overflow
+// into the more slice.
+type redSlot struct {
+	i64  *int64
+	iv   int64
+	f64  *float64
+	fv   float64
+	more []redEntry
+	_    [2*cacheLinePad - 56]byte
+}
+
+func (tc *ThreadCtx) depositInt64(p *int64, v int64) {
+	s := &tc.team.red[tc.id]
+	if s.i64 == p {
+		s.iv += v
+		return
+	}
+	if s.i64 == nil {
+		s.i64, s.iv = p, v
+		if !tc.team.redPending.Load() {
+			tc.team.redPending.Store(true)
+		}
+		return
+	}
+	for i := range s.more {
+		if s.more[i].i64 == p {
+			s.more[i].iv += v
+			return
+		}
+	}
+	s.more = append(s.more, redEntry{i64: p, iv: v})
+}
+
+func (tc *ThreadCtx) depositFloat64(p *float64, v float64) {
+	s := &tc.team.red[tc.id]
+	if s.f64 == p {
+		s.fv += v
+		return
+	}
+	if s.f64 == nil {
+		s.f64, s.fv = p, v
+		if !tc.team.redPending.Load() {
+			tc.team.redPending.Store(true)
+		}
+		return
+	}
+	for i := range s.more {
+		if s.more[i].f64 == p {
+			s.more[i].fv += v
+			return
+		}
+	}
+	s.more = append(s.more, redEntry{f64: p, fv: v})
+}
+
+// ReduceFloat64 accumulates local into *shared. The deposit goes to
+// the thread's padded reduction slot and is combined into *shared by
+// the releasing thread of the team's next barrier (the combining-tree
+// root for large teams), so the common path takes no lock and touches
+// no shared cache line. Per OpenMP reduction semantics the combined
+// value is visible after that barrier — the implicit barrier ending
+// the region at the latest. The wait state, reduction state and
+// begin/end reduction events are identical to the locked path.
+func (tc *ThreadCtx) ReduceFloat64(shared *float64, local float64) {
+	td := tc.td
+	prev := td.State()
+	td.SetState(collector.StateReduction)
+	tc.rt.col.Event(td, collector.EventThrBeginReduction)
+	if tc.team.size == 1 {
+		*shared += local
+	} else {
+		tc.depositFloat64(shared, local)
+	}
+	tc.rt.col.Event(td, collector.EventThrEndReduction)
+	td.SetState(prev)
+}
+
+// ReduceInt64 accumulates local into *shared via the same lock-free
+// combining path as ReduceFloat64.
 func (tc *ThreadCtx) ReduceInt64(shared *int64, local int64) {
-	tc.Reduce(func() { *shared += local })
+	td := tc.td
+	prev := td.State()
+	td.SetState(collector.StateReduction)
+	tc.rt.col.Event(td, collector.EventThrBeginReduction)
+	if tc.team.size == 1 {
+		*shared += local
+	} else {
+		tc.depositInt64(shared, local)
+	}
+	tc.rt.col.Event(td, collector.EventThrEndReduction)
+	td.SetState(prev)
 }
 
 // AtomicAddInt64 performs an atomic update of *addr. With

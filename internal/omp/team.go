@@ -3,6 +3,7 @@ package omp
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"goomp/internal/collector"
 )
@@ -35,22 +36,62 @@ type Team struct {
 	// Worksharing constructs are identified by their per-thread
 	// sequence number: every thread in a team executes the same
 	// sequence of worksharing constructs, so equal sequence numbers
-	// address the same construct instance. Descriptors are created by
-	// the first thread to arrive and removed by the last to leave.
+	// address the same construct instance. Loop descriptors live in a
+	// fixed ring of preallocated padded slots indexed by sequence
+	// number (see getLoop); single descriptors are created by the
+	// first thread to arrive and removed by the last to leave.
 	wsMu    sync.Mutex
-	loops   map[uint64]*loopDesc
 	singles map[uint64]*singleDesc
+	ring    [loopRingSize]loopDesc
 
 	// reduction is the compiler-generated lock serializing updates of
-	// shared reduction variables (generated the same way as critical
-	// region locks).
-	reduction Lock
+	// shared reduction variables under the generic Reduce path
+	// (generated the same way as critical region locks). The typed
+	// ReduceInt64/ReduceFloat64 fast path bypasses it: threads deposit
+	// into their padded red slot and the deposits are combined by the
+	// releasing thread of the next team barrier.
+	reduction  Lock
+	red        []redSlot
+	redPending atomic.Bool
 
 	// tasks is the team's explicit-task pool (OpenMP 3.0 extension).
 	tasks taskPool
 
 	panicMu sync.Mutex
 	panics  []*RegionPanic
+}
+
+// flushReductions applies every pending typed-reduction deposit to its
+// shared target and clears the slots. It runs as the barrier's combine
+// hook: exactly one thread executes it per barrier episode, after all
+// threads have arrived (so no slot has a concurrent writer) and before
+// any is released (so every thread leaves the barrier seeing the
+// combined values).
+func (t *Team) flushReductions() {
+	if !t.redPending.Load() {
+		return
+	}
+	t.redPending.Store(false)
+	for i := range t.red {
+		s := &t.red[i]
+		if s.i64 != nil {
+			*s.i64 += s.iv
+			s.i64, s.iv = nil, 0
+		}
+		if s.f64 != nil {
+			*s.f64 += s.fv
+			s.f64, s.fv = nil, 0
+		}
+		for j := range s.more {
+			e := &s.more[j]
+			if e.i64 != nil {
+				*e.i64 += e.iv
+			} else {
+				*e.f64 += e.fv
+			}
+		}
+		s.more = s.more[:0]
+	}
 }
 
 // recordPanic stores a recovered panic and cancels the team barrier so
@@ -90,14 +131,18 @@ func newTeam(r *RT, size int, info *collector.TeamInfo) *Team {
 		rt:      r,
 		size:    size,
 		info:    info,
-		loops:   make(map[uint64]*loopDesc),
 		singles: make(map[uint64]*singleDesc),
+		red:     make([]redSlot, size),
 	}
-	if r.cfg.SpinBarrier {
-		t.barrier = newSpinBarrier(size)
-	} else {
-		t.barrier = newBlockingBarrier(size)
+	for i := range t.ring {
+		// Ring slots start as if their previous tenant (sequence
+		// number i - loopRingSize) had fully retired.
+		start := int64(i) - loopRingSize
+		t.ring[i].claim.Store(start)
+		t.ring[i].ready.Store(start)
+		t.ring[i].free.Store(start)
 	}
+	t.barrier = newTeamBarrier(size, r.cfg, t.flushReductions)
 	t.tasks.init()
 	return t
 }
@@ -134,37 +179,46 @@ func (tc *ThreadCtx) barrierImpl(state collector.State, begin, end collector.Eve
 	}
 	tc.td.EnterWait(state)
 	tc.rt.col.Event(tc.td, begin)
-	tc.team.barrier.await()
+	tc.team.barrier.await(tc.id)
 	tc.rt.col.Event(tc.td, end)
 	tc.td.SetState(collector.StateWorking)
 }
 
-// barrier is a reusable team barrier. cancel releases all current and
-// future waiters (used when a region body panics).
+// barrier is a reusable team barrier; await takes the caller's thread
+// number so topological implementations can address per-thread slots.
+// cancel releases all current and future waiters (used when a region
+// body panics). Implementations run the team's combine hook on the
+// releasing thread, after the last arrival and before any release.
 type barrier interface {
-	await()
+	await(tid int)
 	cancel()
 }
 
 // blockingBarrier is a central sense-reversing barrier that blocks
-// waiters on a condition variable. It is the default: threads may be
-// oversubscribed on the host, and a blocked waiter frees its core.
+// waiters on a condition variable, selected with BarrierSpin < 0
+// (never spin): a blocked waiter frees its core immediately, at the
+// cost of a park/unpark round trip per episode. The arrival count
+// sits on its own cache line so waiters re-checking the sense after
+// wakeup do not collide with arrivals of the next episode.
 type blockingBarrier struct {
 	mu        sync.Mutex
 	cond      *sync.Cond
 	size      int
+	combine   func()
+	_         [cacheLinePad]byte
 	count     int
+	_         [cacheLinePad - 8]byte
 	sense     bool
 	cancelled bool
 }
 
-func newBlockingBarrier(size int) *blockingBarrier {
-	b := &blockingBarrier{size: size}
+func newBlockingBarrier(size int, combine func()) *blockingBarrier {
+	b := &blockingBarrier{size: size, combine: combine}
 	b.cond = sync.NewCond(&b.mu)
 	return b
 }
 
-func (b *blockingBarrier) await() {
+func (b *blockingBarrier) await(int) {
 	b.mu.Lock()
 	if b.cancelled {
 		b.mu.Unlock()
@@ -173,6 +227,9 @@ func (b *blockingBarrier) await() {
 	sense := b.sense
 	b.count++
 	if b.count == b.size {
+		if b.combine != nil {
+			b.combine()
+		}
 		b.count = 0
 		b.sense = !sense
 		b.cond.Broadcast()
