@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test check race bench bench-sync chaos obs-demo
+.PHONY: build test check race bench bench-sync chaos chaos-hang obs-demo
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,15 @@ check:
 chaos:
 	$(GO) test -race -count=1 ./internal/faultinject ./internal/tool -run 'Chaos|Stream|Truncated'
 	$(GO) test -race -count=1 ./internal/perf -run TraceStream
+
+# chaos-hang runs the hang-supervision suite: injected AB-BA lock
+# cycles, dropped mpi messages and barrier no-shows must each be
+# diagnosed and salvaged within the wall-clock cap; the false-positive
+# workload must never trip the watchdog. The cap guards the suite's
+# own contract — hangs are detected, not waited out.
+chaos-hang:
+	$(GO) test -race -count=1 -timeout 120s ./internal/faultinject -run 'ChaosHang'
+	$(GO) test -race -count=1 -timeout 120s ./internal/super ./internal/mpi
 
 # race runs the detector over everything (slower; check covers the
 # concurrency-critical packages).

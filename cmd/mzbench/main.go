@@ -13,11 +13,27 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"goomp/internal/experiments"
 	"goomp/internal/npb"
 	"goomp/internal/tool"
 )
+
+// envDuration parses a duration-valued environment variable; unset or
+// malformed values mean zero (supervision stays off).
+func envDuration(name string) time.Duration {
+	v := os.Getenv(name)
+	if v == "" {
+		return 0
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mzbench: warning: ignoring %s=%q: %v\n", name, v, err)
+		return 0
+	}
+	return d
+}
 
 func main() {
 	classFlag := flag.String("class", "W", "problem class: S, W, A or B")
@@ -25,6 +41,7 @@ func main() {
 	benchFlag := flag.String("bench", "", "comma-separated benchmark subset (default all)")
 	csvOut := flag.Bool("csv", false, "emit the figure rows as CSV and exit")
 	tablesOnly := flag.Bool("tables", false, "print Table II only (skip overhead timing)")
+	hangTimeout := flag.Duration("hang-timeout", envDuration("GOMP_HANG_TIMEOUT"), "hang supervision for the hybrid runs: diagnose and abort after this long with no progress; defaults to $GOMP_HANG_TIMEOUT, 0 disables")
 	flag.Parse()
 
 	class := npb.Class((*classFlag)[0])
@@ -44,11 +61,14 @@ func main() {
 			names = append(names, strings.TrimSpace(n))
 		}
 	}
+	topts := tool.FullMeasurement()
+	topts.HangTimeout = *hangTimeout
+	topts.HangAbort = true // a wedged hybrid run must fail the invocation
 	rows, err := experiments.Figure6(experiments.Figure6Params{
 		Class:       class,
 		Reps:        *reps,
 		Benchmarks:  names,
-		ToolOptions: tool.FullMeasurement(),
+		ToolOptions: topts,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mzbench:", err)

@@ -34,7 +34,9 @@ func main() {
 	streamDir := flag.String("stream", "", "directory to stream trace chunks into during the run")
 	budget := flag.Duration("callback-budget", 0, "per-callback latency budget before the watchdog trips the breaker (0 disables)")
 	detachTimeout := flag.Duration("detach-timeout", 0, "bounded wait for in-flight callbacks at detach (0 waits forever)")
-	obsAddr := flag.String("obs", os.Getenv("GOMP_OBS_ADDR"), "serve the live observability plane (/metrics, /healthz, /state, /profile) on this host:port while attached; defaults to $GOMP_OBS_ADDR, empty disables")
+	obsAddr := flag.String("obs", os.Getenv("GOMP_OBS_ADDR"), "serve the live observability plane (/metrics, /healthz, /state, /profile, /waits) on this host:port while attached; defaults to $GOMP_OBS_ADDR, empty disables")
+	hangTimeout := flag.Duration("hang-timeout", envDuration("GOMP_HANG_TIMEOUT"), "hang supervision: after this long with no progress, print a deadlock/no-progress diagnosis, salvage the trace prefix and exit nonzero; defaults to $GOMP_HANG_TIMEOUT, 0 disables")
+	hangDir := flag.String("hang-dir", os.Getenv("GOMP_HANG_DIR"), "directory to salvage the hang report and traces into; defaults to $GOMP_HANG_DIR, then the -stream directory")
 	flag.Parse()
 
 	rt := omp.New(omp.Config{NumThreads: *threads})
@@ -52,6 +54,9 @@ func main() {
 	opts.CallbackBudget = *budget
 	opts.DetachTimeout = *detachTimeout
 	opts.ObsAddr = *obsAddr
+	opts.HangTimeout = *hangTimeout
+	opts.HangDir = *hangDir
+	opts.HangAbort = true // a hung profiled run must fail the invocation
 	tl, err := tool.Attach(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ompprof:", err)
@@ -122,6 +127,21 @@ func main() {
 		}
 		fmt.Printf("\ntraces written to %s\n", *traceDir)
 	}
+}
+
+// envDuration parses a duration-valued environment variable; unset or
+// malformed values mean zero (the feature stays off).
+func envDuration(name string) time.Duration {
+	v := os.Getenv(name)
+	if v == "" {
+		return 0
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ompprof: warning: ignoring %s=%q: %v\n", name, v, err)
+		return 0
+	}
+	return d
 }
 
 // runWorkload executes the selected workload on rt.

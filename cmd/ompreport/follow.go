@@ -26,6 +26,7 @@ func followPlane(base string, interval time.Duration, maxPolls int) error {
 		var profile obs.ProfileSnapshot
 		var state obs.StateSnapshot
 		var health obs.HealthStatus
+		var waits obs.WaitsSnapshot
 		if err := getJSON(client, base+"/profile", &profile); err != nil {
 			if rendered > 0 {
 				// The plane served us before and is gone now: the run
@@ -35,13 +36,15 @@ func followPlane(base string, interval time.Duration, maxPolls int) error {
 			}
 			return fmt.Errorf("poll %s: %w", base, err)
 		}
-		// State and health are best-effort per poll; /healthz answers
-		// with its JSON body on 503 too, so decode errors are real.
+		// State, health and waits are best-effort per poll; /healthz
+		// answers with its JSON body on 503 too, so decode errors are
+		// real. /waits is 404 unless hang supervision is on.
 		getJSON(client, base+"/state", &state)
+		getJSON(client, base+"/waits", &waits)
 		healthErr := getJSON(client, base+"/healthz", &health)
 
 		rendered++
-		render(base, rendered, profile, state, health, healthErr)
+		render(base, rendered, profile, state, health, healthErr, waits)
 		if maxPolls > 0 && rendered >= maxPolls {
 			return nil
 		}
@@ -67,7 +70,7 @@ func getJSON(client *http.Client, url string, v any) error {
 // terminal the previous frame is cleared so the report updates in
 // place; otherwise frames are appended, which keeps piped output
 // usable.
-func render(base string, poll int, profile obs.ProfileSnapshot, state obs.StateSnapshot, health obs.HealthStatus, healthErr error) {
+func render(base string, poll int, profile obs.ProfileSnapshot, state obs.StateSnapshot, health obs.HealthStatus, healthErr error, waits obs.WaitsSnapshot) {
 	if fi, err := os.Stdout.Stat(); err == nil && fi.Mode()&os.ModeCharDevice != 0 {
 		fmt.Print("\033[H\033[2J")
 	} else if poll > 1 {
@@ -113,6 +116,17 @@ func render(base string, poll int, profile obs.ProfileSnapshot, state obs.StateS
 			} else {
 				fmt.Printf("  thread %-3d %s\n", t.Thread, t.State)
 			}
+		}
+	}
+
+	if waits.Enabled && len(waits.Waits) > 0 {
+		fmt.Println("\nblocked (hang supervision, oldest first):")
+		for _, w := range waits.Waits {
+			fmt.Printf("  %-16s %6.2fs on %s at %s", w.Who, w.ForSec, w.Res, w.Site)
+			if w.Holds != "" {
+				fmt.Printf(" holding %s", w.Holds)
+			}
+			fmt.Println()
 		}
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"goomp/internal/analysis"
@@ -42,6 +43,7 @@ func main() {
 	}
 	var samples []perf.Sample
 	var dropped uint64
+	var hangReports []string
 	truncated := 0
 	for _, path := range flag.Args() {
 		f, err := os.Open(path)
@@ -50,8 +52,10 @@ func main() {
 			os.Exit(1)
 		}
 		// Streamed traces are chunk-block sequences; a torn file still
-		// yields its gap-free prefix, which is worth analyzing.
-		buf, err := perf.ReadTraceStream(f)
+		// yields its gap-free prefix, which is worth analyzing. Traces
+		// salvaged by the hang supervisor carry its report appended as
+		// an extra block.
+		buf, reports, err := perf.ReadTraceStreamReports(f)
 		f.Close()
 		if err != nil {
 			if !errors.Is(err, perf.ErrBadTrace) || buf == nil {
@@ -64,6 +68,20 @@ func main() {
 		}
 		dropped += buf.Dropped()
 		samples = append(samples, buf.Samples()...)
+		for _, rep := range reports {
+			// Every salvaged per-thread file carries the same report;
+			// render it once.
+			seen := false
+			for _, have := range hangReports {
+				if have == rep {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				hangReports = append(hangReports, rep)
+			}
+		}
 	}
 	fmt.Printf("%d samples from %d trace files", len(samples), flag.NArg())
 	if dropped > 0 {
@@ -73,6 +91,13 @@ func main() {
 		fmt.Printf(" [%d truncated file(s): partial data]", truncated)
 	}
 	fmt.Printf("\n\n")
+	for _, rep := range hangReports {
+		fmt.Println("WARNING: these traces were salvaged from a hung run; the data is the gap-free prefix of a run that did not finish")
+		for _, line := range strings.Split(strings.TrimRight(rep, "\n"), "\n") {
+			fmt.Printf("  | %s\n", line)
+		}
+		fmt.Println()
+	}
 
 	// Per-region timing from the master's fork/join markers, grouped
 	// by static region site (one row per parallel region of the source

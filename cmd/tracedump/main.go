@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"goomp/internal/collector"
@@ -46,12 +47,13 @@ func dump(path string, summary bool) error {
 		return err
 	}
 	defer f.Close()
-	// Streamed traces are a sequence of chunk blocks; ReadTraceStream
-	// merges them (and reads single-block WriteTraces files unchanged).
-	// A torn file — truncated by a crash or a failed write — still
-	// yields its gap-free prefix: print what survived with a warning
-	// rather than discarding a salvageable trace.
-	buf, err := perf.ReadTraceStream(f)
+	// Streamed traces are a sequence of chunk blocks; the reader merges
+	// them (and reads single-block WriteTraces files unchanged). A torn
+	// file — truncated by a crash or a failed write — still yields its
+	// gap-free prefix: print what survived with a warning rather than
+	// discarding a salvageable trace. Hang-salvaged traces carry the
+	// supervisor's report as an appended block, printed alongside.
+	buf, reports, err := perf.ReadTraceStreamReports(f)
 	if err != nil {
 		if buf == nil || len(buf.Samples()) == 0 {
 			return err
@@ -61,6 +63,12 @@ func dump(path string, summary bool) error {
 	samples := buf.Samples()
 	fmt.Printf("%s: %d samples, %d stacks, %d dropped\n",
 		path, len(samples), buf.NumStacks(), buf.Dropped())
+	for _, rep := range reports {
+		fmt.Printf("  WARNING: hang report salvaged with this trace; the samples are the gap-free prefix of a run that did not finish\n")
+		for _, line := range strings.Split(strings.TrimRight(rep, "\n"), "\n") {
+			fmt.Printf("  | %s\n", line)
+		}
+	}
 
 	if summary {
 		stats := perf.RegionProfile(samples,

@@ -48,6 +48,9 @@ const (
 	KindTornWrite
 	KindOpenError
 	KindChunkDrop
+	KindMsgDrop
+	KindMsgDelay
+	KindStall
 )
 
 func (k Kind) String() string {
@@ -66,24 +69,34 @@ func (k Kind) String() string {
 		return "open-error"
 	case KindChunkDrop:
 		return "chunk-drop"
+	case KindMsgDrop:
+		return "msg-drop"
+	case KindMsgDelay:
+		return "msg-delay"
+	case KindStall:
+		return "stall"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
 // Record is one fired fault. Callback faults carry the event and the
 // 1-based invocation number; I/O faults carry the thread and the write
-// index (or chunk sequence / open attempt).
+// index (or chunk sequence / open attempt); message and stall faults
+// carry a rendered coordinate in Point.
 type Record struct {
 	Kind   Kind
 	Event  collector.Event
 	Thread int32
 	Index  uint64
+	Point  string
 }
 
 func (r Record) String() string {
 	switch r.Kind {
 	case KindPanic, KindHang, KindDelay:
 		return fmt.Sprintf("%s %s invocation %d", r.Kind, r.Event, r.Index)
+	case KindMsgDrop, KindMsgDelay, KindStall:
+		return fmt.Sprintf("%s %s", r.Kind, r.Point)
 	default:
 		return fmt.Sprintf("%s thread %d index %d", r.Kind, r.Thread, r.Index)
 	}
@@ -120,6 +133,8 @@ type Plan struct {
 	drops     map[writeKey]bool          // chunk sequences to drop
 	writeRate float64                    // seed-hashed transient-error rate
 	dropEvery int                        // drop every nth chunk per thread
+	msgs      []msgRule                  // mpi message drop/delay rules
+	stalls    map[string]bool            // armed named stall points
 	fired     []Record
 
 	releaseOnce sync.Once
@@ -137,6 +152,7 @@ func New(seed int64) *Plan {
 		opens:     make(map[int32]int),
 		opened:    make(map[int32]int),
 		drops:     make(map[writeKey]bool),
+		stalls:    make(map[string]bool),
 		release:   make(chan struct{}),
 	}
 }

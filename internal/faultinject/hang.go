@@ -1,0 +1,99 @@
+package faultinject
+
+// Hang-shaped faults: the schedules that make a program wedge instead
+// of lose data, for exercising the hang supervisor. Message faults
+// make an mpi edge silently drop or defer deliveries (the classic
+// mismatched-tag / lost-message hang); named stall points let a test
+// park one chosen thread mid-region (a barrier no-show) until Release.
+// Like every other rule here they are deterministic: a rule either
+// matches a coordinate or it does not, and every firing is recorded.
+
+import (
+	"fmt"
+	"time"
+
+	"goomp/internal/mpi"
+)
+
+// Any matches any rank or tag in a message rule's coordinates.
+const Any = -1
+
+type msgRule struct {
+	src, dst, tag int // Any is a wildcard
+	kind          Kind
+	delay         time.Duration
+}
+
+func (r msgRule) matches(src, dst, tag int) bool {
+	return (r.src == Any || r.src == src) &&
+		(r.dst == Any || r.dst == dst) &&
+		(r.tag == Any || r.tag == tag)
+}
+
+// DropMessage makes every Send on the (src, dst, tag) edge vanish
+// without delivery — the receiver that posted a matching Recv blocks
+// forever. Use Any as a wildcard for any coordinate.
+func (p *Plan) DropMessage(src, dst, tag int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.msgs = append(p.msgs, msgRule{src: src, dst: dst, tag: tag, kind: KindMsgDrop})
+}
+
+// DelayMessage defers every delivery on the (src, dst, tag) edge by d.
+// The message still arrives, so a supervised run with d under the hang
+// timeout must not be diagnosed as hung.
+func (p *Plan) DelayMessage(src, dst, tag int, d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.msgs = append(p.msgs, msgRule{src: src, dst: dst, tag: tag, kind: KindMsgDelay, delay: d})
+}
+
+// ApplyWorld installs the plan's message-fault schedule on the world.
+func (p *Plan) ApplyWorld(w *mpi.World) {
+	w.SetFaultHook(p.messageFault)
+}
+
+// messageFault decides one delivery's fate; it matches the mpi fault
+// hook signature. First matching rule wins.
+func (p *Plan) messageFault(src, dst, tag int) (bool, time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, r := range p.msgs {
+		if !r.matches(src, dst, tag) {
+			continue
+		}
+		rec := Record{
+			Kind:   r.kind,
+			Thread: int32(dst),
+			Index:  uint64(uint(tag)),
+			Point:  fmt.Sprintf("%d->%d tag %d", src, dst, tag),
+		}
+		p.fired = append(p.fired, rec)
+		return r.kind == KindMsgDrop, r.delay
+	}
+	return false, 0
+}
+
+// StallAt arms the named stall point: every Stall(name) call blocks
+// until Release. Unarmed points cost one map lookup.
+func (p *Plan) StallAt(name string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stalls[name] = true
+}
+
+// Stall is the workload side of a named stall point: place it where a
+// thread should go missing (before a barrier, inside a critical
+// section) and arm it from the test with StallAt. Released threads
+// resume normally.
+func (p *Plan) Stall(name string) {
+	p.mu.Lock()
+	armed := p.stalls[name]
+	if armed {
+		p.fired = append(p.fired, Record{Kind: KindStall, Point: name})
+	}
+	p.mu.Unlock()
+	if armed {
+		<-p.release
+	}
+}

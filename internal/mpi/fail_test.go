@@ -1,0 +1,155 @@
+package mpi
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// runWithDeadline runs fn and fails the test if it does not return
+// within d — the guard that turns a reintroduced untimed wait into a
+// fast failure instead of a hung test binary.
+func runWithDeadline(t *testing.T, d time.Duration, fn func()) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fn()
+	}()
+	select {
+	case <-done:
+	case <-time.After(d):
+		t.Fatal("mpi world wedged: deadline exceeded")
+	}
+}
+
+// A rank that panics must not strand peers blocked in Recv: the world
+// is poisoned and Run re-raises a WorldFailedError naming the rank.
+func TestRankPanicReleasesRecvWaiters(t *testing.T) {
+	runWithDeadline(t, 10*time.Second, func() {
+		w := NewWorld(4)
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("Run returned without re-raising the rank failure")
+			}
+			wf, ok := r.(*WorldFailedError)
+			if !ok {
+				t.Fatalf("Run panicked with %T (%v), want *WorldFailedError", r, r)
+			}
+			if wf.Rank != 2 {
+				t.Fatalf("WorldFailedError names rank %d, want 2", wf.Rank)
+			}
+			if wf.Panic != "boom" {
+				t.Fatalf("WorldFailedError.Panic = %v, want boom", wf.Panic)
+			}
+		}()
+		w.Run(func(c *Comm) {
+			if c.Rank() == 2 {
+				panic("boom")
+			}
+			// Peers block on a message only rank 2 would send.
+			c.Recv(2, 99)
+		})
+	})
+}
+
+// Same for ranks blocked in Barrier: a no-show rank must not hang it.
+func TestRankPanicReleasesBarrierWaiters(t *testing.T) {
+	runWithDeadline(t, 10*time.Second, func() {
+		w := NewWorld(3)
+		var released atomic.Int32
+		defer func() {
+			if r := recover(); r == nil {
+				t.Fatal("Run returned without re-raising the rank failure")
+			}
+			if released.Load() != 2 {
+				t.Fatalf("%d ranks observed the poison, want 2", released.Load())
+			}
+		}()
+		w.Run(func(c *Comm) {
+			if c.Rank() == 0 {
+				panic(errors.New("rank 0 dies before the barrier"))
+			}
+			defer func() {
+				if r := recover(); r != nil {
+					released.Add(1)
+					panic(r) // unwind through Run's rank boundary
+				}
+			}()
+			c.Barrier()
+		})
+	})
+}
+
+// Err is nil on a healthy world and set after a failure.
+func TestWorldErr(t *testing.T) {
+	runWithDeadline(t, 10*time.Second, func() {
+		w := NewWorld(2)
+		w.Run(func(c *Comm) { c.Barrier() })
+		if w.Err() != nil {
+			t.Fatalf("healthy world has Err %v", w.Err())
+		}
+		func() {
+			defer func() { recover() }()
+			w.Run(func(c *Comm) {
+				if c.Rank() == 1 {
+					panic("late failure")
+				}
+				c.Recv(1, 7)
+			})
+		}()
+		if w.Err() == nil || w.Err().Rank != 1 {
+			t.Fatalf("Err after failure = %v, want rank 1", w.Err())
+		}
+	})
+}
+
+// Wakeup-semantics regression (the Broadcast audit): interleaved
+// receivers with different wildcard filters on one mailbox must all
+// complete. With Signal instead of Broadcast in put, a message could
+// wake only a non-matching receiver and strand the matching one.
+func TestRecvInterleavedWildcards(t *testing.T) {
+	const rounds = 200
+	runWithDeadline(t, 30*time.Second, func() {
+		for i := 0; i < rounds; i++ {
+			w := NewWorld(4)
+			w.Run(func(c *Comm) {
+				switch c.Rank() {
+				case 0:
+					// Two concurrent receivers with disjoint filters on
+					// one mailbox: (AnySource, 7) only matches rank 1's
+					// message, (2, AnyTag) only matches rank 2's. Each
+					// arriving message wakes both; a Signal could wake
+					// only the wrong one.
+					done := make(chan int, 2)
+					go func() {
+						data, _ := c.Recv(AnySource, 7) // tag filter only
+						done <- int(data[0])
+					}()
+					go func() {
+						data, _ := c.Recv(2, AnyTag) // source filter only
+						done <- int(data[0])
+					}()
+					sum := <-done + <-done
+					if sum != 3 {
+						panic("filtered receivers got the wrong messages")
+					}
+					// The fully wild receiver picks up the leftover
+					// (rank 3, tag 9) the filters ignored.
+					data, src := c.Recv(AnySource, AnyTag)
+					if src != 3 || data[0] != 3 {
+						panic("wildcard receiver got the wrong leftover")
+					}
+				case 1:
+					c.Send(0, 7, []float64{1})
+				case 2:
+					c.Send(0, 8, []float64{2})
+				case 3:
+					c.Send(0, 9, []float64{3})
+				}
+			})
+		}
+	})
+}

@@ -10,6 +10,11 @@ package mpi
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
+	"unsafe"
+
+	"goomp/internal/super"
 )
 
 // AnyTag matches any message tag in Recv.
@@ -26,6 +31,15 @@ type message struct {
 
 // mailbox is the per-destination message store with MPI-style
 // (source, tag) matching.
+//
+// Wakeup invariant: put must Broadcast, never Signal. Several
+// receivers with different (source, tag) filters can block on one
+// mailbox — the boundary exchange posts AnySource receives while a
+// collective waits on a reserved tag — and a Signal could wake only a
+// receiver whose filter the new message does not match, which would
+// park again and strand the matching receiver forever (a lost
+// wakeup). Broadcast wakes every filter; non-matching receivers
+// re-scan and re-park. TestRecvInterleavedWildcards pins this down.
 type mailbox struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -43,26 +57,40 @@ func (m *mailbox) put(msg message) {
 	m.pending = append(m.pending, msg)
 	m.cond.Broadcast()
 	m.mu.Unlock()
-}
-
-func (m *mailbox) get(src, tag int) message {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for {
-		for i, msg := range m.pending {
-			if (src == AnySource || msg.src == src) && (tag == AnyTag || msg.tag == tag) {
-				m.pending = append(m.pending[:i], m.pending[i+1:]...)
-				return msg
-			}
-		}
-		m.cond.Wait()
+	if s := super.Enabled(); s != nil {
+		s.Note() // message delivery is forward progress
 	}
 }
+
+// WorldFailedError is the poison a failed rank leaves behind: every
+// rank blocked in Recv, Barrier or a collective is released by
+// panicking with the same *WorldFailedError, and World.Run re-raises
+// it on the caller once all rank goroutines have unwound.
+type WorldFailedError struct {
+	Rank  int // the rank whose body panicked first
+	Panic any // the recovered panic value
+}
+
+func (e *WorldFailedError) Error() string {
+	return fmt.Sprintf("mpi: rank %d failed: %v", e.Rank, e.Panic)
+}
+
+// worldSeq numbers worlds so supervision labels stay unique when
+// several worlds coexist in one process.
+var worldSeq atomic.Uint64
+
+// faultHook lets the fault-injection harness drop or delay messages on
+// a (src, dst, tag) edge. A nil hook costs one atomic load per Send.
+type faultHook func(src, dst, tag int) (drop bool, delay time.Duration)
 
 // World is an MPI communicator universe of a fixed number of ranks.
 type World struct {
 	size  int
+	seq   uint64
 	boxes []*mailbox
+
+	failed atomic.Pointer[WorldFailedError]
+	fault  atomic.Pointer[faultHook]
 
 	bmu    sync.Mutex
 	bcond  *sync.Cond
@@ -75,7 +103,7 @@ func NewWorld(size int) *World {
 	if size < 1 {
 		panic("mpi: world size must be positive")
 	}
-	w := &World{size: size, boxes: make([]*mailbox, size)}
+	w := &World{size: size, seq: worldSeq.Add(1), boxes: make([]*mailbox, size)}
 	for i := range w.boxes {
 		w.boxes[i] = newMailbox()
 	}
@@ -86,24 +114,83 @@ func NewWorld(size int) *World {
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.size }
 
+// SetFaultHook installs (or clears, with nil) a message fault hook for
+// chaos testing: Send consults it and drops the message or defers its
+// delivery. Not for production use.
+func (w *World) SetFaultHook(h func(src, dst, tag int) (drop bool, delay time.Duration)) {
+	if h == nil {
+		w.fault.Store(nil)
+		return
+	}
+	fh := faultHook(h)
+	w.fault.Store(&fh)
+}
+
+// Err returns the world's failure, or nil while all ranks are healthy.
+func (w *World) Err() *WorldFailedError { return w.failed.Load() }
+
 // Run starts one goroutine per rank executing fn and returns when all
 // ranks finish. It is the mpirun of this substrate.
+//
+// A rank body that panics no longer strands its peers: the panic is
+// recovered at the rank boundary, the world is poisoned, and every
+// rank blocked in Recv, Barrier or a collective is released by
+// panicking with a *WorldFailedError naming the failed rank. Once all
+// rank goroutines have unwound, Run re-raises that error on the
+// caller.
 func (w *World) Run(fn func(c *Comm)) {
 	var wg sync.WaitGroup
 	for r := 0; r < w.size; r++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
+			defer func() {
+				r := recover()
+				if r == nil {
+					return
+				}
+				if wf, ok := r.(*WorldFailedError); ok && wf == w.failed.Load() {
+					return // a waiter released by the poison; already recorded
+				}
+				w.poison(rank, r)
+			}()
 			fn(&Comm{world: w, rank: rank})
 		}(r)
 	}
 	wg.Wait()
+	if err := w.failed.Load(); err != nil {
+		panic(err)
+	}
+}
+
+// poison records the first failure and wakes every blocked rank so it
+// can observe the failure and unwind.
+func (w *World) poison(rank int, val any) {
+	w.failed.CompareAndSwap(nil, &WorldFailedError{Rank: rank, Panic: val})
+	for _, m := range w.boxes {
+		m.mu.Lock()
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	}
+	w.bmu.Lock()
+	w.bcond.Broadcast()
+	w.bmu.Unlock()
 }
 
 // Comm is one rank's communicator handle.
 type Comm struct {
-	world *World
-	rank  int
+	world  *World
+	rank   int
+	slabel string // lazily cached hang-supervision label
+}
+
+// superWho returns the rank's supervision label ("mpi1 rank 2"); the
+// world sequence number keeps labels unique across worlds.
+func (c *Comm) superWho() string {
+	if c.slabel == "" {
+		c.slabel = fmt.Sprintf("mpi%d rank %d", c.world.seq, c.rank)
+	}
+	return c.slabel
 }
 
 // Rank returns this rank's index.
@@ -121,14 +208,65 @@ func (c *Comm) Send(dst, tag int, data []float64) {
 	}
 	cp := make([]float64, len(data))
 	copy(cp, data)
-	c.world.boxes[dst].put(message{src: c.rank, tag: tag, data: cp})
+	msg := message{src: c.rank, tag: tag, data: cp}
+	box := c.world.boxes[dst]
+	if h := c.world.fault.Load(); h != nil {
+		drop, delay := (*h)(c.rank, dst, tag)
+		if drop {
+			return
+		}
+		if delay > 0 {
+			time.AfterFunc(delay, func() { box.put(msg) })
+			return
+		}
+	}
+	box.put(msg)
 }
 
 // Recv blocks until a message matching (src, tag) arrives and returns
 // its payload and actual source. Use AnySource/AnyTag as wildcards.
+// If a rank fails while we wait, Recv panics with the world's
+// *WorldFailedError instead of blocking forever.
 func (c *Comm) Recv(src, tag int) ([]float64, int) {
-	msg := c.world.boxes[c.rank].get(src, tag)
-	return msg.data, msg.src
+	m := c.world.boxes[c.rank]
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var s *super.Supervisor
+	var tok uint64
+	defer func() {
+		if s != nil {
+			s.EndWait(tok) // also clears the record when poison unwinds us
+		}
+	}()
+	for {
+		for i, msg := range m.pending {
+			if (src == AnySource || msg.src == src) && (tag == AnyTag || msg.tag == tag) {
+				m.pending = append(m.pending[:i], m.pending[i+1:]...)
+				return msg.data, msg.src
+			}
+		}
+		if err := c.world.failed.Load(); err != nil {
+			panic(err)
+		}
+		if s == nil {
+			if s = super.Enabled(); s != nil {
+				tok = s.BeginWait(c.superWho(), -1, super.Resource{
+					Kind:   super.ResMsg,
+					ID:     uint64(uintptr(unsafe.Pointer(m))),
+					Detail: fmt.Sprintf("src=%s tag=%s", wildcard(src), wildcard(tag)),
+				}, "")
+			}
+		}
+		m.cond.Wait()
+	}
+}
+
+// wildcard renders a Recv filter component for diagnostics.
+func wildcard(v int) string {
+	if v < 0 {
+		return "any"
+	}
+	return fmt.Sprintf("%d", v)
 }
 
 // Sendrecv exchanges data with a partner rank in one deadlock-free
@@ -139,23 +277,42 @@ func (c *Comm) Sendrecv(dst, sendTag int, data []float64, src, recvTag int) ([]f
 }
 
 // Barrier blocks until every rank has entered it (sense-reversing
-// central barrier).
+// central barrier). If a rank fails while we wait, Barrier panics
+// with the world's *WorldFailedError instead of blocking forever.
 func (c *Comm) Barrier() {
 	w := c.world
 	w.bmu.Lock()
+	defer w.bmu.Unlock()
+	if err := w.failed.Load(); err != nil {
+		panic(err)
+	}
 	sense := w.bsense
 	w.bcount++
 	if w.bcount == w.size {
 		w.bcount = 0
 		w.bsense = !sense
 		w.bcond.Broadcast()
-		w.bmu.Unlock()
+		if s := super.Enabled(); s != nil {
+			s.Note() // a completed barrier episode is forward progress
+		}
 		return
 	}
+	s := super.Enabled()
+	var tok uint64
+	if s != nil {
+		tok = s.BeginWait(c.superWho(), -1, super.Resource{
+			Kind:   super.ResMPIBar,
+			ID:     w.seq,
+			Detail: fmt.Sprintf("world of %d", w.size),
+		}, "")
+		defer s.EndWait(tok)
+	}
 	for w.bsense == sense {
+		if err := w.failed.Load(); err != nil {
+			panic(err)
+		}
 		w.bcond.Wait()
 	}
-	w.bmu.Unlock()
 }
 
 // Op is a reduction operator.

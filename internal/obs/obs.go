@@ -77,6 +77,27 @@ type HealthStatus struct {
 	UptimeSeconds  float64  `json:"uptime_seconds"`
 }
 
+// WaitInfo is one blocked thread in a /waits response: who is parked,
+// on what resource, for how long, and what it holds.
+type WaitInfo struct {
+	Who    string  `json:"who"`
+	Thread int32   `json:"thread"`
+	Kind   string  `json:"kind"`
+	Res    string  `json:"resource"`
+	State  string  `json:"state,omitempty"`
+	ForSec float64 `json:"for_sec"`
+	Site   string  `json:"site"`
+	Holds  string  `json:"holds,omitempty"`
+}
+
+// WaitsSnapshot is the /waits response body: the hang supervisor's
+// live wait records, oldest first. Supervision off means the endpoint
+// is absent (404), not an empty list.
+type WaitsSnapshot struct {
+	Enabled bool       `json:"enabled"`
+	Waits   []WaitInfo `json:"waits"`
+}
+
 // Config wires a Server to its data sources. Registry must be set;
 // endpoints whose source function is nil respond 404.
 type Config struct {
@@ -84,6 +105,7 @@ type Config struct {
 	Health   func() HealthStatus
 	State    func() StateSnapshot
 	Profile  func() ProfileSnapshot
+	Waits    func() WaitsSnapshot
 }
 
 // Server serves the observability plane on one listener.
@@ -110,6 +132,7 @@ func Serve(addr string, cfg Config) (*Server, error) {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/state", s.handleState)
 	mux.HandleFunc("/profile", s.handleProfile)
+	mux.HandleFunc("/waits", s.handleWaits)
 	mux.HandleFunc("/", s.handleIndex)
 	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go s.srv.Serve(lis)
@@ -159,6 +182,14 @@ func (s *Server) handleProfile(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.cfg.Profile())
 }
 
+func (s *Server) handleWaits(w http.ResponseWriter, _ *http.Request) {
+	if s.cfg.Waits == nil {
+		http.NotFound(w, nil)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cfg.Waits())
+}
+
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
 		http.NotFound(w, r)
@@ -170,6 +201,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "  /healthz   collector health (503 when degraded)")
 	fmt.Fprintln(w, "  /state     live thread states (JSON)")
 	fmt.Fprintln(w, "  /profile   live region profile (JSON)")
+	fmt.Fprintln(w, "  /waits     live hang-supervision wait records (JSON)")
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

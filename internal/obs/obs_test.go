@@ -152,9 +152,9 @@ func TestRegistryWritePrometheus(t *testing.T) {
 		emit(2, Label{"k", `quote " and \ slash`})
 	})
 	h := r.Histogram("test_latency_seconds", "Latency.", Label{"site", "0x1"})
-	h.ObserveNs(3)          // bucket ub=3ns
-	h.ObserveNs(1_000_000)  // ~1ms
-	h.ObserveNs(1 << 50)    // overflow -> +Inf only
+	h.ObserveNs(3)         // bucket ub=3ns
+	h.ObserveNs(1_000_000) // ~1ms
+	h.ObserveNs(1 << 50)   // overflow -> +Inf only
 
 	var b strings.Builder
 	if err := r.WritePrometheus(&b); err != nil {

@@ -98,6 +98,7 @@ type Config struct {
 type RT struct {
 	cfg Config
 	col *collector.Collector
+	seq uint64 // process-wide instance number for supervision labels
 
 	mu      sync.Mutex // guards pool growth and shutdown
 	workers []*worker  // slaves; global thread i is workers[i-1]
@@ -160,6 +161,7 @@ func New(cfg Config) *RT {
 	}
 	r := &RT{
 		cfg:        cfg,
+		seq:        rtSeq.Add(1),
 		col:        collector.New(colOpts...),
 		sites:      make(map[uintptr]*RegionSite),
 		critical:   make(map[string]*Lock),
@@ -458,6 +460,8 @@ type ThreadCtx struct {
 
 	level  int        // nesting depth of active parallel regions (outermost is 1)
 	parent *ThreadCtx // context of the encountering thread for nested regions
+
+	slabel string // lazily cached hang-supervision label (superWho)
 }
 
 // ThreadNum returns the thread's number within its team (master is 0).

@@ -1,12 +1,15 @@
 package omp
 
 import (
+	"fmt"
 	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"goomp/internal/collector"
+	"goomp/internal/super"
 )
 
 // Schedule selects how a worksharing loop's iterations are divided
@@ -138,10 +141,26 @@ func (tc *ThreadCtx) getLoop(n, chunk int) *loopDesc {
 }
 
 // doneLoop retires the thread from the loop; the last thread to leave
-// marks the ring slot free for its next tenant.
+// marks the ring slot free for its next tenant. Retiring a construct
+// is forward progress the hang supervisor must see, or a long loop
+// with every other thread parked at the closing barrier would look
+// like a hang.
 func (tc *ThreadCtx) doneLoop(ld *loopDesc) {
 	if int(ld.arrived.Add(1)) == tc.team.size {
 		ld.free.Store(ld.seq)
+	}
+	if s := super.Enabled(); s != nil {
+		s.Note()
+	}
+}
+
+// noteChunk reports one schedule-chunk claim to the hang supervisor —
+// the finest-grained progress signal, which is what keeps a single
+// long dynamic/guided loop from tripping the watchdog while its
+// teammates wait. Free when supervision is off (one atomic load).
+func noteChunk() {
+	if s := super.Enabled(); s != nil {
+		s.Note()
 	}
 }
 
@@ -258,6 +277,7 @@ func (tc *ThreadCtx) ForSchedNoWait(n int, sched Schedule, chunk int, body func(
 			hi := min(end, int64(n))
 			for c := lo; c < hi; c += int64(chunk) {
 				body(int(c), min(int(c)+chunk, n))
+				noteChunk()
 			}
 			next = end
 		}
@@ -278,6 +298,7 @@ func (tc *ThreadCtx) ForSchedNoWait(n int, sched Schedule, chunk int, body func(
 				continue
 			}
 			body(int(lo), min(int(lo+size), n))
+			noteChunk()
 		}
 		tc.doneLoop(ld)
 	default:
@@ -306,8 +327,20 @@ func (o *Ordered) Do(fn func()) {
 	if ld.orderedNext != int64(o.i) {
 		tc.td.EnterWait(collector.StateOrderedWait)
 		tc.rt.col.Event(tc.td, collector.EventThrBeginOdwt)
+		s := super.Enabled()
+		var tok uint64
+		if s != nil {
+			tok = s.BeginWait(tc.superWho(), tc.td.ID,
+				super.Resource{Kind: super.ResOrdered,
+					ID:     uint64(uintptr(unsafe.Pointer(ld))),
+					Detail: fmt.Sprintf("iteration %d", o.i)},
+				collector.StateOrderedWait.String())
+		}
 		for ld.orderedNext != int64(o.i) {
 			ld.ocond.Wait()
+		}
+		if s != nil {
+			s.EndWait(tok)
 		}
 		tc.rt.col.Event(tc.td, collector.EventThrEndOdwt)
 		tc.td.SetState(collector.StateWorking)

@@ -1,0 +1,57 @@
+package omp
+
+import (
+	"fmt"
+	"sync/atomic"
+	"unsafe"
+
+	"goomp/internal/super"
+)
+
+// Hang-supervision glue: every blocking construct in this package
+// registers a wait record with the active supervisor (super.Enabled)
+// immediately before parking and clears it on wake; lock-shaped
+// constructs also report ownership so the watchdog can close wait-for
+// cycles. Each site is gated on a single atomic pointer load, so an
+// un-supervised run pays one predicted branch per wait and nothing
+// else.
+
+// rtSeq numbers runtime instances so supervision labels stay unique
+// when several runtimes coexist in one process (one RT per mpi rank in
+// the MZ harnesses). Without it, "thread 3" of two runtimes would
+// alias in the wait-for graph and could fabricate cycles.
+var rtSeq atomic.Uint64
+
+// superWho returns the thread's stable supervision label, computed on
+// first use. ThreadCtx is confined to its thread, so the lazy cache
+// needs no synchronization; the fmt call only happens on a contended
+// wait with supervision enabled.
+func (tc *ThreadCtx) superWho() string {
+	if tc.slabel == "" {
+		tc.slabel = fmt.Sprintf("omp%d thread %d", tc.rt.seq, tc.id)
+	}
+	return tc.slabel
+}
+
+// superWhoOf labels an optional thread context: serial code (nil tc)
+// acquires locks too.
+func superWhoOf(tc *ThreadCtx) string {
+	if tc == nil {
+		return "serial"
+	}
+	return tc.superWho()
+}
+
+// lockRes identifies a Lock (user lock, critical-section lock or
+// reduction lock — all *Lock underneath) by its address, so Acquired
+// at any entry point and Released in Lock.Release agree on the key.
+// detail is display-only and excluded from identity.
+func lockRes(l *Lock, detail string) super.Resource {
+	return super.Resource{Kind: super.ResLock,
+		ID: uint64(uintptr(unsafe.Pointer(l))), Detail: detail}
+}
+
+func nestedLockRes(nl *NestedLock) super.Resource {
+	return super.Resource{Kind: super.ResLock,
+		ID: uint64(uintptr(unsafe.Pointer(nl))), Detail: "nested"}
+}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"goomp/internal/collector"
+	"goomp/internal/super"
 )
 
 // Lock is a user-defined OpenMP lock (omp_lock_t). The implementation
@@ -22,26 +23,58 @@ type Lock struct {
 // which case the lock degrades to a plain mutex.
 func (l *Lock) Acquire(tc *ThreadCtx) {
 	if l.mu.TryLock() {
+		if s := super.Enabled(); s != nil {
+			s.Acquired(lockRes(l, ""), superWhoOf(tc))
+		}
 		return
 	}
 	if tc == nil {
+		s := super.Enabled()
+		var tok uint64
+		if s != nil {
+			tok = s.BeginWait("serial", -1, lockRes(l, ""),
+				collector.StateLockWait.String())
+		}
 		l.mu.Lock()
+		if s != nil {
+			s.EndWait(tok)
+			s.Acquired(lockRes(l, ""), "serial")
+		}
 		return
 	}
 	td := tc.td
 	prev := td.State()
 	td.EnterWait(collector.StateLockWait)
 	tc.rt.col.Event(td, collector.EventThrBeginLkwt)
+	s := super.Enabled()
+	var tok uint64
+	if s != nil {
+		tok = s.BeginWait(tc.superWho(), td.ID, lockRes(l, ""),
+			collector.StateLockWait.String())
+	}
 	l.mu.Lock()
+	if s != nil {
+		s.EndWait(tok)
+		s.Acquired(lockRes(l, ""), tc.superWho())
+	}
 	tc.rt.col.Event(td, collector.EventThrEndLkwt)
 	td.SetState(prev)
 }
 
-// TryAcquire takes the lock if it is free, without ever waiting.
+// TryAcquire takes the lock if it is free, without ever waiting. It
+// has no thread context, so supervision records no owner for it: a
+// trylock-held lock still shows its waiters, but cannot close a
+// wait-for cycle.
 func (l *Lock) TryAcquire() bool { return l.mu.TryLock() }
 
-// Release unlocks the lock.
-func (l *Lock) Release() { l.mu.Unlock() }
+// Release unlocks the lock. Ownership is cleared before the unlock so
+// a racing acquirer's ownership record cannot be erased by ours.
+func (l *Lock) Release() {
+	if s := super.Enabled(); s != nil {
+		s.Released(lockRes(l, ""))
+	}
+	l.mu.Unlock()
+}
 
 // NestedLock is an omp_nest_lock_t: the owning thread may re-acquire
 // it, and it unlocks when released as many times as acquired. The same
@@ -74,8 +107,21 @@ func (nl *NestedLock) Acquire(tc *ThreadCtx) {
 			td.EnterWait(collector.StateLockWait)
 			tc.rt.col.Event(td, collector.EventThrBeginLkwt)
 		}
+		s := super.Enabled()
+		var tok uint64
+		if s != nil {
+			tid := int32(-1)
+			if td != nil {
+				tid = td.ID
+			}
+			tok = s.BeginWait(superWhoOf(tc), tid, nestedLockRes(nl),
+				collector.StateLockWait.String())
+		}
 		for nl.owner != nil {
 			nl.cond.Wait()
+		}
+		if s != nil {
+			s.EndWait(tok)
 		}
 		if tc != nil {
 			tc.rt.col.Event(td, collector.EventThrEndLkwt)
@@ -84,6 +130,9 @@ func (nl *NestedLock) Acquire(tc *ThreadCtx) {
 	}
 	nl.owner = tc
 	nl.depth = 1
+	if s := super.Enabled(); s != nil {
+		s.Acquired(nestedLockRes(nl), superWhoOf(tc))
+	}
 	nl.mu.Unlock()
 }
 
@@ -99,6 +148,9 @@ func (nl *NestedLock) TryAcquire(tc *ThreadCtx) bool {
 		if nl.owner == nil {
 			nl.owner = tc
 			nl.depth = 1
+			if s := super.Enabled(); s != nil {
+				s.Acquired(nestedLockRes(nl), superWhoOf(tc))
+			}
 		} else {
 			nl.depth++
 		}
@@ -117,6 +169,9 @@ func (nl *NestedLock) Release() {
 	nl.depth--
 	if nl.depth == 0 {
 		nl.owner = nil
+		if s := super.Enabled(); s != nil {
+			s.Released(nestedLockRes(nl))
+		}
 		if nl.cond != nil {
 			nl.cond.Signal()
 		}
@@ -137,10 +192,17 @@ func (nl *NestedLock) Depth() int {
 // critical wait ID and the critical wait events (§IV-C.4).
 func (tc *ThreadCtx) Critical(name string, fn func()) {
 	l := tc.rt.criticalLock(name)
-	tc.enterGeneratedLock(l, collector.StateCriticalWait,
+	tc.enterGeneratedLock(l, criticalDetail(name), collector.StateCriticalWait,
 		collector.EventThrBeginCtwt, collector.EventThrEndCtwt)
 	fn()
 	l.Release()
+}
+
+func criticalDetail(name string) string {
+	if name == "" {
+		return "critical"
+	}
+	return `critical "` + name + `"`
 }
 
 func (r *RT) criticalLock(name string) *Lock {
@@ -156,16 +218,30 @@ func (r *RT) criticalLock(name string) *Lock {
 
 // enterGeneratedLock acquires a compiler-generated lock with the given
 // wait state and events — the shared mechanics of critical regions and
-// reductions, which OpenUH generates the same way.
-func (tc *ThreadCtx) enterGeneratedLock(l *Lock, st collector.State, begin, end collector.Event) {
+// reductions, which OpenUH generates the same way. detail names the
+// construct in hang-supervision reports; the resource key is the lock
+// address, matching the Released record in Lock.Release.
+func (tc *ThreadCtx) enterGeneratedLock(l *Lock, detail string, st collector.State, begin, end collector.Event) {
 	if l.mu.TryLock() {
+		if s := super.Enabled(); s != nil {
+			s.Acquired(lockRes(l, detail), tc.superWho())
+		}
 		return
 	}
 	td := tc.td
 	prev := td.State()
 	td.EnterWait(st)
 	tc.rt.col.Event(td, begin)
+	s := super.Enabled()
+	var tok uint64
+	if s != nil {
+		tok = s.BeginWait(tc.superWho(), td.ID, lockRes(l, detail), st.String())
+	}
 	l.mu.Lock()
+	if s != nil {
+		s.EndWait(tok)
+		s.Acquired(lockRes(l, detail), tc.superWho())
+	}
 	tc.rt.col.Event(td, end)
 	td.SetState(prev)
 }
@@ -182,7 +258,7 @@ func (tc *ThreadCtx) Reduce(update func()) {
 	prev := td.State()
 	td.SetState(collector.StateReduction)
 	tc.rt.col.Event(td, collector.EventThrBeginReduction)
-	tc.enterGeneratedLock(&tc.team.reduction, collector.StateCriticalWait,
+	tc.enterGeneratedLock(&tc.team.reduction, "reduction", collector.StateCriticalWait,
 		collector.EventThrBeginCtwt, collector.EventThrEndCtwt)
 	update()
 	tc.team.reduction.Release()

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"goomp/internal/collector"
+	"goomp/internal/super"
 )
 
 // RegionPanic wraps a panic raised inside a parallel region body (or a
@@ -179,7 +180,21 @@ func (tc *ThreadCtx) barrierImpl(state collector.State, begin, end collector.Eve
 	}
 	tc.td.EnterWait(state)
 	tc.rt.col.Event(tc.td, begin)
+	// All three barrier topologies (central spin, combining tree,
+	// condition-variable) funnel through await, so this is the single
+	// supervision point for barrier waits.
+	s := super.Enabled()
+	var tok uint64
+	if s != nil {
+		tok = s.BeginWait(tc.superWho(), tc.td.ID,
+			super.Resource{Kind: super.ResBarrier, ID: tc.team.info.RegionID,
+				Detail: fmt.Sprintf("region %d, team of %d", tc.team.info.RegionID, tc.team.size)},
+			state.String())
+	}
 	tc.team.barrier.await(tc.id)
+	if s != nil {
+		s.EndWait(tok)
+	}
 	tc.rt.col.Event(tc.td, end)
 	tc.td.SetState(collector.StateWorking)
 }

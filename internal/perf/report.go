@@ -1,0 +1,107 @@
+package perf
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Hang-report trace blocks: when the hang supervisor force-detaches
+// the tool to salvage the trace, it appends the rendered hang report
+// to each salvaged trace file as a PSXR block, so the diagnosis
+// travels with the data it explains. The block is self-delimiting and
+// interleaves with PSXT sample blocks in the same stream:
+//
+//	magic "PSXR", version uint32
+//	length uint64, then length bytes of UTF-8 report text
+
+var reportMagic = [4]byte{'P', 'S', 'X', 'R'}
+
+const reportVersion = 1
+
+// maxReportLen bounds a report block so a corrupt header cannot drive
+// a huge allocation.
+const maxReportLen = 1 << 22
+
+// WriteHangReportBlock appends one hang-report block containing text.
+func WriteHangReportBlock(w io.Writer, text string) error {
+	var hdr [16]byte
+	copy(hdr[:4], reportMagic[:])
+	binary.LittleEndian.PutUint32(hdr[4:8], reportVersion)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(text)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, text)
+	return err
+}
+
+// readHangReport consumes one PSXR block (magic included) from br.
+func readHangReport(br *bufio.Reader) (string, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return "", fmt.Errorf("%w: truncated report header", ErrBadTrace)
+	}
+	if binary.LittleEndian.Uint32(hdr[4:8]) != reportVersion {
+		return "", fmt.Errorf("%w: unknown report version", ErrBadTrace)
+	}
+	n := binary.LittleEndian.Uint64(hdr[8:16])
+	if n > maxReportLen {
+		return "", fmt.Errorf("%w: oversized report block", ErrBadTrace)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", fmt.Errorf("%w: truncated report block", ErrBadTrace)
+	}
+	return string(buf), nil
+}
+
+// ReadTraceStreamReports reads a stream of concatenated PSXT trace
+// blocks and PSXR hang-report blocks, merging the samples like
+// ReadTraceStream and collecting the report texts in stream order.
+// The same salvage contract applies: on a torn stream the gap-free
+// prefix (and any reports before the damage) is returned alongside an
+// error wrapping ErrBadTrace.
+func ReadTraceStreamReports(r io.Reader) (*TraceBuffer, []string, error) {
+	br := bufio.NewReader(r)
+	merged := NewTraceBuffer(0, 0)
+	var reports []string
+	for {
+		head, err := br.Peek(4)
+		if len(head) == 0 && err != nil {
+			if err == io.EOF {
+				return merged, reports, nil
+			}
+			return merged, reports, err
+		}
+		if bytes.Equal(head, reportMagic[:]) {
+			text, err := readHangReport(br)
+			if err != nil {
+				return merged, reports, err
+			}
+			reports = append(reports, text)
+			continue
+		}
+		block, err := ReadTrace(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				err = fmt.Errorf("%w: truncated block", ErrBadTrace)
+			}
+			return merged, reports, err
+		}
+		base := int32(merged.NumStacks())
+		block.ForEachStack(func(_ int32, pcs []uintptr) {
+			merged.InternStack(pcs)
+		})
+		for _, s := range block.Samples() {
+			if s.StackID != NoStack {
+				s.StackID += base
+			}
+			merged.Append(s)
+		}
+		merged.dropped.Add(block.Dropped())
+	}
+}

@@ -1,0 +1,99 @@
+package perf
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// A PSXR report appended to a stream of sample blocks round-trips and
+// leaves the sample data untouched.
+func TestReportBlockRoundTrip(t *testing.T) {
+	enc, _ := buildStream(t, 2, 5)
+	var out bytes.Buffer
+	out.Write(enc)
+	const text = "HANG detected: verdict=deadlock\n  cycle: a -> [lock] -> b -> [lock] -> a\n"
+	if err := WriteHangReportBlock(&out, text); err != nil {
+		t.Fatal(err)
+	}
+	buf, reports, err := ReadTraceStreamReports(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadTraceStreamReports: %v", err)
+	}
+	if len(reports) != 1 || reports[0] != text {
+		t.Fatalf("reports = %q, want the appended text", reports)
+	}
+	if got := len(buf.Samples()); got != 10 {
+		t.Fatalf("merged %d samples, want 10", got)
+	}
+}
+
+// Report blocks may interleave with sample blocks; stream order is
+// preserved.
+func TestReportBlockInterleaved(t *testing.T) {
+	blockA, _ := buildStream(t, 1, 3)
+	blockB, _ := buildStream(t, 1, 4)
+	var out bytes.Buffer
+	if err := WriteHangReportBlock(&out, "first"); err != nil {
+		t.Fatal(err)
+	}
+	out.Write(blockA)
+	if err := WriteHangReportBlock(&out, "second"); err != nil {
+		t.Fatal(err)
+	}
+	out.Write(blockB)
+	buf, reports, err := ReadTraceStreamReports(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 || reports[0] != "first" || reports[1] != "second" {
+		t.Fatalf("reports = %q", reports)
+	}
+	if got := len(buf.Samples()); got != 7 {
+		t.Fatalf("merged %d samples, want 7", got)
+	}
+}
+
+// ReadTraceStream (the report-less reader) skips PSXR blocks, so
+// pre-existing callers keep working on salvaged-with-report files.
+func TestReadTraceStreamSkipsReports(t *testing.T) {
+	enc, _ := buildStream(t, 1, 5)
+	var out bytes.Buffer
+	out.Write(enc)
+	if err := WriteHangReportBlock(&out, "ignored"); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := ReadTraceStream(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(buf.Samples()); got != 5 {
+		t.Fatalf("merged %d samples, want 5", got)
+	}
+}
+
+// A torn report block salvages the gap-free prefix, matching the
+// torn-sample-block contract.
+func TestReportBlockTornReturnsPrefix(t *testing.T) {
+	enc, _ := buildStream(t, 1, 5)
+	var out bytes.Buffer
+	out.Write(enc)
+	text := strings.Repeat("hang report line\n", 10)
+	if err := WriteHangReportBlock(&out, text); err != nil {
+		t.Fatal(err)
+	}
+	full := out.Bytes()
+	for _, cut := range []int{len(enc) + 2, len(enc) + 16, len(full) - 3} {
+		buf, reports, err := ReadTraceStreamReports(bytes.NewReader(full[:cut]))
+		if !errors.Is(err, ErrBadTrace) {
+			t.Fatalf("cut %d: err = %v, want ErrBadTrace", cut, err)
+		}
+		if len(reports) != 0 {
+			t.Fatalf("cut %d: salvaged a torn report %q", cut, reports)
+		}
+		if got := len(buf.Samples()); got != 5 {
+			t.Fatalf("cut %d: merged %d samples, want 5", cut, got)
+		}
+	}
+}

@@ -669,30 +669,9 @@ func ReadTrace(r io.Reader) (*TraceBuffer, error) {
 // alongside a non-nil error wrapping ErrBadTrace, so readers can
 // salvage a partial trace while still reporting the damage. Blocks are
 // written in append order, so the prefix has no holes.
+// Interleaved PSXR hang-report blocks (see report.go) are skipped;
+// use ReadTraceStreamReports to collect them.
 func ReadTraceStream(r io.Reader) (*TraceBuffer, error) {
-	br := bufio.NewReader(r)
-	merged := NewTraceBuffer(0, 0)
-	for {
-		if _, err := br.Peek(1); err == io.EOF {
-			return merged, nil
-		}
-		block, err := ReadTrace(br)
-		if err != nil {
-			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-				err = fmt.Errorf("%w: truncated block", ErrBadTrace)
-			}
-			return merged, err
-		}
-		base := int32(merged.NumStacks())
-		block.ForEachStack(func(_ int32, pcs []uintptr) {
-			merged.InternStack(pcs)
-		})
-		for _, s := range block.Samples() {
-			if s.StackID != NoStack {
-				s.StackID += base
-			}
-			merged.Append(s)
-		}
-		merged.dropped.Add(block.Dropped())
-	}
+	tb, _, err := ReadTraceStreamReports(r)
+	return tb, err
 }

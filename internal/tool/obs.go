@@ -158,12 +158,18 @@ func (t *Tool) startObs(addr string) (*obs.Server, error) {
 			func() float64 { return float64(s.degraded.Load()) })
 	}
 
-	return obs.Serve(addr, obs.Config{
+	cfg := obs.Config{
 		Registry: reg,
 		Health:   t.obsHealth,
 		State:    t.obsState,
 		Profile:  t.obsProfile,
-	})
+	}
+	if t.sup != nil {
+		// Supervision starts before the obs plane in AttachCollector, so
+		// t.sup is final here; without it /waits stays 404.
+		cfg.Waits = t.obsWaits
+	}
+	return obs.Serve(addr, cfg)
 }
 
 // obsHealth renders the collector's fault-isolation snapshot for

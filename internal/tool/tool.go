@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,6 +25,7 @@ import (
 	"goomp/internal/obs"
 	"goomp/internal/omp"
 	"goomp/internal/perf"
+	"goomp/internal/super"
 )
 
 // Options configures what the tool measures; the zero value registers
@@ -129,6 +131,34 @@ type Options struct {
 	// cap. Zero values take the defaults (3 retries, 1ms).
 	StreamRetries int
 	StreamBackoff time.Duration
+
+	// HangTimeout, when nonzero, starts the hang supervisor at attach:
+	// every blocking wait in omp and mpi registers a wait record, and
+	// after this long with no global progress the watchdog builds the
+	// wait-for graph, prints a hang report (deadlock cycle or
+	// no-progress verdict, per-thread wait sites, collector states),
+	// force-detaches the tool so the gap-free trace prefix is salvaged
+	// to disk, and — with HangAbort — exits nonzero. Off by default;
+	// cmd front-ends default it from GOMP_HANG_TIMEOUT. Only one
+	// supervised tool may be attached per process.
+	HangTimeout time.Duration
+
+	// HangDir is where the hang handler salvages: the rendered report
+	// is written to hang.report there, and when the tool is not
+	// streaming, every per-thread trace is written as trace.N.psxt.
+	// Empty defaults to StreamDir; empty both means the report goes to
+	// stderr only. Salvaged trace files get the report appended as a
+	// PSXR block (perf.ReadTraceStreamReports reads it back).
+	HangDir string
+
+	// HangAbort makes the hang handler exit the process with status 2
+	// after salvaging, so a hung run fails CI fast instead of timing
+	// the job out.
+	HangAbort bool
+
+	// OnHang, when set, is called with the rendered hang report after
+	// salvage, instead of the HangAbort exit (tests).
+	OnHang func(report string)
 }
 
 // DefaultEvents are the events the paper's prototype registers.
@@ -179,17 +209,20 @@ type Tool struct {
 	handles []uint64
 	events  []collector.Event
 
-	sampler    *sampler
-	stream     *streamer
-	obsSrv     *obs.Server
-	obsMu      sync.Mutex // serializes obs handlers' protocol requests
-	obsQ       collector.Queue
-	streamErr  atomic.Pointer[error]
-	wedged     atomic.Pointer[[]collector.WedgedEvent]
-	histogram  *perf.StateHistogram
-	attachedAt time.Time
-	detachOnce sync.Once
-	throttle   *siteThrottle
+	sampler     *sampler
+	stream      *streamer
+	sup         *super.Supervisor
+	hangText    atomic.Pointer[string]
+	detachBound atomic.Int64 // ns; hang handler's cap on the quiesce wait
+	obsSrv      *obs.Server
+	obsMu       sync.Mutex // serializes obs handlers' protocol requests
+	obsQ        collector.Queue
+	streamErr   atomic.Pointer[error]
+	wedged      atomic.Pointer[[]collector.WedgedEvent]
+	histogram   *perf.StateHistogram
+	attachedAt  time.Time
+	detachOnce  sync.Once
+	throttle    *siteThrottle
 }
 
 // threadBuf pairs a buffer with the thread number it records for.
@@ -293,6 +326,17 @@ func AttachCollector(col *collector.Collector, opts Options) (*Tool, error) {
 	}
 	if opts.SamplePeriod > 0 {
 		t.sampler = startSampler(t, opts.SamplePeriod, opts.SampleThreads)
+	}
+	if opts.HangTimeout > 0 {
+		sup, err := super.Start(super.Options{
+			Timeout: opts.HangTimeout,
+			OnHang:  t.hangDetected,
+		})
+		if err != nil {
+			t.Detach()
+			return nil, fmt.Errorf("tool: hang supervision: %w", err)
+		}
+		t.sup = sup
 	}
 	if opts.ObsAddr != "" {
 		srv, err := t.startObs(opts.ObsAddr)
@@ -491,6 +535,11 @@ func (t *Tool) Resume() error {
 func (t *Tool) Detach() { t.detachOnce.Do(t.detach) }
 
 func (t *Tool) detach() {
+	if t.sup != nil {
+		// Stop supervision first so teardown's own waits (quiesce,
+		// stream flush) cannot trip a watchdog that is being retired.
+		t.sup.Stop()
+	}
 	if t.obsSrv != nil {
 		// Stop serving before teardown: Close also interrupts in-flight
 		// handlers, so no scrape can race the unpinning below.
@@ -509,8 +558,15 @@ func (t *Tool) detach() {
 		collector.Unregister(t.q, e)
 	}
 	t.col.SetBindHook(nil)
+	d := t.opts.DetachTimeout
+	if b := t.detachBound.Load(); b > 0 && (d == 0 || time.Duration(b) < d) {
+		// The hang handler bounds an otherwise unbounded quiesce: the
+		// threads it just diagnosed as deadlocked will never retire
+		// their callbacks.
+		d = time.Duration(b)
+	}
 	quiesced := true
-	if d := t.opts.DetachTimeout; d > 0 {
+	if d > 0 {
 		ok, wedged := t.col.QuiesceWithin(d)
 		if !ok {
 			quiesced = false
@@ -666,6 +722,10 @@ type Report struct {
 	// Wedged lists the events whose callbacks were still in flight
 	// when a bounded Detach gave up waiting (nil otherwise).
 	Wedged []collector.WedgedEvent
+	// Hang is the rendered hang-supervision report when the watchdog
+	// fired ("" otherwise). When set, the trace above it is the
+	// salvaged gap-free prefix of a run that did not finish.
+	Hang string
 }
 
 // Report builds the current report. It may be called after Detach.
@@ -711,6 +771,7 @@ func (t *Tool) Report() *Report {
 	if p := t.wedged.Load(); p != nil {
 		r.Wedged = *p
 	}
+	r.Hang = t.HangReport()
 	return r
 }
 
@@ -795,6 +856,16 @@ func (r *Report) WriteTo(w io.Writer) (int64, error) {
 		if err := p("  join site %s:%d (%s) ×%d\n",
 			s.Leaf.File, s.Leaf.Line, s.Leaf.Func, s.Count); err != nil {
 			return n, err
+		}
+	}
+	if r.Hang != "" {
+		if err := p("  WARNING: run hung; data above is the salvaged gap-free prefix\n"); err != nil {
+			return n, err
+		}
+		for _, line := range strings.Split(strings.TrimRight(r.Hang, "\n"), "\n") {
+			if err := p("  | %s\n", line); err != nil {
+				return n, err
+			}
 		}
 	}
 	return n, nil
