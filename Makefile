@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test check race bench bench-sync chaos chaos-hang obs-demo
+.PHONY: build test check race bench bench-sync chaos chaos-hang chaos-net obs-demo psxd-demo
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,16 @@ chaos-hang:
 	$(GO) test -race -count=1 -timeout 120s ./internal/faultinject -run 'ChaosHang'
 	$(GO) test -race -count=1 -timeout 120s ./internal/super ./internal/mpi
 
+# chaos-net runs the network-edge chaos suite for the psxd ingestion
+# path: a dead server at attach, a server dying mid-run, a slow link,
+# and a mid-chunk disconnect — each with exact drop accounting and
+# byte-identical mirrored run directories, under the race detector and
+# a hard wall-clock cap.
+chaos-net:
+	$(GO) test -race -count=1 -timeout 120s ./internal/faultinject -run 'ChaosNet'
+	$(GO) test -race -count=1 -timeout 120s ./internal/tool -run 'Ingest|DetachPrompt'
+	$(GO) test -race -count=1 -timeout 120s ./internal/ingest
+
 # race runs the detector over everything (slower; check covers the
 # concurrency-critical packages).
 race:
@@ -51,3 +61,17 @@ bench-sync:
 #   go run ./cmd/ompreport -follow 127.0.0.1:9461
 obs-demo:
 	$(GO) run ./cmd/epccbench -threads 2,4 -obs 127.0.0.1:9461
+
+# psxd-demo starts the ingestion daemon, streams two instrumented
+# processes into it over TCP, prints the merged run registry, and
+# shuts the daemon down. The daemon's obs plane is on 127.0.0.1:9471
+# (/runs, /metrics, cross-run /profile) while it runs.
+psxd-demo: build
+	$(GO) build -o /tmp/psxd ./cmd/psxd
+	@rm -rf /tmp/psxd-demo-data
+	/tmp/psxd -listen 127.0.0.1:9470 -dir /tmp/psxd-demo-data -obs 127.0.0.1:9471 & \
+	PSXD=$$!; sleep 0.5; \
+	$(GO) run ./cmd/ompprof -ingest 127.0.0.1:9470 -run demo-a -threads 2; \
+	$(GO) run ./cmd/ompprof -ingest 127.0.0.1:9470 -run demo-b -threads 4; \
+	curl -s http://127.0.0.1:9471/runs || true; echo; \
+	kill -INT $$PSXD; wait $$PSXD || true

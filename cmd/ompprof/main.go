@@ -32,6 +32,8 @@ func main() {
 	sample := flag.Duration("sample", time.Millisecond, "state sampler period (0 disables)")
 	traceDir := flag.String("trace", "", "directory to write per-thread binary traces into (at exit)")
 	streamDir := flag.String("stream", "", "directory to stream trace chunks into during the run")
+	ingestAddr := flag.String("ingest", os.Getenv("GOMP_INGEST_ADDR"), "ship trace chunks to a psxd ingestion daemon at this host:port during the run; defaults to $GOMP_INGEST_ADDR, empty disables")
+	ingestRun := flag.String("run", "", "run ID at the ingestion daemon (default host-pid-start)")
 	budget := flag.Duration("callback-budget", 0, "per-callback latency budget before the watchdog trips the breaker (0 disables)")
 	detachTimeout := flag.Duration("detach-timeout", 0, "bounded wait for in-flight callbacks at detach (0 waits forever)")
 	obsAddr := flag.String("obs", os.Getenv("GOMP_OBS_ADDR"), "serve the live observability plane (/metrics, /healthz, /state, /profile, /waits) on this host:port while attached; defaults to $GOMP_OBS_ADDR, empty disables")
@@ -51,6 +53,8 @@ func main() {
 	opts.SamplePeriod = *sample
 	opts.SampleThreads = *threads
 	opts.StreamDir = *streamDir
+	opts.IngestAddr = *ingestAddr
+	opts.IngestRun = *ingestRun
 	opts.CallbackBudget = *budget
 	opts.DetachTimeout = *detachTimeout
 	opts.ObsAddr = *obsAddr
@@ -80,6 +84,9 @@ func main() {
 	}
 	if *streamDir != "" {
 		fmt.Printf("trace chunks streamed to %s\n", *streamDir)
+	}
+	if *ingestAddr != "" {
+		fmt.Printf("trace chunks shipped to psxd at %s\n", *ingestAddr)
 	}
 
 	rep := tl.Report()

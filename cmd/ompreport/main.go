@@ -6,9 +6,15 @@
 // live observability plane (ompprof -obs / GOMP_OBS_ADDR) and renders
 // a refreshing report while the program still runs.
 //
+// Each trace argument may be a single .psxt file, a directory of
+// per-thread trace files (a StreamDir, an ompprof -trace dir, or one
+// psxd run directory), or a psxd data root holding per-run
+// subdirectories.
+//
 // Usage:
 //
 //	ompreport trace.0.psxt [trace.1.psxt ...]
+//	ompreport STREAM_DIR | PSXD_DIR | PSXD_DIR/RUN
 //	ompreport -follow http://127.0.0.1:9464 [-interval 1s] [-polls N]
 package main
 
@@ -38,14 +44,23 @@ func main() {
 		return
 	}
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: ompreport trace.psxt ... | ompreport -follow URL")
+		fmt.Fprintln(os.Stderr, "usage: ompreport trace.psxt|DIR ... | ompreport -follow URL")
 		os.Exit(2)
+	}
+	var paths []string
+	for _, arg := range flag.Args() {
+		expanded, err := perf.FindTraceFiles(arg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ompreport:", err)
+			os.Exit(1)
+		}
+		paths = append(paths, expanded...)
 	}
 	var samples []perf.Sample
 	var dropped uint64
 	var hangReports []string
 	truncated := 0
-	for _, path := range flag.Args() {
+	for _, path := range paths {
 		f, err := os.Open(path)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ompreport:", err)
@@ -83,7 +98,7 @@ func main() {
 			}
 		}
 	}
-	fmt.Printf("%d samples from %d trace files", len(samples), flag.NArg())
+	fmt.Printf("%d samples from %d trace files", len(samples), len(paths))
 	if dropped > 0 {
 		fmt.Printf(" (%d samples dropped at capture)", dropped)
 	}

@@ -1,0 +1,71 @@
+// Command psxd is the fleet-scale trace ingestion daemon: many
+// instrumented processes (ompprof -ingest, or any tool.Attach with
+// Options.IngestAddr) ship their sealed trace chunks here over TCP,
+// and psxd writes one directory per run of the same per-thread
+// trace.N.psxt files a local StreamDir holds — read them back with
+// tracedump, ompreport, or perf.ReadTraceStream. With -obs it also
+// serves the merged observability plane: /metrics (fleet and per-run
+// ingest counters), /runs (the run registry as JSON) and /profile
+// (the cross-run region profile, ?run=ID to scope).
+//
+// Usage:
+//
+//	psxd [-listen 127.0.0.1:9470] [-dir psxd-data] [-obs HOST:PORT]
+//	     [-queue 64] [-max-conns 128]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"goomp/internal/ingest"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9470", "ingest listen address (host:port; :0 picks a free port)")
+	dir := flag.String("dir", "psxd-data", "root data directory; each run writes its own subdirectory")
+	obsAddr := flag.String("obs", os.Getenv("GOMP_OBS_ADDR"), "serve the merged observability plane (/metrics, /runs, /profile) on this host:port; defaults to $GOMP_OBS_ADDR, empty disables")
+	queue := flag.Int("queue", 0, "per-run ingest queue depth in frames (0 means the default)")
+	maxConns := flag.Int("max-conns", 0, "concurrent client connection bound (0 means the default)")
+	backpressure := flag.Duration("backpressure", 0, "how long a full run queue stalls a connection's reads before dropping (0 means the default)")
+	flag.Parse()
+
+	srv, err := ingest.Serve(*listen, ingest.Options{
+		Dir:              *dir,
+		MaxConns:         *maxConns,
+		QueueDepth:       *queue,
+		BackpressureWait: *backpressure,
+		ObsAddr:          *obsAddr,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psxd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("psxd ingesting on %s, data under %s\n", srv.Addr(), *dir)
+	if url := srv.ObsURL(); url != "" {
+		fmt.Printf("observability plane at %s (/runs for the registry)\n", url)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "psxd: shutting down")
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "psxd:", err)
+		os.Exit(1)
+	}
+	// Leave a final registry line so a scripted run sees what landed.
+	for _, ri := range srv.Runs() {
+		state := "open"
+		if ri.Complete {
+			state = "complete"
+		}
+		fmt.Printf("run %s (%s): %d chunks, %d samples, %d bytes, %d dropped, age %s\n",
+			ri.ID, state, ri.Chunks, ri.Samples, ri.Bytes, ri.DroppedChunks,
+			time.Since(ri.Started).Round(time.Millisecond))
+	}
+}

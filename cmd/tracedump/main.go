@@ -8,9 +8,14 @@
 // that produced them, so tracedump prints events, states, regions and
 // timing, plus numeric stack summaries.
 //
+// Each argument may be a single .psxt file, a directory of per-thread
+// trace files (a StreamDir, an ompprof -trace dir, or one psxd run
+// directory), or a psxd data root holding per-run subdirectories.
+//
 // Usage:
 //
 //	tracedump [-summary] trace.0.psxt [trace.1.psxt ...]
+//	tracedump [-summary] STREAM_DIR | PSXD_DIR | PSXD_DIR/RUN
 package main
 
 import (
@@ -28,14 +33,22 @@ func main() {
 	summary := flag.Bool("summary", false, "print per-region statistics instead of raw samples")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: tracedump [-summary] trace.psxt ...")
+		fmt.Fprintln(os.Stderr, "usage: tracedump [-summary] trace.psxt|DIR ...")
 		os.Exit(2)
 	}
 	exit := 0
-	for _, path := range flag.Args() {
-		if err := dump(path, *summary); err != nil {
-			fmt.Fprintf(os.Stderr, "tracedump: %s: %v\n", path, err)
+	for _, arg := range flag.Args() {
+		paths, err := perf.FindTraceFiles(arg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracedump: %s: %v\n", arg, err)
 			exit = 1
+			continue
+		}
+		for _, path := range paths {
+			if err := dump(path, *summary); err != nil {
+				fmt.Fprintf(os.Stderr, "tracedump: %s: %v\n", path, err)
+				exit = 1
+			}
 		}
 	}
 	os.Exit(exit)

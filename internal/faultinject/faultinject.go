@@ -51,6 +51,10 @@ const (
 	KindMsgDrop
 	KindMsgDelay
 	KindStall
+	KindDialError
+	KindConnCut
+	KindConnTear
+	KindAckDelay
 )
 
 func (k Kind) String() string {
@@ -75,6 +79,14 @@ func (k Kind) String() string {
 		return "msg-delay"
 	case KindStall:
 		return "stall"
+	case KindDialError:
+		return "dial-error"
+	case KindConnCut:
+		return "conn-cut"
+	case KindConnTear:
+		return "conn-tear"
+	case KindAckDelay:
+		return "ack-delay"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -95,7 +107,8 @@ func (r Record) String() string {
 	switch r.Kind {
 	case KindPanic, KindHang, KindDelay:
 		return fmt.Sprintf("%s %s invocation %d", r.Kind, r.Event, r.Index)
-	case KindMsgDrop, KindMsgDelay, KindStall:
+	case KindMsgDrop, KindMsgDelay, KindStall,
+		KindDialError, KindConnCut, KindConnTear, KindAckDelay:
 		return fmt.Sprintf("%s %s", r.Kind, r.Point)
 	default:
 		return fmt.Sprintf("%s thread %d index %d", r.Kind, r.Thread, r.Index)
@@ -135,6 +148,12 @@ type Plan struct {
 	dropEvery int                        // drop every nth chunk per thread
 	msgs      []msgRule                  // mpi message drop/delay rules
 	stalls    map[string]bool            // armed named stall points
+	dialFails int                        // ingest dials to fail first
+	dials     int                        // ingest dial attempts seen
+	connsMade int                        // ingest connections established
+	cuts      map[int]int                // conn → frames before the cut
+	tears     map[int]int                // conn → 1-based frame torn mid-write
+	ackDelay  time.Duration              // slow-link delay per conn read
 	fired     []Record
 
 	releaseOnce sync.Once
@@ -153,6 +172,8 @@ func New(seed int64) *Plan {
 		opened:    make(map[int32]int),
 		drops:     make(map[writeKey]bool),
 		stalls:    make(map[string]bool),
+		cuts:      make(map[int]int),
+		tears:     make(map[int]int),
 		release:   make(chan struct{}),
 	}
 }
@@ -251,6 +272,7 @@ func (p *Plan) Apply(opts *tool.Options) {
 		return p.WrapCallback(cb)
 	}
 	opts.OpenTraceFile = p.Opener(opts.OpenTraceFile)
+	opts.DialIngest = p.Dialer(opts.DialIngest)
 	prevDrop := opts.DropChunk
 	opts.DropChunk = func(thread int32, seq int) bool {
 		if prevDrop != nil && prevDrop(thread, seq) {

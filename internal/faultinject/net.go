@@ -1,0 +1,149 @@
+package faultinject
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// Network-edge fault rules for the trace ingestion path: failing dials
+// (a dead psxd at attach, or one that dies and stays dead), connection
+// cuts after a chosen number of frames (server death mid-run), frames
+// torn mid-write (a mid-chunk disconnect — the frame was partially on
+// the wire, never acked, and must be resent whole), and delayed reads
+// (a slow link whose acks lag). The rules are wired through
+// tool.Options.DialIngest by Plan.Apply, composing with any dialer
+// already installed.
+
+// FailDial makes the first attempts dials to the ingestion daemon
+// fail. With attempts large enough the server is simply dead: the sink
+// must degrade to its retention bound without ever blocking a
+// recording thread.
+func (p *Plan) FailDial(attempts int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.dialFails = attempts
+}
+
+// CutConnAfterFrames severs the nth (1-based) established ingest
+// connection once it has carried frames wire frames: the next write
+// finds the connection closed. The client reconnects and resends its
+// unacknowledged tail.
+func (p *Plan) CutConnAfterFrames(conn, frames int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cuts[conn] = frames
+}
+
+// TearConnFrame makes the nth (1-based) ingest connection's kth frame
+// be written only partially before the connection dies — the mid-chunk
+// disconnect. The server reads a torn frame (never acked), so the
+// client must resend it whole on the next connection.
+func (p *Plan) TearConnFrame(conn, frame int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.tears[conn] = frame
+}
+
+// DelayAcks makes every read on an ingest connection (the HELLO-ACK
+// and every data ack) lag by d — a slow link.
+func (p *Plan) DelayAcks(d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ackDelay = d
+}
+
+// Dialer wraps an ingest dialer (nil means net.DialTimeout) with the
+// plan's network fault schedule; it matches the
+// tool.Options.DialIngest signature.
+func (p *Plan) Dialer(inner func(addr string) (net.Conn, error)) func(addr string) (net.Conn, error) {
+	if inner == nil {
+		inner = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 2*time.Second)
+		}
+	}
+	return func(addr string) (net.Conn, error) {
+		if p.dialFault() {
+			return nil, fmt.Errorf("dial %s: %w", addr, ErrInjected)
+		}
+		c, err := inner(addr)
+		if err != nil {
+			return nil, err
+		}
+		fc := &faultConn{Conn: c, p: p}
+		p.mu.Lock()
+		p.connsMade++
+		fc.id = p.connsMade
+		fc.cutAt = p.cuts[fc.id]
+		fc.tearAt = p.tears[fc.id]
+		fc.delay = p.ackDelay
+		p.mu.Unlock()
+		return fc, nil
+	}
+}
+
+func (p *Plan) dialFault() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	attempt := p.dials
+	p.dials++
+	if attempt < p.dialFails {
+		p.fired = append(p.fired, Record{Kind: KindDialError,
+			Index: uint64(attempt), Point: fmt.Sprintf("dial %d", attempt+1)})
+		return true
+	}
+	return false
+}
+
+// faultConn applies the connection's fault schedule. Only the sink's
+// sender goroutine touches one instance, so the counters need no lock.
+type faultConn struct {
+	net.Conn
+	p       *Plan
+	id      int
+	writes  int // frames written so far (one frame per Write call)
+	cutAt   int
+	tearAt  int
+	cut     bool
+	delay   time.Duration
+	delayed bool
+}
+
+func (c *faultConn) Write(b []byte) (int, error) {
+	if c.cut {
+		return 0, fmt.Errorf("faultinject: conn %d cut: %w", c.id, ErrInjected)
+	}
+	c.writes++
+	if c.tearAt > 0 && c.writes == c.tearAt {
+		n := len(b) / 2
+		if n == 0 {
+			n = 1
+		}
+		c.Conn.Write(b[:n])
+		c.Conn.Close()
+		c.cut = true
+		c.p.record(Record{Kind: KindConnTear,
+			Point: fmt.Sprintf("conn %d frame %d", c.id, c.writes)})
+		return n, fmt.Errorf("faultinject: conn %d frame %d torn: %w", c.id, c.writes, ErrInjected)
+	}
+	if c.cutAt > 0 && c.writes > c.cutAt {
+		c.Conn.Close()
+		c.cut = true
+		c.p.record(Record{Kind: KindConnCut,
+			Point: fmt.Sprintf("conn %d after %d frames", c.id, c.cutAt)})
+		return 0, fmt.Errorf("faultinject: conn %d cut: %w", c.id, ErrInjected)
+	}
+	return c.Conn.Write(b)
+}
+
+func (c *faultConn) Read(b []byte) (int, error) {
+	if c.delay > 0 {
+		if !c.delayed {
+			c.delayed = true
+			c.p.record(Record{Kind: KindAckDelay,
+				Point: fmt.Sprintf("conn %d reads +%v", c.id, c.delay)})
+		}
+		time.Sleep(c.delay)
+	}
+	return c.Conn.Read(b)
+}

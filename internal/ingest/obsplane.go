@@ -1,0 +1,216 @@
+package ingest
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"goomp/internal/collector"
+	"goomp/internal/obs"
+	"goomp/internal/perf"
+)
+
+// The merged observability plane: one scrape answers for the whole
+// fleet. /metrics carries the daemon's fleet counters plus per-run
+// ingest series, /runs is the registry as JSON, and /profile is the
+// cross-run region profile recomputed from the ingested trace files on
+// demand (optionally scoped with ?run=ID). Reading an actively written
+// run is safe: blocks are appended whole, and a torn tail — a block
+// the writer is mid-append on — degrades to the gap-free prefix by the
+// normal ReadTraceStream salvage contract.
+
+// startObs builds the fleet registry and serves it with the ingest
+// extras mounted next to the standard endpoints.
+func (s *Server) startObs(addr string) (*obs.Server, error) {
+	reg := obs.NewRegistry()
+
+	reg.GaugeFunc("goomp_ingest_uptime_seconds",
+		"Seconds since the ingest daemon started.",
+		func() float64 { return time.Since(s.started).Seconds() })
+	reg.GaugeFunc("goomp_ingest_connections",
+		"Client connections currently being served.",
+		func() float64 { return float64(s.liveConns.Load()) })
+	reg.CounterFunc("goomp_ingest_connections_total",
+		"Client connections accepted since start.",
+		func() float64 { return float64(s.connsTotal.Load()) })
+	reg.CounterFunc("goomp_ingest_refused_total",
+		"Connections refused at the MaxConns bound.",
+		func() float64 { return float64(s.refused.Load()) })
+	reg.CounterFunc("goomp_ingest_frames_total",
+		"Data frames received after HELLO.",
+		func() float64 { return float64(s.frames.Load()) })
+	reg.CounterFunc("goomp_ingest_heartbeats_total",
+		"Heartbeat frames received.",
+		func() float64 { return float64(s.heartbeats.Load()) })
+	reg.CounterFunc("goomp_ingest_duplicate_frames_total",
+		"Resent frames already accepted on a previous connection.",
+		func() float64 { return float64(s.duplicates.Load()) })
+	reg.CounterFunc("goomp_ingest_bad_frames_total",
+		"Frames refused as malformed or unsupported.",
+		func() float64 { return float64(s.badFrames.Load()) })
+	reg.GaugeFunc("goomp_ingest_runs",
+		"Runs in the registry.",
+		func() float64 { return float64(len(s.Runs())) })
+	reg.GaugeFunc("goomp_ingest_runs_complete",
+		"Registered runs that have sent BYE.",
+		func() float64 {
+			n := 0
+			for _, ri := range s.Runs() {
+				if ri.Complete {
+					n++
+				}
+			}
+			return float64(n)
+		})
+
+	reg.CounterSeries("goomp_ingest_run_chunks_total",
+		"Trace blocks written per run.",
+		func(emit obs.Emit) {
+			for _, ri := range s.Runs() {
+				emit(float64(ri.Chunks), obs.Label{Name: "run", Value: ri.ID})
+			}
+		})
+	reg.CounterSeries("goomp_ingest_run_samples_total",
+		"Trace samples written per run.",
+		func(emit obs.Emit) {
+			for _, ri := range s.Runs() {
+				emit(float64(ri.Samples), obs.Label{Name: "run", Value: ri.ID})
+			}
+		})
+	reg.CounterSeries("goomp_ingest_run_bytes_total",
+		"Trace bytes written per run.",
+		func(emit obs.Emit) {
+			for _, ri := range s.Runs() {
+				emit(float64(ri.Bytes), obs.Label{Name: "run", Value: ri.ID})
+			}
+		})
+	reg.CounterSeries("goomp_ingest_run_dropped_chunks_total",
+		"Blocks dropped per run (queue overflow past the backpressure window, or a write failure).",
+		func(emit obs.Emit) {
+			for _, ri := range s.Runs() {
+				emit(float64(ri.DroppedChunks), obs.Label{Name: "run", Value: ri.ID})
+			}
+		})
+	reg.CounterSeries("goomp_ingest_run_dropped_samples_total",
+		"Samples inside dropped blocks, per run.",
+		func(emit obs.Emit) {
+			for _, ri := range s.Runs() {
+				emit(float64(ri.DroppedSamples), obs.Label{Name: "run", Value: ri.ID})
+			}
+		})
+
+	return obs.Serve(addr, obs.Config{
+		Registry: reg,
+		Extra: map[string]http.HandlerFunc{
+			"/runs":    s.handleRuns,
+			"/profile": s.handleProfile,
+		},
+	})
+}
+
+// RunsSnapshot is the /runs response body.
+type RunsSnapshot struct {
+	Runs []RunInfo `json:"runs"`
+}
+
+func (s *Server) handleRuns(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, RunsSnapshot{Runs: s.Runs()})
+}
+
+// handleProfile answers the cross-run /profile: per-site region stats
+// merged over every run's ingested traces (or one run with ?run=ID).
+// Each per-thread file is paired fork→join on its own — one file is
+// one descriptor's time-ordered stream — and the per-site aggregates
+// are merged across files and runs.
+func (s *Server) handleProfile(w http.ResponseWriter, req *http.Request) {
+	want := req.URL.Query().Get("run")
+	bySite := make(map[uint64]*perf.RegionSiteStats)
+	resp := struct {
+		Runs    int              `json:"runs"`
+		Files   int              `json:"files"`
+		Samples int              `json:"samples"`
+		Sites   []obs.RegionSite `json:"sites"`
+	}{}
+	for _, ri := range s.Runs() {
+		if want != "" && ri.ID != want {
+			continue
+		}
+		resp.Runs++
+		entries, err := os.ReadDir(ri.Dir)
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			if e.IsDir() || filepath.Ext(e.Name()) != ".psxt" {
+				continue
+			}
+			f, err := os.Open(filepath.Join(ri.Dir, e.Name()))
+			if err != nil {
+				continue
+			}
+			// The salvage contract covers a concurrently appended tail:
+			// a partial final block yields the gap-free prefix.
+			buf, _ := perf.ReadTraceStream(f)
+			f.Close()
+			if buf == nil {
+				continue
+			}
+			samples := buf.Samples()
+			resp.Files++
+			resp.Samples += len(samples)
+			for _, st := range perf.RegionProfileBySite(samples,
+				int32(collector.EventFork), int32(collector.EventJoin)) {
+				agg := bySite[st.Site]
+				if agg == nil {
+					c := st
+					bySite[st.Site] = &c
+					continue
+				}
+				agg.Calls += st.Calls
+				agg.TotalTime += st.TotalTime
+				if st.MinTime < agg.MinTime {
+					agg.MinTime = st.MinTime
+				}
+				if st.MaxTime > agg.MaxTime {
+					agg.MaxTime = st.MaxTime
+				}
+			}
+		}
+	}
+	sites := make([]*perf.RegionSiteStats, 0, len(bySite))
+	for _, st := range bySite {
+		sites = append(sites, st)
+	}
+	sort.Slice(sites, func(i, j int) bool {
+		if sites[i].TotalTime != sites[j].TotalTime {
+			return sites[i].TotalTime > sites[j].TotalTime
+		}
+		return sites[i].Site < sites[j].Site
+	})
+	for _, st := range sites {
+		mean := time.Duration(0)
+		if st.Calls > 0 {
+			mean = st.TotalTime / time.Duration(st.Calls)
+		}
+		resp.Sites = append(resp.Sites, obs.RegionSite{
+			Site:    fmt.Sprintf("%#x", st.Site),
+			Calls:   st.Calls,
+			TotalNs: int64(st.TotalTime),
+			MeanNs:  int64(mean),
+			MinNs:   int64(st.MinTime),
+			MaxNs:   int64(st.MaxTime),
+		})
+	}
+	writeJSON(w, resp)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,565 @@
+package ingest
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The server applies the measurement pipeline's relay invariants at
+// the network edge: every run gets its own ingest goroutine fed by a
+// bounded queue, a conn handler under pressure first stops reading
+// (TCP backpressure) for a short window and then drops the frame with
+// exact chunk/sample accounting and an explicit CodeOverloaded ack —
+// it never blocks the accept loop or another run's ingest. One run's
+// slow disk never touches another run's stream.
+
+// Defaults; Options overrides.
+const (
+	defaultMaxConns         = 128
+	defaultQueueDepth       = 64
+	defaultBackpressureWait = 5 * time.Millisecond
+)
+
+// Options configures a Server.
+type Options struct {
+	// Dir is the root directory; each run writes into its own
+	// subdirectory of per-thread trace.N.psxt files.
+	Dir string
+
+	// MaxConns bounds concurrent client connections; beyond it a new
+	// connection is refused with a CodeOverloaded HELLO-ACK. Zero means
+	// the default (128).
+	MaxConns int
+
+	// QueueDepth bounds each run's ingest queue (frames). Zero means
+	// the default (64).
+	QueueDepth int
+
+	// BackpressureWait is how long a connection handler waits on a full
+	// ingest queue — stalling its own reads, which is TCP backpressure —
+	// before dropping the frame with accounting. Zero means the default
+	// (5ms).
+	BackpressureWait time.Duration
+
+	// ObsAddr, when set, serves the merged observability plane
+	// (/metrics, /runs, cross-run /profile) on this host:port.
+	ObsAddr string
+}
+
+// item is one unit of ingest work handed to a run's writer goroutine.
+type item struct {
+	thread  int32
+	samples uint32
+	block   []byte
+	seal    bool
+	bye     bool
+}
+
+// run is one instrumented process's registry entry and ingest shard.
+type run struct {
+	id      string
+	host    string
+	pid     uint64
+	dir     string
+	started time.Time
+
+	q  chan item
+	wg sync.WaitGroup
+
+	// seqMu serializes the accept decision (duplicate check + enqueue +
+	// sequence advance) when several connections carry one run.
+	seqMu   sync.Mutex
+	lastSeq atomic.Uint64 // highest accepted data-frame sequence
+
+	lastSeen atomic.Int64 // unix nanos of the last frame
+	complete atomic.Bool  // BYE processed
+
+	// Writer-goroutine-private file state.
+	files map[int32]*os.File
+
+	// Exact accounting, mirrored into /metrics and /runs.
+	chunks         atomic.Uint64
+	samples        atomic.Uint64
+	bytes          atomic.Uint64
+	droppedChunks  atomic.Uint64 // queue overflow + write failures
+	droppedSamples atomic.Uint64
+	sealedThreads  atomic.Int64
+
+	errMu sync.Mutex
+	errs  []error
+}
+
+// Server is the psxd ingestion service.
+type Server struct {
+	lis  net.Listener
+	opts Options
+	done chan struct{}
+
+	mu    sync.Mutex
+	runs  map[string]*run
+	conns map[net.Conn]struct{}
+
+	connWG sync.WaitGroup
+
+	obsSrv obsCloser
+
+	started time.Time
+
+	// Fleet accounting.
+	liveConns  atomic.Int64
+	connsTotal atomic.Uint64
+	refused    atomic.Uint64
+	frames     atomic.Uint64
+	heartbeats atomic.Uint64
+	duplicates atomic.Uint64
+	badFrames  atomic.Uint64
+}
+
+// obsCloser decouples the server from the obs plane for shutdown.
+type obsCloser interface {
+	Close() error
+	URL() string
+}
+
+// Serve binds addr ("host:port"; ":0" picks a free port) and starts
+// accepting instrumented processes. Trace data lands under opts.Dir.
+func Serve(addr string, opts Options) (*Server, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("ingest: Options.Dir is required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ingest: data dir: %w", err)
+	}
+	if opts.MaxConns <= 0 {
+		opts.MaxConns = defaultMaxConns
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = defaultQueueDepth
+	}
+	if opts.BackpressureWait <= 0 {
+		opts.BackpressureWait = defaultBackpressureWait
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		lis:     lis,
+		opts:    opts,
+		done:    make(chan struct{}),
+		runs:    make(map[string]*run),
+		conns:   make(map[net.Conn]struct{}),
+		started: time.Now(),
+	}
+	if opts.ObsAddr != "" {
+		srv, err := s.startObs(opts.ObsAddr)
+		if err != nil {
+			lis.Close()
+			return nil, err
+		}
+		s.obsSrv = srv
+	}
+	s.connWG.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound ingest listen address (useful with ":0").
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// ObsURL returns the merged obs plane's base URL, or "" when
+// Options.ObsAddr was unset.
+func (s *Server) ObsURL() string {
+	if s.obsSrv == nil {
+		return ""
+	}
+	return s.obsSrv.URL()
+}
+
+// Close stops accepting, severs client connections, drains every run's
+// ingest queue and closes its files. The returned error joins every
+// per-run failure.
+func (s *Server) Close() error {
+	close(s.done)
+	s.lis.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.connWG.Wait()
+	var errs []error
+	s.mu.Lock()
+	runs := make([]*run, 0, len(s.runs))
+	for _, r := range s.runs {
+		runs = append(runs, r)
+	}
+	s.mu.Unlock()
+	for _, r := range runs {
+		close(r.q)
+		r.wg.Wait()
+		r.errMu.Lock()
+		errs = append(errs, r.errs...)
+		r.errMu.Unlock()
+	}
+	if s.obsSrv != nil {
+		if err := s.obsSrv.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func (s *Server) acceptLoop() {
+	defer s.connWG.Done()
+	for {
+		c, err := s.lis.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return
+		}
+		s.connsTotal.Add(1)
+		if s.liveConns.Load() >= int64(s.opts.MaxConns) {
+			// Bounded accept: refuse with a typed code instead of letting
+			// an unbounded handler population grow. The client treats the
+			// refusal as a failed connect and backs off.
+			s.refused.Add(1)
+			WriteFrame(c, MsgHelloAck, EncodeHelloAck(HelloAck{Code: CodeOverloaded}))
+			c.Close()
+			continue
+		}
+		s.liveConns.Add(1)
+		s.mu.Lock()
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.connWG.Add(1)
+		go func() {
+			defer s.connWG.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, c)
+				s.mu.Unlock()
+				s.liveConns.Add(-1)
+				c.Close()
+			}()
+			s.handleConn(c)
+		}()
+	}
+}
+
+// handleConn speaks one client session: HELLO first, then data frames,
+// each answered with a typed ack. A read error (including a frame torn
+// by a mid-chunk disconnect) ends the session; the torn frame was
+// never acked, so the client resends it on reconnect and the per-run
+// sequence numbers make the resend idempotent.
+func (s *Server) handleConn(c net.Conn) {
+	br := bufio.NewReader(c)
+	kind, payload, err := ReadFrame(br)
+	if err != nil {
+		return
+	}
+	if kind != MsgHello {
+		s.badFrames.Add(1)
+		WriteFrame(c, MsgHelloAck, EncodeHelloAck(HelloAck{Code: CodeSequence}))
+		return
+	}
+	h, err := DecodeHello(payload)
+	if err != nil {
+		s.badFrames.Add(1)
+		WriteFrame(c, MsgHelloAck, EncodeHelloAck(HelloAck{Code: CodeBadFrame}))
+		return
+	}
+	if h.Version != ProtoVersion {
+		WriteFrame(c, MsgHelloAck, EncodeHelloAck(HelloAck{Code: CodeUnsupported}))
+		return
+	}
+	r, err := s.findOrCreateRun(h)
+	if err != nil {
+		WriteFrame(c, MsgHelloAck, EncodeHelloAck(HelloAck{Code: CodeBadFrame}))
+		return
+	}
+	if err := WriteFrame(c, MsgHelloAck,
+		EncodeHelloAck(HelloAck{Code: CodeOK, LastSeq: r.lastSeq.Load()})); err != nil {
+		return
+	}
+	for {
+		kind, payload, err := ReadFrame(br)
+		if err != nil {
+			return
+		}
+		s.frames.Add(1)
+		r.lastSeen.Store(time.Now().UnixNano())
+		var ack Ack
+		switch kind {
+		case MsgChunk:
+			ck, err := DecodeChunk(payload)
+			if err != nil {
+				s.badFrames.Add(1)
+				ack = Ack{Code: CodeBadFrame}
+				break
+			}
+			ack = Ack{Seq: ck.Seq, Code: s.accept(r, ck.Seq,
+				item{thread: ck.Thread, samples: ck.Samples, block: ck.Block})}
+		case MsgSeal:
+			sl, err := DecodeSeal(payload)
+			if err != nil {
+				s.badFrames.Add(1)
+				ack = Ack{Code: CodeBadFrame}
+				break
+			}
+			ack = Ack{Seq: sl.Seq, Code: s.accept(r, sl.Seq,
+				item{thread: sl.Thread, seal: true})}
+		case MsgBye:
+			y, err := DecodeBye(payload)
+			if err != nil {
+				s.badFrames.Add(1)
+				ack = Ack{Code: CodeBadFrame}
+				break
+			}
+			ack = Ack{Seq: y.Seq, Code: s.accept(r, y.Seq, item{bye: true})}
+		case MsgHeartbeat:
+			s.heartbeats.Add(1)
+			ack = Ack{Code: CodeOK}
+		case MsgHello:
+			ack = Ack{Code: CodeSequence}
+		default:
+			s.badFrames.Add(1)
+			ack = Ack{Code: CodeUnsupported}
+		}
+		if err := WriteFrame(c, MsgAck, EncodeAck(ack)); err != nil {
+			return
+		}
+	}
+}
+
+// accept decides one data frame's fate: duplicate (already accepted on
+// a previous connection — acked OK again, not re-applied), enqueued
+// (sequence advances), or dropped after the bounded backpressure wait
+// (CodeOverloaded, exact accounting, sequence does not advance so a
+// future resend could still land it).
+func (s *Server) accept(r *run, seq uint64, it item) Code {
+	r.seqMu.Lock()
+	defer r.seqMu.Unlock()
+	if seq != 0 && seq <= r.lastSeq.Load() {
+		s.duplicates.Add(1)
+		return CodeOK
+	}
+	if r.complete.Load() && !it.bye {
+		return CodeSealed
+	}
+	select {
+	case r.q <- it:
+	default:
+		// Queue full: hold this connection's reads for the backpressure
+		// window (the kernel's TCP window then pushes back on the
+		// client), and only then drop.
+		t := time.NewTimer(s.opts.BackpressureWait)
+		defer t.Stop()
+		select {
+		case r.q <- it:
+		case <-t.C:
+			r.droppedChunks.Add(1)
+			r.droppedSamples.Add(uint64(it.samples))
+			return CodeOverloaded
+		case <-s.done:
+			r.droppedChunks.Add(1)
+			r.droppedSamples.Add(uint64(it.samples))
+			return CodeOverloaded
+		}
+	}
+	if seq != 0 {
+		r.lastSeq.Store(seq)
+	}
+	return CodeOK
+}
+
+// findOrCreateRun resolves a HELLO to its registry entry, creating the
+// run directory and ingest goroutine on first contact. Reconnects (and
+// even restarts of the same run ID) resume the same entry, which is
+// what makes resends idempotent.
+func (s *Server) findOrCreateRun(h Hello) (*run, error) {
+	id := sanitizeRunID(h.Run)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-s.done:
+		return nil, fmt.Errorf("ingest: server closed")
+	default:
+	}
+	if r, ok := s.runs[id]; ok {
+		return r, nil
+	}
+	r := &run{
+		id:      id,
+		host:    h.Host,
+		pid:     h.PID,
+		dir:     filepath.Join(s.opts.Dir, id),
+		started: time.Now(),
+		q:       make(chan item, s.opts.QueueDepth),
+		files:   make(map[int32]*os.File),
+	}
+	if err := os.MkdirAll(r.dir, 0o755); err != nil {
+		return nil, err
+	}
+	r.lastSeen.Store(time.Now().UnixNano())
+	r.wg.Add(1)
+	go r.writer()
+	s.runs[id] = r
+	return r, nil
+}
+
+// sanitizeRunID maps an arbitrary client-supplied run ID to a safe
+// directory name.
+func sanitizeRunID(id string) string {
+	if id == "" {
+		return "run"
+	}
+	var b strings.Builder
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			b.WriteRune(r)
+		default:
+			b.WriteRune('_')
+		}
+	}
+	out := strings.TrimLeft(b.String(), ".")
+	if out == "" {
+		return "run"
+	}
+	return out
+}
+
+// writer is the run's ingest goroutine: the only toucher of its files.
+// It appends each accepted block with a single Write call — the same
+// whole-block discipline the local file streamer uses, so an ingested
+// file is torn only by a daemon crash, never by the protocol.
+func (r *run) writer() {
+	defer r.wg.Done()
+	defer r.closeFiles()
+	for it := range r.q {
+		switch {
+		case it.bye:
+			r.closeFiles()
+			r.complete.Store(true)
+		case it.seal:
+			r.sealedThreads.Add(1)
+			if f, ok := r.files[it.thread]; ok {
+				f.Close()
+				delete(r.files, it.thread)
+			}
+		default:
+			r.writeBlock(it)
+		}
+	}
+}
+
+func (r *run) writeBlock(it item) {
+	f, ok := r.files[it.thread]
+	if !ok {
+		var err error
+		f, err = os.OpenFile(
+			filepath.Join(r.dir, fmt.Sprintf("trace.%d.psxt", it.thread)),
+			os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			r.fail(it, fmt.Errorf("ingest: run %s thread %d: open: %w", r.id, it.thread, err))
+			return
+		}
+		r.files[it.thread] = f
+	}
+	if _, err := f.Write(it.block); err != nil {
+		r.fail(it, fmt.Errorf("ingest: run %s thread %d: write: %w", r.id, it.thread, err))
+		return
+	}
+	r.chunks.Add(1)
+	r.samples.Add(uint64(it.samples))
+	r.bytes.Add(uint64(len(it.block)))
+}
+
+// fail accounts a block the writer could not land. The client was
+// already acked (acks mean "accepted", not "fsynced"), so the loss is
+// surfaced through the registry and /metrics rather than the wire.
+func (r *run) fail(it item, err error) {
+	r.droppedChunks.Add(1)
+	r.droppedSamples.Add(uint64(it.samples))
+	r.errMu.Lock()
+	r.errs = append(r.errs, err)
+	r.errMu.Unlock()
+}
+
+func (r *run) closeFiles() {
+	for th, f := range r.files {
+		if err := f.Close(); err != nil {
+			r.errMu.Lock()
+			r.errs = append(r.errs, fmt.Errorf("ingest: run %s thread %d: close: %w", r.id, th, err))
+			r.errMu.Unlock()
+		}
+		delete(r.files, th)
+	}
+}
+
+// RunInfo is one run's registry snapshot, served at /runs.
+type RunInfo struct {
+	ID             string    `json:"id"`
+	Host           string    `json:"host,omitempty"`
+	PID            uint64    `json:"pid,omitempty"`
+	Dir            string    `json:"dir"`
+	Started        time.Time `json:"started"`
+	LastSeenSec    float64   `json:"last_seen_sec"`
+	Complete       bool      `json:"complete"`
+	SealedThreads  int64     `json:"sealed_threads"`
+	Chunks         uint64    `json:"chunks"`
+	Samples        uint64    `json:"samples"`
+	Bytes          uint64    `json:"bytes"`
+	DroppedChunks  uint64    `json:"dropped_chunks"`
+	DroppedSamples uint64    `json:"dropped_samples"`
+}
+
+// Runs returns the registry snapshot, sorted by run ID.
+func (s *Server) Runs() []RunInfo {
+	s.mu.Lock()
+	runs := make([]*run, 0, len(s.runs))
+	for _, r := range s.runs {
+		runs = append(runs, r)
+	}
+	s.mu.Unlock()
+	sort.Slice(runs, func(i, j int) bool { return runs[i].id < runs[j].id })
+	out := make([]RunInfo, 0, len(runs))
+	now := time.Now()
+	for _, r := range runs {
+		out = append(out, RunInfo{
+			ID:             r.id,
+			Host:           r.host,
+			PID:            r.pid,
+			Dir:            r.dir,
+			Started:        r.started,
+			LastSeenSec:    now.Sub(time.Unix(0, r.lastSeen.Load())).Seconds(),
+			Complete:       r.complete.Load(),
+			SealedThreads:  r.sealedThreads.Load(),
+			Chunks:         r.chunks.Load(),
+			Samples:        r.samples.Load(),
+			Bytes:          r.bytes.Load(),
+			DroppedChunks:  r.droppedChunks.Load(),
+			DroppedSamples: r.droppedSamples.Load(),
+		})
+	}
+	return out
+}

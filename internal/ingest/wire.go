@@ -1,0 +1,323 @@
+// Package ingest is the fleet-scale trace ingestion service: many
+// instrumented processes ship their sealed trace chunks over TCP to
+// one psxd daemon, which writes per-run directories of the same
+// `.psxt` block format perf.ReadTraceStream already reads and serves a
+// merged observability plane (/metrics, /runs, cross-run /profile) so
+// one scrape answers for the whole fleet.
+//
+// The wire protocol is a compact framed exchange. Every frame is
+// length-prefixed and carries one versioned message kind:
+//
+//	length  uint32  // little-endian; bytes after this field
+//	kind    uint8
+//	payload length-1 bytes
+//
+// Client → server kinds: HELLO (protocol version plus run/host/pid
+// metadata, first frame of every connection), CHUNK (one encoded PSXT
+// trace block with its thread and a session-monotonic sequence
+// number), SEAL (no more data for a thread), HEARTBEAT (liveness),
+// BYE (run complete). Server → client: HELLO-ACK (typed error code
+// plus the highest sequence number the server has already accepted,
+// so a reconnecting client resends only the unacknowledged tail) and
+// ACK (typed error code per data frame).
+//
+// Error codes are typed and mirror the collector's per-request wire
+// error conventions (collector.ErrorCode): a small enum with stable
+// INGEST_* render strings, OK first.
+package ingest
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ProtoVersion is the wire protocol version a HELLO declares. A server
+// refuses versions it does not speak with CodeUnsupported rather than
+// guessing at frame layouts.
+const ProtoVersion = 1
+
+// Message kinds. The kind byte follows the length prefix.
+const (
+	MsgHello     uint8 = 1 // client: run metadata; must be first
+	MsgChunk     uint8 = 2 // client: one PSXT trace block
+	MsgSeal      uint8 = 3 // client: thread's stream is complete
+	MsgHeartbeat uint8 = 4 // client: liveness while idle
+	MsgBye       uint8 = 5 // client: run complete
+	MsgHelloAck  uint8 = 6 // server: code + last accepted sequence
+	MsgAck       uint8 = 7 // server: code per data frame
+)
+
+// Code is the typed per-frame status a server reports, mirroring the
+// collector's request error-code conventions.
+type Code uint32
+
+const (
+	// CodeOK acknowledges an accepted frame.
+	CodeOK Code = iota
+	// CodeBadFrame marks a malformed frame (short payload, bad kind).
+	CodeBadFrame
+	// CodeUnsupported marks a protocol version or kind the server does
+	// not speak.
+	CodeUnsupported
+	// CodeSequence is the "out of sync" error: a data frame before
+	// HELLO, or a second HELLO on one connection.
+	CodeSequence
+	// CodeOverloaded marks a frame dropped because the run's bounded
+	// ingest queue stayed full past the backpressure window; the drop
+	// is accounted on both ends.
+	CodeOverloaded
+	// CodeSealed marks data for a thread (or run) that was already
+	// sealed.
+	CodeSealed
+)
+
+var codeNames = map[Code]string{
+	CodeOK:          "INGEST_OK",
+	CodeBadFrame:    "INGEST_BAD_FRAME",
+	CodeUnsupported: "INGEST_UNSUPPORTED",
+	CodeSequence:    "INGEST_SEQUENCE_ERR",
+	CodeOverloaded:  "INGEST_OVERLOADED",
+	CodeSealed:      "INGEST_SEALED",
+}
+
+func (c Code) String() string {
+	if s, ok := codeNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("Code(%d)", uint32(c))
+}
+
+// ErrBadFrame reports a malformed or oversized frame.
+var ErrBadFrame = errors.New("ingest: malformed frame")
+
+// maxFrameLen bounds one frame so a corrupt length prefix cannot drive
+// a huge allocation. A CHUNK carries at most one trace block (one
+// sealed chunk of 256 samples plus its stacks), far below this.
+const maxFrameLen = 1 << 22
+
+// maxStringLen bounds the run/host strings in a HELLO.
+const maxStringLen = 256
+
+// Hello is the first frame of every connection: which run this is,
+// from where, and which protocol version the client speaks.
+type Hello struct {
+	Version uint32
+	Run     string
+	Host    string
+	PID     uint64
+}
+
+// HelloAck answers a HELLO. LastSeq is the highest data-frame sequence
+// number the server has accepted for this run, across all previous
+// connections: the reconnecting client drops everything up to and
+// including it from its unacknowledged tail before resending.
+type HelloAck struct {
+	Code    Code
+	LastSeq uint64
+}
+
+// Chunk carries one encoded PSXT trace block. Seq is session-monotonic
+// across all threads (the client's shipping order); Thread names the
+// per-thread trace file the block belongs to; Samples is the sample
+// count inside the block, carried explicitly so the server's exact
+// drop accounting never needs to decode a block it is about to drop.
+type Chunk struct {
+	Seq     uint64
+	Thread  int32
+	Samples uint32
+	Block   []byte
+}
+
+// Seal marks a thread's stream complete.
+type Seal struct {
+	Seq    uint64
+	Thread int32
+}
+
+// Bye marks the run complete.
+type Bye struct {
+	Seq uint64
+}
+
+// Ack answers one data frame.
+type Ack struct {
+	Seq  uint64
+	Code Code
+}
+
+// WriteFrame writes one frame as a single Write call, so a transport
+// failure either loses the frame whole or tears it mid-write — the
+// same single-write discipline the file streamer uses for its blocks.
+func WriteFrame(w io.Writer, kind uint8, payload []byte) error {
+	if len(payload)+1 > maxFrameLen {
+		return fmt.Errorf("%w: oversized payload (%d bytes)", ErrBadFrame, len(payload))
+	}
+	buf := make([]byte, 5+len(payload))
+	binary.LittleEndian.PutUint32(buf[:4], uint32(1+len(payload)))
+	buf[4] = kind
+	copy(buf[5:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one frame. io.EOF at a frame boundary is returned
+// verbatim (a clean close); a partial frame yields ErrUnexpectedEOF.
+func ReadFrame(r io.Reader) (kind uint8, payload []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < 1 || n > maxFrameLen {
+		return 0, nil, fmt.Errorf("%w: frame length %d", ErrBadFrame, n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	return body[0], body[1:], nil
+}
+
+// Payload encoders. Strings are uint16-length-prefixed; integers are
+// little-endian fixed width, matching the PSXT trace format.
+
+func appendU16String(b []byte, s string) []byte {
+	if len(s) > maxStringLen {
+		s = s[:maxStringLen]
+	}
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+func takeU16String(b []byte) (string, []byte, bool) {
+	if len(b) < 2 {
+		return "", nil, false
+	}
+	n := int(binary.LittleEndian.Uint16(b))
+	b = b[2:]
+	if n > maxStringLen || len(b) < n {
+		return "", nil, false
+	}
+	return string(b[:n]), b[n:], true
+}
+
+// EncodeHello renders h's payload.
+func EncodeHello(h Hello) []byte {
+	b := binary.LittleEndian.AppendUint32(nil, h.Version)
+	b = appendU16String(b, h.Run)
+	b = appendU16String(b, h.Host)
+	return binary.LittleEndian.AppendUint64(b, h.PID)
+}
+
+// DecodeHello parses a HELLO payload.
+func DecodeHello(b []byte) (Hello, error) {
+	var h Hello
+	if len(b) < 4 {
+		return h, ErrBadFrame
+	}
+	h.Version = binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	var ok bool
+	if h.Run, b, ok = takeU16String(b); !ok {
+		return h, ErrBadFrame
+	}
+	if h.Host, b, ok = takeU16String(b); !ok {
+		return h, ErrBadFrame
+	}
+	if len(b) != 8 {
+		return h, ErrBadFrame
+	}
+	h.PID = binary.LittleEndian.Uint64(b)
+	return h, nil
+}
+
+// EncodeHelloAck renders a's payload.
+func EncodeHelloAck(a HelloAck) []byte {
+	b := binary.LittleEndian.AppendUint32(nil, uint32(a.Code))
+	return binary.LittleEndian.AppendUint64(b, a.LastSeq)
+}
+
+// DecodeHelloAck parses a HELLO-ACK payload.
+func DecodeHelloAck(b []byte) (HelloAck, error) {
+	if len(b) != 12 {
+		return HelloAck{}, ErrBadFrame
+	}
+	return HelloAck{
+		Code:    Code(binary.LittleEndian.Uint32(b)),
+		LastSeq: binary.LittleEndian.Uint64(b[4:]),
+	}, nil
+}
+
+// EncodeChunk renders c's payload.
+func EncodeChunk(c Chunk) []byte {
+	b := make([]byte, 0, 16+len(c.Block))
+	b = binary.LittleEndian.AppendUint64(b, c.Seq)
+	b = binary.LittleEndian.AppendUint32(b, uint32(c.Thread))
+	b = binary.LittleEndian.AppendUint32(b, c.Samples)
+	return append(b, c.Block...)
+}
+
+// DecodeChunk parses a CHUNK payload. The returned Block aliases b.
+func DecodeChunk(b []byte) (Chunk, error) {
+	if len(b) < 16 {
+		return Chunk{}, ErrBadFrame
+	}
+	return Chunk{
+		Seq:     binary.LittleEndian.Uint64(b),
+		Thread:  int32(binary.LittleEndian.Uint32(b[8:])),
+		Samples: binary.LittleEndian.Uint32(b[12:]),
+		Block:   b[16:],
+	}, nil
+}
+
+// EncodeSeal renders s's payload.
+func EncodeSeal(s Seal) []byte {
+	b := binary.LittleEndian.AppendUint64(nil, s.Seq)
+	return binary.LittleEndian.AppendUint32(b, uint32(s.Thread))
+}
+
+// DecodeSeal parses a SEAL payload.
+func DecodeSeal(b []byte) (Seal, error) {
+	if len(b) != 12 {
+		return Seal{}, ErrBadFrame
+	}
+	return Seal{
+		Seq:    binary.LittleEndian.Uint64(b),
+		Thread: int32(binary.LittleEndian.Uint32(b[8:])),
+	}, nil
+}
+
+// EncodeBye renders y's payload.
+func EncodeBye(y Bye) []byte {
+	return binary.LittleEndian.AppendUint64(nil, y.Seq)
+}
+
+// DecodeBye parses a BYE payload.
+func DecodeBye(b []byte) (Bye, error) {
+	if len(b) != 8 {
+		return Bye{}, ErrBadFrame
+	}
+	return Bye{Seq: binary.LittleEndian.Uint64(b)}, nil
+}
+
+// EncodeAck renders a's payload.
+func EncodeAck(a Ack) []byte {
+	b := binary.LittleEndian.AppendUint64(nil, a.Seq)
+	return binary.LittleEndian.AppendUint32(b, uint32(a.Code))
+}
+
+// DecodeAck parses an ACK payload.
+func DecodeAck(b []byte) (Ack, error) {
+	if len(b) != 12 {
+		return Ack{}, ErrBadFrame
+	}
+	return Ack{
+		Seq:  binary.LittleEndian.Uint64(b),
+		Code: Code(binary.LittleEndian.Uint32(b[8:])),
+	}, nil
+}

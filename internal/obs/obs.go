@@ -27,10 +27,12 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
+	"sort"
 	"time"
 )
 
@@ -106,6 +108,11 @@ type Config struct {
 	State    func() StateSnapshot
 	Profile  func() ProfileSnapshot
 	Waits    func() WaitsSnapshot
+
+	// Extra maps additional URL patterns onto the plane's mux (the
+	// ingest daemon's /runs, or a cross-run /profile). An Extra entry
+	// for a built-in path replaces the built-in handler.
+	Extra map[string]http.HandlerFunc
 }
 
 // Server serves the observability plane on one listener.
@@ -128,12 +135,22 @@ func Serve(addr string, cfg Config) (*Server, error) {
 	}
 	s := &Server{lis: lis, cfg: cfg}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/state", s.handleState)
-	mux.HandleFunc("/profile", s.handleProfile)
-	mux.HandleFunc("/waits", s.handleWaits)
-	mux.HandleFunc("/", s.handleIndex)
+	builtin := map[string]http.HandlerFunc{
+		"/metrics": s.handleMetrics,
+		"/healthz": s.handleHealthz,
+		"/state":   s.handleState,
+		"/profile": s.handleProfile,
+		"/waits":   s.handleWaits,
+		"/":        s.handleIndex,
+	}
+	for path, h := range builtin {
+		if _, shadowed := cfg.Extra[path]; !shadowed {
+			mux.HandleFunc(path, h)
+		}
+	}
+	for path, h := range cfg.Extra {
+		mux.HandleFunc(path, h)
+	}
 	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go s.srv.Serve(lis)
 	return s, nil
@@ -145,8 +162,25 @@ func (s *Server) Addr() string { return s.lis.Addr().String() }
 // URL returns the plane's base URL.
 func (s *Server) URL() string { return "http://" + s.Addr() }
 
-// Close stops the listener and in-flight handlers.
-func (s *Server) Close() error { return s.srv.Close() }
+// closeGrace bounds how long Close waits for in-flight scrapes before
+// severing them: long enough for any healthy response to flush whole,
+// short enough that a detach never stalls on a stuck client.
+const closeGrace = time.Second
+
+// Close stops the listener and drains in-flight handlers gracefully:
+// a scrape racing Close either completes whole or fails cleanly with a
+// closed connection — it is never cut mid-body, which would hand the
+// scraper a torn /profile or /metrics payload that parses as a
+// shorter, wrong document. Handlers still running after the grace
+// window are hard-closed.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), closeGrace)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
+}
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -202,6 +236,14 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "  /state     live thread states (JSON)")
 	fmt.Fprintln(w, "  /profile   live region profile (JSON)")
 	fmt.Fprintln(w, "  /waits     live hang-supervision wait records (JSON)")
+	extras := make([]string, 0, len(s.cfg.Extra))
+	for path := range s.cfg.Extra {
+		extras = append(extras, path)
+	}
+	sort.Strings(extras)
+	for _, path := range extras {
+		fmt.Fprintf(w, "  %-10s (extra)\n", path)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -340,3 +340,65 @@ func TestServeNilSources(t *testing.T) {
 		}
 	}
 }
+
+// TestCloseDoesNotTearInFlightScrape is the regression test for the
+// torn-scrape bug: Close used to hard-close the server while a handler
+// was mid-write, handing the scraper a truncated (unparseable) body.
+// Close now drains in-flight requests for a bounded grace first, so a
+// scrape that raced Close must come back whole — and Close itself must
+// still return promptly.
+func TestCloseDoesNotTearInFlightScrape(t *testing.T) {
+	entered := make(chan struct{})
+	srv, err := Serve("127.0.0.1:0", Config{
+		Registry: NewRegistry(),
+		Profile: func() ProfileSnapshot {
+			close(entered)
+			// Hold the handler mid-scrape long enough for Close to land
+			// while the response has not been written yet.
+			time.Sleep(300 * time.Millisecond)
+			return ProfileSnapshot{Samples: 7, Sites: []RegionSite{{Site: "0x1", Calls: 7}}}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type scrape struct {
+		body []byte
+		err  error
+	}
+	got := make(chan scrape, 1)
+	go func() {
+		resp, err := http.Get(srv.URL() + "/profile")
+		if err != nil {
+			got <- scrape{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		got <- scrape{body: body, err: err}
+	}()
+
+	<-entered
+	start := time.Now()
+	if err := srv.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("Close took %v, want bounded by the drain grace", elapsed)
+	}
+
+	s := <-got
+	if s.err != nil {
+		// A clean network-level failure would be acceptable; a torn body
+		// is not. But with the drain grace the scrape should simply win.
+		t.Fatalf("scrape racing Close failed: %v", s.err)
+	}
+	var pr ProfileSnapshot
+	if err := json.Unmarshal(s.body, &pr); err != nil {
+		t.Fatalf("scrape racing Close returned a torn body %q: %v", s.body, err)
+	}
+	if pr.Samples != 7 {
+		t.Fatalf("scrape racing Close returned %+v, want the full snapshot", pr)
+	}
+}

@@ -1,0 +1,456 @@
+package tool
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"goomp/internal/ingest"
+)
+
+// The network sink ships the streamer's staged trace blocks to a psxd
+// ingestion daemon over the framed ingest wire protocol. It obeys the
+// same invariants as the rest of the storage pipeline:
+//
+//   - A recording thread is never blocked: chunks reach the sink
+//     through the streamer's writer goroutine, and the sink's own
+//     hand-off is a bounded queue with a non-blocking push — overflow
+//     is dropped with exact chunk/sample accounting.
+//   - The connection manager reconnects with capped, interruptible
+//     backoff (the same waitBackoff helper the file streamer's retry
+//     loop uses, so Detach never stalls behind a sleeping sender).
+//   - Every data frame carries a session-monotonic sequence number and
+//     stays in an unacknowledged tail until the server acks it; on
+//     reconnect the server reports the last sequence it accepted and
+//     the sink resends only the tail beyond it. A frame torn by a
+//     mid-chunk disconnect was never acked, so it is resent whole.
+//   - When the server stays dead the sink degrades instead of growing:
+//     the bounded pending queue is the in-memory retention path, and
+//     everything beyond it (and whatever cannot be flushed within the
+//     stop grace) is discarded with exact accounting. With a file sink
+//     configured alongside, the same staged bytes are on local disk
+//     regardless — the network edge only ever adds delivery, never
+//     risk.
+
+const (
+	netPendingDepth = 256              // bounded outgoing frame queue
+	netWindow       = 64               // max unacked frames in flight
+	netDialTimeout  = 2 * time.Second  // dial + HELLO handshake bound
+	netWriteTimeout = 2 * time.Second  // per-frame write bound
+	netAckWait      = 2 * time.Second  // blocking ack wait at a full window
+	netBackoffCap   = 2 * time.Second  // reconnect backoff cap
+	netHeartbeat    = time.Second      // idle keepalive period
+	netFlushGrace   = 3 * time.Second  // stop-time flush deadline
+)
+
+// netItem is one queued wire frame.
+type netItem struct {
+	kind    uint8
+	seq     uint64
+	thread  int32
+	samples uint32
+	block   []byte
+}
+
+// netSink is the connection manager plus bounded shipping queue.
+type netSink struct {
+	addr     string
+	hello    ingest.Hello
+	dial     func(addr string) (net.Conn, error)
+	backoff0 time.Duration
+
+	pending chan *netItem
+	closing chan struct{} // shutdown requested: flush then exit
+	done    chan struct{} // flush grace expired: drop and exit
+	wg      sync.WaitGroup
+
+	seq atomic.Uint64 // last assigned sequence number
+
+	// Exact accounting, read by Report and the obs plane.
+	shipped        atomic.Uint64 // chunks acked CodeOK by the server
+	dropped        atomic.Uint64 // chunks never delivered (overflow, nack, unflushed)
+	droppedSamples atomic.Uint64
+	connects       atomic.Uint64 // successful connections (reconnects = connects-1)
+}
+
+// startNetSink builds and starts the sink's sender goroutine.
+func startNetSink(opts *Options) *netSink {
+	run := opts.IngestRun
+	if run == "" {
+		host, _ := os.Hostname()
+		run = fmt.Sprintf("%s-%d-%d", host, os.Getpid(), time.Now().UnixNano())
+	}
+	host, _ := os.Hostname()
+	backoff := opts.StreamBackoff
+	if backoff <= 0 {
+		backoff = 25 * time.Millisecond
+	}
+	n := &netSink{
+		addr: opts.IngestAddr,
+		hello: ingest.Hello{
+			Version: ingest.ProtoVersion,
+			Run:     run,
+			Host:    host,
+			PID:     uint64(os.Getpid()),
+		},
+		dial:     opts.DialIngest,
+		backoff0: backoff,
+		pending:  make(chan *netItem, netPendingDepth),
+		closing:  make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	n.wg.Add(1)
+	go n.loop()
+	return n
+}
+
+// ship queues one staged trace block. Called only from the streamer's
+// writer goroutine; never blocks — a full queue means the server has
+// been unreachable (or slow) past the retention bound, and the block
+// is dropped with exact accounting.
+func (n *netSink) ship(thread int32, samples uint32, block []byte) {
+	it := &netItem{
+		kind:    ingest.MsgChunk,
+		seq:     n.seq.Add(1),
+		thread:  thread,
+		samples: samples,
+		block:   block,
+	}
+	select {
+	case n.pending <- it:
+	default:
+		n.dropped.Add(1)
+		n.droppedSamples.Add(uint64(samples))
+	}
+}
+
+// seal queues a thread's end-of-stream marker.
+func (n *netSink) seal(thread int32) {
+	it := &netItem{kind: ingest.MsgSeal, seq: n.seq.Add(1), thread: thread}
+	select {
+	case n.pending <- it:
+	default:
+	}
+}
+
+// shutdown queues the BYE, asks the sender to flush, and waits out the
+// grace period; whatever is still unflushed then is dropped with
+// accounting. Called from the streamer's stop (writer goroutine).
+func (n *netSink) shutdown() {
+	it := &netItem{kind: ingest.MsgBye, seq: n.seq.Add(1)}
+	select {
+	case n.pending <- it:
+	default:
+	}
+	close(n.closing)
+	finished := make(chan struct{})
+	go func() {
+		n.wg.Wait()
+		close(finished)
+	}()
+	t := time.NewTimer(netFlushGrace)
+	defer t.Stop()
+	select {
+	case <-finished:
+	case <-t.C:
+		close(n.done)
+		<-finished
+	}
+}
+
+// loop is the sender: connect with interruptible capped backoff,
+// resend the unacknowledged tail, then pump pending frames while
+// polling acks, keeping at most netWindow frames in flight.
+func (n *netSink) loop() {
+	defer n.wg.Done()
+	var conn net.Conn
+	var br *bufio.Reader
+	var unacked []*netItem
+	backoff := n.backoff0
+	closingSeen := false
+	hb := time.NewTicker(netHeartbeat)
+	defer hb.Stop()
+
+	closeConn := func() {
+		if conn != nil {
+			conn.Close()
+			conn, br = nil, nil
+		}
+	}
+	defer closeConn()
+
+	giveUp := func() {
+		closeConn()
+		n.dropAll(unacked)
+		unacked = nil
+		for {
+			select {
+			case it := <-n.pending:
+				n.dropAll([]*netItem{it})
+			default:
+				return
+			}
+		}
+	}
+
+	for {
+		select {
+		case <-n.done:
+			giveUp()
+			return
+		default:
+		}
+		if !closingSeen {
+			select {
+			case <-n.closing:
+				closingSeen = true
+			default:
+			}
+		}
+
+		if conn == nil {
+			c, r, lastSeq, err := n.connect()
+			if err != nil {
+				if closingSeen && len(unacked) == 0 && len(n.pending) == 0 {
+					return
+				}
+				backoff = n.waitRetry(backoff, closingSeen)
+				continue
+			}
+			conn, br = c, r
+			backoff = n.backoff0
+			n.connects.Add(1)
+			// Drop the prefix the server already accepted on an earlier
+			// connection, then resend the rest of the tail in order.
+			unacked = n.trimAcked(unacked, lastSeq)
+			ok := true
+			for _, it := range unacked {
+				if err := n.send(conn, it); err != nil {
+					closeConn()
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+		}
+
+		if len(unacked) >= netWindow || (closingSeen && len(unacked) > 0 && len(n.pending) == 0) {
+			// Window full (or flushing): block for the next ack, bounded.
+			// A timeout is treated as a dead connection; the resend path
+			// makes that safe.
+			var err error
+			unacked, err = n.awaitAck(conn, br, unacked, netAckWait)
+			if err != nil {
+				closeConn()
+			}
+			continue
+		}
+		var err error
+		if unacked, err = n.drainAcks(conn, br, unacked); err != nil {
+			closeConn()
+			continue
+		}
+
+		if closingSeen {
+			select {
+			case it := <-n.pending:
+				unacked = append(unacked, it)
+				if err := n.send(conn, it); err != nil {
+					closeConn()
+				}
+			default:
+				if len(unacked) == 0 {
+					return // everything flushed, BYE included
+				}
+			}
+			continue
+		}
+		select {
+		case it := <-n.pending:
+			unacked = append(unacked, it)
+			if err := n.send(conn, it); err != nil {
+				closeConn()
+			}
+		case <-hb.C:
+			if err := n.sendHeartbeat(conn); err != nil {
+				closeConn()
+			}
+		case <-n.closing:
+			closingSeen = true
+		case <-n.done:
+			giveUp()
+			return
+		}
+	}
+}
+
+// connect performs one dial + HELLO handshake attempt.
+func (n *netSink) connect() (net.Conn, *bufio.Reader, uint64, error) {
+	dial := n.dial
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, netDialTimeout)
+		}
+	}
+	c, err := dial(n.addr)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	c.SetDeadline(time.Now().Add(netDialTimeout))
+	if err := ingest.WriteFrame(c, ingest.MsgHello, ingest.EncodeHello(n.hello)); err != nil {
+		c.Close()
+		return nil, nil, 0, err
+	}
+	br := bufio.NewReader(c)
+	kind, payload, err := ingest.ReadFrame(br)
+	if err != nil {
+		c.Close()
+		return nil, nil, 0, err
+	}
+	if kind != ingest.MsgHelloAck {
+		c.Close()
+		return nil, nil, 0, fmt.Errorf("tool: ingest: unexpected frame kind %d for HELLO", kind)
+	}
+	ha, err := ingest.DecodeHelloAck(payload)
+	if err != nil {
+		c.Close()
+		return nil, nil, 0, err
+	}
+	if ha.Code != ingest.CodeOK {
+		c.Close()
+		return nil, nil, 0, fmt.Errorf("tool: ingest: server refused HELLO: %v", ha.Code)
+	}
+	c.SetDeadline(time.Time{})
+	return c, br, ha.LastSeq, nil
+}
+
+// waitRetry sleeps one backoff step via the streamer's shared
+// interruptible waitBackoff helper and returns the next capped step.
+// Before shutdown the wait collapses the moment closing is signalled;
+// while flushing (closing already seen) only the hard-stop channel
+// interrupts, so the flush keeps its backoff pacing.
+func (n *netSink) waitRetry(d time.Duration, closingSeen bool) time.Duration {
+	ch := n.closing
+	if closingSeen {
+		ch = n.done
+	}
+	return waitBackoff(ch, d, netBackoffCap)
+}
+
+// send writes one data frame whole, bounded.
+func (n *netSink) send(conn net.Conn, it *netItem) error {
+	conn.SetWriteDeadline(time.Now().Add(netWriteTimeout))
+	switch it.kind {
+	case ingest.MsgChunk:
+		return ingest.WriteFrame(conn, ingest.MsgChunk, ingest.EncodeChunk(ingest.Chunk{
+			Seq:     it.seq,
+			Thread:  it.thread,
+			Samples: it.samples,
+			Block:   it.block,
+		}))
+	case ingest.MsgSeal:
+		return ingest.WriteFrame(conn, ingest.MsgSeal,
+			ingest.EncodeSeal(ingest.Seal{Seq: it.seq, Thread: it.thread}))
+	case ingest.MsgBye:
+		return ingest.WriteFrame(conn, ingest.MsgBye,
+			ingest.EncodeBye(ingest.Bye{Seq: it.seq}))
+	}
+	return fmt.Errorf("tool: ingest: unknown frame kind %d", it.kind)
+}
+
+func (n *netSink) sendHeartbeat(conn net.Conn) error {
+	conn.SetWriteDeadline(time.Now().Add(netWriteTimeout))
+	return ingest.WriteFrame(conn, ingest.MsgHeartbeat, nil)
+}
+
+// awaitAck blocks for one ack (bounded by wait) and applies it.
+func (n *netSink) awaitAck(conn net.Conn, br *bufio.Reader, unacked []*netItem, wait time.Duration) ([]*netItem, error) {
+	conn.SetReadDeadline(time.Now().Add(wait))
+	kind, payload, err := ingest.ReadFrame(br)
+	if err != nil {
+		return unacked, err
+	}
+	return n.applyAck(kind, payload, unacked), nil
+}
+
+// drainAcks consumes every ack already buffered or immediately
+// readable, without blocking the send path. The fill step peeks with
+// an immediate deadline so a frame is only ever consumed from the
+// buffer once it is complete — a partial frame stays buffered and the
+// stream keeps its framing.
+func (n *netSink) drainAcks(conn net.Conn, br *bufio.Reader, unacked []*netItem) ([]*netItem, error) {
+	conn.SetReadDeadline(time.Now().Add(time.Millisecond))
+	br.Peek(5) // best-effort fill; timeout just means nothing new
+	conn.SetReadDeadline(time.Time{})
+	for br.Buffered() >= 4 {
+		head, err := br.Peek(4)
+		if err != nil {
+			return unacked, nil
+		}
+		need := 4 + int(uint32(head[0])|uint32(head[1])<<8|uint32(head[2])<<16|uint32(head[3])<<24)
+		if need > br.Buffered() {
+			return unacked, nil
+		}
+		kind, payload, err := ingest.ReadFrame(br)
+		if err != nil {
+			return unacked, err
+		}
+		unacked = n.applyAck(kind, payload, unacked)
+	}
+	return unacked, nil
+}
+
+// applyAck applies one server frame to the unacked tail with exact
+// accounting: CodeOK ships the chunk, anything else (an overloaded
+// drop, a sealed run) means the server will never have it.
+func (n *netSink) applyAck(kind uint8, payload []byte, unacked []*netItem) []*netItem {
+	if kind != ingest.MsgAck {
+		return unacked
+	}
+	ack, err := ingest.DecodeAck(payload)
+	if err != nil || ack.Seq == 0 {
+		return unacked // heartbeat ack or junk
+	}
+	for len(unacked) > 0 && unacked[0].seq <= ack.Seq {
+		it := unacked[0]
+		unacked = unacked[1:]
+		if it.kind != ingest.MsgChunk {
+			continue
+		}
+		if it.seq == ack.Seq && ack.Code != ingest.CodeOK {
+			n.dropped.Add(1)
+			n.droppedSamples.Add(uint64(it.samples))
+			continue
+		}
+		n.shipped.Add(1)
+	}
+	return unacked
+}
+
+// trimAcked drops the prefix the server already accepted (reported in
+// its HELLO-ACK) and counts those chunks as shipped.
+func (n *netSink) trimAcked(unacked []*netItem, lastSeq uint64) []*netItem {
+	for len(unacked) > 0 && unacked[0].seq <= lastSeq {
+		if unacked[0].kind == ingest.MsgChunk {
+			n.shipped.Add(1)
+		}
+		unacked = unacked[1:]
+	}
+	return unacked
+}
+
+// dropAll accounts a set of frames the sink is giving up on.
+func (n *netSink) dropAll(items []*netItem) {
+	for _, it := range items {
+		if it.kind == ingest.MsgChunk {
+			n.dropped.Add(1)
+			n.droppedSamples.Add(uint64(it.samples))
+		}
+	}
+}

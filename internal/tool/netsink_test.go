@@ -1,0 +1,209 @@
+package tool_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"goomp/internal/ingest"
+	"goomp/internal/omp"
+	"goomp/internal/perf"
+	. "goomp/internal/tool"
+)
+
+// startIngestServer runs a psxd ingest server on a loopback port for
+// the duration of the test.
+func startIngestServer(t *testing.T) (*ingest.Server, string) {
+	t.Helper()
+	dir := t.TempDir()
+	srv, err := ingest.Serve("127.0.0.1:0", ingest.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, dir
+}
+
+// waitRunComplete polls until the named run has sent BYE and its
+// writer goroutine has gone idle.
+func waitRunComplete(t *testing.T, srv *ingest.Server, run string) ingest.RunInfo {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		for _, ri := range srv.Runs() {
+			if ri.ID == run && ri.Complete {
+				return ri
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run %q never completed; registry: %+v", run, srv.Runs())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestIngestTeeByteIdentical runs a seeded workload with both the file
+// sink and the network sink enabled: the per-run directory psxd writes
+// must be byte-identical to the local StreamDir, file for file.
+func TestIngestTeeByteIdentical(t *testing.T) {
+	srv, dataDir := startIngestServer(t)
+	localDir := t.TempDir()
+
+	rt := omp.New(omp.Config{NumThreads: 2})
+	defer rt.Close()
+	opts := FullMeasurement()
+	opts.StreamDir = localDir
+	opts.IngestAddr = srv.Addr()
+	opts.IngestRun = "tee-run"
+	tl, err := AttachRuntime(rt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const regions = 150
+	for i := 0; i < regions; i++ {
+		rt.Parallel(func(tc *omp.ThreadCtx) {})
+	}
+	tl.Detach()
+	if err := tl.StreamError(); err != nil {
+		t.Fatalf("stream error: %v", err)
+	}
+	rep := tl.Report()
+	if rep.IngestShippedChunks == 0 {
+		t.Fatal("no chunks shipped to the ingest server")
+	}
+	if rep.IngestDroppedChunks != 0 {
+		t.Fatalf("%d chunks dropped on a healthy server", rep.IngestDroppedChunks)
+	}
+	ri := waitRunComplete(t, srv, "tee-run")
+	if ri.Chunks != rep.IngestShippedChunks {
+		t.Errorf("server landed %d chunks, client shipped %d", ri.Chunks, rep.IngestShippedChunks)
+	}
+
+	entries, err := os.ReadDir(localDir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no local stream files: %v", err)
+	}
+	for _, e := range entries {
+		local, err := os.ReadFile(filepath.Join(localDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		remote, err := os.ReadFile(filepath.Join(dataDir, "tee-run", e.Name()))
+		if err != nil {
+			t.Fatalf("server side of %s: %v", e.Name(), err)
+		}
+		if !bytes.Equal(local, remote) {
+			t.Errorf("%s: server copy (%d bytes) differs from local (%d bytes)",
+				e.Name(), len(remote), len(local))
+		}
+	}
+	if remote, err := os.ReadDir(filepath.Join(dataDir, "tee-run")); err != nil || len(remote) != len(entries) {
+		t.Errorf("server run dir holds %d files, local %d", len(remote), len(entries))
+	}
+}
+
+// TestIngestNetOnlyMode streams with no StreamDir at all: the network
+// is the only sink, no local file is ever opened, and every dispatched
+// sample either lands on the server or is dropped with accounting.
+func TestIngestNetOnlyMode(t *testing.T) {
+	srv, dataDir := startIngestServer(t)
+
+	rt := omp.New(omp.Config{NumThreads: 2})
+	defer rt.Close()
+	opts := FullMeasurement()
+	opts.IngestAddr = srv.Addr()
+	opts.IngestRun = "net-only"
+	opts.OpenTraceFile = func(path string) (io.WriteCloser, error) {
+		t.Errorf("net-only mode opened a trace file: %s", path)
+		return nil, fmt.Errorf("unexpected open")
+	}
+	tl, err := AttachRuntime(rt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const regions = 100
+	for i := 0; i < regions; i++ {
+		rt.Parallel(func(tc *omp.ThreadCtx) {})
+	}
+	tl.Detach()
+	rep := tl.Report()
+	waitRunComplete(t, srv, "net-only")
+
+	var dispatched uint64
+	for _, n := range rep.Events {
+		dispatched += n
+	}
+	var landed int
+	files, err := perf.FindTraceFiles(filepath.Join(dataDir, "net-only"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, err := perf.ReadTraceStream(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		landed += len(buf.Samples())
+	}
+	// Conservation: every dispatched callback's sample landed on the
+	// server, stayed in memory, or sits in an exact loss bucket.
+	got := uint64(landed) + uint64(rep.Samples) + rep.Dropped +
+		rep.IngestDroppedSamples + rep.StreamDiscardedSamples
+	if got != dispatched {
+		t.Errorf("accounting: landed %d + in-memory %d + dropped %d + ingest-dropped %d + discarded %d = %d, want %d dispatched",
+			landed, rep.Samples, rep.Dropped, rep.IngestDroppedSamples,
+			rep.StreamDiscardedSamples, got, dispatched)
+	}
+	if rep.IngestShippedChunks == 0 {
+		t.Error("no chunks shipped in net-only mode")
+	}
+	if rep.IngestDroppedChunks != 0 {
+		t.Errorf("%d chunks dropped on a healthy server", rep.IngestDroppedChunks)
+	}
+}
+
+// TestDetachPromptWithFailingOpenerAndLargeBackoff is the regression
+// test for the uninterruptible streamer sleep: with a permanently
+// failing OpenTraceFile and a large StreamBackoff, Detach used to
+// stall for retries × backoff because the retry sleep could not
+// observe the stop signal. It must now return promptly.
+func TestDetachPromptWithFailingOpenerAndLargeBackoff(t *testing.T) {
+	rt := omp.New(omp.Config{NumThreads: 2})
+	defer rt.Close()
+	opts := FullMeasurement()
+	opts.StreamDir = t.TempDir()
+	opts.StreamBackoff = 10 * time.Second
+	opts.OpenTraceFile = func(path string) (io.WriteCloser, error) {
+		return nil, fmt.Errorf("injected: open %s always fails", path)
+	}
+	tl, err := AttachRuntime(rt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enough regions to seal chunks so the writer goroutine is inside
+	// its open-retry backoff when Detach lands.
+	for i := 0; i < 100; i++ {
+		rt.Parallel(func(tc *omp.ThreadCtx) {})
+	}
+	start := time.Now()
+	tl.Detach()
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Detach took %v with a failing opener and 10s backoff; the retry sleep is not interruptible", elapsed)
+	}
+	if err := tl.StreamError(); err == nil {
+		t.Error("permanently failing opener reported no stream error")
+	}
+	rep := tl.Report()
+	if rep.DegradedThreads == 0 {
+		t.Error("no thread reported degraded despite every open failing")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -65,12 +66,23 @@ type streamFile struct {
 }
 
 // streamer owns the trace files and the chunk-writer goroutine.
+//
+// The streamer drives up to two sinks from the same staged bytes: the
+// local file sink (dir != "") and the network sink (Options.IngestAddr
+// set, shipping to a psxd ingestion daemon). With both configured the
+// exact block bytes written to the local trace file are also shipped
+// on the wire, so the server's per-run directory is byte-identical to
+// the local StreamDir. With only the network sink, the streamer runs
+// with no file operations at all and the sink's bounded pending queue
+// is the in-memory retention path.
 type streamer struct {
-	t     *Tool
-	dir   string
-	relay chan *perf.SealedChunk
-	files map[int32]*streamFile
-	seqs  map[int32]int // per-thread chunk sequence, for the drop hook
+	t        *Tool
+	dir      string
+	fileSink bool     // dir != "": write local per-thread trace files
+	net      *netSink // nil unless Options.IngestAddr is set
+	relay    chan *perf.SealedChunk
+	files    map[int32]*streamFile
+	seqs     map[int32]int // per-thread chunk sequence, for the drop hook
 
 	open       func(path string) (io.WriteCloser, error)
 	drop       func(thread int32, seq int) bool
@@ -99,12 +111,15 @@ type streamer struct {
 }
 
 func startStreamer(t *Tool, dir string) (*streamer, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("tool: stream dir: %w", err)
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("tool: stream dir: %w", err)
+		}
 	}
 	s := &streamer{
 		t:          t,
 		dir:        dir,
+		fileSink:   dir != "",
 		relay:      make(chan *perf.SealedChunk, relayCapacity),
 		files:      make(map[int32]*streamFile),
 		seqs:       make(map[int32]int),
@@ -113,6 +128,9 @@ func startStreamer(t *Tool, dir string) (*streamer, error) {
 		retryLimit: t.opts.StreamRetries,
 		backoff:    t.opts.StreamBackoff,
 		done:       make(chan struct{}),
+	}
+	if t.opts.IngestAddr != "" {
+		s.net = startNetSink(&t.opts)
 	}
 	if s.open == nil {
 		s.open = func(path string) (io.WriteCloser, error) { return os.Create(path) }
@@ -153,14 +171,28 @@ func (s *streamer) writeChunk(sc *perf.SealedChunk) {
 		s.forcedDropSamples.Add(uint64(sc.Len()))
 		return
 	}
-	sf := s.file(thread)
-	if sf.err != nil {
-		s.retain(sf, sc)
-		return
-	}
 	var staged bytes.Buffer
 	if err := sc.Encode(&staged); err != nil {
-		s.fail(thread, sf, fmt.Errorf("encode: %w", err))
+		if s.fileSink {
+			sf := s.file(thread)
+			s.fail(thread, sf, fmt.Errorf("encode: %w", err))
+			s.retain(sf, sc)
+		} else {
+			s.discardedChunks.Add(1)
+			s.discardedSamples.Add(uint64(sc.Len()))
+		}
+		return
+	}
+	// Both sinks see the exact same staged bytes: the server's per-run
+	// file and the local trace file stay byte-identical.
+	if s.net != nil {
+		s.net.ship(thread, uint32(sc.Len()), staged.Bytes())
+	}
+	if !s.fileSink {
+		return
+	}
+	sf := s.file(thread)
+	if sf.err != nil {
 		s.retain(sf, sc)
 		return
 	}
@@ -219,14 +251,31 @@ func (s *streamer) writeBlock(sf *streamFile, b []byte) error {
 	}
 }
 
-// sleep waits one backoff step (writer goroutine only — OpenMP threads
-// never block on the stream) and returns the next, capped step.
-func (s *streamer) sleep(backoff time.Duration) time.Duration {
-	time.Sleep(backoff)
-	if next := backoff * 2; next <= maxStreamBackoff {
+// waitBackoff waits one backoff step, interruptible by done, and
+// returns the next capped step. Shared by the streamer's retry loops
+// and the network sink's reconnect loop: a retrying sink must never
+// hold Detach hostage to an uninterruptible sleep — once the shutdown
+// channel closes, every pending wait collapses immediately and the
+// remaining retries run without pause.
+func waitBackoff(done <-chan struct{}, backoff, limit time.Duration) time.Duration {
+	t := time.NewTimer(backoff)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-done:
+	}
+	if next := backoff * 2; next <= limit {
 		return next
 	}
 	return backoff
+}
+
+// sleep waits one backoff step (writer goroutine only — OpenMP threads
+// never block on the stream) and returns the next, capped step. The
+// wait aborts as soon as stop closes s.done, so a detach never stalls
+// behind retries × backoff of accumulated sleeping.
+func (s *streamer) sleep(backoff time.Duration) time.Duration {
+	return waitBackoff(s.done, backoff, maxStreamBackoff)
 }
 
 // fail moves a thread's file into degraded mode and records why.
@@ -310,6 +359,12 @@ func (s *streamer) writeResidue(tb threadBuf, sf *streamFile, quiesced bool) {
 		s.errs = append(s.errs, fmt.Errorf("tool: stream thread %d: residue encode: %w", tb.id, err))
 		return
 	}
+	if s.net != nil {
+		s.net.ship(tb.id, uint32(src.Len()), staged.Bytes())
+	}
+	if !s.fileSink {
+		return
+	}
 	if sf.w == nil && !sf.torn {
 		// Last-chance reopen for a thread whose open failed during the
 		// run (flushRetained only reopens when it has a backlog).
@@ -351,12 +406,34 @@ func (s *streamer) stop(quiesced bool) error {
 		}
 		break
 	}
+	seen := make(map[int32]bool)
 	for _, tb := range s.t.snapshotBuffers() {
-		sf := s.file(tb.id)
-		// Replay the retained backlog first so blocks stay in append
-		// order, then the residue.
-		s.flushRetained(tb.id, sf)
+		var sf *streamFile
+		if s.fileSink {
+			sf = s.file(tb.id)
+			// Replay the retained backlog first so blocks stay in append
+			// order, then the residue.
+			s.flushRetained(tb.id, sf)
+		}
 		s.writeResidue(tb, sf, quiesced)
+		seen[tb.id] = true
+	}
+	if s.net != nil {
+		// Seal every thread stream the run touched, say goodbye, and
+		// give the sender a bounded grace to flush; what stays unflushed
+		// is dropped with exact accounting inside the sink.
+		for thread := range s.seqs {
+			seen[thread] = true
+		}
+		ids := make([]int32, 0, len(seen))
+		for thread := range seen {
+			ids = append(ids, thread)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, thread := range ids {
+			s.net.seal(thread)
+		}
+		s.net.shutdown()
 	}
 	for thread, sf := range s.files {
 		s.flushRetained(thread, sf) // files whose buffer never resurfaced

@@ -14,6 +14,7 @@ package tool
 import (
 	"fmt"
 	"io"
+	"net"
 	"sort"
 	"strings"
 	"sync"
@@ -80,6 +81,28 @@ type Options struct {
 	// files back with perf.ReadTraceStream. While streaming, Report
 	// sees only the not-yet-flushed residue of the buffers.
 	StreamDir string
+
+	// IngestAddr, when set, ships every staged trace block to a psxd
+	// trace-ingestion daemon at this TCP "host:port" address over the
+	// framed ingest wire protocol (package ingest). Off by default; cmd
+	// front-ends default it from GOMP_INGEST_ADDR. With StreamDir also
+	// set the network sink ships the exact bytes the file sink writes,
+	// so the server's per-run directory is byte-identical to the local
+	// one; with StreamDir empty the network is the only sink and the
+	// sink's bounded queue is the in-memory retention path. A dead or
+	// slow server never blocks a recording thread: the sink reconnects
+	// with capped backoff, resends the unacknowledged tail, and drops
+	// with exact accounting (Report's Ingest* counters) when retention
+	// overflows.
+	IngestAddr string
+
+	// IngestRun names this run at the ingestion daemon (its per-run
+	// directory). Empty derives "<host>-<pid>-<start-nanos>".
+	IngestRun string
+
+	// DialIngest overrides how the network sink dials the ingestion
+	// daemon (fault injection and tests). Nil means net.DialTimeout.
+	DialIngest func(addr string) (net.Conn, error)
 
 	// FlushInterval is retained for compatibility but no longer used:
 	// streaming is chunk-driven (each filled chunk is handed to the
@@ -292,7 +315,7 @@ func AttachCollector(col *collector.Collector, opts Options) (*Tool, error) {
 	if ec := collector.Control(t.q, collector.ReqStart); ec != collector.ErrOK {
 		return nil, fmt.Errorf("tool: start request failed: %v", ec)
 	}
-	if opts.StreamDir != "" {
+	if opts.StreamDir != "" || opts.IngestAddr != "" {
 		st, err := startStreamer(t, opts.StreamDir)
 		if err != nil {
 			t.Detach()
@@ -541,8 +564,9 @@ func (t *Tool) detach() {
 		t.sup.Stop()
 	}
 	if t.obsSrv != nil {
-		// Stop serving before teardown: Close also interrupts in-flight
-		// handlers, so no scrape can race the unpinning below.
+		// Stop serving before teardown: Close drains in-flight scrapes
+		// gracefully (bounded, then severed), so no scrape can race the
+		// unpinning below and none is handed a torn response body.
 		t.obsSrv.Close()
 	}
 	if t.sampler != nil {
@@ -716,6 +740,18 @@ type Report struct {
 	// DegradedThreads counts threads whose trace file failed
 	// permanently and fell back to in-memory retention.
 	DegradedThreads int
+	// IngestShippedChunks counts trace blocks acknowledged by the
+	// ingestion daemon (Options.IngestAddr). IngestDroppedChunks and
+	// IngestDroppedSamples count the blocks (and the samples inside
+	// them) the network sink gave up shipping: retention-queue overflow
+	// while the server was unreachable, a server nack, or the tail
+	// still unflushed when the stop grace expired. With a file sink
+	// configured alongside, those blocks are still on local disk.
+	// IngestReconnects counts connections re-established after a drop.
+	IngestShippedChunks  uint64
+	IngestDroppedChunks  uint64
+	IngestDroppedSamples uint64
+	IngestReconnects     uint64
 	// Health is the collector's fault-isolation snapshot: contained
 	// callback panics, watchdog breaker trips, wedged callbacks.
 	Health *collector.Health
@@ -766,6 +802,14 @@ func (t *Tool) Report() *Report {
 		r.ForcedDrops = s.forcedDrops.Load()
 		r.ForcedDropSamples = s.forcedDropSamples.Load()
 		r.DegradedThreads = int(s.degraded.Load())
+		if n := s.net; n != nil {
+			r.IngestShippedChunks = n.shipped.Load()
+			r.IngestDroppedChunks = n.dropped.Load()
+			r.IngestDroppedSamples = n.droppedSamples.Load()
+			if c := n.connects.Load(); c > 1 {
+				r.IngestReconnects = c - 1
+			}
+		}
 	}
 	r.Health = t.col.Health()
 	if p := t.wedged.Load(); p != nil {
@@ -831,6 +875,13 @@ func (r *Report) WriteTo(w io.Writer) (int64, error) {
 			r.StreamRetries, r.RelayDropped, r.StreamDiscardedChunks,
 			r.StreamDiscardedSamples, r.ForcedDrops, r.ForcedDropSamples,
 			r.DegradedThreads); err != nil {
+			return n, err
+		}
+	}
+	if r.IngestShippedChunks > 0 || r.IngestDroppedChunks > 0 || r.IngestReconnects > 0 {
+		if err := p("  ingest: %d shipped chunks, %d dropped chunks (%d samples), %d reconnects\n",
+			r.IngestShippedChunks, r.IngestDroppedChunks,
+			r.IngestDroppedSamples, r.IngestReconnects); err != nil {
 			return n, err
 		}
 	}
