@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test check race bench bench-sync chaos chaos-hang chaos-net obs-demo psxd-demo
+.PHONY: build test check race bench bench-sync chaos chaos-hang chaos-net chaos-disk obs-demo psxd-demo
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,17 @@ chaos-net:
 	$(GO) test -race -count=1 -timeout 120s ./internal/faultinject -run 'ChaosNet'
 	$(GO) test -race -count=1 -timeout 120s ./internal/tool -run 'Ingest|DetachPrompt'
 	$(GO) test -race -count=1 -timeout 120s ./internal/ingest
+
+# chaos-disk runs the durable-storage chaos suite: the daemon is
+# killed mid-chunk and at manifest seal, restarted over the same data
+# dir, and must replay its journal, truncate the torn tail to the last
+# valid entry, and let the reconnecting client resend exactly what was
+# lost — byte-identical to a local tee. ENOSPC on one run must
+# quarantine only that run. Race detector + hard wall-clock cap.
+chaos-disk:
+	$(GO) test -race -count=1 -timeout 120s ./internal/faultinject -run 'ChaosDisk'
+	$(GO) test -race -count=1 -timeout 120s ./internal/ingest ./internal/perf -run 'Recover|Journal|Durable|Fsync|Retention|Manifest|Hello|Sync|Close|ValidStreamPrefix'
+	$(GO) test -race -count=1 -timeout 120s ./cmd/psxd
 
 # race runs the detector over everything (slower; check covers the
 # concurrency-critical packages).

@@ -34,6 +34,7 @@ func main() {
 	streamDir := flag.String("stream", "", "directory to stream trace chunks into during the run")
 	ingestAddr := flag.String("ingest", os.Getenv("GOMP_INGEST_ADDR"), "ship trace chunks to a psxd ingestion daemon at this host:port during the run; defaults to $GOMP_INGEST_ADDR, empty disables")
 	ingestRun := flag.String("run", "", "run ID at the ingestion daemon (default host-pid-start)")
+	ingestDurable := flag.Bool("ingest-durable", os.Getenv("GOMP_INGEST_DURABLE") != "", "request durable acks from the ingestion daemon (chunks stay in the resend tail until on its disk); defaults to $GOMP_INGEST_DURABLE being set")
 	budget := flag.Duration("callback-budget", 0, "per-callback latency budget before the watchdog trips the breaker (0 disables)")
 	detachTimeout := flag.Duration("detach-timeout", 0, "bounded wait for in-flight callbacks at detach (0 waits forever)")
 	obsAddr := flag.String("obs", os.Getenv("GOMP_OBS_ADDR"), "serve the live observability plane (/metrics, /healthz, /state, /profile, /waits) on this host:port while attached; defaults to $GOMP_OBS_ADDR, empty disables")
@@ -55,6 +56,7 @@ func main() {
 	opts.StreamDir = *streamDir
 	opts.IngestAddr = *ingestAddr
 	opts.IngestRun = *ingestRun
+	opts.IngestDurable = *ingestDurable
 	opts.CallbackBudget = *budget
 	opts.DetachTimeout = *detachTimeout
 	opts.ObsAddr = *obsAddr

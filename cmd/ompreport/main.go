@@ -23,11 +23,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"goomp/internal/analysis"
 	"goomp/internal/collector"
+	"goomp/internal/ingest"
 	"goomp/internal/perf"
 )
 
@@ -60,7 +62,15 @@ func main() {
 	var dropped uint64
 	var hangReports []string
 	truncated := 0
+	salvagedDirs := map[string]bool{}
 	for _, path := range paths {
+		// A psxd run directory carries a manifest; note once per run
+		// when the daemon salvaged it from its journal after a crash.
+		if dir := filepath.Dir(path); !salvagedDirs[dir] {
+			if m, err := ingest.ReadManifest(dir); err == nil && m.Salvaged {
+				salvagedDirs[dir] = true
+			}
+		}
 		f, err := os.Open(path)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ompreport:", err)
@@ -104,6 +114,9 @@ func main() {
 	}
 	if truncated > 0 {
 		fmt.Printf(" [%d truncated file(s): partial data]", truncated)
+	}
+	if len(salvagedDirs) > 0 {
+		fmt.Printf(" [%d salvaged run(s): recovered from the ingest journal after a daemon crash]", len(salvagedDirs))
 	}
 	fmt.Printf("\n\n")
 	for _, rep := range hangReports {

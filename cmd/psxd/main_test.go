@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"goomp/internal/ingest"
+	"goomp/internal/omp"
+	"goomp/internal/tool"
+)
+
+// syncBuffer is a bytes.Buffer safe to poll while run() writes it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var addrRE = regexp.MustCompile(`ingesting on (\S+),`)
+
+// TestSIGTERMGracefulDrain is the shutdown regression test: a SIGTERM
+// while a client's chunks are queued must drain them — the run sealed
+// and manifested on disk, the final registry line printed — and the
+// process must exit 0 well inside the drain deadline.
+func TestSIGTERMGracefulDrain(t *testing.T) {
+	dir := t.TempDir()
+	var stdout, stderr syncBuffer
+	exitCh := make(chan int, 1)
+	go func() {
+		exitCh <- run([]string{
+			"-listen", "127.0.0.1:0",
+			"-dir", dir,
+			"-fsync", "seal",
+			"-drain-timeout", "20s",
+		}, &stdout, &stderr)
+	}()
+
+	// Wait for the daemon to print its listen address; the signal
+	// handler is installed right after, so poll a little longer too.
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" {
+		if m := addrRE.FindStringSubmatch(stdout.String()); m != nil {
+			addr = m[1]
+		} else if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address; stdout: %q stderr: %q",
+				stdout.String(), stderr.String())
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	rt := omp.New(omp.Config{NumThreads: 2})
+	defer rt.Close()
+	opts := tool.FullMeasurement()
+	opts.IngestAddr = addr
+	opts.IngestRun = "drain-run"
+	opts.IngestDurable = true
+	tl, err := tool.AttachRuntime(rt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 150; i++ {
+		rt.Parallel(func(tc *omp.ThreadCtx) {})
+	}
+	tl.Detach()
+	if rep := tl.Report(); rep.IngestShippedChunks == 0 {
+		t.Fatal("nothing shipped to the daemon before the drain")
+	}
+
+	start := time.Now()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exitCh:
+		if code != 0 {
+			t.Errorf("drained daemon exited %d; stderr: %q", code, stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("the daemon never exited after SIGTERM: the drain is unbounded")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("drain took %v for an idle client", elapsed)
+	}
+
+	out := stdout.String()
+	if !strings.Contains(out, "run drain-run (complete)") {
+		t.Errorf("final registry line missing a complete drain-run; stdout: %q", out)
+	}
+	m, err := ingest.ReadManifest(filepath.Join(dir, "drain-run"))
+	if err != nil {
+		t.Fatalf("no manifest after the drain: %v", err)
+	}
+	if !m.Complete {
+		t.Error("the drained run's manifest is not marked complete")
+	}
+}

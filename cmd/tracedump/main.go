@@ -22,10 +22,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"goomp/internal/collector"
+	"goomp/internal/ingest"
 	"goomp/internal/perf"
 )
 
@@ -76,6 +78,11 @@ func dump(path string, summary bool) error {
 	samples := buf.Samples()
 	fmt.Printf("%s: %d samples, %d stacks, %d dropped\n",
 		path, len(samples), buf.NumStacks(), buf.Dropped())
+	// A psxd run directory carries a manifest; if the daemon salvaged
+	// this run from its journal after a crash, say so next to the data.
+	if m, err := ingest.ReadManifest(filepath.Dir(path)); err == nil && m.Salvaged {
+		fmt.Printf("  note: salvaged run — the ingest daemon recovered this trace from its journal after a crash; the samples are the journaled prefix\n")
+	}
 	for _, rep := range reports {
 		fmt.Printf("  WARNING: hang report salvaged with this trace; the samples are the gap-free prefix of a run that did not finish\n")
 		for _, line := range strings.Split(strings.TrimRight(rep, "\n"), "\n") {

@@ -55,6 +55,11 @@ const (
 	KindConnCut
 	KindConnTear
 	KindAckDelay
+	KindDiskFull
+	KindSyncError
+	KindSlowSync
+	KindCrashWrite
+	KindCrashRename
 )
 
 func (k Kind) String() string {
@@ -87,6 +92,16 @@ func (k Kind) String() string {
 		return "conn-tear"
 	case KindAckDelay:
 		return "ack-delay"
+	case KindDiskFull:
+		return "disk-full"
+	case KindSyncError:
+		return "sync-error"
+	case KindSlowSync:
+		return "slow-sync"
+	case KindCrashWrite:
+		return "crash-write"
+	case KindCrashRename:
+		return "crash-rename"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -108,7 +123,8 @@ func (r Record) String() string {
 	case KindPanic, KindHang, KindDelay:
 		return fmt.Sprintf("%s %s invocation %d", r.Kind, r.Event, r.Index)
 	case KindMsgDrop, KindMsgDelay, KindStall,
-		KindDialError, KindConnCut, KindConnTear, KindAckDelay:
+		KindDialError, KindConnCut, KindConnTear, KindAckDelay,
+		KindDiskFull, KindSyncError, KindSlowSync, KindCrashWrite, KindCrashRename:
 		return fmt.Sprintf("%s %s", r.Kind, r.Point)
 	default:
 		return fmt.Sprintf("%s thread %d index %d", r.Kind, r.Thread, r.Index)
@@ -154,6 +170,8 @@ type Plan struct {
 	cuts      map[int]int                // conn → frames before the cut
 	tears     map[int]int                // conn → 1-based frame torn mid-write
 	ackDelay  time.Duration              // slow-link delay per conn read
+	fsRules   []*fsRule                  // writer-side filesystem faults
+	onCrash   func()                     // fired synchronously by crash-shaped fs faults
 	fired     []Record
 
 	releaseOnce sync.Once

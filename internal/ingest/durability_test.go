@@ -1,0 +1,723 @@
+package ingest
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// dialFlags is dialClient with a capability trailer on the HELLO.
+func dialFlags(t *testing.T, addr, run string, flags uint32) (*testClient, HelloAck) {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := &testClient{t: t, c: c, br: bufio.NewReader(c)}
+	if err := WriteFrame(c, MsgHello, EncodeHello(Hello{
+		Version: ProtoVersion, Run: run, Host: "testhost", PID: 1, Flags: flags,
+	})); err != nil {
+		t.Fatal(err)
+	}
+	kind, payload, err := ReadFrame(tc.br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != MsgHelloAck {
+		t.Fatalf("first server frame kind = %d, want HELLO-ACK", kind)
+	}
+	ha, err := DecodeHelloAck(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tc, ha
+}
+
+func TestJournalEntryRoundTrip(t *testing.T) {
+	want := journalEntry{
+		Seq: 42, Thread: 3, Kind: journalChunk,
+		Offset: 1 << 33, Length: 9000, Samples: 256, CRC: 0xdeadbeef,
+	}
+	b := encodeJournalEntry(want)
+	if len(b) != journalEntryLen {
+		t.Fatalf("entry is %d bytes, want %d", len(b), journalEntryLen)
+	}
+	got, err := decodeJournalEntry(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("roundtrip: got %+v, want %+v", got, want)
+	}
+
+	// A single flipped byte must fail the entry CRC.
+	for i := 0; i < journalEntryLen; i++ {
+		mut := append([]byte(nil), b...)
+		mut[i] ^= 0x40
+		if _, err := decodeJournalEntry(mut); !errors.Is(err, ErrBadJournal) {
+			t.Errorf("byte %d flipped: err = %v, want ErrBadJournal", i, err)
+		}
+	}
+	if _, err := decodeJournalEntry(b[:journalEntryLen-1]); !errors.Is(err, ErrBadJournal) {
+		t.Errorf("short entry: err = %v, want ErrBadJournal", err)
+	}
+}
+
+func TestReplayJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, journalName)
+	f, err := osFS{}.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeJournalHeader(f); err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 3; seq++ {
+		if _, err := f.Write(encodeJournalEntry(journalEntry{
+			Seq: seq, Kind: journalChunk, Length: 100, Samples: 5,
+		})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A torn tail: half an entry of garbage.
+	if _, err := f.Write(bytes.Repeat([]byte{0xff}, 15)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	entries, valid, err := replayJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("replayed %d entries, want 3", len(entries))
+	}
+	if want := int64(journalHeaderLen + 3*journalEntryLen); valid != want {
+		t.Fatalf("valid prefix = %d bytes, want %d", valid, want)
+	}
+	for i, e := range entries {
+		if e.Seq != uint64(i+1) {
+			t.Errorf("entry %d seq = %d", i, e.Seq)
+		}
+	}
+
+	// A missing journal replays to nothing, without error.
+	if entries, valid, err := replayJournal(filepath.Join(dir, "nope.psxj")); err != nil || entries != nil || valid != 0 {
+		t.Errorf("missing journal: (%v, %d, %v), want (nil, 0, nil)", entries, valid, err)
+	}
+	// An unrecognizable header replays to nothing: rebuild from scratch.
+	bad := filepath.Join(dir, "bad.psxj")
+	os.WriteFile(bad, []byte("not a journal"), 0o644)
+	if entries, valid, err := replayJournal(bad); err != nil || entries != nil || valid != 0 {
+		t.Errorf("bad header: (%v, %d, %v), want (nil, 0, nil)", entries, valid, err)
+	}
+}
+
+func TestParseFsyncPolicy(t *testing.T) {
+	cases := []struct {
+		in   string
+		want FsyncPolicy
+		bad  bool
+	}{
+		{in: "", want: FsyncPolicy{Mode: FsyncSeal}},
+		{in: "seal", want: FsyncPolicy{Mode: FsyncSeal}},
+		{in: "never", want: FsyncPolicy{Mode: FsyncNever}},
+		{in: "every-1", want: FsyncPolicy{Mode: FsyncEveryN, N: 1}},
+		{in: "every-64", want: FsyncPolicy{Mode: FsyncEveryN, N: 64}},
+		{in: "every-0", bad: true},
+		{in: "every-x", bad: true},
+		{in: "always", bad: true},
+	}
+	for _, c := range cases {
+		got, err := ParseFsyncPolicy(c.in)
+		if c.bad {
+			if err == nil {
+				t.Errorf("ParseFsyncPolicy(%q) = %+v, want error", c.in, got)
+			}
+			continue
+		}
+		if err != nil || got != c.want {
+			t.Errorf("ParseFsyncPolicy(%q) = (%+v, %v), want %+v", c.in, got, err, c.want)
+		}
+	}
+	if s := (FsyncPolicy{Mode: FsyncEveryN, N: 8}).String(); s != "every-8" {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := &Manifest{
+		ID: "m-run", Host: "h", PID: 7, Started: time.Now().UTC().Truncate(time.Second),
+		Durable: true, Fsync: "every-4", Complete: true, Salvaged: true,
+		LastSeq: 9, Chunks: 5, Samples: 1280, Bytes: 4096, SealedThreads: 2,
+	}
+	if err := writeManifest(osFS{}, dir, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *want {
+		t.Fatalf("roundtrip: got %+v, want %+v", got, want)
+	}
+	// The write is atomic: no temp file survives.
+	if _, err := os.Stat(filepath.Join(dir, manifestName+".tmp")); !os.IsNotExist(err) {
+		t.Errorf("manifest temp file left behind: %v", err)
+	}
+	if _, err := ReadManifest(t.TempDir()); !os.IsNotExist(err) {
+		t.Errorf("manifest-less dir: err = %v, want not-exist", err)
+	}
+}
+
+// hookFS interposes on Sync for the durable-ack tests: counting syncs,
+// failing them by path, or blocking them outright. Manifest temp files
+// are exempt everywhere: their sync belongs to the atomic replace, not
+// to the fsync policy under test.
+type hookFS struct {
+	syncs   atomic.Int64
+	syncErr func(path string) error // non-nil return fails the sync
+	block   chan struct{}           // non-nil: Sync waits here first
+	entered chan string             // non-nil: receives the path entering Sync
+}
+
+type hookFile struct {
+	fs    *hookFS
+	path  string
+	inner File
+}
+
+func (h *hookFS) Create(p string) (File, error) {
+	f, err := osFS{}.Create(p)
+	if err != nil {
+		return nil, err
+	}
+	return &hookFile{fs: h, path: p, inner: f}, nil
+}
+
+func (h *hookFS) OpenAppend(p string) (File, error) {
+	f, err := osFS{}.OpenAppend(p)
+	if err != nil {
+		return nil, err
+	}
+	return &hookFile{fs: h, path: p, inner: f}, nil
+}
+
+func (h *hookFS) Rename(o, n string) error { return os.Rename(o, n) }
+
+func (f *hookFile) Write(b []byte) (int, error) { return f.inner.Write(b) }
+func (f *hookFile) Close() error                { return f.inner.Close() }
+
+func (f *hookFile) Sync() error {
+	if strings.HasSuffix(f.path, ".tmp") {
+		return f.inner.Sync()
+	}
+	if f.fs.entered != nil {
+		select {
+		case f.fs.entered <- f.path:
+		default:
+		}
+	}
+	if f.fs.block != nil {
+		<-f.fs.block
+	}
+	if f.fs.syncErr != nil {
+		if err := f.fs.syncErr(f.path); err != nil {
+			return err
+		}
+	}
+	f.fs.syncs.Add(1)
+	return f.inner.Sync()
+}
+
+// TestDurableAckAfterSync: in durable mode a chunk's ack must not be
+// released before the group commit synced it to disk.
+func TestDurableAckAfterSync(t *testing.T) {
+	fs := &hookFS{}
+	srv, err := Serve("127.0.0.1:0", Options{Dir: t.TempDir(), FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	tc, ha := dialFlags(t, srv.Addr(), "durable-run", FlagDurable)
+	defer tc.close()
+	if ha.Flags&FlagDurable == 0 {
+		t.Fatal("server did not grant FlagDurable")
+	}
+	block := traceBlock(t, 0, 5)
+	ack := tc.send(MsgChunk, EncodeChunk(Chunk{Seq: 1, Thread: 0, Samples: 5, Block: block}))
+	if ack.Code != CodeOK || ack.Seq != 1 {
+		t.Fatalf("chunk ack = %+v", ack)
+	}
+	// The ack has been observed; the sync covering it must already have
+	// happened (data file + journal).
+	if n := fs.syncs.Load(); n < 2 {
+		t.Fatalf("ack released after %d syncs, want >= 2 (data + journal)", n)
+	}
+}
+
+// TestNonDurableHelloHasNoFlag: a flagless client gets a flagless
+// grant, and its acks do not wait on syncs.
+func TestNonDurableHelloHasNoFlag(t *testing.T) {
+	fs := &hookFS{}
+	srv, err := Serve("127.0.0.1:0", Options{Dir: t.TempDir(), FS: fs, Fsync: FsyncPolicy{Mode: FsyncNever}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	tc, ha := dialClient(t, srv.Addr(), "plain-run")
+	defer tc.close()
+	if ha.Flags != 0 {
+		t.Fatalf("flagless HELLO granted flags %#x", ha.Flags)
+	}
+	block := traceBlock(t, 0, 5)
+	if ack := tc.send(MsgChunk, EncodeChunk(Chunk{Seq: 1, Thread: 0, Samples: 5, Block: block})); ack.Code != CodeOK {
+		t.Fatalf("chunk ack = %+v", ack)
+	}
+	if n := fs.syncs.Load(); n != 0 {
+		t.Fatalf("fsync=never synced %d times on a plain chunk", n)
+	}
+}
+
+// TestSyncFailureQuarantinesRun: an EIO at the group-commit fsync must
+// downgrade the batch's acks to INGEST_STORAGE, quarantine the run,
+// and refuse further chunks — while the BYE still lands so the run can
+// finish and be reclaimed.
+func TestSyncFailureQuarantinesRun(t *testing.T) {
+	fs := &hookFS{syncErr: func(path string) error {
+		if strings.Contains(path, journalName) {
+			return fmt.Errorf("injected EIO on %s", filepath.Base(path))
+		}
+		return nil
+	}}
+	srv, err := Serve("127.0.0.1:0", Options{Dir: t.TempDir(), FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	tc, _ := dialFlags(t, srv.Addr(), "eio-run", FlagDurable)
+	defer tc.close()
+	block := traceBlock(t, 0, 5)
+	if ack := tc.send(MsgChunk, EncodeChunk(Chunk{Seq: 1, Thread: 0, Samples: 5, Block: block})); ack.Code != CodeStorage {
+		t.Fatalf("chunk ack after failed sync = %+v, want INGEST_STORAGE", ack)
+	}
+	if ack := tc.send(MsgChunk, EncodeChunk(Chunk{Seq: 2, Thread: 0, Samples: 5, Block: block})); ack.Code != CodeStorage {
+		t.Fatalf("chunk into a quarantined run acked %+v, want INGEST_STORAGE", ack)
+	}
+	tc.send(MsgSeal, EncodeSeal(Seal{Seq: 3, Thread: 0}))
+	if ack := tc.send(MsgBye, EncodeBye(Bye{Seq: 4})); ack.Code != CodeOK {
+		t.Fatalf("bye ack = %+v; a quarantined run must still be closable", ack)
+	}
+	waitFor(t, "run complete", func() bool {
+		for _, ri := range srv.Runs() {
+			if ri.ID == "eio-run" && ri.Complete {
+				return true
+			}
+		}
+		return false
+	})
+	var ri RunInfo
+	for _, r := range srv.Runs() {
+		if r.ID == "eio-run" {
+			ri = r
+		}
+	}
+	if !ri.Quarantined {
+		t.Error("run not quarantined after a failed group-commit sync")
+	}
+	if ri.StorageChunks != 2 {
+		t.Errorf("storage-refused chunks = %d, want 2", ri.StorageChunks)
+	}
+	if ri.StorageSamples != 10 {
+		t.Errorf("storage-refused samples = %d, want 10", ri.StorageSamples)
+	}
+}
+
+// TestCloseWithinAbandonsStuckSync is the bounded-drain regression
+// test: a writer wedged inside a never-returning fsync must not wedge
+// shutdown — CloseWithin abandons it at the deadline with an error
+// (the journal makes whatever was abandoned recoverable).
+func TestCloseWithinAbandonsStuckSync(t *testing.T) {
+	unblock := make(chan struct{})
+	fs := &hookFS{block: unblock, entered: make(chan string, 4)}
+	defer close(unblock)
+	srv, err := Serve("127.0.0.1:0", Options{Dir: t.TempDir(), FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tc, _ := dialFlags(t, srv.Addr(), "stuck-run", FlagDurable)
+	defer tc.close()
+	block := traceBlock(t, 0, 5)
+	// Fire the chunk without waiting for its ack: the writer will enter
+	// the blocked sync and never come back.
+	if err := WriteFrame(tc.c, MsgChunk, EncodeChunk(Chunk{Seq: 1, Thread: 0, Samples: 5, Block: block})); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-fs.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("the writer never reached the blocked sync")
+	}
+
+	start := time.Now()
+	err = srv.CloseWithin(150 * time.Millisecond)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("CloseWithin took %v against a wedged fsync", elapsed)
+	}
+	if err == nil || !strings.Contains(err.Error(), "drain deadline") {
+		t.Fatalf("CloseWithin = %v, want a drain-deadline error", err)
+	}
+}
+
+// TestRecoverTornTail kills the daemon, damages the tail of both the
+// data file and the journal the way a real crash does, and asserts the
+// restarted daemon truncates entry-exactly, reports the recovered
+// sequence to a reconnecting durable client, and carries the run to a
+// byte-exact finish.
+func TestRecoverTornTail(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := Serve("127.0.0.1:0", Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	tc, _ := dialFlags(t, srv.Addr(), "torn-run", FlagDurable)
+	defer tc.close()
+	block := traceBlock(t, 0, 5)
+	for seq := uint64(1); seq <= 3; seq++ {
+		if ack := tc.send(MsgChunk, EncodeChunk(Chunk{Seq: seq, Thread: 0, Samples: 5, Block: block})); ack.Code != CodeOK {
+			t.Fatalf("chunk %d ack = %+v", seq, ack)
+		}
+	}
+	srv.Kill()
+
+	// The crash left a torn half-block beyond the last journal entry,
+	// and tore the journal's own tail mid-entry.
+	runDir := filepath.Join(dir, "torn-run")
+	appendBytes := func(name string, b []byte) {
+		f, err := os.OpenFile(filepath.Join(runDir, name), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(b); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	appendBytes("trace.0.psxt", bytes.Repeat([]byte{0x7f}, 64))
+	appendBytes(journalName, bytes.Repeat([]byte{0xff}, 15))
+
+	srv2, err := Serve("127.0.0.1:0", Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if rec := srv2.Recovered(); rec.Runs != 1 || rec.Salvaged != 1 {
+		t.Fatalf("recovery summary = %+v, want 1 run, 1 salvaged", rec)
+	}
+	var ri RunInfo
+	for _, r := range srv2.Runs() {
+		if r.ID == "torn-run" {
+			ri = r
+		}
+	}
+	if !ri.Salvaged || ri.LastSeq != 3 || ri.Chunks != 3 || ri.Samples != 15 {
+		t.Fatalf("recovered run = %+v, want salvaged with lastSeq 3, 3 chunks, 15 samples", ri)
+	}
+	if st, err := os.Stat(filepath.Join(runDir, "trace.0.psxt")); err != nil || st.Size() != int64(3*len(block)) {
+		t.Fatalf("trace file is %d bytes after recovery, want %d", st.Size(), 3*len(block))
+	}
+	if st, err := os.Stat(filepath.Join(runDir, journalName)); err != nil || st.Size() != int64(journalHeaderLen+3*journalEntryLen) {
+		t.Fatalf("journal is %d bytes after recovery, want %d", st.Size(), journalHeaderLen+3*journalEntryLen)
+	}
+
+	// A reconnecting durable client resumes exactly past the recovered
+	// tail.
+	tc2, ha := dialFlags(t, srv2.Addr(), "torn-run", FlagDurable)
+	defer tc2.close()
+	if ha.LastSeq != 3 {
+		t.Fatalf("reconnect HELLO-ACK lastSeq = %d, want 3", ha.LastSeq)
+	}
+	if ha.Flags&FlagDurable == 0 {
+		t.Error("recovered run lost its durable grant")
+	}
+	if ack := tc2.send(MsgChunk, EncodeChunk(Chunk{Seq: 4, Thread: 0, Samples: 5, Block: block})); ack.Code != CodeOK {
+		t.Fatalf("resumed chunk ack = %+v", ack)
+	}
+	tc2.send(MsgSeal, EncodeSeal(Seal{Seq: 5, Thread: 0}))
+	if ack := tc2.send(MsgBye, EncodeBye(Bye{Seq: 6})); ack.Code != CodeOK {
+		t.Fatalf("bye ack = %+v", ack)
+	}
+	waitFor(t, "resumed run complete", func() bool {
+		for _, r := range srv2.Runs() {
+			if r.ID == "torn-run" && r.Complete {
+				return true
+			}
+		}
+		return false
+	})
+	if st, _ := os.Stat(filepath.Join(runDir, "trace.0.psxt")); st.Size() != int64(4*len(block)) {
+		t.Fatalf("final trace file is %d bytes, want %d", st.Size(), 4*len(block))
+	}
+	m, err := ReadManifest(runDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Complete || !m.Salvaged || m.LastSeq != 6 {
+		t.Fatalf("final manifest = %+v, want complete, salvaged, lastSeq 6", m)
+	}
+}
+
+// TestRecoverCompleteManifestTrusted: a run sealed through the atomic
+// manifest commit is trusted as-is on restart — no salvage, counters
+// restored from the manifest.
+func TestRecoverCompleteManifestTrusted(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := Serve("127.0.0.1:0", Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, _ := dialClient(t, srv.Addr(), "sealed-run")
+	block := traceBlock(t, 0, 5)
+	tc.send(MsgChunk, EncodeChunk(Chunk{Seq: 1, Thread: 0, Samples: 5, Block: block}))
+	tc.send(MsgSeal, EncodeSeal(Seal{Seq: 2, Thread: 0}))
+	tc.send(MsgBye, EncodeBye(Bye{Seq: 3}))
+	waitFor(t, "run complete", func() bool {
+		for _, ri := range srv.Runs() {
+			if ri.ID == "sealed-run" && ri.Complete {
+				return true
+			}
+		}
+		return false
+	})
+	tc.close()
+	srv.Close()
+
+	srv2, err := Serve("127.0.0.1:0", Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if rec := srv2.Recovered(); rec.Runs != 1 || rec.Salvaged != 0 {
+		t.Fatalf("recovery summary = %+v, want 1 run, 0 salvaged", rec)
+	}
+	for _, ri := range srv2.Runs() {
+		if ri.ID != "sealed-run" {
+			continue
+		}
+		if !ri.Complete || ri.Salvaged || ri.Chunks != 1 || ri.Samples != 5 {
+			t.Fatalf("recovered sealed run = %+v", ri)
+		}
+	}
+}
+
+// TestRecoverLegacyDir: a pre-durability run directory (trace files,
+// no journal, no manifest) is salvaged by stream-parsing: the valid
+// prefix survives, the torn tail is truncated, and a journal plus
+// manifest are synthesized so the next recovery is exact.
+func TestRecoverLegacyDir(t *testing.T) {
+	dir := t.TempDir()
+	runDir := filepath.Join(dir, "legacy-run")
+	if err := os.MkdirAll(runDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	block := traceBlock(t, 0, 5)
+	good := append(append([]byte(nil), block...), block...)
+	torn := append(append([]byte(nil), good...), block[:len(block)/2]...)
+	if err := os.WriteFile(filepath.Join(runDir, "trace.0.psxt"), torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := Serve("127.0.0.1:0", Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := srv.Recovered(); rec.Salvaged != 1 {
+		t.Fatalf("recovery summary = %+v, want 1 salvaged", rec)
+	}
+	if st, err := os.Stat(filepath.Join(runDir, "trace.0.psxt")); err != nil || st.Size() != int64(len(good)) {
+		t.Fatalf("legacy trace is %d bytes after salvage, want %d", st.Size(), len(good))
+	}
+	if _, err := os.Stat(filepath.Join(runDir, journalName)); err != nil {
+		t.Fatalf("no synthesized journal after legacy salvage: %v", err)
+	}
+	var ri RunInfo
+	for _, r := range srv.Runs() {
+		if r.ID == "legacy-run" {
+			ri = r
+		}
+	}
+	if !ri.Salvaged || ri.Samples != 10 {
+		t.Fatalf("legacy run = %+v, want salvaged with 10 samples", ri)
+	}
+	srv.Close()
+
+	// A second recovery over the synthesized journal must change
+	// nothing: the covered prefix is already exact.
+	srv2, err := Serve("127.0.0.1:0", Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if st, _ := os.Stat(filepath.Join(runDir, "trace.0.psxt")); st.Size() != int64(len(good)) {
+		t.Fatalf("second recovery moved the trace to %d bytes, want %d", st.Size(), len(good))
+	}
+}
+
+// TestRetentionGCOldestFirst: when the data directory exceeds
+// -retain-bytes, completed runs are reclaimed oldest-first — and only
+// completed runs.
+func TestRetentionGCOldestFirst(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := Serve("127.0.0.1:0", Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	block := traceBlock(t, 0, 5)
+	finish := func(run string) {
+		tc, _ := dialClient(t, srv.Addr(), run)
+		tc.send(MsgChunk, EncodeChunk(Chunk{Seq: 1, Thread: 0, Samples: 5, Block: block}))
+		tc.send(MsgSeal, EncodeSeal(Seal{Seq: 2, Thread: 0}))
+		tc.send(MsgBye, EncodeBye(Bye{Seq: 3}))
+		tc.close()
+		waitFor(t, run+" complete", func() bool {
+			for _, ri := range srv.Runs() {
+				if ri.ID == run && ri.Complete {
+					return true
+				}
+			}
+			return false
+		})
+	}
+	finish("run-1")
+	finish("run-2")
+	finish("run-3")
+	// An open run the GC must never touch, whatever the pressure.
+	tcOpen, _ := dialClient(t, srv.Addr(), "run-open")
+	defer tcOpen.close()
+	tcOpen.send(MsgChunk, EncodeChunk(Chunk{Seq: 1, Thread: 0, Samples: 5, Block: block}))
+
+	size := func(run string) int64 { return dirBytes(filepath.Join(dir, run)) }
+	total := dirBytes(dir)
+	s1 := size("run-1")
+
+	// Pressure that one eviction relieves: exactly the oldest goes.
+	srv.opts.RetainBytes = total - s1
+	srv.Housekeep()
+	if _, err := os.Stat(filepath.Join(dir, "run-1")); !os.IsNotExist(err) {
+		t.Fatal("run-1 (oldest) was not reclaimed")
+	}
+	for _, keep := range []string{"run-2", "run-3", "run-open"} {
+		if _, err := os.Stat(filepath.Join(dir, keep)); err != nil {
+			t.Fatalf("%s reclaimed too early: %v", keep, err)
+		}
+	}
+	for _, ri := range srv.Runs() {
+		if ri.ID == "run-1" {
+			t.Fatal("run-1 still in the registry after GC")
+		}
+	}
+
+	// One more notch of pressure: run-2 goes next, never the newer one.
+	srv.opts.RetainBytes = dirBytes(dir) - size("run-2")
+	srv.Housekeep()
+	if _, err := os.Stat(filepath.Join(dir, "run-2")); !os.IsNotExist(err) {
+		t.Fatal("run-2 was not reclaimed on the second pass")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "run-3")); err != nil {
+		t.Fatalf("run-3 reclaimed out of order: %v", err)
+	}
+
+	// Unbounded pressure still never touches the open run.
+	srv.opts.RetainBytes = 1
+	srv.Housekeep()
+	if _, err := os.Stat(filepath.Join(dir, "run-open")); err != nil {
+		t.Fatalf("the open run was reclaimed: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "run-3")); !os.IsNotExist(err) {
+		t.Fatal("run-3 survived unbounded pressure")
+	}
+	if got := srv.gcRuns.Load(); got != 3 {
+		t.Errorf("gcRuns = %d, want 3", got)
+	}
+}
+
+// TestRetentionGCByAge: completed runs idle past -retain-age are
+// reclaimed regardless of the byte budget.
+func TestRetentionGCByAge(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := Serve("127.0.0.1:0", Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	tc, _ := dialClient(t, srv.Addr(), "aged-run")
+	block := traceBlock(t, 0, 5)
+	tc.send(MsgChunk, EncodeChunk(Chunk{Seq: 1, Thread: 0, Samples: 5, Block: block}))
+	tc.send(MsgSeal, EncodeSeal(Seal{Seq: 2, Thread: 0}))
+	tc.send(MsgBye, EncodeBye(Bye{Seq: 3}))
+	tc.close()
+	waitFor(t, "run complete", func() bool {
+		for _, ri := range srv.Runs() {
+			if ri.ID == "aged-run" && ri.Complete {
+				return true
+			}
+		}
+		return false
+	})
+	time.Sleep(10 * time.Millisecond)
+	srv.opts.RetainAge = time.Millisecond
+	srv.Housekeep()
+	if _, err := os.Stat(filepath.Join(dir, "aged-run")); !os.IsNotExist(err) {
+		t.Fatal("an idle completed run outlived -retain-age")
+	}
+}
+
+// TestHelloFlagsTrailerCompat: the flags word rides an optional
+// trailer, so flagless payloads stay byte-identical to the original
+// protocol and both generations decode each other.
+func TestHelloFlagsTrailerCompat(t *testing.T) {
+	flagless := EncodeHello(Hello{Version: 1, Run: "r", Host: "h", PID: 2})
+	withFlags := EncodeHello(Hello{Version: 1, Run: "r", Host: "h", PID: 2, Flags: FlagDurable})
+	if len(withFlags) != len(flagless)+4 {
+		t.Fatalf("flags trailer adds %d bytes, want 4", len(withFlags)-len(flagless))
+	}
+	h, err := DecodeHello(flagless)
+	if err != nil || h.Flags != 0 {
+		t.Fatalf("legacy hello: (%+v, %v)", h, err)
+	}
+	h, err = DecodeHello(withFlags)
+	if err != nil || h.Flags != FlagDurable || h.PID != 2 {
+		t.Fatalf("flagged hello: (%+v, %v)", h, err)
+	}
+
+	ackless := EncodeHelloAck(HelloAck{Code: CodeOK, LastSeq: 9})
+	ackFlags := EncodeHelloAck(HelloAck{Code: CodeOK, LastSeq: 9, Flags: FlagDurable})
+	if len(ackFlags) != len(ackless)+4 {
+		t.Fatalf("hello-ack flags trailer adds %d bytes, want 4", len(ackFlags)-len(ackless))
+	}
+	a, err := DecodeHelloAck(ackless)
+	if err != nil || a.Flags != 0 || a.LastSeq != 9 {
+		t.Fatalf("legacy hello-ack: (%+v, %v)", a, err)
+	}
+	a, err = DecodeHelloAck(ackFlags)
+	if err != nil || a.Flags != FlagDurable || a.LastSeq != 9 {
+		t.Fatalf("flagged hello-ack: (%+v, %v)", a, err)
+	}
+}

@@ -1,0 +1,49 @@
+package ingest
+
+import (
+	"io"
+	"os"
+)
+
+// FS is the writer-side filesystem hook: every byte the ingest server
+// persists — trace blocks, journal entries, manifests — goes through
+// one of these methods, so fault injection can interpose disk failures
+// (ENOSPC, EIO on write or sync, torn writes, a crash around a rename)
+// exactly where a real disk would produce them. The default is the
+// real filesystem.
+//
+// An FS is a shim over the real filesystem, not a virtual one: the
+// recovery scanner and the GC still walk the data directory with the
+// os package directly, so injected faults shape what reaches disk but
+// never what recovery reads back.
+type FS interface {
+	// Create opens path truncated for writing, creating it if needed.
+	Create(path string) (File, error)
+	// OpenAppend opens path for appending, creating it if needed.
+	OpenAppend(path string) (File, error)
+	// Rename atomically replaces newpath with oldpath — the commit
+	// point of the manifest seal.
+	Rename(oldpath, newpath string) error
+}
+
+// File is one writable ingest file. Sync is the durability point the
+// fsync policy drives.
+type File interface {
+	io.WriteCloser
+	Sync() error
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+func (osFS) Create(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+}
+
+func (osFS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (osFS) Rename(oldpath, newpath string) error {
+	return os.Rename(oldpath, newpath)
+}

@@ -66,6 +66,38 @@ func (s *Server) startObs(addr string) (*obs.Server, error) {
 			}
 			return float64(n)
 		})
+	reg.GaugeFunc("goomp_ingest_runs_quarantined",
+		"Runs currently refusing chunks after a storage failure.",
+		func() float64 {
+			n := 0
+			for _, ri := range s.Runs() {
+				if ri.Quarantined {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	reg.CounterFunc("goomp_ingest_salvaged_runs_total",
+		"Runs startup recovery rebuilt from a journal or torn-prefix salvage.",
+		func() float64 { return float64(s.salvagedRuns.Load()) })
+	reg.CounterFunc("goomp_ingest_fsyncs_total",
+		"fsync calls issued by run writer goroutines.",
+		func() float64 {
+			var n uint64
+			for _, ri := range s.Runs() {
+				n += ri.Fsyncs
+			}
+			return float64(n)
+		})
+	reg.CounterFunc("goomp_ingest_gc_runs_total",
+		"Complete runs removed by the retention housekeeper.",
+		func() float64 { return float64(s.gcRuns.Load()) })
+	reg.CounterFunc("goomp_ingest_gc_bytes_total",
+		"Bytes freed by the retention housekeeper.",
+		func() float64 { return float64(s.gcBytes.Load()) })
+	reg.GaugeFunc("goomp_ingest_stored_bytes",
+		"Bytes under the data dir at the last housekeeping scan.",
+		func() float64 { return float64(s.storedBytes.Load()) })
 
 	reg.CounterSeries("goomp_ingest_run_chunks_total",
 		"Trace blocks written per run.",
@@ -100,6 +132,20 @@ func (s *Server) startObs(addr string) (*obs.Server, error) {
 		func(emit obs.Emit) {
 			for _, ri := range s.Runs() {
 				emit(float64(ri.DroppedSamples), obs.Label{Name: "run", Value: ri.ID})
+			}
+		})
+	reg.CounterSeries("goomp_ingest_run_storage_chunks_total",
+		"Blocks refused or lost to a storage failure (INGEST_STORAGE), per run.",
+		func(emit obs.Emit) {
+			for _, ri := range s.Runs() {
+				emit(float64(ri.StorageChunks), obs.Label{Name: "run", Value: ri.ID})
+			}
+		})
+	reg.CounterSeries("goomp_ingest_run_storage_samples_total",
+		"Samples inside storage-refused blocks, per run.",
+		func(emit obs.Emit) {
+			for _, ri := range s.Runs() {
+				emit(float64(ri.StorageSamples), obs.Label{Name: "run", Value: ri.ID})
 			}
 		})
 

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"net"
 	"os"
 	"path/filepath"
@@ -21,18 +22,39 @@ import (
 // exact chunk/sample accounting and an explicit CodeOverloaded ack —
 // it never blocks the accept loop or another run's ingest. One run's
 // slow disk never touches another run's stream.
+//
+// Storage is crash-safe (see journal.go): every accepted block is
+// recorded block-then-journal, and a client that negotiated durable
+// acks (FlagDurable) is acknowledged only after the group commit that
+// covers its frame has reached disk. A storage failure (ENOSPC, EIO)
+// quarantines only the failing run — its chunks are refused with the
+// typed CodeStorage while every other run keeps flowing.
 
 // Defaults; Options overrides.
 const (
 	defaultMaxConns         = 128
 	defaultQueueDepth       = 64
 	defaultBackpressureWait = 5 * time.Millisecond
+	defaultHousekeep        = 30 * time.Second
+
+	// maxBatch bounds one group commit: the writer drains at most this
+	// many queued items before syncing and releasing their durable acks.
+	maxBatch = 32
+
+	// ackWriteDeadline bounds a writer goroutine's ack send so a stalled
+	// client socket cannot wedge the group-commit loop.
+	ackWriteDeadline = 2 * time.Second
 )
+
+// codeDeferred is an internal sentinel (never on the wire): the frame
+// was enqueued with its ack deferred to the writer's group commit.
+const codeDeferred Code = ^Code(0)
 
 // Options configures a Server.
 type Options struct {
 	// Dir is the root directory; each run writes into its own
-	// subdirectory of per-thread trace.N.psxt files.
+	// subdirectory of per-thread trace.N.psxt files plus its journal and
+	// manifest.
 	Dir string
 
 	// MaxConns bounds concurrent client connections; beyond it a new
@@ -50,18 +72,63 @@ type Options struct {
 	// (5ms).
 	BackpressureWait time.Duration
 
+	// Fsync selects when writer goroutines sync: at thread/run seals
+	// (the zero value), never, or every N chunks. Durable-ack clients
+	// are always synced before their acks regardless of this policy.
+	Fsync FsyncPolicy
+
+	// RetainBytes, when positive, caps the total bytes stored under
+	// Dir: the housekeeper garbage-collects complete runs oldest-first
+	// until the total is back under the cap.
+	RetainBytes int64
+
+	// RetainAge, when positive, garbage-collects complete runs whose
+	// last activity is older than this.
+	RetainAge time.Duration
+
+	// HousekeepInterval is the retention scan cadence. Zero means the
+	// default (30s). Housekeeping only runs when RetainBytes or
+	// RetainAge is set.
+	HousekeepInterval time.Duration
+
 	// ObsAddr, when set, serves the merged observability plane
 	// (/metrics, /runs, cross-run /profile) on this host:port.
 	ObsAddr string
+
+	// FS, when non-nil, interposes on every persisted byte (fault
+	// injection). Nil means the real filesystem.
+	FS FS
 }
 
 // item is one unit of ingest work handed to a run's writer goroutine.
 type item struct {
+	seq     uint64
 	thread  int32
 	samples uint32
 	block   []byte
 	seal    bool
 	bye     bool
+
+	// ackOnly marks a durable-mode duplicate whose data item is already
+	// ahead in the queue: nothing to write, but the ack must still wait
+	// for the group commit that covers it.
+	ackOnly bool
+
+	// sender, when non-nil, receives this item's ack from the writer
+	// after the covering group commit (durable mode). Nil means the
+	// conn handler already acked on accept.
+	sender *connSender
+}
+
+// deferredAck is one durable ack the writer owes after a group commit.
+// chunk and samples carry the frame's accounting weight so a
+// downgraded ack (sync failure after a clean apply) still counts its
+// loss exactly.
+type deferredAck struct {
+	sender  *connSender
+	ack     Ack
+	chunk   bool
+	samples uint32
 }
 
 // run is one instrumented process's registry entry and ingest shard.
@@ -71,27 +138,52 @@ type run struct {
 	pid     uint64
 	dir     string
 	started time.Time
+	durable bool // client negotiated FlagDurable at run creation
+
+	s *Server
 
 	q  chan item
 	wg sync.WaitGroup
 
 	// seqMu serializes the accept decision (duplicate check + enqueue +
-	// sequence advance) when several connections carry one run.
+	// sequence advance) when several connections carry one run, and
+	// guards gone against the GC.
 	seqMu   sync.Mutex
+	gone    bool          // GC removed the run; nothing may enqueue
 	lastSeq atomic.Uint64 // highest accepted data-frame sequence
+
+	// durableSeq is the highest sequence whose data and journal entry
+	// have been synced to disk; in durable mode HELLO-ACK resumes here.
+	durableSeq atomic.Uint64
 
 	lastSeen atomic.Int64 // unix nanos of the last frame
 	complete atomic.Bool  // BYE processed
 
+	// quarantined: storage failed; chunks are refused with CodeStorage
+	// (seal/BYE still pass so the run can complete and be GC'd).
+	quarantined atomic.Bool
+	salvaged    bool // recovered from journal by a restarted daemon
+
 	// Writer-goroutine-private file state.
-	files map[int32]*os.File
+	files        map[int32]File
+	sizes        map[int32]int64 // current byte length per open file
+	dirty        map[int32]bool  // written since last sync
+	journal      File
+	journalSize  int64
+	journalDirty bool
+	journaledSeq uint64 // highest sequence appended to the journal
+	chunksSince  int    // chunks since the last sync (every-N policy)
+	broken       bool   // writer-side quarantine latch
 
 	// Exact accounting, mirrored into /metrics and /runs.
 	chunks         atomic.Uint64
 	samples        atomic.Uint64
 	bytes          atomic.Uint64
-	droppedChunks  atomic.Uint64 // queue overflow + write failures
+	droppedChunks  atomic.Uint64 // queue overflow past the backpressure window
 	droppedSamples atomic.Uint64
+	storageChunks  atomic.Uint64 // refused or lost to storage failure
+	storageSamples atomic.Uint64
+	fsyncs         atomic.Uint64
 	sealedThreads  atomic.Int64
 
 	errMu sync.Mutex
@@ -102,26 +194,42 @@ type run struct {
 type Server struct {
 	lis  net.Listener
 	opts Options
+	fs   FS
 	done chan struct{}
+
+	// deadCh closed by Kill: the simulated crash. Writers abandon their
+	// files without closing or syncing; acks stop.
+	deadCh   chan struct{}
+	deadOnce sync.Once
+	killed   atomic.Bool
+
+	closeOnce sync.Once
+	drainOnce sync.Once
 
 	mu    sync.Mutex
 	runs  map[string]*run
 	conns map[net.Conn]struct{}
 
-	connWG sync.WaitGroup
+	connWG  sync.WaitGroup
+	houseWG sync.WaitGroup
 
 	obsSrv obsCloser
 
 	started time.Time
 
 	// Fleet accounting.
-	liveConns  atomic.Int64
-	connsTotal atomic.Uint64
-	refused    atomic.Uint64
-	frames     atomic.Uint64
-	heartbeats atomic.Uint64
-	duplicates atomic.Uint64
-	badFrames  atomic.Uint64
+	liveConns     atomic.Int64
+	connsTotal    atomic.Uint64
+	refused       atomic.Uint64
+	frames        atomic.Uint64
+	heartbeats    atomic.Uint64
+	duplicates    atomic.Uint64
+	badFrames     atomic.Uint64
+	salvagedRuns  atomic.Uint64
+	gcRuns        atomic.Uint64
+	gcBytes       atomic.Uint64
+	storedBytes   atomic.Int64 // last housekeeping measurement of Dir
+	recoveredRuns atomic.Uint64
 }
 
 // obsCloser decouples the server from the obs plane for shutdown.
@@ -132,6 +240,10 @@ type obsCloser interface {
 
 // Serve binds addr ("host:port"; ":0" picks a free port) and starts
 // accepting instrumented processes. Trace data lands under opts.Dir.
+// Before listening it recovers every run a previous daemon left
+// behind: journals are replayed, torn tails truncated to the last
+// valid entry, and salvaged runs re-registered so a reconnecting
+// client resumes exactly where the disk state ends.
 func Serve(addr string, opts Options) (*Server, error) {
 	if opts.Dir == "" {
 		return nil, fmt.Errorf("ingest: Options.Dir is required")
@@ -148,18 +260,30 @@ func Serve(addr string, opts Options) (*Server, error) {
 	if opts.BackpressureWait <= 0 {
 		opts.BackpressureWait = defaultBackpressureWait
 	}
-	lis, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("ingest: listen %s: %w", addr, err)
+	if opts.HousekeepInterval <= 0 {
+		opts.HousekeepInterval = defaultHousekeep
+	}
+	fs := opts.FS
+	if fs == nil {
+		fs = osFS{}
 	}
 	s := &Server{
-		lis:     lis,
 		opts:    opts,
+		fs:      fs,
 		done:    make(chan struct{}),
+		deadCh:  make(chan struct{}),
 		runs:    make(map[string]*run),
 		conns:   make(map[net.Conn]struct{}),
 		started: time.Now(),
 	}
+	if err := s.recoverRuns(); err != nil {
+		return nil, err
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: listen %s: %w", addr, err)
+	}
+	s.lis = lis
 	if opts.ObsAddr != "" {
 		srv, err := s.startObs(opts.ObsAddr)
 		if err != nil {
@@ -167,6 +291,10 @@ func Serve(addr string, opts Options) (*Server, error) {
 			return nil, err
 		}
 		s.obsSrv = srv
+	}
+	if opts.RetainBytes > 0 || opts.RetainAge > 0 {
+		s.houseWG.Add(1)
+		go s.housekeeper()
 	}
 	s.connWG.Add(1)
 	go s.acceptLoop()
@@ -187,26 +315,72 @@ func (s *Server) ObsURL() string {
 
 // Close stops accepting, severs client connections, drains every run's
 // ingest queue and closes its files. The returned error joins every
-// per-run failure.
-func (s *Server) Close() error {
-	close(s.done)
-	s.lis.Close()
+// per-run failure. It waits without bound for writers to drain; use
+// CloseWithin to cap the wait.
+func (s *Server) Close() error { return s.CloseWithin(0) }
+
+// CloseWithin is Close with a bounded drain: if the writers have not
+// finished within d (d > 0), they are abandoned — the daemon is
+// exiting anyway, and the journal makes the torn state recoverable —
+// and an error reports the missed deadline. d == 0 waits without
+// bound.
+func (s *Server) CloseWithin(d time.Duration) error {
+	s.closeOnce.Do(func() { close(s.done) })
+	if s.lis != nil {
+		s.lis.Close()
+	}
 	s.mu.Lock()
 	for c := range s.conns {
 		c.Close()
 	}
 	s.mu.Unlock()
 	s.connWG.Wait()
+	s.houseWG.Wait()
 	var errs []error
+	if s.killed.Load() {
+		// Crashed via Kill: writers already abandoned their state, the
+		// journal holds the truth. Only the obs plane is left to close.
+		if s.obsSrv != nil {
+			if err := s.obsSrv.Close(); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		return errors.Join(errs...)
+	}
 	s.mu.Lock()
 	runs := make([]*run, 0, len(s.runs))
 	for _, r := range s.runs {
 		runs = append(runs, r)
 	}
 	s.mu.Unlock()
+	s.drainOnce.Do(func() {
+		for _, r := range runs {
+			close(r.q)
+		}
+	})
+	drained := make(chan struct{})
+	go func() {
+		for _, r := range runs {
+			r.wg.Wait()
+		}
+		close(drained)
+	}()
+	if d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-drained:
+		case <-t.C:
+			// A writer is stuck (most likely inside a stalled sync). Force
+			// the rest out through the dead channel and abandon the stuck
+			// one; recovery will salvage whatever the journal covers.
+			s.deadOnce.Do(func() { close(s.deadCh) })
+			errs = append(errs, fmt.Errorf("ingest: drain deadline (%v) exceeded; writers abandoned", d))
+		}
+	} else {
+		<-drained
+	}
 	for _, r := range runs {
-		close(r.q)
-		r.wg.Wait()
 		r.errMu.Lock()
 		errs = append(errs, r.errs...)
 		r.errMu.Unlock()
@@ -217,6 +391,27 @@ func (s *Server) Close() error {
 		}
 	}
 	return errors.Join(errs...)
+}
+
+// Kill simulates a daemon crash for recovery testing: the listener and
+// every connection drop, no further ack leaves the process, and writer
+// goroutines abandon their files without closing, syncing, or sealing
+// — exactly the disk state a kill -9 leaves behind. A subsequent
+// CloseWithin only tears down the obs plane.
+func (s *Server) Kill() {
+	if s.killed.Swap(true) {
+		return
+	}
+	s.deadOnce.Do(func() { close(s.deadCh) })
+	s.closeOnce.Do(func() { close(s.done) })
+	if s.lis != nil {
+		s.lis.Close()
+	}
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
 }
 
 func (s *Server) acceptLoop() {
@@ -264,12 +459,41 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// connSender serializes every server→client frame on one connection:
+// the conn handler's immediate acks and the writer goroutine's
+// deferred durable acks share it. After Kill nothing is sent — a
+// crashed daemon cannot ack.
+type connSender struct {
+	s  *Server
+	mu sync.Mutex
+	c  net.Conn
+}
+
+func (cs *connSender) send(kind uint8, payload []byte) error {
+	if cs.s.killed.Load() {
+		return errors.New("ingest: server killed")
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.c.SetWriteDeadline(time.Now().Add(ackWriteDeadline))
+	err := WriteFrame(cs.c, kind, payload)
+	cs.c.SetWriteDeadline(time.Time{})
+	return err
+}
+
+func (cs *connSender) sendAck(a Ack) error {
+	return cs.send(MsgAck, EncodeAck(a))
+}
+
 // handleConn speaks one client session: HELLO first, then data frames,
 // each answered with a typed ack. A read error (including a frame torn
 // by a mid-chunk disconnect) ends the session; the torn frame was
 // never acked, so the client resends it on reconnect and the per-run
-// sequence numbers make the resend idempotent.
+// sequence numbers make the resend idempotent. In durable mode the ack
+// for an accepted data frame is sent by the run's writer goroutine
+// after the group commit covering the frame has reached disk.
 func (s *Server) handleConn(c net.Conn) {
+	cs := &connSender{s: s, c: c}
 	br := bufio.NewReader(c)
 	kind, payload, err := ReadFrame(br)
 	if err != nil {
@@ -277,26 +501,35 @@ func (s *Server) handleConn(c net.Conn) {
 	}
 	if kind != MsgHello {
 		s.badFrames.Add(1)
-		WriteFrame(c, MsgHelloAck, EncodeHelloAck(HelloAck{Code: CodeSequence}))
+		cs.send(MsgHelloAck, EncodeHelloAck(HelloAck{Code: CodeSequence}))
 		return
 	}
 	h, err := DecodeHello(payload)
 	if err != nil {
 		s.badFrames.Add(1)
-		WriteFrame(c, MsgHelloAck, EncodeHelloAck(HelloAck{Code: CodeBadFrame}))
+		cs.send(MsgHelloAck, EncodeHelloAck(HelloAck{Code: CodeBadFrame}))
 		return
 	}
 	if h.Version != ProtoVersion {
-		WriteFrame(c, MsgHelloAck, EncodeHelloAck(HelloAck{Code: CodeUnsupported}))
+		cs.send(MsgHelloAck, EncodeHelloAck(HelloAck{Code: CodeUnsupported}))
 		return
 	}
 	r, err := s.findOrCreateRun(h)
 	if err != nil {
-		WriteFrame(c, MsgHelloAck, EncodeHelloAck(HelloAck{Code: CodeBadFrame}))
+		cs.send(MsgHelloAck, EncodeHelloAck(HelloAck{Code: CodeBadFrame}))
 		return
 	}
-	if err := WriteFrame(c, MsgHelloAck,
-		EncodeHelloAck(HelloAck{Code: CodeOK, LastSeq: r.lastSeq.Load()})); err != nil {
+	ack := HelloAck{Code: CodeOK}
+	if r.durable {
+		// Durable resume point: only what is on disk counts, so a
+		// restarted daemon hands back the journal-recovered sequence and
+		// the client resends the lost tail.
+		ack.LastSeq = r.durableSeq.Load()
+		ack.Flags = FlagDurable
+	} else {
+		ack.LastSeq = r.lastSeq.Load()
+	}
+	if err := cs.send(MsgHelloAck, EncodeHelloAck(ack)); err != nil {
 		return
 	}
 	for {
@@ -316,7 +549,7 @@ func (s *Server) handleConn(c net.Conn) {
 				break
 			}
 			ack = Ack{Seq: ck.Seq, Code: s.accept(r, ck.Seq,
-				item{thread: ck.Thread, samples: ck.Samples, block: ck.Block})}
+				item{seq: ck.Seq, thread: ck.Thread, samples: ck.Samples, block: ck.Block, sender: durableSender(r, cs)})}
 		case MsgSeal:
 			sl, err := DecodeSeal(payload)
 			if err != nil {
@@ -325,7 +558,7 @@ func (s *Server) handleConn(c net.Conn) {
 				break
 			}
 			ack = Ack{Seq: sl.Seq, Code: s.accept(r, sl.Seq,
-				item{thread: sl.Thread, seal: true})}
+				item{seq: sl.Seq, thread: sl.Thread, seal: true, sender: durableSender(r, cs)})}
 		case MsgBye:
 			y, err := DecodeBye(payload)
 			if err != nil {
@@ -333,7 +566,8 @@ func (s *Server) handleConn(c net.Conn) {
 				ack = Ack{Code: CodeBadFrame}
 				break
 			}
-			ack = Ack{Seq: y.Seq, Code: s.accept(r, y.Seq, item{bye: true})}
+			ack = Ack{Seq: y.Seq, Code: s.accept(r, y.Seq,
+				item{seq: y.Seq, bye: true, sender: durableSender(r, cs)})}
 		case MsgHeartbeat:
 			s.heartbeats.Add(1)
 			ack = Ack{Code: CodeOK}
@@ -343,57 +577,109 @@ func (s *Server) handleConn(c net.Conn) {
 			s.badFrames.Add(1)
 			ack = Ack{Code: CodeUnsupported}
 		}
-		if err := WriteFrame(c, MsgAck, EncodeAck(ack)); err != nil {
+		if ack.Code == codeDeferred {
+			continue // the writer acks after the group commit
+		}
+		if err := cs.sendAck(ack); err != nil {
 			return
 		}
 	}
 }
 
+// durableSender returns cs for a durable run (the writer acks after
+// the group commit) and nil otherwise (the conn handler acks on
+// accept).
+func durableSender(r *run, cs *connSender) *connSender {
+	if r.durable {
+		return cs
+	}
+	return nil
+}
+
 // accept decides one data frame's fate: duplicate (already accepted on
 // a previous connection — acked OK again, not re-applied), enqueued
-// (sequence advances), or dropped after the bounded backpressure wait
+// (sequence advances; in durable mode the ack is deferred behind the
+// covering group commit), refused with CodeStorage (the run is
+// quarantined), or dropped after the bounded backpressure wait
 // (CodeOverloaded, exact accounting, sequence does not advance so a
 // future resend could still land it).
 func (s *Server) accept(r *run, seq uint64, it item) Code {
 	r.seqMu.Lock()
 	defer r.seqMu.Unlock()
+	if r.gone {
+		// The GC freed this run; its incarnation is over.
+		return CodeSealed
+	}
 	if seq != 0 && seq <= r.lastSeq.Load() {
 		s.duplicates.Add(1)
+		if it.sender != nil && !it.seal && !it.bye && seq > r.durableSeq.Load() {
+			// Durable mode, and the original is accepted but not yet on
+			// disk (it sits ahead of us in the queue). The ack must wait
+			// for the group commit that covers it, so ride the queue as an
+			// ack-only marker.
+			ao := item{seq: seq, ackOnly: true, sender: it.sender}
+			if !r.enqueue(ao, s) {
+				return CodeOverloaded
+			}
+			return codeDeferred
+		}
 		return CodeOK
 	}
 	if r.complete.Load() && !it.bye {
 		return CodeSealed
 	}
-	select {
-	case r.q <- it:
-	default:
-		// Queue full: hold this connection's reads for the backpressure
-		// window (the kernel's TCP window then pushes back on the
-		// client), and only then drop.
-		t := time.NewTimer(s.opts.BackpressureWait)
-		defer t.Stop()
-		select {
-		case r.q <- it:
-		case <-t.C:
-			r.droppedChunks.Add(1)
-			r.droppedSamples.Add(uint64(it.samples))
-			return CodeOverloaded
-		case <-s.done:
-			r.droppedChunks.Add(1)
-			r.droppedSamples.Add(uint64(it.samples))
-			return CodeOverloaded
-		}
+	if r.quarantined.Load() && !it.bye && !it.seal {
+		// Storage is gone for this run; refuse with the typed code so the
+		// client accounts the loss in its storage bucket (not generic
+		// drops) and other runs keep flowing.
+		r.storageChunks.Add(1)
+		r.storageSamples.Add(uint64(it.samples))
+		return CodeStorage
+	}
+	if !r.enqueue(it, s) {
+		r.droppedChunks.Add(1)
+		r.droppedSamples.Add(uint64(it.samples))
+		return CodeOverloaded
 	}
 	if seq != 0 {
 		r.lastSeq.Store(seq)
 	}
+	if it.sender != nil {
+		return codeDeferred
+	}
 	return CodeOK
+}
+
+// enqueue places it on the run's queue, stalling up to the
+// backpressure window when full. Callers hold seqMu.
+func (r *run) enqueue(it item, s *Server) bool {
+	select {
+	case r.q <- it:
+		return true
+	default:
+	}
+	// Queue full: hold this connection's reads for the backpressure
+	// window (the kernel's TCP window then pushes back on the client),
+	// and only then drop.
+	t := time.NewTimer(s.opts.BackpressureWait)
+	defer t.Stop()
+	select {
+	case r.q <- it:
+		return true
+	case <-t.C:
+		return false
+	case <-s.done:
+		return false
+	}
 }
 
 // findOrCreateRun resolves a HELLO to its registry entry, creating the
 // run directory and ingest goroutine on first contact. Reconnects (and
 // even restarts of the same run ID) resume the same entry, which is
-// what makes resends idempotent.
+// what makes resends idempotent. Durability is a run-creation-time
+// property: the first HELLO's FlagDurable decides, and later
+// connections inherit it (the HELLO-ACK flags tell the client what it
+// actually got).
 func (s *Server) findOrCreateRun(h Hello) (*run, error) {
 	id := sanitizeRunID(h.Run)
 	s.mu.Lock()
@@ -406,23 +692,64 @@ func (s *Server) findOrCreateRun(h Hello) (*run, error) {
 	if r, ok := s.runs[id]; ok {
 		return r, nil
 	}
-	r := &run{
-		id:      id,
-		host:    h.Host,
-		pid:     h.PID,
-		dir:     filepath.Join(s.opts.Dir, id),
-		started: time.Now(),
-		q:       make(chan item, s.opts.QueueDepth),
-		files:   make(map[int32]*os.File),
-	}
+	r := s.newRun(id, h.Host, h.PID, h.Flags&FlagDurable != 0)
 	if err := os.MkdirAll(r.dir, 0o755); err != nil {
 		return nil, err
 	}
-	r.lastSeen.Store(time.Now().UnixNano())
-	r.wg.Add(1)
-	go r.writer()
+	// Stamp the run's identity on disk immediately so a crash at any
+	// later point still recovers who this run was. Best-effort: a
+	// manifest failure here degrades to identity-less recovery, not a
+	// refused run.
+	writeManifest(s.fs, r.dir, r.manifest(false))
+	r.start()
 	s.runs[id] = r
 	return r, nil
+}
+
+// newRun builds a registry entry (not yet started). Callers hold s.mu
+// or are in single-threaded startup.
+func (s *Server) newRun(id, host string, pid uint64, durable bool) *run {
+	r := &run{
+		id:      id,
+		host:    host,
+		pid:     pid,
+		dir:     filepath.Join(s.opts.Dir, id),
+		started: time.Now(),
+		durable: durable,
+		s:       s,
+		q:       make(chan item, s.opts.QueueDepth),
+		files:   make(map[int32]File),
+		sizes:   make(map[int32]int64),
+		dirty:   make(map[int32]bool),
+	}
+	r.lastSeen.Store(time.Now().UnixNano())
+	return r
+}
+
+// start launches the run's writer goroutine.
+func (r *run) start() {
+	r.wg.Add(1)
+	go r.writer()
+}
+
+// manifest renders the run's current registry state for the on-disk
+// manifest.
+func (r *run) manifest(complete bool) *Manifest {
+	return &Manifest{
+		ID:            r.id,
+		Host:          r.host,
+		PID:           r.pid,
+		Started:       r.started,
+		Durable:       r.durable,
+		Fsync:         r.s.opts.Fsync.String(),
+		Complete:      complete,
+		Salvaged:      r.salvaged,
+		LastSeq:       r.lastSeq.Load(),
+		Chunks:        r.chunks.Load(),
+		Samples:       r.samples.Load(),
+		Bytes:         r.bytes.Load(),
+		SealedThreads: r.sealedThreads.Load(),
+	}
 }
 
 // sanitizeRunID maps an arbitrary client-supplied run ID to a safe
@@ -449,70 +776,380 @@ func sanitizeRunID(id string) string {
 }
 
 // writer is the run's ingest goroutine: the only toucher of its files.
-// It appends each accepted block with a single Write call — the same
-// whole-block discipline the local file streamer uses, so an ingested
-// file is torn only by a daemon crash, never by the protocol.
+// It drains the queue in group-commit batches — write every block and
+// journal entry in the batch, sync once per the policy (always, for a
+// durable run), then release the batch's deferred acks. A storage
+// failure anywhere quarantines the run: the failing item and the rest
+// of its batch are refused with CodeStorage, and the accept path
+// refuses everything after.
 func (r *run) writer() {
 	defer r.wg.Done()
-	defer r.closeFiles()
-	for it := range r.q {
-		switch {
-		case it.bye:
-			r.closeFiles()
-			r.complete.Store(true)
-		case it.seal:
-			r.sealedThreads.Add(1)
-			if f, ok := r.files[it.thread]; ok {
-				f.Close()
-				delete(r.files, it.thread)
+	for {
+		var batch []item
+		closed := false
+		select {
+		case it, ok := <-r.q:
+			if !ok {
+				r.finish()
+				return
 			}
-		default:
-			r.writeBlock(it)
+			batch = append(batch, it)
+		case <-r.s.deadCh:
+			return // simulated crash: abandon everything as-is
+		}
+	drain:
+		for len(batch) < maxBatch {
+			select {
+			case it, ok := <-r.q:
+				if !ok {
+					closed = true
+					break drain
+				}
+				batch = append(batch, it)
+			case <-r.s.deadCh:
+				return
+			default:
+				break drain
+			}
+		}
+		r.commitBatch(batch)
+		if closed {
+			r.finish()
+			return
 		}
 	}
 }
 
-func (r *run) writeBlock(it item) {
-	f, ok := r.files[it.thread]
-	if !ok {
-		var err error
-		f, err = os.OpenFile(
-			filepath.Join(r.dir, fmt.Sprintf("trace.%d.psxt", it.thread)),
-			os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			r.fail(it, fmt.Errorf("ingest: run %s thread %d: open: %w", r.id, it.thread, err))
-			return
+// commitBatch applies one batch: write, group-commit sync, ack.
+func (r *run) commitBatch(batch []item) {
+	var acks []deferredAck
+	for _, it := range batch {
+		code := r.apply(it)
+		if it.sender != nil {
+			acks = append(acks, deferredAck{
+				sender:  it.sender,
+				ack:     Ack{Seq: it.seq, Code: code},
+				chunk:   !it.seal && !it.bye && !it.ackOnly,
+				samples: it.samples,
+			})
 		}
-		r.files[it.thread] = f
 	}
+	// Group commit: one sync covers every block and journal entry the
+	// batch landed, before any durable ack is released. Non-durable
+	// every-N cadence shares the same point.
+	needSync := (r.durable && (r.journalDirty || len(r.dirty) > 0)) ||
+		(r.s.opts.Fsync.Mode == FsyncEveryN && r.chunksSince >= r.s.opts.Fsync.N)
+	if needSync && !r.broken {
+		if err := r.syncAll(); err != nil {
+			r.quarantine(fmt.Errorf("ingest: run %s: sync: %w", r.id, err))
+			// Durability was promised and not delivered: downgrade every OK
+			// in the batch to the typed storage code so the client keeps
+			// exact accounting and does not trust unsynced data.
+			for i := range acks {
+				if acks[i].ack.Code == CodeOK && !r.durableAt(acks[i].ack.Seq) {
+					acks[i].ack.Code = CodeStorage
+					if acks[i].chunk {
+						r.storageChunks.Add(1)
+						r.storageSamples.Add(uint64(acks[i].samples))
+					}
+				}
+			}
+		}
+	}
+	if !r.broken {
+		r.durableSeq.Store(r.journaledSeq)
+	}
+	select {
+	case <-r.s.deadCh:
+		return // crashed between commit and ack: the client must resend
+	default:
+	}
+	for _, a := range acks {
+		a.sender.sendAck(a.ack)
+	}
+}
+
+// durableAt reports whether seq was already covered by an earlier
+// successful sync.
+func (r *run) durableAt(seq uint64) bool {
+	return seq != 0 && seq <= r.durableSeq.Load()
+}
+
+// apply lands one item on disk and returns its ack code.
+func (r *run) apply(it item) Code {
+	switch {
+	case it.ackOnly:
+		if r.broken {
+			return CodeStorage
+		}
+		// The data item rode ahead of this marker in the same queue, so
+		// the batch's group commit covers it.
+		return CodeOK
+	case it.bye:
+		return r.applyBye(it)
+	case it.seal:
+		return r.applySeal(it)
+	default:
+		return r.applyChunk(it)
+	}
+}
+
+// applyChunk appends the block to its thread file and journals it:
+// block first, journal entry second, so the journal never describes
+// bytes that are not on disk (recovery truncates the other way
+// around).
+func (r *run) applyChunk(it item) Code {
+	if r.broken {
+		r.storageChunks.Add(1)
+		r.storageSamples.Add(uint64(it.samples))
+		return CodeStorage
+	}
+	f, err := r.file(it.thread)
+	if err != nil {
+		return r.failStorage(it, fmt.Errorf("ingest: run %s thread %d: open: %w", r.id, it.thread, err))
+	}
+	offset := r.sizes[it.thread]
 	if _, err := f.Write(it.block); err != nil {
-		r.fail(it, fmt.Errorf("ingest: run %s thread %d: write: %w", r.id, it.thread, err))
-		return
+		// The write may have torn mid-block; whatever landed is beyond
+		// the last journal entry and recovery truncates it away.
+		return r.failStorage(it, fmt.Errorf("ingest: run %s thread %d: write: %w", r.id, it.thread, err))
+	}
+	r.sizes[it.thread] = offset + int64(len(it.block))
+	r.dirty[it.thread] = true
+	if err := r.journalAppend(journalEntry{
+		Seq:     it.seq,
+		Thread:  it.thread,
+		Kind:    journalChunk,
+		Offset:  uint64(offset),
+		Length:  uint32(len(it.block)),
+		Samples: it.samples,
+		CRC:     crc32.ChecksumIEEE(it.block),
+	}); err != nil {
+		return r.failStorage(it, fmt.Errorf("ingest: run %s: journal: %w", r.id, err))
 	}
 	r.chunks.Add(1)
 	r.samples.Add(uint64(it.samples))
 	r.bytes.Add(uint64(len(it.block)))
+	r.chunksSince++
+	return CodeOK
 }
 
-// fail accounts a block the writer could not land. The client was
-// already acked (acks mean "accepted", not "fsynced"), so the loss is
-// surfaced through the registry and /metrics rather than the wire.
-func (r *run) fail(it item, err error) {
-	r.droppedChunks.Add(1)
-	r.droppedSamples.Add(uint64(it.samples))
+// applySeal journals and closes one thread's file. Seals sync under
+// every policy except never (a sealed stream is a durability point),
+// and always for a durable run.
+func (r *run) applySeal(it item) Code {
+	r.sealedThreads.Add(1)
+	if r.broken {
+		if f, ok := r.files[it.thread]; ok {
+			f.Close()
+			delete(r.files, it.thread)
+		}
+		return CodeStorage
+	}
+	if err := r.journalAppend(journalEntry{Seq: it.seq, Thread: it.thread, Kind: journalSeal}); err != nil {
+		r.quarantine(fmt.Errorf("ingest: run %s: journal seal: %w", r.id, err))
+		return CodeStorage
+	}
+	code := CodeOK
+	if r.durable || r.s.opts.Fsync.Mode != FsyncNever {
+		if err := r.syncThread(it.thread); err != nil {
+			r.quarantine(fmt.Errorf("ingest: run %s thread %d: seal sync: %w", r.id, it.thread, err))
+			code = CodeStorage
+		}
+	}
+	if f, ok := r.files[it.thread]; ok {
+		if err := f.Close(); err != nil && code == CodeOK {
+			r.quarantine(fmt.Errorf("ingest: run %s thread %d: close: %w", r.id, it.thread, err))
+			code = CodeStorage
+		}
+		delete(r.files, it.thread)
+		delete(r.dirty, it.thread)
+	}
+	return code
+}
+
+// applyBye seals the run: journal the BYE, sync everything, close,
+// and commit the manifest atomically. After it the run is complete —
+// its directory is a finished artifact the GC may reclaim.
+func (r *run) applyBye(it item) Code {
+	code := CodeOK
+	if !r.broken {
+		if err := r.journalAppend(journalEntry{Seq: it.seq, Kind: journalBye}); err != nil {
+			r.quarantine(fmt.Errorf("ingest: run %s: journal bye: %w", r.id, err))
+			code = CodeStorage
+		}
+	}
+	if !r.broken && (r.durable || r.s.opts.Fsync.Mode != FsyncNever) {
+		if err := r.syncAll(); err != nil {
+			r.quarantine(fmt.Errorf("ingest: run %s: bye sync: %w", r.id, err))
+			code = CodeStorage
+		}
+	}
+	r.closeFiles()
+	if !r.broken {
+		r.durableSeq.Store(r.journaledSeq)
+	}
+	// The atomic manifest seal is the run's commit point: after the
+	// rename, recovery trusts the manifest; before it, the journal.
+	if err := writeManifest(r.s.fs, r.dir, r.manifest(true)); err != nil {
+		r.recordErr(fmt.Errorf("ingest: run %s: manifest seal: %w", r.id, err))
+	}
+	r.complete.Store(true)
+	return code
+}
+
+// file returns the open append handle for thread, opening (and
+// measuring) it on first touch so recovered runs continue at their
+// true offsets.
+func (r *run) file(thread int32) (File, error) {
+	if f, ok := r.files[thread]; ok {
+		return f, nil
+	}
+	path := filepath.Join(r.dir, fmt.Sprintf("trace.%d.psxt", thread))
+	f, err := r.s.fs.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	size := int64(0)
+	if st, err := os.Stat(path); err == nil {
+		size = st.Size()
+	}
+	r.files[thread] = f
+	r.sizes[thread] = size
+	return f, nil
+}
+
+// journalAppend writes one entry (opening the journal lazily) with a
+// single Write call.
+func (r *run) journalAppend(e journalEntry) error {
+	if r.journal == nil {
+		path := filepath.Join(r.dir, journalName)
+		size := int64(0)
+		if st, err := os.Stat(path); err == nil {
+			size = st.Size()
+		}
+		f, err := r.s.fs.OpenAppend(path)
+		if err != nil {
+			return err
+		}
+		r.journal = f
+		r.journalSize = size
+		if size == 0 {
+			if err := writeJournalHeader(f); err != nil {
+				f.Close()
+				r.journal = nil
+				return err
+			}
+			r.journalSize = journalHeaderLen
+		}
+	}
+	if _, err := r.journal.Write(encodeJournalEntry(e)); err != nil {
+		return err
+	}
+	r.journalSize += journalEntryLen
+	r.journalDirty = true
+	if e.Seq > r.journaledSeq {
+		r.journaledSeq = e.Seq
+	}
+	return nil
+}
+
+// syncThread syncs one thread's file plus the journal.
+func (r *run) syncThread(thread int32) error {
+	if f, ok := r.files[thread]; ok && r.dirty[thread] {
+		if err := f.Sync(); err != nil {
+			return err
+		}
+		r.fsyncs.Add(1)
+		delete(r.dirty, thread)
+	}
+	return r.syncJournal()
+}
+
+// syncAll syncs every dirty file plus the journal.
+func (r *run) syncAll() error {
+	for th, f := range r.files {
+		if !r.dirty[th] {
+			continue
+		}
+		if err := f.Sync(); err != nil {
+			return err
+		}
+		r.fsyncs.Add(1)
+		delete(r.dirty, th)
+	}
+	return r.syncJournal()
+}
+
+func (r *run) syncJournal() error {
+	if r.journal == nil || !r.journalDirty {
+		r.chunksSince = 0
+		return nil
+	}
+	if err := r.journal.Sync(); err != nil {
+		return err
+	}
+	r.fsyncs.Add(1)
+	r.journalDirty = false
+	r.chunksSince = 0
+	return nil
+}
+
+// failStorage accounts a chunk lost to storage and quarantines the
+// run.
+func (r *run) failStorage(it item, err error) Code {
+	r.storageChunks.Add(1)
+	r.storageSamples.Add(uint64(it.samples))
+	r.quarantine(err)
+	return CodeStorage
+}
+
+// quarantine latches the run into storage-refusal mode: the writer
+// stops touching the disk, the accept path answers chunks with
+// CodeStorage, and every other run keeps flowing.
+func (r *run) quarantine(err error) {
+	r.broken = true
+	r.quarantined.Store(true)
+	r.recordErr(err)
+	r.closeFiles()
+}
+
+func (r *run) recordErr(err error) {
 	r.errMu.Lock()
 	r.errs = append(r.errs, err)
 	r.errMu.Unlock()
 }
 
+// finish runs at graceful queue close: sync per policy, close
+// everything, and leave a manifest carrying the run's identity and
+// progress (Complete only if BYE landed) for the next daemon.
+func (r *run) finish() {
+	if !r.broken && !r.complete.Load() {
+		if r.s.opts.Fsync.Mode != FsyncNever || r.durable {
+			if err := r.syncAll(); err != nil {
+				r.quarantine(fmt.Errorf("ingest: run %s: close sync: %w", r.id, err))
+			} else {
+				r.durableSeq.Store(r.journaledSeq)
+			}
+		}
+		writeManifest(r.s.fs, r.dir, r.manifest(false))
+	}
+	r.closeFiles()
+}
+
 func (r *run) closeFiles() {
 	for th, f := range r.files {
 		if err := f.Close(); err != nil {
-			r.errMu.Lock()
-			r.errs = append(r.errs, fmt.Errorf("ingest: run %s thread %d: close: %w", r.id, th, err))
-			r.errMu.Unlock()
+			r.recordErr(fmt.Errorf("ingest: run %s thread %d: close: %w", r.id, th, err))
 		}
 		delete(r.files, th)
+		delete(r.dirty, th)
+	}
+	if r.journal != nil {
+		if err := r.journal.Close(); err != nil {
+			r.recordErr(fmt.Errorf("ingest: run %s: journal close: %w", r.id, err))
+		}
+		r.journal = nil
 	}
 }
 
@@ -525,12 +1162,20 @@ type RunInfo struct {
 	Started        time.Time `json:"started"`
 	LastSeenSec    float64   `json:"last_seen_sec"`
 	Complete       bool      `json:"complete"`
+	Durable        bool      `json:"durable,omitempty"`
+	Salvaged       bool      `json:"salvaged,omitempty"`
+	Quarantined    bool      `json:"quarantined,omitempty"`
+	LastSeq        uint64    `json:"last_seq"`
+	DurableSeq     uint64    `json:"durable_seq,omitempty"`
 	SealedThreads  int64     `json:"sealed_threads"`
 	Chunks         uint64    `json:"chunks"`
 	Samples        uint64    `json:"samples"`
 	Bytes          uint64    `json:"bytes"`
 	DroppedChunks  uint64    `json:"dropped_chunks"`
 	DroppedSamples uint64    `json:"dropped_samples"`
+	StorageChunks  uint64    `json:"storage_chunks,omitempty"`
+	StorageSamples uint64    `json:"storage_samples,omitempty"`
+	Fsyncs         uint64    `json:"fsyncs,omitempty"`
 }
 
 // Runs returns the registry snapshot, sorted by run ID.
@@ -553,12 +1198,20 @@ func (s *Server) Runs() []RunInfo {
 			Started:        r.started,
 			LastSeenSec:    now.Sub(time.Unix(0, r.lastSeen.Load())).Seconds(),
 			Complete:       r.complete.Load(),
+			Durable:        r.durable,
+			Salvaged:       r.salvaged,
+			Quarantined:    r.quarantined.Load(),
+			LastSeq:        r.lastSeq.Load(),
+			DurableSeq:     r.durableSeq.Load(),
 			SealedThreads:  r.sealedThreads.Load(),
 			Chunks:         r.chunks.Load(),
 			Samples:        r.samples.Load(),
 			Bytes:          r.bytes.Load(),
 			DroppedChunks:  r.droppedChunks.Load(),
 			DroppedSamples: r.droppedSamples.Load(),
+			StorageChunks:  r.storageChunks.Load(),
+			StorageSamples: r.storageSamples.Load(),
+			Fsyncs:         r.fsyncs.Load(),
 		})
 	}
 	return out

@@ -71,6 +71,12 @@ const (
 	// CodeSealed marks data for a thread (or run) that was already
 	// sealed.
 	CodeSealed
+	// CodeStorage marks a frame the server could not persist — the
+	// run's storage failed (ENOSPC, EIO, a torn journal) and the run is
+	// quarantined. Only this run is affected; other runs keep flowing.
+	// The client accounts the chunk in its own typed storage-loss
+	// bucket instead of the generic drop counters.
+	CodeStorage
 )
 
 var codeNames = map[Code]string{
@@ -80,6 +86,7 @@ var codeNames = map[Code]string{
 	CodeSequence:    "INGEST_SEQUENCE_ERR",
 	CodeOverloaded:  "INGEST_OVERLOADED",
 	CodeSealed:      "INGEST_SEALED",
+	CodeStorage:     "INGEST_STORAGE",
 }
 
 func (c Code) String() string {
@@ -100,6 +107,20 @@ const maxFrameLen = 1 << 22
 // maxStringLen bounds the run/host strings in a HELLO.
 const maxStringLen = 256
 
+// Hello/HelloAck capability flags. The flags word is an optional
+// trailer on both payloads (absent = 0), so a client and server from
+// either side of the durability change interoperate: an old peer
+// simply never negotiates a capability.
+const (
+	// FlagDurable asks for (HELLO) or grants (HELLO-ACK) durable acks:
+	// a data frame is acknowledged only after the server has applied
+	// its configured on-disk durability (data + journal written, fsync
+	// per policy), so the client's unacknowledged tail survives a
+	// daemon crash — the resend after reconnect replays exactly what
+	// never reached disk.
+	FlagDurable uint32 = 1 << 0
+)
+
 // Hello is the first frame of every connection: which run this is,
 // from where, and which protocol version the client speaks.
 type Hello struct {
@@ -107,15 +128,20 @@ type Hello struct {
 	Run     string
 	Host    string
 	PID     uint64
+	Flags   uint32
 }
 
 // HelloAck answers a HELLO. LastSeq is the highest data-frame sequence
 // number the server has accepted for this run, across all previous
-// connections: the reconnecting client drops everything up to and
-// including it from its unacknowledged tail before resending.
+// connections (in durable mode: the highest sequence persisted to
+// disk, including across daemon restarts): the reconnecting client
+// drops everything up to and including it from its unacknowledged tail
+// before resending. Flags carries the capabilities the server actually
+// granted.
 type HelloAck struct {
 	Code    Code
 	LastSeq uint64
+	Flags   uint32
 }
 
 // Chunk carries one encoded PSXT trace block. Seq is session-monotonic
@@ -206,12 +232,18 @@ func takeU16String(b []byte) (string, []byte, bool) {
 	return string(b[:n]), b[n:], true
 }
 
-// EncodeHello renders h's payload.
+// EncodeHello renders h's payload. The flags word is appended only
+// when nonzero so a flagless HELLO stays byte-identical to the
+// original protocol.
 func EncodeHello(h Hello) []byte {
 	b := binary.LittleEndian.AppendUint32(nil, h.Version)
 	b = appendU16String(b, h.Run)
 	b = appendU16String(b, h.Host)
-	return binary.LittleEndian.AppendUint64(b, h.PID)
+	b = binary.LittleEndian.AppendUint64(b, h.PID)
+	if h.Flags != 0 {
+		b = binary.LittleEndian.AppendUint32(b, h.Flags)
+	}
+	return b
 }
 
 // DecodeHello parses a HELLO payload.
@@ -229,28 +261,41 @@ func DecodeHello(b []byte) (Hello, error) {
 	if h.Host, b, ok = takeU16String(b); !ok {
 		return h, ErrBadFrame
 	}
-	if len(b) != 8 {
+	switch len(b) {
+	case 8: // legacy: no flags trailer
+	case 12:
+		h.Flags = binary.LittleEndian.Uint32(b[8:])
+	default:
 		return h, ErrBadFrame
 	}
 	h.PID = binary.LittleEndian.Uint64(b)
 	return h, nil
 }
 
-// EncodeHelloAck renders a's payload.
+// EncodeHelloAck renders a's payload. Like EncodeHello, the flags
+// word appears only when nonzero.
 func EncodeHelloAck(a HelloAck) []byte {
 	b := binary.LittleEndian.AppendUint32(nil, uint32(a.Code))
-	return binary.LittleEndian.AppendUint64(b, a.LastSeq)
+	b = binary.LittleEndian.AppendUint64(b, a.LastSeq)
+	if a.Flags != 0 {
+		b = binary.LittleEndian.AppendUint32(b, a.Flags)
+	}
+	return b
 }
 
 // DecodeHelloAck parses a HELLO-ACK payload.
 func DecodeHelloAck(b []byte) (HelloAck, error) {
-	if len(b) != 12 {
+	a := HelloAck{}
+	switch len(b) {
+	case 12: // legacy: no flags trailer
+	case 16:
+		a.Flags = binary.LittleEndian.Uint32(b[12:])
+	default:
 		return HelloAck{}, ErrBadFrame
 	}
-	return HelloAck{
-		Code:    Code(binary.LittleEndian.Uint32(b)),
-		LastSeq: binary.LittleEndian.Uint64(b[4:]),
-	}, nil
+	a.Code = Code(binary.LittleEndian.Uint32(b))
+	a.LastSeq = binary.LittleEndian.Uint64(b[4:])
+	return a, nil
 }
 
 // EncodeChunk renders c's payload.

@@ -1,0 +1,48 @@
+package perf
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+)
+
+// ValidStreamPrefixLen returns the byte length of the longest prefix
+// of r that parses as whole PSXT trace blocks and PSXR report blocks.
+// It is the measuring twin of the ReadTraceStream salvage contract:
+// where ReadTraceStream returns the gap-free prefix's samples, this
+// returns the exact on-disk boundary of that prefix, so a recovery
+// pass can truncate a torn file back to its last whole block.
+func ValidStreamPrefixLen(r io.Reader) int64 {
+	cr := &countingReader{r: r}
+	br := bufio.NewReader(cr)
+	var valid int64
+	for {
+		head, err := br.Peek(4)
+		if len(head) < 4 {
+			_ = err
+			return valid
+		}
+		if bytes.Equal(head, reportMagic[:]) {
+			if _, err := readHangReport(br); err != nil {
+				return valid
+			}
+		} else if _, err := ReadTrace(br); err != nil {
+			return valid
+		}
+		// br pulled cr.n bytes from the source but still buffers some:
+		// the difference is exactly the bytes consumed by whole blocks.
+		valid = cr.n - int64(br.Buffered())
+	}
+}
+
+// countingReader counts the bytes pulled from the underlying reader.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}

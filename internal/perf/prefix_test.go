@@ -1,0 +1,74 @@
+package perf
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestValidStreamPrefixLenIntact(t *testing.T) {
+	enc, _ := buildStream(t, 3, 5)
+	if got := ValidStreamPrefixLen(bytes.NewReader(enc)); got != int64(len(enc)) {
+		t.Fatalf("intact stream prefix = %d, want %d", got, len(enc))
+	}
+	if got := ValidStreamPrefixLen(bytes.NewReader(nil)); got != 0 {
+		t.Fatalf("empty stream prefix = %d, want 0", got)
+	}
+}
+
+func TestValidStreamPrefixLenTrailingGarbage(t *testing.T) {
+	enc, _ := buildStream(t, 2, 4)
+	for _, garbage := range [][]byte{
+		[]byte("not a block"),
+		{'P'},
+		{'P', 'S', 'X'},
+		{0, 0, 0, 0},
+		bytes.Repeat([]byte{0xff}, 64),
+	} {
+		stream := append(append([]byte(nil), enc...), garbage...)
+		if got := ValidStreamPrefixLen(bytes.NewReader(stream)); got != int64(len(enc)) {
+			t.Fatalf("garbage %q: prefix = %d, want %d", garbage[:min(4, len(garbage))], got, len(enc))
+		}
+	}
+	// Garbage-only input has no valid prefix at all.
+	if got := ValidStreamPrefixLen(bytes.NewReader([]byte("garbage stream"))); got != 0 {
+		t.Fatalf("garbage-only prefix = %d, want 0", got)
+	}
+}
+
+func TestValidStreamPrefixLenTornBlock(t *testing.T) {
+	enc, bounds := buildStream(t, 3, 5)
+	// A cut anywhere inside the last block measures back to the previous
+	// block boundary — the exact truncation point recovery needs.
+	for cut := bounds[1] + 1; cut < bounds[2]; cut++ {
+		if got := ValidStreamPrefixLen(bytes.NewReader(enc[:cut])); got != int64(bounds[1]) {
+			t.Fatalf("cut %d: prefix = %d, want %d", cut, got, bounds[1])
+		}
+	}
+	// A cut exactly on a boundary is itself the prefix.
+	for _, b := range bounds {
+		if got := ValidStreamPrefixLen(bytes.NewReader(enc[:b])); got != int64(b) {
+			t.Fatalf("boundary %d: prefix = %d", b, got)
+		}
+	}
+}
+
+func TestValidStreamPrefixLenAgreesWithReader(t *testing.T) {
+	// The measuring contract: truncating at the reported prefix must
+	// yield a stream ReadTraceStream accepts without error, holding the
+	// same samples it salvages from the torn original.
+	enc, bounds := buildStream(t, 3, 6)
+	cut := bounds[2] - 7
+	n := ValidStreamPrefixLen(bytes.NewReader(enc[:cut]))
+	salvaged, err := ReadTraceStream(bytes.NewReader(enc[:cut]))
+	if err == nil {
+		t.Fatal("torn stream read without error")
+	}
+	clean, err := ReadTraceStream(bytes.NewReader(enc[:n]))
+	if err != nil {
+		t.Fatalf("truncated-at-prefix stream: %v", err)
+	}
+	if len(clean.Samples()) != len(salvaged.Samples()) {
+		t.Fatalf("prefix stream has %d samples, salvage returned %d",
+			len(clean.Samples()), len(salvaged.Samples()))
+	}
+}

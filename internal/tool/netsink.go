@@ -37,14 +37,14 @@ import (
 //     risk.
 
 const (
-	netPendingDepth = 256              // bounded outgoing frame queue
-	netWindow       = 64               // max unacked frames in flight
-	netDialTimeout  = 2 * time.Second  // dial + HELLO handshake bound
-	netWriteTimeout = 2 * time.Second  // per-frame write bound
-	netAckWait      = 2 * time.Second  // blocking ack wait at a full window
-	netBackoffCap   = 2 * time.Second  // reconnect backoff cap
-	netHeartbeat    = time.Second      // idle keepalive period
-	netFlushGrace   = 3 * time.Second  // stop-time flush deadline
+	netPendingDepth = 256             // bounded outgoing frame queue
+	netWindow       = 64              // max unacked frames in flight
+	netDialTimeout  = 2 * time.Second // dial + HELLO handshake bound
+	netWriteTimeout = 2 * time.Second // per-frame write bound
+	netAckWait      = 2 * time.Second // blocking ack wait at a full window
+	netBackoffCap   = 2 * time.Second // reconnect backoff cap
+	netHeartbeat    = time.Second     // idle keepalive period
+	netFlushGrace   = 3 * time.Second // stop-time flush deadline
 )
 
 // netItem is one queued wire frame.
@@ -74,7 +74,10 @@ type netSink struct {
 	shipped        atomic.Uint64 // chunks acked CodeOK by the server
 	dropped        atomic.Uint64 // chunks never delivered (overflow, nack, unflushed)
 	droppedSamples atomic.Uint64
+	storageChunks  atomic.Uint64 // chunks refused with INGEST_STORAGE (run quarantined)
+	storageSamples atomic.Uint64
 	connects       atomic.Uint64 // successful connections (reconnects = connects-1)
+	durableGranted atomic.Bool   // server granted FlagDurable on the last HELLO
 }
 
 // startNetSink builds and starts the sink's sender goroutine.
@@ -89,6 +92,13 @@ func startNetSink(opts *Options) *netSink {
 	if backoff <= 0 {
 		backoff = 25 * time.Millisecond
 	}
+	var flags uint32
+	if opts.IngestDurable {
+		// Durable acks: the server acknowledges a frame only once its
+		// group commit reached disk, so our unacked tail is exactly what
+		// a daemon crash can lose — and what the reconnect resends.
+		flags |= ingest.FlagDurable
+	}
 	n := &netSink{
 		addr: opts.IngestAddr,
 		hello: ingest.Hello{
@@ -96,6 +106,7 @@ func startNetSink(opts *Options) *netSink {
 			Run:     run,
 			Host:    host,
 			PID:     uint64(os.Getpid()),
+			Flags:   flags,
 		},
 		dial:     opts.DialIngest,
 		backoff0: backoff,
@@ -326,6 +337,7 @@ func (n *netSink) connect() (net.Conn, *bufio.Reader, uint64, error) {
 		c.Close()
 		return nil, nil, 0, fmt.Errorf("tool: ingest: server refused HELLO: %v", ha.Code)
 	}
+	n.durableGranted.Store(ha.Flags&ingest.FlagDurable != 0)
 	c.SetDeadline(time.Time{})
 	return c, br, ha.LastSeq, nil
 }
@@ -407,8 +419,11 @@ func (n *netSink) drainAcks(conn net.Conn, br *bufio.Reader, unacked []*netItem)
 }
 
 // applyAck applies one server frame to the unacked tail with exact
-// accounting: CodeOK ships the chunk, anything else (an overloaded
-// drop, a sealed run) means the server will never have it.
+// accounting: CodeOK ships the chunk; INGEST_STORAGE means the run's
+// server-side storage failed and the chunk lands in its own typed
+// bucket (the run is quarantined — the loss is a disk, not the
+// network); anything else (an overloaded drop, a sealed run) counts as
+// a generic drop.
 func (n *netSink) applyAck(kind uint8, payload []byte, unacked []*netItem) []*netItem {
 	if kind != ingest.MsgAck {
 		return unacked
@@ -424,8 +439,13 @@ func (n *netSink) applyAck(kind uint8, payload []byte, unacked []*netItem) []*ne
 			continue
 		}
 		if it.seq == ack.Seq && ack.Code != ingest.CodeOK {
-			n.dropped.Add(1)
-			n.droppedSamples.Add(uint64(it.samples))
+			if ack.Code == ingest.CodeStorage {
+				n.storageChunks.Add(1)
+				n.storageSamples.Add(uint64(it.samples))
+			} else {
+				n.dropped.Add(1)
+				n.droppedSamples.Add(uint64(it.samples))
+			}
 			continue
 		}
 		n.shipped.Add(1)

@@ -101,8 +101,20 @@ func TestIngestTeeByteIdentical(t *testing.T) {
 				e.Name(), len(remote), len(local))
 		}
 	}
-	if remote, err := os.ReadDir(filepath.Join(dataDir, "tee-run")); err != nil || len(remote) != len(entries) {
-		t.Errorf("server run dir holds %d files, local %d", len(remote), len(entries))
+	// The run dir also holds the durability journal and manifest; only
+	// the trace files must mirror the local set.
+	remote, err := os.ReadDir(filepath.Join(dataDir, "tee-run"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := 0
+	for _, e := range remote {
+		if filepath.Ext(e.Name()) == ".psxt" {
+			traces++
+		}
+	}
+	if traces != len(entries) {
+		t.Errorf("server run dir holds %d trace files, local %d", traces, len(entries))
 	}
 }
 
@@ -205,5 +217,72 @@ func TestDetachPromptWithFailingOpenerAndLargeBackoff(t *testing.T) {
 	rep := tl.Report()
 	if rep.DegradedThreads == 0 {
 		t.Error("no thread reported degraded despite every open failing")
+	}
+}
+
+// TestIngestDurableTee negotiates durable acks: the daemon journals and
+// fsyncs every chunk before acking, the run registers as durable, and
+// the teed bytes still mirror the local stream exactly.
+func TestIngestDurableTee(t *testing.T) {
+	srv, dataDir := startIngestServer(t)
+	localDir := t.TempDir()
+
+	rt := omp.New(omp.Config{NumThreads: 2})
+	defer rt.Close()
+	opts := FullMeasurement()
+	opts.StreamDir = localDir
+	opts.IngestAddr = srv.Addr()
+	opts.IngestRun = "durable-tee"
+	opts.IngestDurable = true
+	tl, err := AttachRuntime(rt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 120; i++ {
+		rt.Parallel(func(tc *omp.ThreadCtx) {})
+	}
+	tl.Detach()
+	rep := tl.Report()
+	if rep.IngestShippedChunks == 0 {
+		t.Fatal("no chunks shipped")
+	}
+	if rep.IngestDroppedChunks != 0 || rep.IngestStorageChunks != 0 {
+		t.Fatalf("healthy durable run refused chunks: dropped=%d storage=%d",
+			rep.IngestDroppedChunks, rep.IngestStorageChunks)
+	}
+	ri := waitRunComplete(t, srv, "durable-tee")
+	if !ri.Durable {
+		t.Fatal("run did not negotiate durable acks")
+	}
+	if ri.Fsyncs == 0 {
+		t.Fatal("durable run recorded no fsyncs")
+	}
+	if ri.Chunks != rep.IngestShippedChunks {
+		t.Errorf("server landed %d chunks, client shipped %d", ri.Chunks, rep.IngestShippedChunks)
+	}
+	entries, err := os.ReadDir(localDir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no local stream files: %v", err)
+	}
+	for _, e := range entries {
+		local, err := os.ReadFile(filepath.Join(localDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		remote, err := os.ReadFile(filepath.Join(dataDir, "durable-tee", e.Name()))
+		if err != nil {
+			t.Fatalf("server side of %s: %v", e.Name(), err)
+		}
+		if !bytes.Equal(local, remote) {
+			t.Errorf("%s: server copy (%d bytes) differs from local (%d bytes)",
+				e.Name(), len(remote), len(local))
+		}
+	}
+	m, err := ingest.ReadManifest(filepath.Join(dataDir, "durable-tee"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Complete || !m.Durable {
+		t.Fatalf("manifest = %+v, want complete durable", m)
 	}
 }

@@ -100,6 +100,14 @@ type Options struct {
 	// directory). Empty derives "<host>-<pid>-<start-nanos>".
 	IngestRun string
 
+	// IngestDurable asks the daemon for durable acks (FlagDurable in
+	// HELLO): a chunk leaves the sink's unacknowledged tail only after
+	// the server's group commit has put it on disk, so a daemon crash
+	// loses nothing — the reconnect resends exactly the unpersisted
+	// tail. Off by default; cmd front-ends default it from
+	// GOMP_INGEST_DURABLE.
+	IngestDurable bool
+
 	// DialIngest overrides how the network sink dials the ingestion
 	// daemon (fault injection and tests). Nil means net.DialTimeout.
 	DialIngest func(addr string) (net.Conn, error)
@@ -748,9 +756,16 @@ type Report struct {
 	// still unflushed when the stop grace expired. With a file sink
 	// configured alongside, those blocks are still on local disk.
 	// IngestReconnects counts connections re-established after a drop.
+	// IngestStorageChunks and IngestStorageSamples count blocks the
+	// server refused with the typed INGEST_STORAGE code — its disk
+	// failed and the run was quarantined server-side. They are kept out
+	// of the generic drop counters because the loss is a storage
+	// failure on the far end, not a delivery failure.
 	IngestShippedChunks  uint64
 	IngestDroppedChunks  uint64
 	IngestDroppedSamples uint64
+	IngestStorageChunks  uint64
+	IngestStorageSamples uint64
 	IngestReconnects     uint64
 	// Health is the collector's fault-isolation snapshot: contained
 	// callback panics, watchdog breaker trips, wedged callbacks.
@@ -806,6 +821,8 @@ func (t *Tool) Report() *Report {
 			r.IngestShippedChunks = n.shipped.Load()
 			r.IngestDroppedChunks = n.dropped.Load()
 			r.IngestDroppedSamples = n.droppedSamples.Load()
+			r.IngestStorageChunks = n.storageChunks.Load()
+			r.IngestStorageSamples = n.storageSamples.Load()
 			if c := n.connects.Load(); c > 1 {
 				r.IngestReconnects = c - 1
 			}
@@ -882,6 +899,12 @@ func (r *Report) WriteTo(w io.Writer) (int64, error) {
 		if err := p("  ingest: %d shipped chunks, %d dropped chunks (%d samples), %d reconnects\n",
 			r.IngestShippedChunks, r.IngestDroppedChunks,
 			r.IngestDroppedSamples, r.IngestReconnects); err != nil {
+			return n, err
+		}
+	}
+	if r.IngestStorageChunks > 0 {
+		if err := p("  ingest storage: %d chunks (%d samples) refused INGEST_STORAGE (run quarantined server-side)\n",
+			r.IngestStorageChunks, r.IngestStorageSamples); err != nil {
 			return n, err
 		}
 	}
