@@ -63,12 +63,19 @@ func main() {
 	var hangReports []string
 	truncated := 0
 	salvagedDirs := map[string]bool{}
+	quarantinedDirs := map[string]bool{}
 	for _, path := range paths {
 		// A psxd run directory carries a manifest; note once per run
-		// when the daemon salvaged it from its journal after a crash.
-		if dir := filepath.Dir(path); !salvagedDirs[dir] {
-			if m, err := ingest.ReadManifest(dir); err == nil && m.Salvaged {
-				salvagedDirs[dir] = true
+		// when the daemon salvaged it from its journal after a crash,
+		// or sealed it quarantined (storage failed; tail not yet
+		// re-validated).
+		if dir := filepath.Dir(path); !salvagedDirs[dir] && !quarantinedDirs[dir] {
+			if m, err := ingest.ReadManifest(dir); err == nil {
+				if m.Quarantined {
+					quarantinedDirs[dir] = true
+				} else if m.Salvaged {
+					salvagedDirs[dir] = true
+				}
 			}
 		}
 		f, err := os.Open(path)
@@ -117,6 +124,9 @@ func main() {
 	}
 	if len(salvagedDirs) > 0 {
 		fmt.Printf(" [%d salvaged run(s): recovered from the ingest journal after a daemon crash]", len(salvagedDirs))
+	}
+	if len(quarantinedDirs) > 0 {
+		fmt.Printf(" [%d quarantined run(s): ingest storage failed before the seal; tails may be torn]", len(quarantinedDirs))
 	}
 	fmt.Printf("\n\n")
 	for _, rep := range hangReports {

@@ -80,8 +80,14 @@ func dump(path string, summary bool) error {
 		path, len(samples), buf.NumStacks(), buf.Dropped())
 	// A psxd run directory carries a manifest; if the daemon salvaged
 	// this run from its journal after a crash, say so next to the data.
-	if m, err := ingest.ReadManifest(filepath.Dir(path)); err == nil && m.Salvaged {
-		fmt.Printf("  note: salvaged run — the ingest daemon recovered this trace from its journal after a crash; the samples are the journaled prefix\n")
+	// A quarantined seal (storage failed before the BYE) has not been
+	// re-validated yet, so its tail may be torn — warn louder.
+	if m, err := ingest.ReadManifest(filepath.Dir(path)); err == nil {
+		if m.Quarantined {
+			fmt.Printf("  WARNING: quarantined run — the ingest daemon's storage failed before this run was sealed; the tail past the journaled prefix may be torn or missing\n")
+		} else if m.Salvaged {
+			fmt.Printf("  note: salvaged run — the ingest daemon recovered this trace from its journal after a crash; the samples are the journaled prefix\n")
+		}
 	}
 	for _, rep := range reports {
 		fmt.Printf("  WARNING: hang report salvaged with this trace; the samples are the gap-free prefix of a run that did not finish\n")

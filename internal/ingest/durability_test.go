@@ -292,8 +292,11 @@ func TestNonDurableHelloHasNoFlag(t *testing.T) {
 
 // TestSyncFailureQuarantinesRun: an EIO at the group-commit fsync must
 // downgrade the batch's acks to INGEST_STORAGE, quarantine the run,
-// and refuse further chunks — while the BYE still lands so the run can
-// finish and be reclaimed.
+// and refuse further chunks — while the BYE still closes the run so it
+// can finish and be reclaimed. The BYE's own ack is typed too (its
+// durability was not delivered), and the seal it writes carries the
+// Quarantined marker so a restarted daemon re-validates the run from
+// its journal instead of trusting the manifest.
 func TestSyncFailureQuarantinesRun(t *testing.T) {
 	fs := &hookFS{syncErr: func(path string) error {
 		if strings.Contains(path, journalName) {
@@ -301,7 +304,8 @@ func TestSyncFailureQuarantinesRun(t *testing.T) {
 		}
 		return nil
 	}}
-	srv, err := Serve("127.0.0.1:0", Options{Dir: t.TempDir(), FS: fs})
+	dir := t.TempDir()
+	srv, err := Serve("127.0.0.1:0", Options{Dir: dir, FS: fs})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,8 +321,8 @@ func TestSyncFailureQuarantinesRun(t *testing.T) {
 		t.Fatalf("chunk into a quarantined run acked %+v, want INGEST_STORAGE", ack)
 	}
 	tc.send(MsgSeal, EncodeSeal(Seal{Seq: 3, Thread: 0}))
-	if ack := tc.send(MsgBye, EncodeBye(Bye{Seq: 4})); ack.Code != CodeOK {
-		t.Fatalf("bye ack = %+v; a quarantined run must still be closable", ack)
+	if ack := tc.send(MsgBye, EncodeBye(Bye{Seq: 4})); ack.Code != CodeStorage {
+		t.Fatalf("bye ack = %+v, want INGEST_STORAGE (seal durability was not delivered)", ack)
 	}
 	waitFor(t, "run complete", func() bool {
 		for _, ri := range srv.Runs() {
@@ -342,6 +346,13 @@ func TestSyncFailureQuarantinesRun(t *testing.T) {
 	}
 	if ri.StorageSamples != 10 {
 		t.Errorf("storage-refused samples = %d, want 10", ri.StorageSamples)
+	}
+	m, err := ReadManifest(filepath.Join(dir, "eio-run"))
+	if err != nil {
+		t.Fatalf("read sealed manifest: %v", err)
+	}
+	if !m.Complete || !m.Quarantined {
+		t.Errorf("quarantined seal: complete=%v quarantined=%v, want both true", m.Complete, m.Quarantined)
 	}
 }
 
@@ -719,5 +730,232 @@ func TestHelloFlagsTrailerCompat(t *testing.T) {
 	a, err = DecodeHelloAck(ackFlags)
 	if err != nil || a.Flags != FlagDurable || a.LastSeq != 9 {
 		t.Fatalf("flagged hello-ack: (%+v, %v)", a, err)
+	}
+}
+
+// pipeAcks wires a connSender to an in-memory pipe and collects every
+// ack it releases, so commitBatch can be driven directly with a
+// deterministic batch layout.
+func pipeAcks(t *testing.T, srv *Server) (*connSender, chan Ack) {
+	t.Helper()
+	client, server := net.Pipe()
+	t.Cleanup(func() { client.Close(); server.Close() })
+	cs := &connSender{s: srv, c: server}
+	acks := make(chan Ack, 8)
+	go func() {
+		br := bufio.NewReader(client)
+		for {
+			kind, payload, err := ReadFrame(br)
+			if err != nil {
+				close(acks)
+				return
+			}
+			if kind != MsgAck {
+				continue
+			}
+			a, err := DecodeAck(payload)
+			if err != nil {
+				close(acks)
+				return
+			}
+			acks <- a
+		}
+	}()
+	return cs, acks
+}
+
+// TestBatchDowngradeWhenByeSyncFails: a chunk acked OK earlier in a
+// batch whose BYE performs its own sync — and fails it — must still be
+// downgraded to INGEST_STORAGE before release. The BYE's sync latches
+// the run broken inside apply, past the group-commit error path, so
+// the downgrade has to key off the run ending the batch broken, not
+// off the group commit alone.
+func TestBatchDowngradeWhenByeSyncFails(t *testing.T) {
+	fs := &hookFS{syncErr: func(path string) error {
+		return fmt.Errorf("injected EIO on %s", filepath.Base(path))
+	}}
+	srv, err := Serve("127.0.0.1:0", Options{Dir: t.TempDir(), FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	r := srv.newRun("batch-bye-run", "h", 1, true)
+	if err := os.MkdirAll(r.dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	cs, acks := pipeAcks(t, srv)
+	block := traceBlock(t, 0, 5)
+	r.commitBatch([]item{
+		{seq: 5, thread: 0, samples: 5, block: block, sender: cs},
+		{seq: 6, bye: true, sender: cs},
+	})
+	got := map[uint64]Code{}
+	for i := 0; i < 2; i++ {
+		a := <-acks
+		got[a.Seq] = a.Code
+	}
+	if got[5] != CodeStorage {
+		t.Errorf("chunk ack in a batch whose BYE sync failed = %v, want INGEST_STORAGE", got[5])
+	}
+	if got[6] != CodeStorage {
+		t.Errorf("bye ack = %v, want INGEST_STORAGE", got[6])
+	}
+	if !r.quarantined.Load() {
+		t.Error("run not quarantined after the BYE sync failure")
+	}
+	if n := r.storageChunks.Load(); n != 1 {
+		t.Errorf("storage-refused chunks = %d, want 1 (the downgraded chunk)", n)
+	}
+}
+
+// TestBatchDowngradeWhenSealSyncFails is the per-thread variant: a
+// SEAL's own syncThread failure must downgrade the other threads'
+// chunks sharing its batch.
+func TestBatchDowngradeWhenSealSyncFails(t *testing.T) {
+	fs := &hookFS{syncErr: func(path string) error {
+		return fmt.Errorf("injected EIO on %s", filepath.Base(path))
+	}}
+	srv, err := Serve("127.0.0.1:0", Options{Dir: t.TempDir(), FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	r := srv.newRun("batch-seal-run", "h", 1, true)
+	if err := os.MkdirAll(r.dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	cs, acks := pipeAcks(t, srv)
+	block := traceBlock(t, 0, 5)
+	r.commitBatch([]item{
+		{seq: 7, thread: 0, samples: 5, block: block, sender: cs},
+		{seq: 8, thread: 1, seal: true, sender: cs},
+	})
+	got := map[uint64]Code{}
+	for i := 0; i < 2; i++ {
+		a := <-acks
+		got[a.Seq] = a.Code
+	}
+	if got[7] != CodeStorage {
+		t.Errorf("chunk ack in a batch whose SEAL sync failed = %v, want INGEST_STORAGE", got[7])
+	}
+	if got[8] != CodeStorage {
+		t.Errorf("seal ack = %v, want INGEST_STORAGE", got[8])
+	}
+	if !r.quarantined.Load() {
+		t.Error("run not quarantined after the seal sync failure")
+	}
+}
+
+// TestLegacyHelloOnDurableRunGetsLegacyAck: a pre-flags client joining
+// a run another (newer) client already created durable must receive
+// the legacy 12-byte HELLO-ACK — a flags trailer would fail its
+// decoder and lock mixed-version clients out of a shared run.
+func TestLegacyHelloOnDurableRunGetsLegacyAck(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	tcNew, ha := dialFlags(t, srv.Addr(), "mixed-run", FlagDurable)
+	defer tcNew.close()
+	if ha.Flags&FlagDurable == 0 {
+		t.Fatal("durable client not granted FlagDurable")
+	}
+	// Flags == 0 encodes with no trailer: true legacy HELLO bytes.
+	tcOld, haOld := dialFlags(t, srv.Addr(), "mixed-run", 0)
+	defer tcOld.close()
+	if haOld.Code != CodeOK {
+		t.Fatalf("legacy HELLO refused: %+v", haOld)
+	}
+	if haOld.Flags != 0 {
+		t.Fatalf("legacy HELLO answered with flags %#x: the ack grew a trailer a pre-flags decoder refuses", haOld.Flags)
+	}
+}
+
+// TestQuarantinedSealForcesJournalRecovery: a Complete manifest
+// written after the run broke carries the Quarantined marker, and a
+// restarted daemon must not trust it — the journal is replayed, the
+// unsynced tail truncated, and the run re-registered salvaged (and
+// still complete: the BYE itself is proven by the manifest's rename).
+func TestQuarantinedSealForcesJournalRecovery(t *testing.T) {
+	fs := &hookFS{syncErr: func(path string) error {
+		if strings.Contains(path, journalName) {
+			return fmt.Errorf("injected EIO on %s", filepath.Base(path))
+		}
+		return nil
+	}}
+	dir := t.TempDir()
+	srv, err := Serve("127.0.0.1:0", Options{Dir: dir, FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, _ := dialFlags(t, srv.Addr(), "qseal-run", FlagDurable)
+	block := traceBlock(t, 0, 5)
+	if ack := tc.send(MsgChunk, EncodeChunk(Chunk{Seq: 1, Thread: 0, Samples: 5, Block: block})); ack.Code != CodeStorage {
+		t.Fatalf("chunk ack after failed sync = %+v, want INGEST_STORAGE", ack)
+	}
+	if ack := tc.send(MsgBye, EncodeBye(Bye{Seq: 2})); ack.Code != CodeStorage {
+		t.Fatalf("bye ack = %+v, want INGEST_STORAGE", ack)
+	}
+	tc.close()
+	if err := srv.Close(); err != nil {
+		t.Logf("close: %v (expected: quarantined run)", err)
+	}
+
+	runDir := filepath.Join(dir, "qseal-run")
+	m, err := ReadManifest(runDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Complete || !m.Quarantined {
+		t.Fatalf("seal after quarantine: complete=%v quarantined=%v, want both true", m.Complete, m.Quarantined)
+	}
+	// Simulate the torn tail the failed sync could leave: garbage past
+	// the journaled extent that a trusted Complete manifest would let
+	// readers see.
+	tracePath := filepath.Join(runDir, "trace.0.psxt")
+	f, err := os.OpenFile(tracePath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("torn garbage never synced")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	srv2, err := Serve("127.0.0.1:0", Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if rec := srv2.Recovered(); rec.Runs != 1 || rec.Salvaged != 1 {
+		t.Fatalf("recovered = %+v, want 1 run, 1 salvaged", rec)
+	}
+	var ri RunInfo
+	for _, r := range srv2.Runs() {
+		if r.ID == "qseal-run" {
+			ri = r
+		}
+	}
+	if !ri.Salvaged || !ri.Complete {
+		t.Errorf("recovered run: salvaged=%v complete=%v, want both true", ri.Salvaged, ri.Complete)
+	}
+	if ri.LastSeq != 1 {
+		t.Errorf("recovered lastSeq = %d, want 1 (journal truth, not the manifest's)", ri.LastSeq)
+	}
+	if st, err := os.Stat(tracePath); err != nil {
+		t.Fatal(err)
+	} else if st.Size() != int64(len(block)) {
+		t.Errorf("trace file = %d bytes after recovery, want %d (torn tail truncated)", st.Size(), len(block))
+	}
+	// The rewritten manifest is trustworthy again: recovery validated
+	// the data it describes.
+	if m, err := ReadManifest(runDir); err != nil {
+		t.Fatal(err)
+	} else if !m.Complete || !m.Salvaged || m.Quarantined {
+		t.Errorf("re-sealed manifest: %+v, want complete+salvaged, not quarantined", m)
 	}
 }

@@ -149,7 +149,11 @@ func replayJournal(path string) (entries []journalEntry, validBytes int64, err e
 // Manifest is a run's durable identity and seal state, stored as
 // MANIFEST.json in the run directory and replaced atomically. Complete
 // flips to true only through the atomic seal at BYE; Salvaged marks a
-// run that a restarted daemon recovered from its journal.
+// run that a restarted daemon recovered from its journal; Quarantined
+// marks a seal written after the run's storage failed — the fsynced
+// manifest may have reached disk while the data it describes did not,
+// so recovery must not trust such a seal and instead re-validates the
+// run from its journal.
 type Manifest struct {
 	ID            string    `json:"id"`
 	Host          string    `json:"host,omitempty"`
@@ -159,6 +163,7 @@ type Manifest struct {
 	Fsync         string    `json:"fsync,omitempty"`
 	Complete      bool      `json:"complete"`
 	Salvaged      bool      `json:"salvaged,omitempty"`
+	Quarantined   bool      `json:"quarantined,omitempty"`
 	LastSeq       uint64    `json:"last_seq"`
 	Chunks        uint64    `json:"chunks"`
 	Samples       uint64    `json:"samples"`

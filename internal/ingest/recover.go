@@ -15,7 +15,10 @@ import (
 // dir and rebuilds the registry from disk:
 //
 //   - A run whose manifest says Complete is re-registered as-is — the
-//     atomic manifest seal is trusted over everything else.
+//     atomic manifest seal is trusted over everything else — unless
+//     the seal also carries the Quarantined marker (the run's storage
+//     failed before the BYE), in which case the journal stays
+//     authoritative and the run is re-validated like any torn run.
 //   - Otherwise the journal is authoritative: it is replayed entry by
 //     entry, each chunk entry checked against the data file (the bytes
 //     must exist and their CRC must match). The first failure marks
@@ -66,7 +69,7 @@ func (s *Server) recoverRuns() error {
 // returns nil for a directory holding no trace state at all.
 func (s *Server) recoverRun(id, dir string) (*run, error) {
 	m, _ := ReadManifest(dir)
-	if m != nil && m.Complete {
+	if m != nil && m.Complete && !m.Quarantined {
 		r := s.recoveredEntry(id, dir, m)
 		r.complete.Store(true)
 		return r, nil
@@ -186,6 +189,13 @@ func (s *Server) recoverJournaled(id, dir, jpath string, m *Manifest) (*run, err
 		f.Close()
 	}
 	clear(open)
+	if m != nil && m.Complete {
+		// A quarantined seal: the BYE happened (the manifest's rename is
+		// proof), only its durability is suspect. The truncation below
+		// restores the journal-backed truth, and the run stays complete —
+		// readable, resealable, and reclaimable.
+		complete = true
+	}
 
 	// Truncate the journal to its validated prefix, then every trace
 	// file to exactly the bytes the surviving journal describes. A file
@@ -262,6 +272,11 @@ func (s *Server) recoverLegacy(id, dir string, m *Manifest) (*run, error) {
 		_, err := journal.Write(encodeJournalEntry(e))
 		return err
 	}
+	// One synthesized entry can describe at most what its uint32 length
+	// field holds, so a salvaged prefix is journaled as consecutive
+	// segments — a >= 4 GiB legacy file must not silently wrap into a
+	// self-inconsistent journal the next recovery would truncate away.
+	const legacySegLen = int64(1) << 30
 	var bytes, chunks, samples uint64
 	for _, path := range traceFiles {
 		th, ok := threadOfTraceFile(path)
@@ -273,30 +288,13 @@ func (s *Server) recoverLegacy(id, dir string, m *Manifest) (*run, error) {
 			continue
 		}
 		valid := perf.ValidStreamPrefixLen(f)
-		var crc uint32
-		if valid > 0 {
-			crc, err = crcFileSegment(f, 0, valid)
-		}
 		f.Close()
-		if err != nil {
-			return nil, err
-		}
 		if valid == 0 {
 			os.Remove(path)
 			continue
 		}
 		if st, statErr := os.Stat(path); statErr == nil && st.Size() > valid {
 			if err := os.Truncate(path, valid); err != nil {
-				return nil, err
-			}
-			// The CRC must describe the file as it now is.
-			f, err := os.Open(path)
-			if err != nil {
-				return nil, err
-			}
-			crc, err = crcFileSegment(f, 0, valid)
-			f.Close()
-			if err != nil {
 				return nil, err
 			}
 		}
@@ -310,19 +308,37 @@ func (s *Server) recoverLegacy(id, dir string, m *Manifest) (*run, error) {
 			f.Close()
 		}
 		// Seq 0 carries no ordering claim: the prefix predates the
-		// journal, it is simply known-good bytes.
-		if err := appendEntry(journalEntry{
-			Thread:  th,
-			Kind:    journalChunk,
-			Offset:  0,
-			Length:  uint32(valid),
-			Samples: prefixSamples,
-			CRC:     crc,
-		}); err != nil {
+		// journal, it is simply known-good bytes. The samples ride on the
+		// first segment so replay sums them exactly once.
+		f, err = os.Open(path)
+		if err != nil {
 			return nil, err
 		}
+		for off := int64(0); off < valid; off += legacySegLen {
+			n := min(legacySegLen, valid-off)
+			crc, err := crcFileSegment(f, off, n)
+			if err != nil {
+				f.Close()
+				return nil, err
+			}
+			e := journalEntry{
+				Thread: th,
+				Kind:   journalChunk,
+				Offset: uint64(off),
+				Length: uint32(n),
+				CRC:    crc,
+			}
+			if off == 0 {
+				e.Samples = prefixSamples
+			}
+			if err := appendEntry(e); err != nil {
+				f.Close()
+				return nil, err
+			}
+			chunks++
+		}
+		f.Close()
 		bytes += uint64(valid)
-		chunks++
 		samples += uint64(prefixSamples)
 	}
 	if journal != nil {

@@ -525,7 +525,14 @@ func (s *Server) handleConn(c net.Conn) {
 		// restarted daemon hands back the journal-recovered sequence and
 		// the client resends the lost tail.
 		ack.LastSeq = r.durableSeq.Load()
-		ack.Flags = FlagDurable
+		if h.Flags != 0 {
+			// Echo the grant only to a client that negotiated flags
+			// itself: a legacy (pre-flags) HELLO must get the legacy
+			// 12-byte HELLO-ACK back, or its decoder refuses the
+			// handshake — even when the run was created durable by a
+			// newer client sharing the run ID.
+			ack.Flags = FlagDurable
+		}
 	} else {
 		ack.LastSeq = r.lastSeq.Load()
 	}
@@ -612,11 +619,11 @@ func (s *Server) accept(r *run, seq uint64, it item) Code {
 	}
 	if seq != 0 && seq <= r.lastSeq.Load() {
 		s.duplicates.Add(1)
-		if it.sender != nil && !it.seal && !it.bye && seq > r.durableSeq.Load() {
-			// Durable mode, and the original is accepted but not yet on
-			// disk (it sits ahead of us in the queue). The ack must wait
-			// for the group commit that covers it, so ride the queue as an
-			// ack-only marker.
+		if it.sender != nil && seq > r.durableSeq.Load() {
+			// Durable mode, and the original (chunk, seal, or BYE) is
+			// accepted but not yet on disk (it sits ahead of us in the
+			// queue). The ack must wait for the group commit that covers
+			// it, so ride the queue as an ack-only marker.
 			ao := item{seq: seq, ackOnly: true, sender: it.sender}
 			if !r.enqueue(ao, s) {
 				return CodeOverloaded
@@ -744,6 +751,7 @@ func (r *run) manifest(complete bool) *Manifest {
 		Fsync:         r.s.opts.Fsync.String(),
 		Complete:      complete,
 		Salvaged:      r.salvaged,
+		Quarantined:   r.quarantined.Load(),
 		LastSeq:       r.lastSeq.Load(),
 		Chunks:        r.chunks.Load(),
 		Samples:       r.samples.Load(),
@@ -842,22 +850,27 @@ func (r *run) commitBatch(batch []item) {
 	if needSync && !r.broken {
 		if err := r.syncAll(); err != nil {
 			r.quarantine(fmt.Errorf("ingest: run %s: sync: %w", r.id, err))
-			// Durability was promised and not delivered: downgrade every OK
-			// in the batch to the typed storage code so the client keeps
-			// exact accounting and does not trust unsynced data.
-			for i := range acks {
-				if acks[i].ack.Code == CodeOK && !r.durableAt(acks[i].ack.Seq) {
-					acks[i].ack.Code = CodeStorage
-					if acks[i].chunk {
-						r.storageChunks.Add(1)
-						r.storageSamples.Add(uint64(acks[i].samples))
-					}
-				}
-			}
 		}
 	}
 	if !r.broken {
 		r.durableSeq.Store(r.journaledSeq)
+	} else {
+		// The run broke somewhere in this batch — the group commit above,
+		// or a seal/BYE's own sync inside apply. Durability was promised
+		// and not delivered: downgrade every OK not covered by an earlier
+		// successful sync to the typed storage code so the client keeps
+		// exact accounting and does not trust unsynced data. (A run broken
+		// before the batch started yields no OK acks, so this is a no-op
+		// then.)
+		for i := range acks {
+			if acks[i].ack.Code == CodeOK && !r.durableAt(acks[i].ack.Seq) {
+				acks[i].ack.Code = CodeStorage
+				if acks[i].chunk {
+					r.storageChunks.Add(1)
+					r.storageSamples.Add(uint64(acks[i].samples))
+				}
+			}
+		}
 	}
 	select {
 	case <-r.s.deadCh:
@@ -986,9 +999,19 @@ func (r *run) applyBye(it item) Code {
 		}
 	}
 	r.closeFiles()
-	if !r.broken {
-		r.durableSeq.Store(r.journaledSeq)
+	if r.broken {
+		// The BYE still closes the run — complete in memory, so this
+		// incarnation refuses further data and the GC may reclaim it —
+		// but the seal carries the Quarantined marker: the fsynced
+		// manifest could reach disk while the data it describes did not,
+		// so recovery must not trust it and instead replays the journal,
+		// truncating whatever never made it. The typed ack tells the
+		// client its seal was not made durable.
+		writeManifest(r.s.fs, r.dir, r.manifest(true))
+		r.complete.Store(true)
+		return CodeStorage
 	}
+	r.durableSeq.Store(r.journaledSeq)
 	// The atomic manifest seal is the run's commit point: after the
 	// rename, recovery trusts the manifest; before it, the journal.
 	if err := writeManifest(r.s.fs, r.dir, r.manifest(true)); err != nil {
