@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test check race bench bench-sync chaos chaos-hang chaos-net chaos-disk obs-demo psxd-demo
+.PHONY: build test check race bench bench-sync bench-trace chaos chaos-hang chaos-net chaos-disk obs-demo psxd-demo
 
 build:
 	$(GO) build ./...
@@ -11,10 +11,13 @@ test: build
 	$(GO) test ./...
 
 # check is the pre-merge gate for the lock-free measurement path: vet,
-# then the race detector over the packages that share trace buffers.
+# then the race detector over the packages that share trace buffers,
+# then the v1↔v2 cross-read gate — every trace format pairing must read
+# back through the auto-detecting reader.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/perf ./internal/tool ./internal/collector
+	$(GO) test -count=1 ./internal/perf -run 'V2CrossRead|MixedStream|V2TornTail'
 
 # chaos runs the deterministic fault-injection suite — panicking and
 # hung callbacks, failing/torn trace writes, forced chunk drops —
@@ -66,6 +69,13 @@ bench:
 # writes the machine-readable artifact BENCH_sync.json.
 bench-sync:
 	$(GO) run ./cmd/overheads -sync -threads 8 -reps 10 -json BENCH_sync.json
+
+# bench-trace measures the trace storage encodings — v1 against the
+# compact v2 and v2+flate block formats — on a streamed EPCC trace and
+# writes the machine-readable artifact BENCH_trace.json (bytes/event,
+# recording-thread ns/event, writer-side encode ns/event).
+bench-trace:
+	$(GO) run ./cmd/overheads -trace -threads 4 -reps 5 -json BENCH_trace.json
 
 # obs-demo runs an EPCC sweep with the live observability plane on a
 # known port; scrape /metrics or follow it from another terminal with:

@@ -40,6 +40,8 @@ func main() {
 	obsAddr := flag.String("obs", os.Getenv("GOMP_OBS_ADDR"), "serve the live observability plane (/metrics, /healthz, /state, /profile, /waits) on this host:port while attached; defaults to $GOMP_OBS_ADDR, empty disables")
 	hangTimeout := flag.Duration("hang-timeout", envDuration("GOMP_HANG_TIMEOUT"), "hang supervision: after this long with no progress, print a deadlock/no-progress diagnosis, salvage the trace prefix and exit nonzero; defaults to $GOMP_HANG_TIMEOUT, 0 disables")
 	hangDir := flag.String("hang-dir", os.Getenv("GOMP_HANG_DIR"), "directory to salvage the hang report and traces into; defaults to $GOMP_HANG_DIR, then the -stream directory")
+	traceV2 := flag.Bool("trace-v2", envBool("GOMP_TRACE_V2"), "write trace blocks in the compact v2 (PSX2) encoding; defaults to $GOMP_TRACE_V2")
+	traceCompress := flag.Bool("trace-compress", envBool("GOMP_TRACE_COMPRESS"), "flate-compress sealed v2 trace blocks (implies -trace-v2); defaults to $GOMP_TRACE_COMPRESS")
 	flag.Parse()
 
 	rt := omp.New(omp.Config{NumThreads: *threads})
@@ -63,6 +65,8 @@ func main() {
 	opts.HangTimeout = *hangTimeout
 	opts.HangDir = *hangDir
 	opts.HangAbort = true // a hung profiled run must fail the invocation
+	opts.TraceV2 = *traceV2 || *traceCompress
+	opts.TraceCompress = *traceCompress
 	tl, err := tool.Attach(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ompprof:", err)
@@ -135,6 +139,18 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\ntraces written to %s\n", *traceDir)
+	}
+}
+
+// envBool reports whether a boolean-valued environment variable is set
+// to anything but an explicit off value — matching the knob's documented
+// "set to enable" contract while letting "0"/"false" turn it back off.
+func envBool(name string) bool {
+	switch v := os.Getenv(name); v {
+	case "", "0", "false", "no", "off":
+		return false
+	default:
+		return true
 	}
 }
 

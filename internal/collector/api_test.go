@@ -219,6 +219,51 @@ func TestStateQuery(t *testing.T) {
 	}
 }
 
+// TestQueryStateBatch: one request sequence queries many threads with
+// a single submit, agreeing with per-thread QueryState, reporting
+// per-entry error codes, and reusing the caller's buffers.
+func TestQueryStateBatch(t *testing.T) {
+	c, q := startCollector(t)
+	for id := int32(0); id < 3; id++ {
+		c.BindThread(NewThreadInfo(id))
+	}
+	ti := NewThreadInfo(3)
+	c.BindThread(ti)
+	ti.EnterWait(StateLockWait)
+
+	wire, obs := QueryStateBatch(q, []int32{0, 1, 2, 3, 77}, nil, nil)
+	if len(obs) != 5 {
+		t.Fatalf("got %d observations, want 5", len(obs))
+	}
+	for i, o := range obs {
+		wantSt, wantWid, wantEC := QueryState(q, o.Thread)
+		if o.EC != wantEC || o.State != wantSt || o.WaitID != wantWid {
+			t.Errorf("obs[%d] thread %d = (%v,%d,%v), QueryState says (%v,%d,%v)",
+				i, o.Thread, o.State, o.WaitID, o.EC, wantSt, wantWid, wantEC)
+		}
+	}
+	if obs[3].State != StateLockWait {
+		t.Errorf("thread 3 state = %v, want %v", obs[3].State, StateLockWait)
+	}
+	if obs[4].EC != ErrThread {
+		t.Errorf("unknown thread EC = %v, want %v", obs[4].EC, ErrThread)
+	}
+
+	// Reuse: the returned buffers serve the next tick without growing.
+	wire2, obs2 := QueryStateBatch(q, []int32{2, 0}, wire, obs)
+	if len(obs2) != 2 || obs2[0].Thread != 2 || obs2[1].Thread != 0 {
+		t.Fatalf("reused-buffer batch wrong: %+v", obs2)
+	}
+	if &wire2[0] != &wire[0] {
+		t.Error("wire buffer was not reused for a smaller batch")
+	}
+
+	// Empty thread set: no submit, empty result.
+	if _, obs3 := QueryStateBatch(q, nil, wire2, obs2); len(obs3) != 0 {
+		t.Errorf("empty batch returned %d observations", len(obs3))
+	}
+}
+
 func TestPRIDQueries(t *testing.T) {
 	c, q := startCollector(t)
 	ti := NewThreadInfo(1)

@@ -139,6 +139,55 @@ func QueryState(q Queue, thread int32) (State, uint64, ErrorCode) {
 	return st, wid, ec
 }
 
+// StateObservation is one thread's answer from QueryStateBatch.
+type StateObservation struct {
+	Thread int32
+	State  State
+	WaitID uint64
+	EC     ErrorCode
+}
+
+// QueryStateBatch queries every thread's state with one request
+// sequence: a single wire buffer carrying one ReqState entry per
+// thread — the multi-entry form the protocol defines — submitted once,
+// so an asynchronous sampler polling a large team pays the queue
+// hand-off once per tick instead of once per thread. wire and out are
+// reusable buffers from the previous tick (either may be nil); the
+// possibly-grown wire buffer and the observations, in threads order,
+// are returned for the next call.
+func QueryStateBatch(q Queue, threads []int32, wire []byte, out []StateObservation) ([]byte, []StateObservation) {
+	wire = wire[:0]
+	out = out[:0]
+	if len(threads) == 0 {
+		return wire, out
+	}
+	for _, th := range threads {
+		var mem []byte
+		wire, mem = AppendRequest(wire, ReqState, StatePayloadSize)
+		EncodeStateQuery(mem, th)
+	}
+	wire = Terminate(wire)
+	q.Submit(wire)
+	// Submit wrote each entry's error code and response payload back
+	// into the wire buffer; re-parse to read them out.
+	reqs, err := ParseRequests(wire)
+	if err != nil || len(reqs) != len(threads) {
+		for _, th := range threads {
+			out = append(out, StateObservation{Thread: th, State: StateUnknown, EC: ErrGeneric})
+		}
+		return wire, out
+	}
+	for i, th := range threads {
+		o := StateObservation{Thread: th, State: StateUnknown, EC: reqs[i].EC}
+		if o.EC == ErrOK {
+			st, wid, _ := DecodeStateResponse(reqs[i].Mem)
+			o.State, o.WaitID = st, wid
+		}
+		out = append(out, o)
+	}
+	return wire, out
+}
+
 // QueryPRID issues a ReqCurrentPRID or ReqParentPRID for the given
 // thread and decodes the region ID. An ErrSequence code with a zero ID
 // means the thread is outside any parallel region.

@@ -1,0 +1,164 @@
+package faultinject_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"goomp/internal/faultinject"
+	"goomp/internal/ingest"
+	"goomp/internal/omp"
+	"goomp/internal/tool"
+)
+
+// The v2-encoding chaos regressions: the compact block format must
+// survive exactly the same network and disk failures as v1, because
+// the resend tail and the journal both carry the originally encoded
+// bytes — a chunk is never re-encoded after it is staged, so a replay
+// after any tear lands bit-for-bit what the local tee holds.
+
+// requireV2Files asserts every trace file in dir opens with a v2 block
+// — the run really exercised the new encoding, not a silent fallback.
+func requireV2Files(t *testing.T, dir string) {
+	t.Helper()
+	files, _ := filepath.Glob(filepath.Join(dir, "trace.*.psxt"))
+	if len(files) == 0 {
+		t.Fatalf("no trace files in %s", dir)
+	}
+	for _, path := range files {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.HasPrefix(raw, []byte("PSX2")) {
+			t.Errorf("%s does not start with a v2 block", path)
+		}
+	}
+}
+
+// TestChaosNetMidChunkDisconnectV2 is the reconnect-mid-chunk
+// regression under v2+flate: a frame torn halfway onto the wire is
+// resent whole from the retained originally-encoded bytes on the next
+// connection, so the mirrored run directory stays byte-identical to
+// the local tee — a re-encode (even a semantically equal one) would
+// break the mirror because flate output is not canonical.
+func TestChaosNetMidChunkDisconnectV2(t *testing.T) {
+	srv, dataDir := startNetChaosServer(t)
+	plan := faultinject.New(17)
+	plan.TearConnFrame(1, 3) // the second data frame dies mid-write
+
+	rt := omp.New(omp.Config{NumThreads: 2})
+	defer rt.Close()
+	localDir := t.TempDir()
+	opts := tool.FullMeasurement()
+	opts.StreamDir = localDir
+	opts.IngestAddr = srv.Addr()
+	opts.IngestRun = "torn-frame-v2"
+	opts.TraceV2 = true
+	opts.TraceCompress = true
+	plan.Apply(&opts)
+	tl, err := tool.AttachRuntime(rt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWorkload(t, rt, 300)
+	tl.Detach()
+
+	rep := tl.Report()
+	if plan.FiredCount(faultinject.KindConnTear) != 1 {
+		t.Fatalf("frame tear fired %d times, want 1", plan.FiredCount(faultinject.KindConnTear))
+	}
+	if rep.IngestReconnects == 0 {
+		t.Error("the sink never reconnected after the torn frame")
+	}
+	if rep.IngestDroppedChunks != 0 {
+		t.Errorf("%d chunks dropped across a torn frame", rep.IngestDroppedChunks)
+	}
+	ri := waitRunDone(t, srv, "torn-frame-v2")
+	if ri.Chunks != rep.IngestShippedChunks {
+		t.Errorf("server landed %d chunks, client shipped %d", ri.Chunks, rep.IngestShippedChunks)
+	}
+	requireV2Files(t, localDir)
+	requireByteIdentical(t, localDir, filepath.Join(dataDir, "torn-frame-v2"))
+}
+
+// TestChaosDiskCrashRestartMidChunkV2 re-runs the headline durability
+// scenario with compressed v2 blocks: the daemon dies mid-write of a
+// flate-compressed block, the restart replays the journal (whose CRCs
+// cover the encoded on-disk bytes, so a torn compressed tail fails
+// validation exactly like a torn v1 record run), and the durable sink
+// resends the staged originals until the mirror is byte-identical.
+func TestChaosDiskCrashRestartMidChunkV2(t *testing.T) {
+	plan := faultinject.New(29)
+	dataDir := t.TempDir()
+	srv, err := ingest.Serve("127.0.0.1:0", ingest.Options{Dir: dataDir, FS: plan.IngestFS()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	addr := srv.Addr()
+
+	killed := make(chan struct{})
+	plan.SetOnCrash(func() {
+		srv.Kill()
+		close(killed)
+	})
+	plan.CrashOnWrite("trace.", 4) // the 4th trace-block write tears and the daemon dies
+
+	rt := omp.New(omp.Config{NumThreads: 2})
+	defer rt.Close()
+	localDir := t.TempDir()
+	opts := tool.FullMeasurement()
+	opts.StreamDir = localDir
+	opts.IngestAddr = addr
+	opts.IngestRun = "crash-restart-v2"
+	opts.IngestDurable = true
+	opts.TraceV2 = true
+	opts.TraceCompress = true
+	tl, err := tool.AttachRuntime(rt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWorkload(t, rt, 300)
+
+	select {
+	case <-killed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("the crash write never fired: fewer than 4 blocks reached the server")
+	}
+	if got := plan.FiredCount(faultinject.KindCrashWrite); got != 1 {
+		t.Fatalf("crash write fired %d times, want 1", got)
+	}
+
+	srv2 := restartIngest(t, addr, ingest.Options{Dir: dataDir, FS: plan.IngestFS()})
+	if rec := srv2.Recovered(); rec.Salvaged == 0 {
+		t.Errorf("restart recovered %d runs but salvaged none; a torn-tail run was on disk", rec.Runs)
+	}
+
+	runWorkload(t, rt, 200)
+	tl.Detach()
+	if err := tl.StreamError(); err != nil {
+		t.Fatalf("stream error: %v", err)
+	}
+
+	rep := tl.Report()
+	if rep.IngestReconnects == 0 {
+		t.Error("the sink never reconnected across the daemon restart")
+	}
+	if rep.IngestDroppedChunks != 0 {
+		t.Errorf("%d chunks dropped across a recoverable daemon crash", rep.IngestDroppedChunks)
+	}
+	ri := waitRunWithin(t, srv2, "crash-restart-v2", 15*time.Second)
+	if !ri.Salvaged {
+		t.Error("the recovered run is not marked salvaged")
+	}
+	if ri.Chunks != rep.IngestShippedChunks {
+		t.Errorf("server landed %d chunks, client shipped %d", ri.Chunks, rep.IngestShippedChunks)
+	}
+	runDir := filepath.Join(dataDir, "crash-restart-v2")
+	requireV2Files(t, localDir)
+	requireByteIdentical(t, localDir, runDir)
+	checkAccounting(t, rep, plan, parseStreamDir(t, localDir))
+}

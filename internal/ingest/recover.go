@@ -298,12 +298,14 @@ func (s *Server) recoverLegacy(id, dir string, m *Manifest) (*run, error) {
 				return nil, err
 			}
 		}
-		// The prefix is whole blocks, so the trace reader counts its
-		// samples exactly; the registry and journal carry them forward.
+		// The prefix is whole blocks, so the skim counter walks it
+		// exactly — handling v1 and v2 blocks alike without
+		// materializing the samples; the registry and journal carry the
+		// count forward.
 		var prefixSamples uint32
 		if f, err := os.Open(path); err == nil {
-			if buf, err := perf.ReadTraceStream(f); err == nil && buf != nil {
-				prefixSamples = uint32(len(buf.Samples()))
+			if n, err := perf.CountStreamSamples(f); err == nil {
+				prefixSamples = uint32(n)
 			}
 			f.Close()
 		}

@@ -13,6 +13,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"goomp/internal/perf"
 )
 
 // The server applies the measurement pipeline's relay invariants at
@@ -98,6 +100,13 @@ type Options struct {
 	// FS, when non-nil, interposes on every persisted byte (fault
 	// injection). Nil means the real filesystem.
 	FS FS
+
+	// RefuseV2 refuses chunks carrying compact v2 ("PSX2") trace
+	// blocks with CodeUnsupported — for a daemon fronting readers that
+	// predate the v2 format (psxd -trace-v2=false). The default
+	// accepts both formats; storage and recovery are format-agnostic
+	// (the journal checksums the encoded bytes as shipped).
+	RefuseV2 bool
 }
 
 // item is one unit of ingest work handed to a run's writer goroutine.
@@ -553,6 +562,21 @@ func (s *Server) handleConn(c net.Conn) {
 			if err != nil {
 				s.badFrames.Add(1)
 				ack = Ack{Code: CodeBadFrame}
+				break
+			}
+			if s.opts.RefuseV2 && perf.IsV2Block(ck.Block) {
+				s.badFrames.Add(1)
+				ack = Ack{Seq: ck.Seq, Code: CodeUnsupported}
+				break
+			}
+			// The frame's declared sample count feeds the journal and the
+			// registry; verify it against the block bytes themselves
+			// (BlockSamples walks both formats — a fixed-record-width
+			// division would miscount every v2 block) instead of trusting
+			// the header.
+			if n, err := perf.BlockSamples(ck.Block); err != nil || n != uint64(ck.Samples) {
+				s.badFrames.Add(1)
+				ack = Ack{Seq: ck.Seq, Code: CodeBadFrame}
 				break
 			}
 			ack = Ack{Seq: ck.Seq, Code: s.accept(r, ck.Seq,

@@ -1,0 +1,83 @@
+package ingest
+
+import (
+	"bytes"
+	"testing"
+
+	"goomp/internal/perf"
+)
+
+// traceBlockV2 renders one valid v2 block of n samples for thread.
+func traceBlockV2(t *testing.T, thread int32, n int, flate bool) []byte {
+	t.Helper()
+	buf := perf.NewTraceBuffer(n, 0)
+	for i := 0; i < n; i++ {
+		buf.Append(perf.Sample{
+			Time: int64(i + 1), Thread: thread, Event: 0, State: -1,
+			Region: uint64(i), StackID: perf.NoStack,
+		})
+	}
+	var out bytes.Buffer
+	if err := perf.WriteTraceEnc(&out, buf, perf.Encoding{V2: true, Flate: flate}); err != nil {
+		t.Fatal(err)
+	}
+	return out.Bytes()
+}
+
+// TestChunkSampleCountCrossChecked pins the satellite-2 server-side
+// fix: a chunk whose header-declared sample count disagrees with what
+// its block bytes actually hold is refused with CodeBadFrame — the
+// count feeds the journal and registry and must not be trusted. Both
+// formats are checked; correct counts for both still land.
+func TestChunkSampleCountCrossChecked(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	tc, _ := dialClient(t, srv.Addr(), "xcheck")
+	defer tc.close()
+
+	v1 := traceBlock(t, 0, 5)
+	v2 := traceBlockV2(t, 0, 7, true)
+	if ack := tc.send(MsgChunk, EncodeChunk(Chunk{Seq: 1, Thread: 0, Samples: 5, Block: v1})); ack.Code != CodeOK {
+		t.Fatalf("correct v1 count refused: %v", ack.Code)
+	}
+	if ack := tc.send(MsgChunk, EncodeChunk(Chunk{Seq: 2, Thread: 0, Samples: 7, Block: v2})); ack.Code != CodeOK {
+		t.Fatalf("correct v2 count refused: %v", ack.Code)
+	}
+	if ack := tc.send(MsgChunk, EncodeChunk(Chunk{Seq: 3, Thread: 0, Samples: 6, Block: v1})); ack.Code != CodeBadFrame {
+		t.Fatalf("forged v1 count accepted: %v", ack.Code)
+	}
+	if ack := tc.send(MsgChunk, EncodeChunk(Chunk{Seq: 3, Thread: 0, Samples: 8, Block: v2})); ack.Code != CodeBadFrame {
+		t.Fatalf("forged v2 count accepted: %v", ack.Code)
+	}
+	// A structurally torn block is refused outright, not stored.
+	if ack := tc.send(MsgChunk, EncodeChunk(Chunk{Seq: 3, Thread: 0, Samples: 5, Block: v1[:len(v1)-3]})); ack.Code != CodeBadFrame {
+		t.Fatalf("torn block accepted: %v", ack.Code)
+	}
+	// The refused frames did not advance the sequence: seq 3 with a
+	// correct frame still lands.
+	if ack := tc.send(MsgChunk, EncodeChunk(Chunk{Seq: 3, Thread: 0, Samples: 5, Block: v1})); ack.Code != CodeOK {
+		t.Fatalf("sequence burned by refused frames: %v", ack.Code)
+	}
+}
+
+// TestRefuseV2Policy: a daemon running -trace-v2=false refuses PSX2
+// chunks with CodeUnsupported but keeps accepting v1.
+func TestRefuseV2Policy(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", Options{Dir: t.TempDir(), RefuseV2: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	tc, _ := dialClient(t, srv.Addr(), "refusev2")
+	defer tc.close()
+
+	if ack := tc.send(MsgChunk, EncodeChunk(Chunk{Seq: 1, Thread: 0, Samples: 3, Block: traceBlock(t, 0, 3)})); ack.Code != CodeOK {
+		t.Fatalf("v1 refused under RefuseV2: %v", ack.Code)
+	}
+	if ack := tc.send(MsgChunk, EncodeChunk(Chunk{Seq: 2, Thread: 0, Samples: 3, Block: traceBlockV2(t, 0, 3, false)})); ack.Code != CodeUnsupported {
+		t.Fatalf("v2 not refused under RefuseV2: %v", ack.Code)
+	}
+}

@@ -41,7 +41,7 @@ const ProtoVersion = 1
 // Message kinds. The kind byte follows the length prefix.
 const (
 	MsgHello     uint8 = 1 // client: run metadata; must be first
-	MsgChunk     uint8 = 2 // client: one PSXT trace block
+	MsgChunk     uint8 = 2 // client: one trace block (PSXT or PSX2)
 	MsgSeal      uint8 = 3 // client: thread's stream is complete
 	MsgHeartbeat uint8 = 4 // client: liveness while idle
 	MsgBye       uint8 = 5 // client: run complete

@@ -29,6 +29,23 @@ func FuzzReadTrace(f *testing.F) {
 	corrupt := append([]byte(nil), valid.Bytes()...)
 	corrupt[10] ^= 0xFF
 	f.Add(corrupt)
+	// v2 seeds: plain and flate-compressed blocks, a bare magic, and a
+	// corrupt-payload variant (CRC must reject, never panic).
+	var v2, v2z bytes.Buffer
+	if err := WriteTraceEnc(&v2, b, Encoding{V2: true}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2.Bytes())
+	if err := WriteTraceEnc(&v2z, b, Encoding{V2: true, Flate: true}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2z.Bytes())
+	f.Add([]byte("PSX2"))
+	corrupt2 := append([]byte(nil), v2.Bytes()...)
+	corrupt2[len(corrupt2)-1] ^= 0xFF
+	f.Add(corrupt2)
+	hdrOnly := append([]byte(nil), v2.Bytes()[:v2HeaderLen]...)
+	f.Add(hdrOnly)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := ReadTrace(bytes.NewReader(data))

@@ -59,14 +59,25 @@ func readHangReport(br *bufio.Reader) (string, error) {
 	return string(buf), nil
 }
 
-// ReadTraceStreamReports reads a stream of concatenated PSXT trace
-// blocks and PSXR hang-report blocks, merging the samples like
-// ReadTraceStream and collecting the report texts in stream order.
-// The same salvage contract applies: on a torn stream the gap-free
-// prefix (and any reports before the damage) is returned alongside an
-// error wrapping ErrBadTrace.
+// ReadTraceStreamReports reads a stream of concatenated trace blocks
+// (v1 "PSXT" and v2 "PSX2" in any mix) and PSXR hang-report blocks,
+// merging the samples like ReadTraceStream and collecting the report
+// texts in stream order. The same salvage contract applies: on a torn
+// stream the gap-free prefix (and any reports before the damage) is
+// returned alongside an error wrapping ErrBadTrace.
+//
+// On sized streams (regular files, byte readers) each block's
+// header-declared extent — sample count × record width for v1, the
+// declared payload length for v2 — is cross-checked against the bytes
+// actually remaining before the block is parsed. A final block whose
+// header promises more than the stream holds is a torn tail: it
+// reports the typed ErrCountMismatch instead of whatever the
+// misaligned bytes happen to parse as (v1's untagged record array can
+// otherwise misparse a forged count silently).
 func ReadTraceStreamReports(r io.Reader) (*TraceBuffer, []string, error) {
-	br := bufio.NewReader(r)
+	total, sized := streamRemaining(r)
+	cr := &countingReader{r: r}
+	br := bufio.NewReader(cr)
 	merged := NewTraceBuffer(0, 0)
 	var reports []string
 	for {
@@ -84,6 +95,14 @@ func ReadTraceStreamReports(r io.Reader) (*TraceBuffer, []string, error) {
 			}
 			reports = append(reports, text)
 			continue
+		}
+		if sized {
+			// Bytes of r consumed so far = pulled by the buffer minus
+			// what it still holds; the rest is what this block may use.
+			remaining := total - (cr.n - int64(br.Buffered()))
+			if err := precheckBlockSize(br, remaining); err != nil {
+				return merged, reports, err
+			}
 		}
 		block, err := ReadTrace(br)
 		if err != nil {
@@ -104,4 +123,37 @@ func ReadTraceStreamReports(r io.Reader) (*TraceBuffer, []string, error) {
 		}
 		merged.dropped.Add(block.Dropped())
 	}
+}
+
+// precheckBlockSize cross-checks the next block's header-declared
+// extent against the bytes remaining in a sized stream, returning
+// ErrCountMismatch when the header promises more than the stream
+// holds. Short or implausible headers return nil — the parser's own
+// error is more precise for those.
+func precheckBlockSize(br *bufio.Reader, remaining int64) error {
+	head, _ := br.Peek(v2HeaderLen)
+	if len(head) < 4 {
+		return nil
+	}
+	switch {
+	case bytes.Equal(head[:4], traceV2Magic[:]):
+		if len(head) < v2HeaderLen {
+			return nil
+		}
+		plen := binary.LittleEndian.Uint64(head[36:44])
+		if plen <= maxV2Payload && v2HeaderLen+int64(plen) > remaining {
+			return ErrCountMismatch
+		}
+	case bytes.Equal(head[:4], traceMagic[:]):
+		if len(head) < 16 {
+			return nil
+		}
+		ns := binary.LittleEndian.Uint64(head[8:16])
+		// Minimum footprint past the records: the stack-table count and
+		// the dropped counter, eight bytes each.
+		if ns <= maxReasonable && 16+int64(ns)*sampleRecordLen+16 > remaining {
+			return ErrCountMismatch
+		}
+	}
+	return nil
 }

@@ -2,6 +2,7 @@ package perf
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -29,6 +30,13 @@ const NoStack int32 = -1
 // hand-off to the streaming writer.
 const ChunkSamples = 256
 
+// cacheLinePad separates writer-private state from cross-thread
+// counters inside the hot structs. Buffers are per-P/per-thread by
+// construction; the padding removes the residual false sharing between
+// the owning thread's cursor updates and the snapshot readers' and
+// Report's counter loads landing on the same line.
+const cacheLinePad = 64
+
 // chunk is one fixed-size segment of a trace buffer. The owning thread
 // fills samples[wn] and stacks[wns] (writer-private cursors) and then
 // publishes each entry with a release-store of the corresponding count;
@@ -46,6 +54,11 @@ type chunk struct {
 	stackBase int32
 
 	wn, wns int32 // writer-private cursors; nobody else reads these
+
+	// Keep the published counters off the writer's cursor line: the
+	// owning thread stores wn/wns every append while snapshot readers
+	// spin loading n/nStacks.
+	_ [cacheLinePad - 12]byte
 
 	n       atomic.Int32 // published sample count
 	nStacks atomic.Int32 // published stack count
@@ -99,6 +112,7 @@ func (s *SealedChunk) Encode(w io.Writer) error {
 // callbacks before its final flush.
 type TraceBuffer struct {
 	state atomic.Pointer[bufState]
+	_     [cacheLinePad - 8]byte // readers load state; keep it off the writer's line
 
 	// Writer-private fields, touched only by the owning thread.
 	active   *chunk // the chunk being filled
@@ -112,6 +126,7 @@ type TraceBuffer struct {
 	// consumer falls behind the chunk is discarded and accounted.
 	relay  chan<- *SealedChunk
 	thread int32
+	_      [cacheLinePad - 44 - 4]byte // Report polls the drop counters below
 
 	dropped    atomic.Uint64 // samples lost to the limit or a full relay
 	relayDrops atomic.Uint64 // sealed chunks discarded on a full relay
@@ -447,6 +462,13 @@ var traceMagic = [4]byte{'P', 'S', 'X', 'T'}
 
 const traceVersion = 2
 
+// sampleRecordLen is the fixed wire size of one v1 sample record:
+// Time u64, Thread/Event/State u32, Region/Site u64, StackID u32.
+// Only the v1 format has a meaningful record width; v2 blocks are
+// variable-width, so counts must never be derived by dividing a byte
+// length by this (use CountStreamSamples / BlockSamples instead).
+const sampleRecordLen = 40
+
 // ErrBadTrace reports a malformed trace stream.
 var ErrBadTrace = errors.New("perf: malformed trace stream")
 
@@ -547,9 +569,34 @@ func writeBlock(w io.Writer, views []chunkView, base0 int32, dropped uint64) err
 	return bw.Flush()
 }
 
-// ReadTrace deserializes a trace stream written by WriteTrace.
+// ReadTrace deserializes one trace block written by WriteTrace,
+// WriteTraceEnc or SealedChunk.EncodeWith, auto-detecting the block
+// format (fixed-width v1 "PSXT" or compact v2 "PSX2") from its magic.
 func ReadTrace(r io.Reader) (*TraceBuffer, error) {
-	br := bufio.NewReader(r)
+	br := asBufReader(r)
+	head, err := br.Peek(4)
+	if len(head) < 4 {
+		// Mirror io.ReadFull on the old magic read: EOF with no bytes,
+		// ErrUnexpectedEOF on a partial header.
+		if len(head) == 0 {
+			if err == nil || err == io.EOF {
+				return nil, io.EOF
+			}
+			return nil, err
+		}
+		if err == nil || err == io.EOF {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	if bytes.Equal(head, traceV2Magic[:]) {
+		return readTraceV2(br)
+	}
+	return readTraceV1(br)
+}
+
+// readTraceV1 consumes one fixed-width PSXT block (magic included).
+func readTraceV1(br *bufio.Reader) (*TraceBuffer, error) {
 	var scratch [8]byte
 	get32 := func() (uint32, error) {
 		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
@@ -581,7 +628,6 @@ func ReadTrace(r io.Reader) (*TraceBuffer, error) {
 	if err != nil {
 		return nil, err
 	}
-	const maxReasonable = 1 << 26
 	if ns > maxReasonable {
 		return nil, ErrBadTrace
 	}
@@ -637,7 +683,7 @@ func ReadTrace(r io.Reader) (*TraceBuffer, error) {
 		if err != nil {
 			return nil, ErrBadTrace
 		}
-		if depth > 4096 {
+		if depth > maxStackDepth {
 			return nil, ErrBadTrace
 		}
 		st := make([]uintptr, depth)

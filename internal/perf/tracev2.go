@@ -1,0 +1,654 @@
+package perf
+
+import (
+	"bufio"
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"strings"
+)
+
+// Trace format v2: the compact block encoding that keeps always-on
+// capture affordable at fleet scale. A v1 block spends a fixed 40
+// bytes per sample; most of those bytes are redundancy — timestamps
+// are monotone within a chunk, the thread column is constant, region
+// and site IDs repeat, and join stacks recur. A v2 block stores the
+// same samples as delta-of-previous zigzag-varint columns, the block's
+// stacks as a content-deduplicated dictionary, and (optionally) the
+// whole payload deflated with the stdlib flate — all work done in the
+// writer/streamer goroutine, never on the recording thread.
+//
+// Layout (little-endian):
+//
+//	magic "PSX2", version uint32
+//	flags uint32 (bit 0: payload is flate-compressed)
+//	nsamples uint64, nstacks uint64 (dictionary entries), dropped uint64
+//	payloadLen uint64, payloadCRC uint32 (IEEE, over the stored bytes)
+//	payloadLen bytes of payload
+//
+// The payload (after decompression when flagged) is columnar:
+//
+//	times    nsamples × varint(zigzag(delta of previous, starting 0))
+//	threads  nsamples × varint(zigzag(delta))
+//	events   nsamples × varint(zigzag(value))
+//	states   nsamples × varint(zigzag(value))
+//	regions  nsamples × varint(zigzag(delta))
+//	sites    nsamples × varint(zigzag(delta))
+//	stackIDs nsamples × varint(zigzag(dictionary index, or -1))
+//	stacks   nstacks × (uvarint depth, depth × varint(zigzag(PC delta)))
+//
+// Unlike v1, the header states the payload's exact byte extent and its
+// checksum, so a block whose declared counts disagree with its bytes
+// is structurally detectable: the declared extent either fails the CRC
+// or fails to decode to exactly the declared counts. The CRC covers
+// the stored (post-compression) bytes — the same bytes a journal or a
+// resend path checksums — so one hash guards both the wire copy and
+// the disk copy.
+
+var traceV2Magic = [4]byte{'P', 'S', 'X', '2'}
+
+const (
+	traceV2Version = 1
+
+	// flagV2Flate marks a flate-compressed payload.
+	flagV2Flate = 1 << 0
+
+	// maxReasonable caps header-declared sample/stack counts, shared
+	// with the v1 reader: a corrupt header must not drive a huge
+	// parse loop.
+	maxReasonable = 1 << 26
+
+	// maxV2Payload caps the declared payload extent of one v2 block.
+	maxV2Payload = 1 << 30
+
+	// maxStackDepth caps one callstack's declared depth (both formats).
+	maxStackDepth = 4096
+
+	v2HeaderLen = 48
+)
+
+// Encoding selects the block format trace writers emit. The zero value
+// is the fixed-width v1 format every reader has always understood; V2
+// selects the compact columnar format, and Flate additionally deflates
+// each v2 block's payload. Readers auto-detect the format per block,
+// so traces may freely mix v1 and v2 blocks in one stream.
+type Encoding struct {
+	V2    bool
+	Flate bool
+}
+
+// EncodingFromEnv builds an Encoding from the GOMP_TRACE_V2 and
+// GOMP_TRACE_COMPRESS environment knobs (1/true/yes/on enable;
+// compression implies v2).
+func EncodingFromEnv() Encoding {
+	enc := Encoding{
+		V2:    envTrue(os.Getenv("GOMP_TRACE_V2")),
+		Flate: envTrue(os.Getenv("GOMP_TRACE_COMPRESS")),
+	}
+	if enc.Flate {
+		enc.V2 = true
+	}
+	return enc
+}
+
+func envTrue(v string) bool {
+	switch strings.ToLower(v) {
+	case "1", "true", "yes", "on":
+		return true
+	}
+	return false
+}
+
+// ErrCountMismatch reports a trace block whose header-declared sample
+// count disagrees with the payload bytes actually present — a torn
+// tail. It wraps ErrBadTrace, so the salvage contract (gap-free prefix
+// plus a non-nil error) is unchanged; the typed sentinel only names
+// the damage precisely.
+var ErrCountMismatch = fmt.Errorf("%w: declared sample count disagrees with payload length", ErrBadTrace)
+
+// EncodeWith writes the chunk as one self-contained trace block in the
+// given encoding (stack IDs rebased to the chunk's own table), suitable
+// for ReadTraceStream. EncodeWith with a zero Encoding is Encode.
+func (s *SealedChunk) EncodeWith(w io.Writer, enc Encoding) error {
+	if !enc.V2 {
+		return s.Encode(w)
+	}
+	c := s.c
+	return writeBlockV2(w, []chunkView{{c: c, n: c.n.Load(), nst: c.nStacks.Load()}},
+		c.stackBase, 0, enc.Flate)
+}
+
+// WriteTraceEnc serializes a snapshot of the buffer to w in the given
+// encoding; WriteTraceEnc with a zero Encoding is WriteTrace.
+func WriteTraceEnc(w io.Writer, b *TraceBuffer, enc Encoding) error {
+	if !enc.V2 {
+		return WriteTrace(w, b)
+	}
+	views, base0 := b.snapshot()
+	return writeBlockV2(w, views, base0, b.dropped.Load(), enc.Flate)
+}
+
+// IsV2Block reports whether b begins with a v2 trace block header.
+func IsV2Block(b []byte) bool {
+	return len(b) >= 4 && bytes.Equal(b[:4], traceV2Magic[:])
+}
+
+// zigzag maps signed values to unsigned ones with small absolute
+// values staying small (the protobuf encoding): 0→0, -1→1, 1→2, …
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// writeBlockV2 serializes one v2 trace block from chunk views: the
+// compact twin of writeBlock. Sample stack IDs are rebased by base0
+// and remapped into the block's deduplicated dictionary; IDs falling
+// outside the captured stack table degrade to NoStack, exactly as in
+// v1.
+func writeBlockV2(w io.Writer, views []chunkView, base0 int32, dropped uint64, compress bool) error {
+	var nsamples, nstacks uint64
+	for _, v := range views {
+		nsamples += uint64(v.n)
+		nstacks += uint64(v.nst)
+	}
+
+	// Deduplicate the block's stacks into a dictionary: join-heavy
+	// traces intern the same few callstacks over and over, so the
+	// dictionary collapses them to one entry plus small indices.
+	dict := make([][]uintptr, 0, nstacks)
+	index := make(map[string]int32, nstacks)
+	toDict := make([]int32, 0, nstacks)
+	var keyBuf []byte
+	for _, v := range views {
+		for i := int32(0); i < v.nst; i++ {
+			st := v.c.stacks[i]
+			keyBuf = keyBuf[:0]
+			for _, pc := range st {
+				keyBuf = binary.LittleEndian.AppendUint64(keyBuf, uint64(pc))
+			}
+			id, ok := index[string(keyBuf)]
+			if !ok {
+				id = int32(len(dict))
+				dict = append(dict, st)
+				index[string(keyBuf)] = id
+			}
+			toDict = append(toDict, id)
+		}
+	}
+
+	var raw bytes.Buffer
+	var scratch [binary.MaxVarintLen64]byte
+	putv := func(u uint64) {
+		raw.Write(scratch[:binary.PutUvarint(scratch[:], u)])
+	}
+	// One pass per column: within a column the deltas stay small, so
+	// each varint stays short.
+	var prev int64
+	for _, v := range views {
+		for i := int32(0); i < v.n; i++ {
+			t := v.c.samples[i].Time
+			putv(zigzag(t - prev))
+			prev = t
+		}
+	}
+	prev = 0
+	for _, v := range views {
+		for i := int32(0); i < v.n; i++ {
+			th := int64(v.c.samples[i].Thread)
+			putv(zigzag(th - prev))
+			prev = th
+		}
+	}
+	for _, v := range views {
+		for i := int32(0); i < v.n; i++ {
+			putv(zigzag(int64(v.c.samples[i].Event)))
+		}
+	}
+	for _, v := range views {
+		for i := int32(0); i < v.n; i++ {
+			putv(zigzag(int64(v.c.samples[i].State)))
+		}
+	}
+	var uprev uint64
+	for _, v := range views {
+		for i := int32(0); i < v.n; i++ {
+			r := v.c.samples[i].Region
+			putv(zigzag(int64(r - uprev))) // two's-complement delta: wrap-safe
+			uprev = r
+		}
+	}
+	uprev = 0
+	for _, v := range views {
+		for i := int32(0); i < v.n; i++ {
+			st := v.c.samples[i].Site
+			putv(zigzag(int64(st - uprev)))
+			uprev = st
+		}
+	}
+	for _, v := range views {
+		for i := int32(0); i < v.n; i++ {
+			sid := v.c.samples[i].StackID
+			out := int64(NoStack)
+			if sid != NoStack {
+				if rel := sid - base0; rel >= 0 && uint64(rel) < nstacks {
+					out = int64(toDict[rel])
+				}
+			}
+			putv(zigzag(out))
+		}
+	}
+	for _, st := range dict {
+		putv(uint64(len(st)))
+		var pcprev uint64
+		for _, pc := range st {
+			putv(zigzag(int64(uint64(pc) - pcprev)))
+			pcprev = uint64(pc)
+		}
+	}
+
+	stored := raw.Bytes()
+	var flags uint32
+	if compress {
+		var zb bytes.Buffer
+		zw, err := flate.NewWriter(&zb, flate.BestSpeed)
+		if err != nil {
+			return err
+		}
+		if _, err := zw.Write(stored); err != nil {
+			return err
+		}
+		if err := zw.Close(); err != nil {
+			return err
+		}
+		stored = zb.Bytes()
+		flags |= flagV2Flate
+	}
+
+	var hdr [v2HeaderLen]byte
+	copy(hdr[:4], traceV2Magic[:])
+	binary.LittleEndian.PutUint32(hdr[4:8], traceV2Version)
+	binary.LittleEndian.PutUint32(hdr[8:12], flags)
+	binary.LittleEndian.PutUint64(hdr[12:20], nsamples)
+	binary.LittleEndian.PutUint64(hdr[20:28], uint64(len(dict)))
+	binary.LittleEndian.PutUint64(hdr[28:36], dropped)
+	binary.LittleEndian.PutUint64(hdr[36:44], uint64(len(stored)))
+	binary.LittleEndian.PutUint32(hdr[44:48], crc32.ChecksumIEEE(stored))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(stored)
+	return err
+}
+
+// crcReader checksums the bytes it passes through.
+type crcReader struct {
+	r   io.Reader
+	crc uint32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+// readTraceV2 consumes one PSX2 block (magic included) from br. The
+// payload is decoded streaming — no header-sized allocation happens
+// before the bytes actually parse — and validated three ways: the
+// declared extent must be present, its CRC must match, and it must
+// decode to exactly the declared sample and stack counts.
+func readTraceV2(br *bufio.Reader) (*TraceBuffer, error) {
+	var hdr [v2HeaderLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: truncated v2 header", ErrBadTrace)
+	}
+	if !bytes.Equal(hdr[:4], traceV2Magic[:]) {
+		return nil, ErrBadTrace
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != traceV2Version {
+		return nil, fmt.Errorf("perf: unsupported v2 trace version %d", v)
+	}
+	flags := binary.LittleEndian.Uint32(hdr[8:12])
+	ns := binary.LittleEndian.Uint64(hdr[12:20])
+	nst := binary.LittleEndian.Uint64(hdr[20:28])
+	dropped := binary.LittleEndian.Uint64(hdr[28:36])
+	plen := binary.LittleEndian.Uint64(hdr[36:44])
+	wantCRC := binary.LittleEndian.Uint32(hdr[44:48])
+	if ns > maxReasonable || nst > maxReasonable || plen > maxV2Payload {
+		return nil, ErrBadTrace
+	}
+
+	lr := &io.LimitedReader{R: br, N: int64(plen)}
+	cr := &crcReader{r: lr}
+	var src io.Reader = cr
+	if flags&flagV2Flate != 0 {
+		fr := flate.NewReader(cr)
+		defer fr.Close()
+		src = fr
+	}
+	pr := bufio.NewReader(src)
+	getv := func() (uint64, error) { return binary.ReadUvarint(pr) }
+
+	prealloc := int(ns)
+	if prealloc > 1<<16 {
+		prealloc = 1 << 16
+	}
+	cap32 := func(n uint64) int {
+		if n < 1<<16 {
+			return int(n)
+		}
+		return 1 << 16
+	}
+	times := make([]int64, 0, cap32(ns))
+	var prev int64
+	for i := uint64(0); i < ns; i++ {
+		u, err := getv()
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated v2 payload", ErrBadTrace)
+		}
+		prev += unzigzag(u)
+		times = append(times, prev)
+	}
+	col32 := func() ([]int32, error) {
+		out := make([]int32, 0, cap32(ns))
+		var p int64
+		for i := uint64(0); i < ns; i++ {
+			u, err := getv()
+			if err != nil {
+				return nil, fmt.Errorf("%w: truncated v2 payload", ErrBadTrace)
+			}
+			p += unzigzag(u)
+			out = append(out, int32(p))
+		}
+		return out, nil
+	}
+	threads, err := col32()
+	if err != nil {
+		return nil, err
+	}
+	colRaw32 := func() ([]int32, error) {
+		out := make([]int32, 0, cap32(ns))
+		for i := uint64(0); i < ns; i++ {
+			u, err := getv()
+			if err != nil {
+				return nil, fmt.Errorf("%w: truncated v2 payload", ErrBadTrace)
+			}
+			out = append(out, int32(unzigzag(u)))
+		}
+		return out, nil
+	}
+	events, err := colRaw32()
+	if err != nil {
+		return nil, err
+	}
+	states, err := colRaw32()
+	if err != nil {
+		return nil, err
+	}
+	col64 := func() ([]uint64, error) {
+		out := make([]uint64, 0, cap32(ns))
+		var p uint64
+		for i := uint64(0); i < ns; i++ {
+			u, err := getv()
+			if err != nil {
+				return nil, fmt.Errorf("%w: truncated v2 payload", ErrBadTrace)
+			}
+			p += uint64(unzigzag(u))
+			out = append(out, p)
+		}
+		return out, nil
+	}
+	regions, err := col64()
+	if err != nil {
+		return nil, err
+	}
+	sites, err := col64()
+	if err != nil {
+		return nil, err
+	}
+	stackIDs := make([]int32, 0, cap32(ns))
+	for i := uint64(0); i < ns; i++ {
+		u, err := getv()
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated v2 payload", ErrBadTrace)
+		}
+		id := unzigzag(u)
+		if id != int64(NoStack) && (id < 0 || uint64(id) >= nst) {
+			return nil, fmt.Errorf("%w: v2 stack index out of dictionary range", ErrBadTrace)
+		}
+		stackIDs = append(stackIDs, int32(id))
+	}
+
+	b := NewTraceBuffer(prealloc, 0)
+	for i := uint64(0); i < nst; i++ {
+		depth, err := getv()
+		if err != nil || depth > maxStackDepth {
+			return nil, fmt.Errorf("%w: bad v2 stack entry", ErrBadTrace)
+		}
+		st := make([]uintptr, depth)
+		var pcprev uint64
+		for j := range st {
+			u, err := getv()
+			if err != nil {
+				return nil, fmt.Errorf("%w: truncated v2 stack", ErrBadTrace)
+			}
+			pcprev += uint64(unzigzag(u))
+			st[j] = uintptr(pcprev)
+		}
+		b.InternStack(st)
+	}
+
+	// The payload must decode to exactly the declared counts: no
+	// decoded bytes may remain, the declared extent must be fully
+	// present, and its checksum must match.
+	if _, err := pr.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("%w: v2 payload larger than declared counts", ErrBadTrace)
+	}
+	if _, err := io.Copy(io.Discard, cr); err != nil {
+		return nil, fmt.Errorf("%w: truncated v2 payload", ErrBadTrace)
+	}
+	if lr.N != 0 {
+		return nil, fmt.Errorf("%w: truncated v2 payload", ErrBadTrace)
+	}
+	if cr.crc != wantCRC {
+		return nil, fmt.Errorf("%w: v2 payload checksum mismatch", ErrBadTrace)
+	}
+
+	for i := range times {
+		b.Append(Sample{
+			Time:    times[i],
+			Thread:  threads[i],
+			Event:   events[i],
+			State:   states[i],
+			Region:  regions[i],
+			Site:    sites[i],
+			StackID: stackIDs[i],
+		})
+	}
+	b.dropped.Store(dropped)
+	return b, nil
+}
+
+// CountStreamSamples walks a stream of concatenated trace blocks (v1,
+// v2, and PSXR report blocks in any mix) and returns the total sample
+// count they declare, validating each block's structure along the way
+// — v2 blocks additionally have their payload checksum verified. It is
+// the one place sample counts are derived from encoded bytes: with
+// variable-width v2 blocks in the world, dividing a byte length by a
+// record width silently miscounts, so every such call site routes
+// through here (or through a full ReadTraceStream).
+//
+// Like the readers, it follows the salvage contract: a torn stream
+// returns the count of the gap-free prefix alongside an error wrapping
+// ErrBadTrace.
+func CountStreamSamples(r io.Reader) (uint64, error) {
+	br := asBufReader(r)
+	var total uint64
+	for {
+		head, err := br.Peek(4)
+		if len(head) < 4 {
+			if len(head) == 0 && (err == io.EOF || err == nil) {
+				return total, nil
+			}
+			if err == io.EOF {
+				return total, fmt.Errorf("%w: truncated block", ErrBadTrace)
+			}
+			return total, err
+		}
+		switch {
+		case bytes.Equal(head, reportMagic[:]):
+			if _, err := readHangReport(br); err != nil {
+				return total, err
+			}
+		case bytes.Equal(head, traceV2Magic[:]):
+			n, err := skimBlockV2(br)
+			if err != nil {
+				return total, err
+			}
+			total += n
+		case bytes.Equal(head, traceMagic[:]):
+			n, err := skimBlockV1(br)
+			if err != nil {
+				return total, err
+			}
+			total += n
+		default:
+			return total, ErrBadTrace
+		}
+	}
+}
+
+// BlockSamples returns the sample count carried by block, a byte slice
+// holding whole encoded trace blocks (one staged chunk, a residue
+// block, or any concatenation), validating the bytes fully — a torn or
+// corrupt block is an error, never a partial count. Ingest-side
+// consumers use it to cross-check a frame's header-declared count
+// against the bytes it actually carries.
+func BlockSamples(block []byte) (uint64, error) {
+	return CountStreamSamples(bytes.NewReader(block))
+}
+
+// skimBlockV1 consumes one v1 PSXT block without materializing it and
+// returns its declared sample count.
+func skimBlockV1(br *bufio.Reader) (uint64, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, fmt.Errorf("%w: truncated block", ErrBadTrace)
+	}
+	if !bytes.Equal(hdr[:4], traceMagic[:]) {
+		return 0, ErrBadTrace
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != traceVersion {
+		return 0, fmt.Errorf("perf: unsupported trace version %d", v)
+	}
+	ns := binary.LittleEndian.Uint64(hdr[8:16])
+	if ns > maxReasonable {
+		return 0, ErrBadTrace
+	}
+	if err := discard(br, int64(ns)*sampleRecordLen); err != nil {
+		return 0, err
+	}
+	var f [8]byte
+	if _, err := io.ReadFull(br, f[:]); err != nil {
+		return 0, fmt.Errorf("%w: truncated block", ErrBadTrace)
+	}
+	nst := binary.LittleEndian.Uint64(f[:])
+	if nst > maxReasonable {
+		return 0, ErrBadTrace
+	}
+	for i := uint64(0); i < nst; i++ {
+		var d [4]byte
+		if _, err := io.ReadFull(br, d[:]); err != nil {
+			return 0, fmt.Errorf("%w: truncated block", ErrBadTrace)
+		}
+		depth := binary.LittleEndian.Uint32(d[:])
+		if depth > maxStackDepth {
+			return 0, ErrBadTrace
+		}
+		if err := discard(br, int64(depth)*8); err != nil {
+			return 0, err
+		}
+	}
+	if _, err := io.ReadFull(br, f[:]); err != nil { // dropped
+		return 0, fmt.Errorf("%w: truncated block", ErrBadTrace)
+	}
+	return ns, nil
+}
+
+// skimBlockV2 consumes one v2 PSX2 block, verifying the payload extent
+// and checksum, and returns its declared sample count.
+func skimBlockV2(br *bufio.Reader) (uint64, error) {
+	var hdr [v2HeaderLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, fmt.Errorf("%w: truncated v2 header", ErrBadTrace)
+	}
+	ns := binary.LittleEndian.Uint64(hdr[12:20])
+	nst := binary.LittleEndian.Uint64(hdr[20:28])
+	plen := binary.LittleEndian.Uint64(hdr[36:44])
+	wantCRC := binary.LittleEndian.Uint32(hdr[44:48])
+	if ns > maxReasonable || nst > maxReasonable || plen > maxV2Payload {
+		return 0, ErrBadTrace
+	}
+	crc := uint32(0)
+	remaining := int64(plen)
+	var buf [4096]byte
+	for remaining > 0 {
+		n := int64(len(buf))
+		if remaining < n {
+			n = remaining
+		}
+		m, err := io.ReadFull(br, buf[:n])
+		crc = crc32.Update(crc, crc32.IEEETable, buf[:m])
+		if err != nil {
+			return 0, fmt.Errorf("%w: truncated v2 payload", ErrBadTrace)
+		}
+		remaining -= int64(m)
+	}
+	if crc != wantCRC {
+		return 0, fmt.Errorf("%w: v2 payload checksum mismatch", ErrBadTrace)
+	}
+	return ns, nil
+}
+
+func discard(br *bufio.Reader, n int64) error {
+	if _, err := io.CopyN(io.Discard, br, n); err != nil {
+		return fmt.Errorf("%w: truncated block", ErrBadTrace)
+	}
+	return nil
+}
+
+// asBufReader returns r itself when it already is a *bufio.Reader (so
+// byte accounting like ValidStreamPrefixLen's keeps working across
+// nested readers) and wraps it otherwise.
+func asBufReader(r io.Reader) *bufio.Reader {
+	if br, ok := r.(*bufio.Reader); ok {
+		return br
+	}
+	return bufio.NewReader(r)
+}
+
+// streamRemaining reports how many bytes remain in r when r exposes
+// its size (regular files, byte and string readers); ok is false for
+// unsized streams (pipes, sockets), which skip the pre-parse
+// count-versus-length cross-check and rely on parse errors alone.
+func streamRemaining(r io.Reader) (int64, bool) {
+	type lener interface{ Len() int }
+	switch v := r.(type) {
+	case lener:
+		return int64(v.Len()), true
+	case *os.File:
+		st, err := v.Stat()
+		if err != nil || !st.Mode().IsRegular() {
+			return 0, false
+		}
+		off, err := v.Seek(0, io.SeekCurrent)
+		if err != nil {
+			return 0, false
+		}
+		return st.Size() - off, true
+	}
+	return 0, false
+}

@@ -1,0 +1,430 @@
+package perf
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// resolvedSample is a sample with its stack ID replaced by the stack's
+// contents: v2's dictionary deduplication legitimately renumbers stack
+// IDs, so equivalence across encodings is judged on what the IDs
+// resolve to, never on the IDs themselves.
+type resolvedSample struct {
+	s     Sample
+	stack []uintptr
+}
+
+func resolve(b *TraceBuffer) []resolvedSample {
+	out := make([]resolvedSample, 0, b.Len())
+	for _, s := range b.Samples() {
+		rs := resolvedSample{s: s, stack: b.Stack(s.StackID)}
+		rs.s.StackID = 0
+		out = append(out, rs)
+	}
+	return out
+}
+
+func sameResolved(a, b []resolvedSample) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].s != b[i].s {
+			return false
+		}
+		if len(a[i].stack) != len(b[i].stack) {
+			return false
+		}
+		for j := range a[i].stack {
+			if a[i].stack[j] != b[i].stack[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func roundTripV2(t *testing.T, b *TraceBuffer, enc Encoding) *TraceBuffer {
+	t.Helper()
+	var out bytes.Buffer
+	if err := WriteTraceEnc(&out, b, enc); err != nil {
+		t.Fatalf("WriteTraceEnc(%+v): %v", enc, err)
+	}
+	got, err := ReadTrace(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadTrace(%+v): %v", enc, err)
+	}
+	return got
+}
+
+func TestV2RoundTripBasic(t *testing.T) {
+	b := NewTraceBuffer(0, 0)
+	sid := b.InternStack([]uintptr{0x400010, 0x400120, 0x7f0000000000})
+	b.Append(Sample{Time: 100, Thread: 0, Event: 2, State: 3, Region: 7, Site: 0x400010, StackID: sid})
+	b.Append(Sample{Time: 90, Thread: 1, Event: -1, State: -1, Region: 7, Site: 0x400010, StackID: NoStack})
+	sid2 := b.InternStack([]uintptr{0x400010, 0x400120, 0x7f0000000000}) // duplicate: dictionary collapses it
+	b.Append(Sample{Time: 5000, Thread: 1, Event: 0, State: 1, Region: 8, Site: 0x400300, StackID: sid2})
+	b.dropped.Store(17)
+
+	for _, enc := range []Encoding{{V2: true}, {V2: true, Flate: true}} {
+		got := roundTripV2(t, b, enc)
+		if !sameResolved(resolve(b), resolve(got)) {
+			t.Fatalf("%+v: round trip changed resolved samples", enc)
+		}
+		if got.Dropped() != 17 {
+			t.Fatalf("%+v: dropped = %d, want 17", enc, got.Dropped())
+		}
+		if got.NumStacks() != 1 {
+			t.Fatalf("%+v: dictionary kept %d stacks, want 1 (dedup)", enc, got.NumStacks())
+		}
+	}
+}
+
+func TestV2RoundTripEmpty(t *testing.T) {
+	for _, enc := range []Encoding{{V2: true}, {V2: true, Flate: true}} {
+		got := roundTripV2(t, NewTraceBuffer(0, 0), enc)
+		if got.Len() != 0 || got.NumStacks() != 0 || got.Dropped() != 0 {
+			t.Fatalf("%+v: empty buffer round trip not empty", enc)
+		}
+	}
+}
+
+// TestV2VarintEdges pins the encoding at varint width boundaries and
+// extreme deltas: one-to-two-byte edges (deltas ±63/±64 after zigzag),
+// max-magnitude int64 times (delta wraparound must be exact two's
+// complement), and negative columns (Event/State -1).
+func TestV2VarintEdges(t *testing.T) {
+	times := []int64{
+		0, 63, 127, 128, 64, 0, // ±1/2-byte zigzag edges
+		math.MaxInt64, math.MinInt64, -1, math.MaxInt64 - 1, // extreme deltas
+		42,
+	}
+	b := NewTraceBuffer(0, 0)
+	for i, tm := range times {
+		b.Append(Sample{
+			Time:   tm,
+			Thread: int32(i % 3),
+			Event:  int32(-1 + i%5),
+			State:  -1,
+			Region: uint64(i) * 0x100000001,
+			Site:   math.MaxUint64 - uint64(i*7), // descending: negative deltas in a uint64 column
+		})
+	}
+	for _, enc := range []Encoding{{V2: true}, {V2: true, Flate: true}} {
+		got := roundTripV2(t, b, enc)
+		if !sameResolved(resolve(b), resolve(got)) {
+			t.Fatalf("%+v: varint edge values corrupted by round trip", enc)
+		}
+	}
+}
+
+// TestV2QuickRoundTrip drives the encoder/decoder with randomized
+// sample columns and stacks under testing/quick.
+func TestV2QuickRoundTrip(t *testing.T) {
+	check := func(times []int64, threads []int32, regions []uint64, pcs []uint64, flate bool) bool {
+		b := NewTraceBuffer(0, 0)
+		for i, tm := range times {
+			s := Sample{Time: tm, Event: -1, State: -1, StackID: NoStack}
+			if len(threads) > 0 {
+				s.Thread = threads[i%len(threads)]
+			}
+			if len(regions) > 0 {
+				s.Region = regions[i%len(regions)]
+				s.Site = regions[(i+1)%len(regions)]
+			}
+			if len(pcs) > 0 && i%3 == 0 {
+				st := make([]uintptr, 0, 4)
+				for j := 0; j < 1+i%4 && j < len(pcs); j++ {
+					st = append(st, uintptr(pcs[(i+j)%len(pcs)]))
+				}
+				b.AppendStacked(s, st)
+			} else {
+				b.Append(s)
+			}
+		}
+		var out bytes.Buffer
+		if err := WriteTraceEnc(&out, b, Encoding{V2: true, Flate: flate}); err != nil {
+			return false
+		}
+		got, err := ReadTrace(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			return false
+		}
+		return sameResolved(resolve(b), resolve(got))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestV2CrossRead writes the same buffer in v1 and both v2 modes and
+// requires all three to read back equivalent: the compatibility gate
+// behind `make check`.
+func TestV2CrossRead(t *testing.T) {
+	b := NewTraceBuffer(0, 0)
+	for i := 0; i < 3*ChunkSamples; i++ { // span several chunks
+		s := Sample{Time: int64(i * 14), Thread: int32(i % 4), Event: int32(i % 8), State: 1, Region: uint64(1 + i/ChunkSamples), Site: 0x401000}
+		if i%16 == 0 {
+			b.AppendStacked(s, []uintptr{0x401000, uintptr(0x500000 + i%5)})
+		} else {
+			b.Append(s)
+		}
+	}
+	want := resolve(b)
+	for _, enc := range []Encoding{{}, {V2: true}, {V2: true, Flate: true}} {
+		var out bytes.Buffer
+		if err := WriteTraceEnc(&out, b, enc); err != nil {
+			t.Fatalf("%+v: %v", enc, err)
+		}
+		got, err := ReadTraceStream(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("%+v: %v", enc, err)
+		}
+		if !sameResolved(want, resolve(got)) {
+			t.Fatalf("%+v: cross-read mismatch against v1 source", enc)
+		}
+	}
+}
+
+// buildMixedStream concatenates v1, v2 and v2+flate blocks with
+// distinct sample counts, returning the stream, the per-block end
+// offsets, and the total sample count.
+func buildMixedStream(t *testing.T) ([]byte, []int, uint64) {
+	t.Helper()
+	var out bytes.Buffer
+	var bounds []int
+	var total uint64
+	encs := []Encoding{{}, {V2: true}, {V2: true, Flate: true}, {}, {V2: true, Flate: true}}
+	for blk, enc := range encs {
+		n := 3 + blk*2
+		b := NewTraceBuffer(n, 0)
+		for i := 0; i < n-1; i++ {
+			b.Append(Sample{Time: int64(blk*1000 + i), Thread: int32(blk), Event: int32(i % 4), State: -1, StackID: NoStack})
+		}
+		b.AppendStacked(Sample{Time: int64(blk*1000 + n - 1), Thread: int32(blk), Event: -1, State: -1},
+			[]uintptr{uintptr(0x1000 + blk), 0x2000})
+		if err := WriteTraceEnc(&out, b, enc); err != nil {
+			t.Fatal(err)
+		}
+		bounds = append(bounds, out.Len())
+		total += uint64(n)
+	}
+	return out.Bytes(), bounds, total
+}
+
+// TestMixedStreamReadAndCount pins satellite 2: a stream mixing v1 and
+// v2 blocks reads back merged, and CountStreamSamples — the one
+// sanctioned way to derive sample counts from encoded bytes — agrees
+// with the reader without materializing anything. A byte-length /
+// record-width division would get every v2 block wrong.
+func TestMixedStreamReadAndCount(t *testing.T) {
+	stream, _, total := buildMixedStream(t)
+	buf, err := ReadTraceStream(bytes.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(buf.Samples())) != total {
+		t.Fatalf("merged %d samples, want %d", len(buf.Samples()), total)
+	}
+	n, err := CountStreamSamples(bytes.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != total {
+		t.Fatalf("CountStreamSamples = %d, want %d", n, total)
+	}
+	bn, err := BlockSamples(stream)
+	if err != nil || bn != total {
+		t.Fatalf("BlockSamples = %d, %v, want %d", bn, err, total)
+	}
+	// The fixed-width shortcut is exactly what must NOT be used: show
+	// it disagrees on this stream so the helper's reason for existing
+	// stays pinned.
+	if uint64(len(stream))/sampleRecordLen == total {
+		t.Fatalf("test stream degenerate: byte-length division accidentally agrees")
+	}
+}
+
+// TestV2TornTailSalvage cuts a mixed stream inside its final (v2)
+// block at every offset: the reader must return the gap-free prefix of
+// whole blocks with an error wrapping ErrBadTrace, and
+// ValidStreamPrefixLen must report the exact boundary of that prefix.
+func TestV2TornTailSalvage(t *testing.T) {
+	stream, bounds, total := buildMixedStream(t)
+	last := len(bounds) - 1
+	prefixSamples := total - uint64(3+last*2)
+	for cut := bounds[last-1] + 1; cut < bounds[last]; cut++ {
+		buf, err := ReadTraceStream(bytes.NewReader(stream[:cut]))
+		if !errors.Is(err, ErrBadTrace) {
+			t.Fatalf("cut %d: err = %v, want ErrBadTrace", cut, err)
+		}
+		if buf == nil || uint64(len(buf.Samples())) != prefixSamples {
+			t.Fatalf("cut %d: prefix samples = %d, want %d", cut, len(buf.Samples()), prefixSamples)
+		}
+		if got := ValidStreamPrefixLen(bytes.NewReader(stream[:cut])); got != int64(bounds[last-1]) {
+			t.Fatalf("cut %d: ValidStreamPrefixLen = %d, want %d", cut, got, bounds[last-1])
+		}
+		n, err := CountStreamSamples(bytes.NewReader(stream[:cut]))
+		if !errors.Is(err, ErrBadTrace) || n != prefixSamples {
+			t.Fatalf("cut %d: CountStreamSamples = %d, %v; want %d with ErrBadTrace", cut, n, err, prefixSamples)
+		}
+	}
+}
+
+// TestV2CorruptPayloadDetected flips one payload byte in a v2 block:
+// the stored-bytes CRC must reject it.
+func TestV2CorruptPayloadDetected(t *testing.T) {
+	b := NewTraceBuffer(0, 0)
+	for i := 0; i < 50; i++ {
+		b.Append(Sample{Time: int64(i), Event: int32(i % 3), State: -1, StackID: NoStack})
+	}
+	for _, enc := range []Encoding{{V2: true}, {V2: true, Flate: true}} {
+		var out bytes.Buffer
+		if err := WriteTraceEnc(&out, b, enc); err != nil {
+			t.Fatal(err)
+		}
+		blk := out.Bytes()
+		blk[v2HeaderLen+len(blk[v2HeaderLen:])/2] ^= 0xFF
+		if _, err := ReadTrace(bytes.NewReader(blk)); !errors.Is(err, ErrBadTrace) {
+			t.Fatalf("%+v: corrupt payload accepted (err=%v)", enc, err)
+		}
+	}
+}
+
+// TestV2DictionaryIndexOutOfRange handcrafts a v2 block whose single
+// sample references dictionary entry 5 of a 1-entry dictionary.
+func TestV2DictionaryIndexOutOfRange(t *testing.T) {
+	var payload []byte
+	putv := func(v int64) { payload = binary.AppendUvarint(payload, zigzag(v)) }
+	putv(10) // time delta
+	putv(0)  // thread
+	putv(0)  // event
+	putv(0)  // state
+	putv(0)  // region
+	putv(0)  // site
+	putv(5)  // stack index: out of the 1-entry dictionary
+	payload = binary.AppendUvarint(payload, 1)
+	putv(0x1000) // the one dictionary stack: depth 1, PC 0x1000
+	blk := v2BlockFromPayload(1, 1, 0, payload)
+	if _, err := ReadTrace(bytes.NewReader(blk)); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("out-of-dictionary stack index accepted (err=%v)", err)
+	}
+}
+
+// v2BlockFromPayload frames a raw (uncompressed) payload as a v2 block
+// with a correct CRC, for tests that need malformed payloads behind a
+// well-formed header.
+func v2BlockFromPayload(ns, nst, dropped uint64, payload []byte) []byte {
+	var out bytes.Buffer
+	var hdr [v2HeaderLen]byte
+	copy(hdr[:4], traceV2Magic[:])
+	binary.LittleEndian.PutUint32(hdr[4:8], traceV2Version)
+	binary.LittleEndian.PutUint64(hdr[12:20], ns)
+	binary.LittleEndian.PutUint64(hdr[20:28], nst)
+	binary.LittleEndian.PutUint64(hdr[28:36], dropped)
+	binary.LittleEndian.PutUint64(hdr[36:44], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[44:48], crc32.ChecksumIEEE(payload))
+	out.Write(hdr[:])
+	out.Write(payload)
+	return out.Bytes()
+}
+
+// TestV2PayloadCountDisagreement: a well-formed payload whose decoded
+// content is longer than the declared counts must be rejected — the
+// exact-consumption check, the structural fix for the v1 ambiguity.
+func TestV2PayloadCountDisagreement(t *testing.T) {
+	var payload []byte
+	putv := func(v int64) { payload = binary.AppendUvarint(payload, zigzag(v)) }
+	for i := 0; i < 2; i++ { // two samples' worth of columns...
+		putv(int64(i))
+	}
+	for c := 0; c < 6; c++ {
+		for i := 0; i < 2; i++ {
+			putv(-1)
+		}
+	}
+	blk := v2BlockFromPayload(1, 0, 0, payload) // ...declared as one
+	if _, err := ReadTrace(bytes.NewReader(blk)); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("payload larger than declared counts accepted (err=%v)", err)
+	}
+}
+
+// TestErrCountMismatchV1 is the satellite-1 regression: a final v1
+// block whose header-declared sample count exceeds what its payload
+// bytes can hold must surface the typed ErrCountMismatch (old code
+// reported only a generic truncation, or for some forged counts
+// nothing at all). The gap-free prefix must still be salvaged.
+func TestErrCountMismatchV1(t *testing.T) {
+	stream, bounds, total := buildMixedStream(t)
+	// bounds[2] ends a v2 block; bounds[3] ends a v1 block. Forge the
+	// v1 block's nsamples (offset +8 past its magic+version) upward.
+	forged := append([]byte(nil), stream[:bounds[3]]...)
+	off := bounds[2] + 8
+	binary.LittleEndian.PutUint64(forged[off:off+8], 1<<20)
+	buf, err := ReadTraceStream(bytes.NewReader(forged))
+	if !errors.Is(err, ErrCountMismatch) {
+		t.Fatalf("forged v1 count: err = %v, want ErrCountMismatch", err)
+	}
+	if !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("ErrCountMismatch must wrap ErrBadTrace for the salvage contract")
+	}
+	prefix := total - uint64(3+3*2) - uint64(3+4*2)
+	if buf == nil || uint64(len(buf.Samples())) != prefix {
+		t.Fatalf("prefix = %d samples, want %d", len(buf.Samples()), prefix)
+	}
+}
+
+// TestErrCountMismatchV2: same regression for a v2 block whose header
+// declares a payload longer than the stream holds.
+func TestErrCountMismatchV2(t *testing.T) {
+	stream, bounds, _ := buildMixedStream(t)
+	last := len(bounds) - 1
+	forged := append([]byte(nil), stream...)
+	off := bounds[last-1] + 36 // payloadLen field of the final (v2) block
+	binary.LittleEndian.PutUint64(forged[off:off+8], 1<<20)
+	_, err := ReadTraceStream(bytes.NewReader(forged))
+	if !errors.Is(err, ErrCountMismatch) {
+		t.Fatalf("forged v2 payloadLen: err = %v, want ErrCountMismatch", err)
+	}
+}
+
+// TestEncodingFromEnv pins the knob parsing, including compression
+// implying v2.
+func TestEncodingFromEnv(t *testing.T) {
+	t.Setenv("GOMP_TRACE_V2", "")
+	t.Setenv("GOMP_TRACE_COMPRESS", "")
+	if enc := EncodingFromEnv(); enc.V2 || enc.Flate {
+		t.Fatalf("empty env: %+v", enc)
+	}
+	t.Setenv("GOMP_TRACE_V2", "1")
+	if enc := EncodingFromEnv(); !enc.V2 || enc.Flate {
+		t.Fatalf("GOMP_TRACE_V2=1: %+v", enc)
+	}
+	t.Setenv("GOMP_TRACE_V2", "0")
+	t.Setenv("GOMP_TRACE_COMPRESS", "on")
+	if enc := EncodingFromEnv(); !enc.V2 || !enc.Flate {
+		t.Fatalf("compress implies v2: %+v", enc)
+	}
+}
+
+// TestIsV2Block sanity-checks the magic probe used by psxd's refusal
+// policy.
+func TestIsV2Block(t *testing.T) {
+	b := NewTraceBuffer(0, 0)
+	b.Append(Sample{Time: 1, Event: -1, State: -1, StackID: NoStack})
+	var v1, v2 bytes.Buffer
+	if err := WriteTraceEnc(&v1, b, Encoding{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTraceEnc(&v2, b, Encoding{V2: true}); err != nil {
+		t.Fatal(err)
+	}
+	if IsV2Block(v1.Bytes()) || !IsV2Block(v2.Bytes()) || IsV2Block(nil) {
+		t.Fatal("IsV2Block misclassified a block")
+	}
+}

@@ -61,8 +61,19 @@ type streamFile struct {
 	err  error // permanent failure; non-nil = degraded mode
 	torn bool  // a partial write left a torn block; no further appends
 	// retained is the degraded-mode in-memory backlog, replayed once
-	// at stop.
-	retained []*perf.SealedChunk
+	// at stop. It holds the originally staged block bytes, not the
+	// sealed chunks: a replay must write the exact bytes the network
+	// sink already shipped (and the journal already checksummed), and
+	// with v2's per-block stack dictionary a re-encode is not
+	// guaranteed byte-identical.
+	retained []retainedBlock
+}
+
+// retainedBlock is one staged-but-unwritten trace block and its sample
+// count (for discard accounting).
+type retainedBlock struct {
+	samples int
+	block   []byte
 }
 
 // streamer owns the trace files and the chunk-writer goroutine.
@@ -78,8 +89,9 @@ type streamFile struct {
 type streamer struct {
 	t        *Tool
 	dir      string
-	fileSink bool     // dir != "": write local per-thread trace files
-	net      *netSink // nil unless Options.IngestAddr is set
+	fileSink bool          // dir != "": write local per-thread trace files
+	net      *netSink      // nil unless Options.IngestAddr is set
+	enc      perf.Encoding // block format for sealed chunks and residue
 	relay    chan *perf.SealedChunk
 	files    map[int32]*streamFile
 	seqs     map[int32]int // per-thread chunk sequence, for the drop hook
@@ -116,10 +128,15 @@ func startStreamer(t *Tool, dir string) (*streamer, error) {
 			return nil, fmt.Errorf("tool: stream dir: %w", err)
 		}
 	}
+	enc := perf.Encoding{V2: t.opts.TraceV2, Flate: t.opts.TraceCompress}
+	if enc.Flate {
+		enc.V2 = true // compression exists only inside v2 blocks
+	}
 	s := &streamer{
 		t:          t,
 		dir:        dir,
 		fileSink:   dir != "",
+		enc:        enc,
 		relay:      make(chan *perf.SealedChunk, relayCapacity),
 		files:      make(map[int32]*streamFile),
 		seqs:       make(map[int32]int),
@@ -172,15 +189,11 @@ func (s *streamer) writeChunk(sc *perf.SealedChunk) {
 		return
 	}
 	var staged bytes.Buffer
-	if err := sc.Encode(&staged); err != nil {
-		if s.fileSink {
-			sf := s.file(thread)
-			s.fail(thread, sf, fmt.Errorf("encode: %w", err))
-			s.retain(sf, sc)
-		} else {
-			s.discardedChunks.Add(1)
-			s.discardedSamples.Add(uint64(sc.Len()))
-		}
+	if err := sc.EncodeWith(&staged, s.enc); err != nil {
+		// Encoding into a memory buffer failing is not a per-file
+		// condition a retry can cure: discard with accounting.
+		s.discardedChunks.Add(1)
+		s.discardedSamples.Add(uint64(sc.Len()))
 		return
 	}
 	// Both sinks see the exact same staged bytes: the server's per-run
@@ -193,12 +206,12 @@ func (s *streamer) writeChunk(sc *perf.SealedChunk) {
 	}
 	sf := s.file(thread)
 	if sf.err != nil {
-		s.retain(sf, sc)
+		s.retain(sf, sc.Len(), staged.Bytes())
 		return
 	}
 	if err := s.writeBlock(sf, staged.Bytes()); err != nil {
 		s.fail(thread, sf, err)
-		s.retain(sf, sc)
+		s.retain(sf, sc.Len(), staged.Bytes())
 	}
 }
 
@@ -287,15 +300,16 @@ func (s *streamer) fail(thread int32, sf *streamFile, err error) {
 	s.errs = append(s.errs, fmt.Errorf("tool: stream thread %d: %w", thread, err))
 }
 
-// retain holds a chunk a degraded thread could not write, bounded;
-// beyond the bound the chunk is discarded with exact accounting.
-func (s *streamer) retain(sf *streamFile, sc *perf.SealedChunk) {
+// retain holds the staged bytes a degraded thread could not write,
+// bounded; beyond the bound the block is discarded with exact
+// accounting.
+func (s *streamer) retain(sf *streamFile, samples int, block []byte) {
 	if len(sf.retained) < degradedRetain {
-		sf.retained = append(sf.retained, sc)
+		sf.retained = append(sf.retained, retainedBlock{samples: samples, block: block})
 		return
 	}
 	s.discardedChunks.Add(1)
-	s.discardedSamples.Add(uint64(sc.Len()))
+	s.discardedSamples.Add(uint64(samples))
 }
 
 // flushRetained makes one recovery attempt for a degraded thread's
@@ -314,18 +328,15 @@ func (s *streamer) flushRetained(thread int32, sf *streamFile) {
 	}
 	if sf.w != nil && !sf.torn {
 		flushed := true
-		for i, sc := range sf.retained {
-			var staged bytes.Buffer
-			if err := sc.Encode(&staged); err == nil {
-				if err := s.writeBlock(sf, staged.Bytes()); err == nil {
-					continue
-				} else {
-					s.fail(thread, sf, fmt.Errorf("retained flush: %w", err))
-				}
+		for i, rb := range sf.retained {
+			// Replay the originally staged bytes verbatim — the same bytes
+			// the network sink shipped for this chunk — never a re-encode.
+			if err := s.writeBlock(sf, rb.block); err != nil {
+				s.fail(thread, sf, fmt.Errorf("retained flush: %w", err))
+				sf.retained = sf.retained[i:]
+				flushed = false
+				break
 			}
-			sf.retained = sf.retained[i:]
-			flushed = false
-			break
 		}
 		if flushed {
 			sf.retained = nil
@@ -333,9 +344,9 @@ func (s *streamer) flushRetained(thread int32, sf *streamFile) {
 			return
 		}
 	}
-	for _, sc := range sf.retained {
+	for _, rb := range sf.retained {
 		s.discardedChunks.Add(1)
-		s.discardedSamples.Add(uint64(sc.Len()))
+		s.discardedSamples.Add(uint64(rb.samples))
 	}
 	sf.retained = nil
 }
@@ -355,7 +366,7 @@ func (s *streamer) writeResidue(tb threadBuf, sf *streamFile, quiesced bool) {
 		return
 	}
 	var staged bytes.Buffer
-	if err := perf.WriteTrace(&staged, src); err != nil {
+	if err := perf.WriteTraceEnc(&staged, src, s.enc); err != nil {
 		s.errs = append(s.errs, fmt.Errorf("tool: stream thread %d: residue encode: %w", tb.id, err))
 		return
 	}

@@ -108,6 +108,21 @@ type Options struct {
 	// GOMP_INGEST_DURABLE.
 	IngestDurable bool
 
+	// TraceV2 streams and writes trace blocks in the compact v2 format
+	// (delta-of-timestamp zigzag-varint columns plus a per-block stack
+	// dictionary) instead of the fixed-width v1 records. Readers
+	// auto-detect the format per block, so consumers — tracedump,
+	// ompreport, psxd ingestion and recovery — need no configuration.
+	// All encoding work happens on the writer/streamer goroutine, never
+	// on a recording thread. cmd front-ends default it from
+	// GOMP_TRACE_V2.
+	TraceV2 bool
+
+	// TraceCompress additionally deflates each v2 block's payload with
+	// compress/flate (implies TraceV2). cmd front-ends default it from
+	// GOMP_TRACE_COMPRESS.
+	TraceCompress bool
+
 	// DialIngest overrides how the network sink dials the ingestion
 	// daemon (fault injection and tests). Nil means net.DialTimeout.
 	DialIngest func(addr string) (net.Conn, error)
@@ -654,6 +669,10 @@ func startSampler(t *Tool, period time.Duration, floor int) *sampler {
 		q := t.col.NewQueue()
 		tick := time.NewTicker(period)
 		defer tick.Stop()
+		// Wire and observation buffers live across ticks: a steady-state
+		// tick reuses them and allocates nothing but the ID list.
+		var wire []byte
+		var obs []collector.StateObservation
 		for {
 			select {
 			case <-s.done:
@@ -662,14 +681,17 @@ func startSampler(t *Tool, period time.Duration, floor int) *sampler {
 				// Poll the live descriptor set each tick, not a thread
 				// count frozen at attach: threads added by a later
 				// SetNumThreads or a larger team must be observed too.
-				for _, id := range t.liveThreadIDs(floor) {
-					st, _, ec := collector.QueryState(q, id)
-					if ec == collector.ErrOK {
-						t.mu.Lock()
-						t.histogram.Observe(id, int32(st))
-						t.mu.Unlock()
+				// One batched request sequence covers the whole set —
+				// one queue hand-off per tick, not per thread — and the
+				// histogram lock is taken once for all observations.
+				wire, obs = collector.QueryStateBatch(q, t.liveThreadIDs(floor), wire, obs)
+				t.mu.Lock()
+				for _, o := range obs {
+					if o.EC == collector.ErrOK {
+						t.histogram.Observe(o.Thread, int32(o.State))
 					}
 				}
+				t.mu.Unlock()
 			}
 		}
 	}()
@@ -855,7 +877,11 @@ func (t *Tool) WriteTraces(write func(thread int32) (io.Writer, error)) error {
 			}
 			writers[tb.id] = w
 		}
-		if err := perf.WriteTrace(w, tb.buf); err != nil {
+		enc := perf.Encoding{V2: t.opts.TraceV2, Flate: t.opts.TraceCompress}
+		if enc.Flate {
+			enc.V2 = true
+		}
+		if err := perf.WriteTraceEnc(w, tb.buf, enc); err != nil {
 			return err
 		}
 	}
