@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test check race bench bench-sync bench-trace chaos chaos-hang chaos-net chaos-disk obs-demo psxd-demo
+.PHONY: build test check race bench bench-sync bench-trace bench-sched chaos chaos-hang chaos-net chaos-disk obs-demo psxd-demo
 
 build:
 	$(GO) build ./...
@@ -76,6 +76,14 @@ bench-sync:
 # recording-thread ns/event, writer-side encode ns/event).
 bench-trace:
 	$(GO) run ./cmd/overheads -trace -threads 4 -reps 5 -json BENCH_trace.json
+
+# bench-sched measures the schedules on irregular (uniform vs
+# zipf-skewed) per-iteration work — dynamic against the work-stealing
+# schedule — in critical-path work units (makespan on dedicated cores,
+# machine-independent) and writes the artifact BENCH_sched.json with
+# per-point steal-event counts.
+bench-sched:
+	$(GO) run ./cmd/overheads -sched -threads 8 -reps 5 -json BENCH_sched.json
 
 # obs-demo runs an EPCC sweep with the live observability plane on a
 # known port; scrape /metrics or follow it from another terminal with:

@@ -148,6 +148,24 @@ func main() {
 		fmt.Println()
 	}
 
+	// Work-stealing attribution: where the scheduler rebalanced and
+	// which threads fed which. Only printed when the trace contains
+	// steal events (steal schedule, dynamic fast path, or task steals).
+	steals := perf.StealProfileBySite(samples,
+		int32(collector.EventChunkSteal), int32(collector.EventTaskSteal))
+	if len(steals) > 0 {
+		fmt.Println("work stealing (by site):")
+		perf.WriteStealTable(os.Stdout, steals, nil)
+		fmt.Println()
+		fmt.Println("steal migration edges:")
+		perf.WriteStealEdges(os.Stdout, perf.StealEdges(samples,
+			int32(collector.EventChunkSteal), int32(collector.EventTaskSteal)))
+		fmt.Println()
+		fmt.Println("per-thread steal traffic:")
+		analysis.WriteStealReport(os.Stdout, analysis.StealActivities(samples))
+		fmt.Println()
+	}
+
 	// Per-thread activity reconstruction.
 	tls := analysis.Timelines(samples)
 	if len(tls) > 0 {

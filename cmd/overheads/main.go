@@ -17,11 +17,19 @@
 // and the bytes/event and encode ns/event of each are reported (the
 // BENCH_trace.json artifact the bench-trace make target produces).
 //
+// With -sched it runs the irregular schedbench variant instead: a loop
+// whose per-iteration work is uniform or zipf-skewed, scheduled
+// dynamically and with the work-stealing schedule, comparing the
+// critical path (max per-thread work units) each assignment produces
+// and counting the steal events (the BENCH_sched.json artifact the
+// bench-sched make target produces).
+//
 // Usage:
 //
 //	overheads [-class S|W|A|B] [-reps 3] [-probe N]
 //	overheads -sync [-threads 8] [-reps 10] [-json BENCH_sync.json]
 //	overheads -trace [-threads 4] [-reps 5] [-json BENCH_trace.json]
+//	overheads -sched [-threads 8] [-reps 5] [-json BENCH_sched.json]
 package main
 
 import (
@@ -307,6 +315,117 @@ func encodeNsPerEvent(bufs []*perf.TraceBuffer, total uint64, enc perf.Encoding,
 	return float64(best.Nanoseconds()) / float64(total), nil
 }
 
+// schedPoint is one irregular-schedbench measurement in the
+// BENCH_sched.json artifact. CriticalPathUnits is the mean over runs
+// of the maximum work units any one thread executed under the
+// schedule's actual chunk-to-thread assignment — the machine-
+// independent makespan of the assignment on dedicated per-thread
+// cores, measured under the virtual-time gate (see
+// epcc.MeasureScheduleWork). That is the headline metric; the wall
+// means record real scheduling+gate overhead, not makespan.
+type schedPoint struct {
+	Workload          string  `json:"workload"` // uniform | zipf
+	Schedule          string  `json:"schedule"`
+	Chunk             int     `json:"chunk"`
+	CriticalPathUnits float64 `json:"critical_path_units"`
+	TotalUnits        int64   `json:"total_units"`
+	BalancedUnits     float64 `json:"balanced_units"` // TotalUnits/Threads: the ideal
+	WallMeanNs        float64 `json:"wall_mean_ns"`
+	WallSDNs          float64 `json:"wall_sd_ns"`
+	ChunkSteals       uint64  `json:"chunk_steals"`
+	TaskSteals        uint64  `json:"task_steals"`
+}
+
+type schedReport struct {
+	Threads    int          `json:"threads"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Iterations int          `json:"iterations"`
+	ZipfS      float64      `json:"zipf_s"`
+	ZipfWmax   int          `json:"zipf_wmax"`
+	Results    []schedPoint `json:"results"`
+	// ZipfSpeedup is the dynamic schedule's zipf critical path over the
+	// steal schedule's — how much shorter the work-stealing assignment's
+	// makespan is on the skewed workload (target: >= 2 at 8 threads).
+	ZipfSpeedup float64 `json:"zipf_speedup_steal_vs_dynamic_critical_path"`
+}
+
+// runSchedBench produces the BENCH_sched.json artifact: the irregular
+// EPCC schedbench variant comparing dynamic against the work-stealing
+// schedule on uniform and zipf-skewed per-iteration work. A
+// callbacks-only tool is attached so the collector tallies the steal
+// events the run generates.
+func runSchedBench(threads, reps int, jsonPath string) error {
+	const (
+		iters = 1024
+		zipfS = 1.25
+		wmax  = 1024
+		chunk = 1
+	)
+	rt := omp.New(omp.Config{NumThreads: threads})
+	defer rt.Close()
+	tl, err := tool.AttachRuntime(rt, tool.CallbacksOnly())
+	if err != nil {
+		return err
+	}
+	defer tl.Detach()
+	col := rt.Collector()
+
+	s := epcc.NewSuite(rt)
+	s.OuterReps = reps
+
+	rep := schedReport{Threads: threads, GoMaxProcs: runtime.GOMAXPROCS(0),
+		Iterations: iters, ZipfS: zipfS, ZipfWmax: wmax}
+	workloads := []struct {
+		name string
+		work []int
+	}{
+		{"uniform", epcc.UniformWork(iters, 8)},
+		{"zipf", epcc.ZipfWork(iters, zipfS, wmax)},
+	}
+	var zipfCP = map[omp.Schedule]float64{}
+	for _, wl := range workloads {
+		for _, sched := range []omp.Schedule{omp.ScheduleDynamic, omp.ScheduleSteal} {
+			cs0 := col.EventCount(collector.EventChunkSteal)
+			ts0 := col.EventCount(collector.EventTaskSteal)
+			r := s.MeasureScheduleWork(sched, chunk, wl.work)
+			pt := schedPoint{
+				Workload:          wl.name,
+				Schedule:          sched.String(),
+				Chunk:             chunk,
+				CriticalPathUnits: r.CriticalPathUnits,
+				TotalUnits:        r.TotalUnits,
+				BalancedUnits:     float64(r.TotalUnits) / float64(threads),
+				WallMeanNs:        float64(r.Time.Mean.Nanoseconds()),
+				WallSDNs:          float64(r.Time.SD.Nanoseconds()),
+				ChunkSteals:       col.EventCount(collector.EventChunkSteal) - cs0,
+				TaskSteals:        col.EventCount(collector.EventTaskSteal) - ts0,
+			}
+			rep.Results = append(rep.Results, pt)
+			if wl.name == "zipf" {
+				zipfCP[sched] = r.CriticalPathUnits
+			}
+			fmt.Printf("%-8s %-8s critical path %10.0f units (ideal %8.0f, total %8d)  wall %8v  steals %d\n",
+				wl.name, sched, pt.CriticalPathUnits, pt.BalancedUnits,
+				pt.TotalUnits, r.Time.Mean, pt.ChunkSteals)
+		}
+	}
+	if cp := zipfCP[omp.ScheduleSteal]; cp > 0 {
+		rep.ZipfSpeedup = zipfCP[omp.ScheduleDynamic] / cp
+	}
+	fmt.Printf("zipf: steal critical path is %.2fx shorter than dynamic's\n", rep.ZipfSpeedup)
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
 // runTraceBench produces the BENCH_trace.json artifact: the same EPCC
 // workload streamed under v1, v2 and v2+flate, with per-encoding disk
 // cost and encode time per event.
@@ -402,9 +521,19 @@ func main() {
 		"benchmark the synchronization core (barrier, reduction, schedules) instead")
 	traceBench := flag.Bool("trace", false,
 		"benchmark the trace storage encodings (v1, v2, v2+flate) instead")
-	threads := flag.Int("threads", 8, "team size for -sync/-trace")
-	jsonPath := flag.String("json", "", "with -sync/-trace, write the results to this JSON file")
+	schedBench := flag.Bool("sched", false,
+		"benchmark the schedules on irregular work (dynamic vs steal, uniform vs zipf) instead")
+	threads := flag.Int("threads", 8, "team size for -sync/-trace/-sched")
+	jsonPath := flag.String("json", "", "with -sync/-trace/-sched, write the results to this JSON file")
 	flag.Parse()
+
+	if *schedBench {
+		if err := runSchedBench(*threads, *reps, *jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "overheads:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *traceBench {
 		if err := runTraceBench(*threads, *reps, *jsonPath); err != nil {

@@ -178,6 +178,71 @@ func BarrierImbalance(tls []Timeline) float64 {
 	return float64(max) / float64(mean)
 }
 
+// StealActivity summarizes one thread's work-stealing traffic: steals
+// it performed as thief and steals it suffered as victim. Steal events
+// are instantaneous (no begin/end pair); the thief is the sample's
+// thread and the victim rides in the sample's State slot.
+type StealActivity struct {
+	Thread      int32
+	ChunkStolen int // chunk steals performed by this thread
+	TaskStolen  int // task steals performed by this thread
+	ChunkLost   int // chunk steals suffered by this thread
+	TaskLost    int // task steals suffered by this thread
+}
+
+// StealActivities tallies steal traffic per thread across the trace.
+func StealActivities(samples []perf.Sample) []StealActivity {
+	byThread := make(map[int32]*StealActivity)
+	get := func(th int32) *StealActivity {
+		a := byThread[th]
+		if a == nil {
+			a = &StealActivity{Thread: th}
+			byThread[th] = a
+		}
+		return a
+	}
+	for i := range samples {
+		s := &samples[i]
+		e := collector.Event(s.Event)
+		if e != collector.EventChunkSteal && e != collector.EventTaskSteal {
+			continue
+		}
+		thief, victim := get(s.Thread), (*StealActivity)(nil)
+		if s.State >= 0 {
+			victim = get(s.State)
+		}
+		if e == collector.EventChunkSteal {
+			thief.ChunkStolen++
+			if victim != nil {
+				victim.ChunkLost++
+			}
+		} else {
+			thief.TaskStolen++
+			if victim != nil {
+				victim.TaskLost++
+			}
+		}
+	}
+	out := make([]StealActivity, 0, len(byThread))
+	for _, a := range byThread {
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Thread < out[j].Thread })
+	return out
+}
+
+// WriteStealReport renders per-thread steal traffic: how much each
+// thread rebalanced (stole) and how much was taken off it — the
+// migration view that explains a skewed loop's flat timeline.
+func WriteStealReport(w io.Writer, acts []StealActivity) {
+	fmt.Fprintf(w, "%-8s %12s %12s %12s %12s\n",
+		"thread", "chunk stolen", "chunk lost", "task stolen", "task lost")
+	for _, a := range acts {
+		fmt.Fprintf(w, "%-8d %12d %12d %12d %12d\n",
+			a.Thread, a.ChunkStolen, a.ChunkLost, a.TaskStolen, a.TaskLost)
+	}
+}
+
 // Report renders timelines as a per-thread activity table.
 func Report(w io.Writer, tls []Timeline) {
 	fmt.Fprintf(w, "%-8s %-28s %10s %14s\n", "thread", "activity", "intervals", "total")

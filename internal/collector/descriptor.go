@@ -56,6 +56,14 @@ type ThreadInfo struct {
 
 	team atomic.Pointer[TeamInfo]
 
+	// stealVictim holds the thread ID of the victim of the most recent
+	// steal performed by this thread, or -1 when the thread has never
+	// stolen. The runtime stores the victim immediately before
+	// dispatching EventChunkSteal/EventTaskSteal, so a callback reads
+	// the victim from the *thief's* descriptor while the event ID
+	// identifies the transfer kind.
+	stealVictim atomic.Int32
+
 	// buffer is the descriptor-pinned trace buffer of an attached
 	// tool's measurement hot path: the tool installs the thread's
 	// single-writer buffer here at bind time, so recording an event
@@ -86,8 +94,17 @@ func (t *ThreadInfo) LoopID() uint64 { return t.loopID.Load() }
 func NewThreadInfo(id int32) *ThreadInfo {
 	t := &ThreadInfo{ID: id}
 	t.state.Store(int32(StateOverhead))
+	t.stealVictim.Store(-1)
 	return t
 }
+
+// SetStealVictim publishes the victim thread ID of a steal this thread
+// is about to report via EventChunkSteal/EventTaskSteal.
+func (t *ThreadInfo) SetStealVictim(victim int32) { t.stealVictim.Store(victim) }
+
+// StealVictim returns the victim thread ID of this thread's most recent
+// steal, or -1 if it has never stolen.
+func (t *ThreadInfo) StealVictim() int32 { return t.stealVictim.Load() }
 
 // SetState records that the thread entered state s. This is the
 // __ompc_set_state of the paper: a single assignment to the private

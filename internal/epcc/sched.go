@@ -1,6 +1,8 @@
 package epcc
 
 import (
+	"math"
+	"sync"
 	"time"
 
 	"goomp/internal/omp"
@@ -65,4 +67,188 @@ func (s *Suite) MeasureSchedules(itersPerThread int) []SchedResult {
 		}
 	}
 	return out
+}
+
+// Irregular schedbench: the classic benchmark gives every iteration the
+// same delay, which hides exactly the failure mode work stealing
+// exists for. The irregular variant assigns each iteration a work
+// weight (in work units) and measures the critical path of the
+// schedule's actual chunk-to-thread assignment: the maximum work units
+// any one thread executed — the assignment's makespan on dedicated
+// per-thread cores.
+//
+// A unit is virtual time, enforced by a gate (vtGate), not real delay.
+// Real delays cannot emulate dedicated cores portably: busy-wait units
+// on a host with fewer cores than threads let the first runnable
+// goroutine drain every chunk inside one scheduler quantum (both wall
+// time and the unit counts then say nothing about balance), and
+// sleep-based units are quantized by the host's timer granularity,
+// which can be 20× the unit. The gate instead blocks each thread after
+// it executes a chunk until its accumulated virtual clock is no longer
+// ahead of the slowest still-running thread, so chunk claims interleave
+// exactly as they would on threads-many dedicated cores — machine-
+// independently — while the claims themselves still go through the real
+// scheduler code under test.
+
+// ZipfWork builds a zipf-skewed per-iteration work vector: iteration i
+// carries max(1, wmax/(i+1)^s) units. Small i dominates — the shape of
+// search/graph workloads where the first buckets are the heavy ones.
+// Deterministic, so schedules are compared on identical input.
+func ZipfWork(n int, s float64, wmax int) []int {
+	w := make([]int, n)
+	for i := range w {
+		u := int(float64(wmax) / math.Pow(float64(i+1), s))
+		if u < 1 {
+			u = 1
+		}
+		w[i] = u
+	}
+	return w
+}
+
+// UniformWork builds the flat control vector: every iteration carries
+// units work units.
+func UniformWork(n, units int) []int {
+	w := make([]int, n)
+	for i := range w {
+		w[i] = units
+	}
+	return w
+}
+
+// SchedWorkResult is one irregular-schedbench measurement.
+type SchedWorkResult struct {
+	Schedule omp.Schedule
+	Chunk    int
+	Threads  int
+	Time     Stats // wall time per run (scheduling+gate overhead, not makespan)
+	// CriticalPathUnits is the mean over runs of the maximum work
+	// units executed by any one thread — the assignment's makespan in
+	// work units on dedicated per-thread cores.
+	CriticalPathUnits float64
+	// TotalUnits is the work vector's total weight; TotalUnits/Threads
+	// is the perfectly balanced critical path.
+	TotalUnits int64
+}
+
+// vtGate serializes chunk execution by virtual time: a thread that has
+// just executed w units advances its clock by w and parks until no
+// still-active thread's clock is behind its own. The thread holding
+// the minimum active clock never parks (its clock exceeds no one's),
+// so the gate cannot deadlock, and every next chunk claim is made by a
+// thread whose clock is minimal — the earliest-free-core rule that
+// dedicated hardware follows.
+type vtGate struct {
+	mu     sync.Mutex
+	cv     *sync.Cond
+	clock  []int64
+	active []bool
+}
+
+func newVTGate(p int) *vtGate {
+	g := &vtGate{clock: make([]int64, p), active: make([]bool, p)}
+	g.cv = sync.NewCond(&g.mu)
+	return g
+}
+
+func (g *vtGate) reset() {
+	g.mu.Lock()
+	for i := range g.clock {
+		g.clock[i] = 0
+		g.active[i] = true
+	}
+	g.mu.Unlock()
+}
+
+// minOther returns the minimum clock among active threads other than
+// id (MaxInt64 when id is the only one left).
+func (g *vtGate) minOther(id int) int64 {
+	m := int64(math.MaxInt64)
+	for i := range g.clock {
+		if i != id && g.active[i] && g.clock[i] < m {
+			m = g.clock[i]
+		}
+	}
+	return m
+}
+
+func (g *vtGate) advance(id int, w int64) {
+	g.mu.Lock()
+	g.clock[id] += w
+	g.cv.Broadcast()
+	for g.clock[id] > g.minOther(id) {
+		g.cv.Wait()
+	}
+	g.mu.Unlock()
+}
+
+// retire removes a thread that left the loop from the active set so
+// the remaining threads stop waiting for its frozen clock.
+func (g *vtGate) retire(id int) int64 {
+	g.mu.Lock()
+	g.active[id] = false
+	final := g.clock[id]
+	g.cv.Broadcast()
+	g.mu.Unlock()
+	return final
+}
+
+// padUnits keeps per-thread unit accumulators on separate cache lines.
+type padUnits struct {
+	v int64
+	_ [56]byte
+}
+
+// MeasureScheduleWork runs a loop whose iteration i occupies work[i]
+// units of virtual time under the given schedule and chunk, and
+// records the per-assignment critical path.
+func (s *Suite) MeasureScheduleWork(sched omp.Schedule, chunk int, work []int) SchedWorkResult {
+	n := len(work)
+	p := s.RT.Config().NumThreads
+	var total int64
+	for _, u := range work {
+		total += int64(u)
+	}
+	units := make([]padUnits, p)
+	gate := newVTGate(p)
+	run := func() {
+		for i := range units {
+			units[i].v = 0
+		}
+		gate.reset()
+		s.RT.Parallel(func(tc *omp.ThreadCtx) {
+			id := tc.ThreadNum()
+			// nowait + retire before the region's closing barrier: a
+			// finished thread must leave the gate's active set, or the
+			// threads still parked in advance would wait forever on its
+			// frozen clock while it spins in the barrier.
+			tc.ForSchedNoWait(n, sched, chunk, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					gate.advance(id, int64(work[i]))
+				}
+			})
+			units[id].v = gate.retire(id)
+		})
+	}
+	run() // warm the pool
+	times := make([]time.Duration, 0, s.OuterReps)
+	var cpSum float64
+	for i := 0; i < s.OuterReps; i++ {
+		times = append(times, perf.Time(run))
+		maxU := int64(0)
+		for j := range units {
+			if units[j].v > maxU {
+				maxU = units[j].v
+			}
+		}
+		cpSum += float64(maxU)
+	}
+	return SchedWorkResult{
+		Schedule:          sched,
+		Chunk:             chunk,
+		Threads:           p,
+		Time:              computeStats(times),
+		CriticalPathUnits: cpSum / float64(s.OuterReps),
+		TotalUnits:        total,
+	}
 }

@@ -57,6 +57,11 @@ type RegionSite struct {
 	MeanNs  int64  `json:"mean_ns"`
 	MinNs   int64  `json:"min_ns"`
 	MaxNs   int64  `json:"max_ns"`
+
+	// Work-stealing attribution: steal events recorded at this site
+	// (zero unless the steal scheduler rebalanced there).
+	ChunkSteals int `json:"chunk_steals,omitempty"`
+	TaskSteals  int `json:"task_steals,omitempty"`
 }
 
 // ProfileSnapshot is the /profile response body: the gap-free region
@@ -66,6 +71,11 @@ type RegionSite struct {
 type ProfileSnapshot struct {
 	Samples int          `json:"samples"`
 	Sites   []RegionSite `json:"sites"`
+
+	// Trace-wide steal totals (migration activity of the
+	// work-stealing scheduler).
+	ChunkSteals int `json:"chunk_steals,omitempty"`
+	TaskSteals  int `json:"task_steals,omitempty"`
 }
 
 // HealthStatus is the /healthz response body. The faults are rendered

@@ -29,6 +29,9 @@ import (
 //	                                 combining tree (0 default, <0 never)
 //	GOMP_BARRIER_SPIN=n              barrier waiter spin budget before
 //	                                 parking (0 policy default, <0 none)
+//	GOMP_STEAL_THRESHOLD=n           dynamic loops with >= n iterations
+//	                                 run under the steal schedule
+//	                                 (0 disables the fast path)
 
 // ConfigFromEnv parses the OpenMP environment variables from lookup
 // (typically os.LookupEnv) over the given base configuration. Unset
@@ -110,11 +113,20 @@ func ConfigFromEnv(base Config, lookup func(string) (string, bool)) (Config, err
 		}
 		cfg.BarrierSpin = n
 	}
+	if v, ok := lookup("GOMP_STEAL_THRESHOLD"); ok {
+		n, err := strconv.Atoi(strings.TrimSpace(v))
+		if err != nil || n < 0 {
+			return cfg, fmt.Errorf("omp: bad GOMP_STEAL_THRESHOLD %q", v)
+		}
+		cfg.StealThreshold = n
+	}
 	return cfg, nil
 }
 
 // ParseSchedule parses an OMP_SCHEDULE value: "kind" or "kind,chunk"
-// with kind one of static, dynamic, guided (case-insensitive).
+// with kind one of static, dynamic, guided, steal (case-insensitive).
+// An unknown kind is an error naming the kinds accepted — never a
+// silent fallback to a default schedule.
 func ParseSchedule(v string) (Schedule, int, error) {
 	parts := strings.SplitN(v, ",", 2)
 	var sched Schedule
@@ -125,8 +137,10 @@ func ParseSchedule(v string) (Schedule, int, error) {
 		sched = ScheduleDynamic
 	case "guided":
 		sched = ScheduleGuided
+	case "steal":
+		sched = ScheduleSteal
 	default:
-		return 0, 0, fmt.Errorf("omp: bad OMP_SCHEDULE kind %q", parts[0])
+		return 0, 0, fmt.Errorf("omp: bad OMP_SCHEDULE kind %q (want static, dynamic, guided or steal)", parts[0])
 	}
 	chunk := 0
 	if len(parts) == 2 {

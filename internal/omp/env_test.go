@@ -1,6 +1,8 @@
 package omp
 
 import (
+	"strings"
+	"sync/atomic"
 	"testing"
 )
 
@@ -66,6 +68,8 @@ func TestConfigFromEnvErrors(t *testing.T) {
 		{"OMP_WAIT_POLICY": "spinny"},
 		{"GOMP_ATOMIC_EVENTS": "2"},
 		{"GOMP_LOOP_EVENTS": "nah"},
+		{"GOMP_STEAL_THRESHOLD": "-1"},
+		{"GOMP_STEAL_THRESHOLD": "lots"},
 	}
 	for _, env := range bad {
 		if _, err := ConfigFromEnv(Config{}, envLookup(env)); err == nil {
@@ -85,6 +89,8 @@ func TestParseSchedule(t *testing.T) {
 		{"STATIC, 4", ScheduleStatic, 4, true},
 		{"dynamic,1", ScheduleDynamic, 1, true},
 		{"guided , 8", ScheduleGuided, 8, true},
+		{"steal", ScheduleSteal, 0, true},
+		{"Steal, 2", ScheduleSteal, 2, true},
 		{"auto", 0, 0, false},
 		{"dynamic,", 0, 0, false},
 	}
@@ -96,6 +102,76 @@ func TestParseSchedule(t *testing.T) {
 		}
 		if c.ok && (sched != c.sched || chunk != c.chunk) {
 			t.Errorf("%q: got (%v, %d), want (%v, %d)", c.in, sched, chunk, c.sched, c.chunk)
+		}
+	}
+}
+
+// Unknown schedule kinds fail with an error that names the accepted
+// kinds, so a typo in OMP_SCHEDULE is diagnosable from the message.
+func TestParseScheduleUnknownKindError(t *testing.T) {
+	_, _, err := ParseSchedule("fancy,4")
+	if err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	for _, kind := range []string{"static", "dynamic", "guided", "steal"} {
+		if !strings.Contains(err.Error(), kind) {
+			t.Errorf("error %q does not mention accepted kind %q", err, kind)
+		}
+	}
+}
+
+// Schedule.String is bounds-checked: out-of-range values render as a
+// diagnostic instead of panicking.
+func TestScheduleStringBounds(t *testing.T) {
+	for _, s := range []Schedule{ScheduleStatic, ScheduleDynamic, ScheduleGuided, ScheduleRuntime, ScheduleSteal} {
+		if v := s.String(); v == "" {
+			t.Errorf("schedule %d renders empty", s)
+		}
+	}
+	if v := Schedule(99).String(); v == "" {
+		t.Error("out-of-range schedule renders empty")
+	}
+	if v := Schedule(-1).String(); v == "" {
+		t.Error("negative schedule renders empty")
+	}
+}
+
+func TestConfigFromEnvStealThreshold(t *testing.T) {
+	cfg, err := ConfigFromEnv(Config{}, envLookup(map[string]string{
+		"OMP_SCHEDULE":         "steal,2",
+		"GOMP_STEAL_THRESHOLD": " 4096 ",
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Schedule != ScheduleSteal || cfg.Chunk != 2 || cfg.StealThreshold != 4096 {
+		t.Errorf("steal env wrong: %+v", cfg)
+	}
+}
+
+// An env-configured steal schedule actually drives a loop: every
+// iteration runs exactly once under schedule(runtime).
+func TestEnvConfiguredStealRuns(t *testing.T) {
+	cfg, err := ConfigFromEnv(Config{}, envLookup(map[string]string{
+		"OMP_NUM_THREADS": "4",
+		"OMP_SCHEDULE":    "steal,1",
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(cfg)
+	defer r.Close()
+	counts := make([]int32, 200)
+	r.Parallel(func(tc *ThreadCtx) {
+		tc.ForSched(len(counts), ScheduleRuntime, 0, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&counts[i], 1)
+			}
+		})
+	})
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("iteration %d ran %d times", i, c)
 		}
 	}
 }

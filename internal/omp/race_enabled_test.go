@@ -1,0 +1,8 @@
+//go:build race
+
+package omp
+
+// raceEnabled reports whether the race detector is compiled in; alloc
+// assertions are skipped under it because sync.Pool deliberately
+// drops items at random in race mode.
+const raceEnabled = true

@@ -80,6 +80,15 @@ type Config struct {
 	Schedule Schedule
 	Chunk    int
 
+	// StealThreshold opts dynamic loops into the work-stealing
+	// schedule: a ScheduleDynamic loop with at least this many
+	// iterations runs under ScheduleSteal (identical chunk boundaries,
+	// per-thread deques with steal-half rebalancing; see steal.go).
+	// Zero (the default) disables the fast path, keeping dynamic
+	// loops' event streams bit-identical to earlier releases.
+	// GOMP_STEAL_THRESHOLD overrides it.
+	StealThreshold int
+
 	// CallbackBudget arms the collector's callback watchdog: a sampled
 	// event dispatch that observes a tool callback running longer than
 	// this budget trips a circuit breaker that pauses event generation.
@@ -125,6 +134,14 @@ type RT struct {
 	// every nested region invocation.
 	nestedMu   sync.Mutex
 	nestedFree map[int32][]*collector.ThreadInfo
+
+	// tdqFree pools per-team task-deque slices (and the rings hanging
+	// off them) across regions, so steady-state task submission is
+	// allocation-free. A slice is recycled only after a clean join —
+	// after a region panic the deques may still hold queued tasks and
+	// are dropped instead.
+	tdqMu   sync.Mutex
+	tdqFree [][]taskDeque
 
 	symbol   string // dl symbol this runtime registered, if any
 	critMu   sync.Mutex
@@ -407,6 +424,49 @@ func (r *RT) parallel(site uintptr, n int, fn func(tc *ThreadCtx)) {
 	if p := team.firstPanic(); p != nil {
 		panic(p)
 	}
+	r.putTaskDeques(team.tasks.deq)
+}
+
+// getTaskDeques returns a per-team task-deque slice for a team of
+// size threads, recycling one from the free list when it fits. Every
+// deque comes with its ring installed (fresh or carried over), so the
+// owner's push path never checks for nil.
+func (r *RT) getTaskDeques(size int) []taskDeque {
+	r.tdqMu.Lock()
+	for i := len(r.tdqFree) - 1; i >= 0; i-- {
+		if cap(r.tdqFree[i]) >= size {
+			d := r.tdqFree[i][:size]
+			last := len(r.tdqFree) - 1
+			r.tdqFree[i] = r.tdqFree[last]
+			r.tdqFree = r.tdqFree[:last]
+			r.tdqMu.Unlock()
+			for j := range d {
+				if d[j].ring.Load() == nil {
+					d[j].ring.Store(newTaskRing(initTaskRing))
+				}
+			}
+			return d
+		}
+	}
+	r.tdqMu.Unlock()
+	d := make([]taskDeque, size)
+	for j := range d {
+		d[j].ring.Store(newTaskRing(initTaskRing))
+	}
+	return d
+}
+
+// putTaskDeques returns a team's deque slice to the free list after a
+// clean join (all deques drained by the closing barrier).
+func (r *RT) putTaskDeques(d []taskDeque) {
+	if d == nil {
+		return
+	}
+	r.tdqMu.Lock()
+	if len(r.tdqFree) < 16 {
+		r.tdqFree = append(r.tdqFree, d)
+	}
+	r.tdqMu.Unlock()
 }
 
 // worker is a slave OpenMP thread: a goroutine that survives, sleeping,
@@ -501,6 +561,7 @@ func (tc *ThreadCtx) Parallel(n int, fn func(tc *ThreadCtx)) {
 		fn(inner)
 		inner.implicitBarrier()
 		tc.td.SetTeam(prevTeam)
+		r.putTaskDeques(team.tasks.deq)
 		return
 	}
 	if n <= 0 {
@@ -544,6 +605,7 @@ func (tc *ThreadCtx) Parallel(n int, fn func(tc *ThreadCtx)) {
 	if p := team.firstPanic(); p != nil {
 		panic(p)
 	}
+	r.putTaskDeques(team.tasks.deq)
 }
 
 // getNestedDesc returns a descriptor for a true-nested team thread

@@ -31,6 +31,12 @@ const (
 	// ScheduleRuntime defers to the runtime's configured Schedule/Chunk
 	// ICVs.
 	ScheduleRuntime
+	// ScheduleSteal pre-partitions chunks evenly into per-thread chunk
+	// deques; a thread that runs dry steals the top half of a victim's
+	// remaining range (see steal.go). Chunk boundaries are identical to
+	// ScheduleDynamic with the same chunk size; only the chunk-to-thread
+	// assignment differs.
+	ScheduleSteal
 )
 
 var scheduleNames = [...]string{
@@ -38,6 +44,7 @@ var scheduleNames = [...]string{
 	ScheduleDynamic: "dynamic",
 	ScheduleGuided:  "guided",
 	ScheduleRuntime: "runtime",
+	ScheduleSteal:   "steal",
 }
 
 func (s Schedule) String() string {
@@ -108,6 +115,12 @@ type loopDesc struct {
 	omu         sync.Mutex
 	ocond       *sync.Cond
 	orderedNext int64
+
+	// deq holds the per-thread chunk deques of a steal-schedule episode
+	// (see steal.go). Allocated by the first steal loop to claim the
+	// slot and reused by every later episode, so steady-state steal
+	// loops allocate nothing.
+	deq []chunkDeque
 }
 
 // getLoop returns the descriptor for the worksharing construct with
@@ -116,6 +129,16 @@ type loopDesc struct {
 // initializes it; later threads wait (yielding) for the published
 // initialization. No lock is taken and nothing is allocated.
 func (tc *ThreadCtx) getLoop(n, chunk int) *loopDesc {
+	return tc.getLoopKind(n, chunk, false)
+}
+
+// getLoopKind is getLoop with schedule-specific episode setup: a steal
+// episode additionally pre-partitions the chunk index space [0, nchunks)
+// evenly into the slot's per-thread chunk deques (the same split as
+// StaticBounds, so adjacent chunks start on the same thread). The
+// claiming thread writes every deque word before publishing ready, so
+// teammates acquire fully initialized deques through the ready load.
+func (tc *ThreadCtx) getLoopKind(n, chunk int, steal bool) *loopDesc {
 	s := int64(tc.loopSeq)
 	tc.loopSeq++
 	ld := &tc.team.ring[s%loopRingSize]
@@ -131,6 +154,20 @@ func (tc *ThreadCtx) getLoop(n, chunk int) *loopDesc {
 		ld.next.Store(0)
 		ld.arrived.Store(0)
 		ld.orderedNext = 0
+		if steal {
+			p := tc.team.size
+			if len(ld.deq) < p {
+				ld.deq = make([]chunkDeque, p)
+			}
+			nchunks := 0
+			if chunk > 0 {
+				nchunks = (n + chunk - 1) / chunk
+			}
+			for i := 0; i < p; i++ {
+				lo, hi := StaticBounds(i, p, nchunks)
+				ld.deq[i].w.Store(packChunks(uint32(lo), uint32(hi)))
+			}
+		}
 		ld.ready.Store(s)
 	} else {
 		for ld.ready.Load() != s {
@@ -224,6 +261,19 @@ func (tc *ThreadCtx) ForSchedNoWait(n int, sched Schedule, chunk int, body func(
 	if chunk <= 0 && sched != ScheduleStatic {
 		chunk = 1
 	}
+	// Opt-in fast path: above the threshold a dynamic loop runs under
+	// the steal schedule. Legal because the chunk boundaries are
+	// bit-identical (see steal.go); off by default (threshold 0).
+	if sched == ScheduleDynamic {
+		if t := tc.rt.cfg.StealThreshold; t > 0 && n >= t {
+			sched = ScheduleSteal
+		}
+	}
+	// Loops too large for the packed deque word degrade to dynamic:
+	// same boundaries, shared-counter claiming.
+	if sched == ScheduleSteal && (n+chunk-1)/chunk >= maxStealChunks {
+		sched = ScheduleDynamic
+	}
 	switch sched {
 	case ScheduleStatic:
 		if chunk <= 0 {
@@ -301,6 +351,8 @@ func (tc *ThreadCtx) ForSchedNoWait(n int, sched Schedule, chunk int, body func(
 			noteChunk()
 		}
 		tc.doneLoop(ld)
+	case ScheduleSteal:
+		tc.forSteal(n, chunk, body)
 	default:
 		panic("omp: unknown schedule kind")
 	}

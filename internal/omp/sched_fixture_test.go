@@ -1,0 +1,90 @@
+package omp
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestScheduleBoundaryFixtures pins the chunk boundaries produced by
+// static, dynamic, and guided schedules against fixtures generated from
+// the pre-work-stealing scheduler (testdata/sched_fixtures.txt). The
+// boundary *set* for each (schedule, n, chunk, threads) combination must
+// stay bit-identical: work stealing may move chunks between threads but
+// must never change how the iteration space is cut.
+//
+// Fixture line format: FIX|sched|n|chunk|p|lo:hi,lo:hi,...
+func TestScheduleBoundaryFixtures(t *testing.T) {
+	f, err := os.Open("testdata/sched_fixtures.txt")
+	if err != nil {
+		t.Fatalf("open fixtures: %v", err)
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lines := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || !strings.HasPrefix(line, "FIX|") {
+			continue
+		}
+		lines++
+		parts := strings.SplitN(line, "|", 6)
+		if len(parts) != 6 {
+			t.Fatalf("bad fixture line: %q", line)
+		}
+		sched := Schedule(atoi(t, parts[1]))
+		n := atoi(t, parts[2])
+		chunk := atoi(t, parts[3])
+		p := atoi(t, parts[4])
+		want := parts[5]
+
+		t.Run(fmt.Sprintf("%s/n%d/c%d/p%d", sched, n, chunk, p), func(t *testing.T) {
+			got := boundarySet(sched, n, chunk, p)
+			if got != want {
+				t.Fatalf("boundary set changed\n got: %s\nwant: %s", got, want)
+			}
+		})
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scan fixtures: %v", err)
+	}
+	if lines != 120 {
+		t.Fatalf("expected 120 fixture lines, read %d", lines)
+	}
+}
+
+func boundarySet(sched Schedule, n, chunk, p int) string {
+	r := New(Config{NumThreads: p})
+	defer r.Close()
+	var mu sync.Mutex
+	var got [][2]int
+	r.Parallel(func(tc *ThreadCtx) {
+		tc.ForSched(n, sched, chunk, func(lo, hi int) {
+			mu.Lock()
+			got = append(got, [2]int{lo, hi})
+			mu.Unlock()
+		})
+	})
+	sort.Slice(got, func(i, j int) bool { return got[i][0] < got[j][0] })
+	var b strings.Builder
+	for _, bd := range got {
+		fmt.Fprintf(&b, "%d:%d,", bd[0], bd[1])
+	}
+	return b.String()
+}
+
+func atoi(t *testing.T, s string) int {
+	t.Helper()
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		t.Fatalf("bad int %q: %v", s, err)
+	}
+	return v
+}

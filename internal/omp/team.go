@@ -55,8 +55,9 @@ type Team struct {
 	red        []redSlot
 	redPending atomic.Bool
 
-	// tasks is the team's explicit-task pool (OpenMP 3.0 extension).
-	tasks taskPool
+	// tasks is the team's explicit-task system (OpenMP 3.0 extension):
+	// per-thread work-stealing deques, recycled across regions.
+	tasks taskScheduler
 
 	panicMu sync.Mutex
 	panics  []*RegionPanic
@@ -144,7 +145,7 @@ func newTeam(r *RT, size int, info *collector.TeamInfo) *Team {
 		t.ring[i].free.Store(start)
 	}
 	t.barrier = newTeamBarrier(size, r.cfg, t.flushReductions)
-	t.tasks.init()
+	t.tasks.deq = r.getTaskDeques(size)
 	return t
 }
 

@@ -1,0 +1,131 @@
+package perf
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Steal attribution: the work-stealing scheduler emits instantaneous
+// chunk-steal and task-steal events from the thief thread, with the
+// victim's thread number recorded in the sample's State slot (steals
+// carry no wait state, so the slot is reused; see the tool callback).
+// These aggregations turn the raw migration events into the per-site
+// and per-edge views reports present: where the scheduler rebalanced,
+// and which threads fed which.
+
+// StealSiteStats counts steal events per static parallel region.
+type StealSiteStats struct {
+	Site        uint64
+	ChunkSteals int
+	TaskSteals  int
+}
+
+// StealProfileBySite tallies steal samples per region site.
+// chunkEvent and taskEvent are the trace's event codes for
+// OMP_EVENT_CHUNK_STEAL and OMP_EVENT_TASK_STEAL.
+func StealProfileBySite(samples []Sample, chunkEvent, taskEvent int32) []StealSiteStats {
+	bySite := make(map[uint64]*StealSiteStats)
+	for i := range samples {
+		s := &samples[i]
+		if s.Event != chunkEvent && s.Event != taskEvent {
+			continue
+		}
+		st := bySite[s.Site]
+		if st == nil {
+			st = &StealSiteStats{Site: s.Site}
+			bySite[s.Site] = st
+		}
+		if s.Event == chunkEvent {
+			st.ChunkSteals++
+		} else {
+			st.TaskSteals++
+		}
+	}
+	out := make([]StealSiteStats, 0, len(bySite))
+	for _, st := range bySite {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ti := out[i].ChunkSteals + out[i].TaskSteals
+		tj := out[j].ChunkSteals + out[j].TaskSteals
+		if ti != tj {
+			return ti > tj
+		}
+		return out[i].Site < out[j].Site
+	})
+	return out
+}
+
+// StealEdge is one migration direction: how much work thief took from
+// victim across the trace.
+type StealEdge struct {
+	Victim int32
+	Thief  int32
+	Chunk  int // chunk-steal events on this edge
+	Task   int // task-steal events on this edge
+}
+
+// StealEdges tallies victim->thief migration edges. The thief is the
+// sample's thread, the victim its State slot; samples with a negative
+// victim (never set) are skipped.
+func StealEdges(samples []Sample, chunkEvent, taskEvent int32) []StealEdge {
+	type key struct{ v, t int32 }
+	edges := make(map[key]*StealEdge)
+	for i := range samples {
+		s := &samples[i]
+		if s.Event != chunkEvent && s.Event != taskEvent {
+			continue
+		}
+		if s.State < 0 {
+			continue
+		}
+		k := key{s.State, s.Thread}
+		e := edges[k]
+		if e == nil {
+			e = &StealEdge{Victim: s.State, Thief: s.Thread}
+			edges[k] = e
+		}
+		if s.Event == chunkEvent {
+			e.Chunk++
+		} else {
+			e.Task++
+		}
+	}
+	out := make([]StealEdge, 0, len(edges))
+	for _, e := range edges {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ti, tj := out[i].Chunk+out[i].Task, out[j].Chunk+out[j].Task
+		if ti != tj {
+			return ti > tj
+		}
+		if out[i].Victim != out[j].Victim {
+			return out[i].Victim < out[j].Victim
+		}
+		return out[i].Thief < out[j].Thief
+	})
+	return out
+}
+
+// WriteStealTable renders per-site steal counts; resolve maps a site
+// PC to a label (nil for hex PCs).
+func WriteStealTable(w io.Writer, stats []StealSiteStats, resolve func(uint64) string) {
+	fmt.Fprintf(w, "%-40s %12s %12s\n", "region site", "chunk steals", "task steals")
+	for _, st := range stats {
+		label := fmt.Sprintf("%#x", st.Site)
+		if resolve != nil {
+			label = resolve(st.Site)
+		}
+		fmt.Fprintf(w, "%-40s %12d %12d\n", label, st.ChunkSteals, st.TaskSteals)
+	}
+}
+
+// WriteStealEdges renders the migration matrix rows.
+func WriteStealEdges(w io.Writer, edges []StealEdge) {
+	fmt.Fprintf(w, "%-20s %12s %12s\n", "victim -> thief", "chunk steals", "task steals")
+	for _, e := range edges {
+		fmt.Fprintf(w, "T%-8d -> T%-6d %12d %12d\n", e.Victim, e.Thief, e.Chunk, e.Task)
+	}
+}

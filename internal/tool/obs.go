@@ -40,6 +40,15 @@ func (t *Tool) startObs(addr string) (*obs.Server, error) {
 			}
 		})
 
+	reg.CounterSeries("goomp_steals_total",
+		"Work-stealing scheduler migrations, by kind (chunk: loop chunks between chunk deques; task: explicit tasks between task deques).",
+		func(emit obs.Emit) {
+			emit(float64(t.col.EventCount(collector.EventChunkSteal)),
+				obs.Label{Name: "kind", Value: "chunk"})
+			emit(float64(t.col.EventCount(collector.EventTaskSteal)),
+				obs.Label{Name: "kind", Value: "task"})
+		})
+
 	reg.GaugeSeries("goomp_trace_samples",
 		"Trace samples currently held in each thread's buffer (while streaming, only the unflushed residue).",
 		func(emit obs.Emit) {
@@ -227,6 +236,7 @@ func (t *Tool) obsProfile() obs.ProfileSnapshot {
 	// buffers can carry the same thread number (transient nested
 	// descriptors), so concatenating them before pairing could mismatch.
 	bySite := make(map[uint64]*perf.RegionSiteStats)
+	stealsBySite := make(map[uint64]*perf.StealSiteStats)
 	for _, tb := range t.snapshotBuffers() {
 		samples := tb.buf.Samples()
 		snap.Samples += len(samples)
@@ -247,6 +257,21 @@ func (t *Tool) obsProfile() obs.ProfileSnapshot {
 				agg.MaxTime = st.MaxTime
 			}
 		}
+		for _, st := range perf.StealProfileBySite(samples,
+			int32(collector.EventChunkSteal), int32(collector.EventTaskSteal)) {
+			agg := stealsBySite[st.Site]
+			if agg == nil {
+				c := st
+				stealsBySite[st.Site] = &c
+				continue
+			}
+			agg.ChunkSteals += st.ChunkSteals
+			agg.TaskSteals += st.TaskSteals
+		}
+	}
+	for _, st := range stealsBySite {
+		snap.ChunkSteals += st.ChunkSteals
+		snap.TaskSteals += st.TaskSteals
 	}
 	sites := make([]*perf.RegionSiteStats, 0, len(bySite))
 	for _, st := range bySite {
@@ -263,14 +288,19 @@ func (t *Tool) obsProfile() obs.ProfileSnapshot {
 		if st.Calls > 0 {
 			mean = st.TotalTime / time.Duration(st.Calls)
 		}
-		snap.Sites = append(snap.Sites, obs.RegionSite{
+		row := obs.RegionSite{
 			Site:    fmt.Sprintf("%#x", st.Site),
 			Calls:   st.Calls,
 			TotalNs: int64(st.TotalTime),
 			MeanNs:  int64(mean),
 			MinNs:   int64(st.MinTime),
 			MaxNs:   int64(st.MaxTime),
-		})
+		}
+		if ss := stealsBySite[st.Site]; ss != nil {
+			row.ChunkSteals = ss.ChunkSteals
+			row.TaskSteals = ss.TaskSteals
+		}
+		snap.Sites = append(snap.Sites, row)
 	}
 	return snap
 }

@@ -207,13 +207,17 @@ type Options struct {
 	OnHang func(report string)
 }
 
-// DefaultEvents are the events the paper's prototype registers.
+// DefaultEvents are the events the paper's prototype registers, plus
+// the work-stealing extension events (cheap: they fire only when the
+// scheduler actually rebalances).
 func DefaultEvents() []collector.Event {
 	return []collector.Event{
 		collector.EventFork,
 		collector.EventJoin,
 		collector.EventThrBeginIBar,
 		collector.EventThrEndIBar,
+		collector.EventChunkSteal,
+		collector.EventTaskSteal,
 	}
 }
 
@@ -441,6 +445,14 @@ func (t *Tool) callback(e collector.Event, ti *collector.ThreadInfo) {
 	if team != nil {
 		sample.Region = team.RegionID
 		sample.Site = uint64(team.SitePC)
+	}
+	if e == collector.EventChunkSteal || e == collector.EventTaskSteal {
+		// Steal events are instantaneous and carry no wait state; the
+		// State slot instead records the victim thread number published
+		// in the thief's descriptor (the thief is Sample.Thread). This
+		// keeps the trace format unchanged while giving reports the
+		// victim->thief migration edge.
+		sample.State = ti.StealVictim()
 	}
 	if t.opts.JoinStacks && e == collector.EventJoin {
 		buf.AppendStacked(sample, perf.Callstack(1, 32))
