@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test check race bench bench-sync bench-trace bench-sched chaos chaos-hang chaos-net chaos-disk obs-demo psxd-demo
+.PHONY: build test check race bench bench-sync bench-trace bench-sched chaos chaos-hang chaos-net chaos-disk chaos-load obs-demo psxd-demo
 
 build:
 	$(GO) build ./...
@@ -55,6 +55,19 @@ chaos-disk:
 	$(GO) test -race -count=1 -timeout 120s ./internal/faultinject -run 'ChaosDisk'
 	$(GO) test -race -count=1 -timeout 120s ./internal/ingest ./internal/perf -run 'Recover|Journal|Durable|Fsync|Retention|Manifest|Hello|Sync|Close|ValidStreamPrefix'
 	$(GO) test -race -count=1 -timeout 120s ./cmd/psxd
+
+# chaos-load runs the overload chaos suite for always-on profiling:
+# the adaptive governor must converge under its overhead ceiling
+# through observable ladder steps, a psxd outage longer than the
+# in-memory queue must lose nothing (store-and-forward spill, byte-
+# identical replay, exact conservation accounting), and a burst flood
+# into an overloaded daemon must shed with exact counts while the
+# seal/BYE control frames always land. Race detector + wall-clock cap.
+chaos-load:
+	$(GO) test -race -count=1 -timeout 120s ./internal/faultinject -run 'ChaosLoad'
+	$(GO) test -race -count=1 -timeout 120s ./internal/degrade
+	$(GO) test -race -count=1 -timeout 120s ./internal/tool -run 'Governor|Spill|Conservation|OptionsFromEnv|ParseSpillBytes'
+	$(GO) test -race -count=1 -timeout 120s ./internal/ingest -run 'Overload|Heartbeat'
 
 # race runs the detector over everything (slower; check covers the
 # concurrency-critical packages).

@@ -9,6 +9,7 @@
 //
 //	ompprof [-workload pi|EP|CG|MG|FT|BT|SP|LU|LU-HP] [-class S|W|A|B]
 //	        [-threads 4] [-sample 1ms] [-trace DIR] [-obs HOST:PORT]
+//	        [-overhead-ceiling 2%] [-spill-dir DIR] [-spill-bytes 64M]
 package main
 
 import (
@@ -40,6 +41,9 @@ func main() {
 	obsAddr := flag.String("obs", os.Getenv("GOMP_OBS_ADDR"), "serve the live observability plane (/metrics, /healthz, /state, /profile, /waits) on this host:port while attached; defaults to $GOMP_OBS_ADDR, empty disables")
 	hangTimeout := flag.Duration("hang-timeout", envDuration("GOMP_HANG_TIMEOUT"), "hang supervision: after this long with no progress, print a deadlock/no-progress diagnosis, salvage the trace prefix and exit nonzero; defaults to $GOMP_HANG_TIMEOUT, 0 disables")
 	hangDir := flag.String("hang-dir", os.Getenv("GOMP_HANG_DIR"), "directory to salvage the hang report and traces into; defaults to $GOMP_HANG_DIR, then the -stream directory")
+	ceiling := flag.String("overhead-ceiling", os.Getenv("GOMP_OVERHEAD_CEILING"), "arm the adaptive overhead governor: target max profiling overhead as a fraction (\"0.02\") or percentage (\"2%\") of wall time; defaults to $GOMP_OVERHEAD_CEILING, empty disables")
+	spillDir := flag.String("spill-dir", os.Getenv("GOMP_SPILL_DIR"), "store-and-forward spill directory: chunks detour to disk here while the ingest daemon is unreachable or overloaded, and replay on reconnect; defaults to $GOMP_SPILL_DIR, empty disables")
+	spillBytes := flag.String("spill-bytes", os.Getenv("GOMP_SPILL_BYTES"), "bound on the spill backlog: a positive byte count with optional K/M/G suffix (default 64M); defaults to $GOMP_SPILL_BYTES")
 	traceV2 := flag.Bool("trace-v2", envBool("GOMP_TRACE_V2"), "write trace blocks in the compact v2 (PSX2) encoding; defaults to $GOMP_TRACE_V2")
 	traceCompress := flag.Bool("trace-compress", envBool("GOMP_TRACE_COMPRESS"), "flate-compress sealed v2 trace blocks (implies -trace-v2); defaults to $GOMP_TRACE_COMPRESS")
 	flag.Parse()
@@ -67,6 +71,26 @@ func main() {
 	opts.HangAbort = true // a hung profiled run must fail the invocation
 	opts.TraceV2 = *traceV2 || *traceCompress
 	opts.TraceCompress = *traceCompress
+	// The governor and spill knobs share their value syntax with the
+	// environment variables; a malformed value fails the invocation
+	// loudly rather than profiling ungoverned or unspooled.
+	if *ceiling != "" {
+		c, err := omp.ParseOverheadCeiling(*ceiling)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ompprof: -overhead-ceiling:", err)
+			os.Exit(2)
+		}
+		opts.OverheadCeiling = c
+	}
+	opts.SpillDir = *spillDir
+	if *spillBytes != "" {
+		n, err := tool.ParseSpillBytes(*spillBytes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ompprof: -spill-bytes:", err)
+			os.Exit(2)
+		}
+		opts.SpillBytes = n
+	}
 	tl, err := tool.Attach(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ompprof:", err)

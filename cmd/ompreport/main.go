@@ -64,13 +64,14 @@ func main() {
 	truncated := 0
 	salvagedDirs := map[string]bool{}
 	quarantinedDirs := map[string]bool{}
+	manifests := map[string]*ingest.Manifest{}
 	for _, path := range paths {
-		// A psxd run directory carries a manifest; note once per run
-		// when the daemon salvaged it from its journal after a crash,
-		// or sealed it quarantined (storage failed; tail not yet
-		// re-validated).
-		if dir := filepath.Dir(path); !salvagedDirs[dir] && !quarantinedDirs[dir] {
+		// A psxd run directory carries a manifest; read it once per run
+		// for the salvage/quarantine markers and the client's loss
+		// accounting from the BYE.
+		if dir := filepath.Dir(path); manifests[dir] == nil {
 			if m, err := ingest.ReadManifest(dir); err == nil {
+				manifests[dir] = m
 				if m.Quarantined {
 					quarantinedDirs[dir] = true
 				} else if m.Salvaged {
@@ -137,6 +138,11 @@ func main() {
 		fmt.Println()
 	}
 
+	// Degradation and loss, before anything else: a reader must learn
+	// that the trace is not full fidelity before trusting the numbers
+	// reconstructed from it.
+	printDegradationSummary(samples, dropped, manifests)
+
 	// Per-region timing from the master's fork/join markers, grouped
 	// by static region site (one row per parallel region of the source
 	// program).
@@ -175,4 +181,60 @@ func main() {
 			fmt.Printf("\nbarrier imbalance (max/mean): %.2f\n", imb)
 		}
 	}
+}
+
+// printDegradationSummary renders the degradation & loss summary: what
+// the measurement shed to stay under its overhead ceiling (the
+// governor's step history, decoded from the trace), what was dropped
+// at capture, and — for psxd run directories, from the manifest's
+// client accounting — what was dropped, spilled and replayed on the
+// way to storage. Silent when the run was full fidelity and lossless.
+func printDegradationSummary(samples []perf.Sample, captureDropped uint64, manifests map[string]*ingest.Manifest) {
+	steps := analysis.GovernorSteps(samples)
+	var clientDropped, clientDroppedSamples, spilled, replayed uint64
+	var serverDropped uint64
+	for _, m := range manifests {
+		clientDropped += m.ClientDropped
+		clientDroppedSamples += m.ClientDroppedSamples
+		spilled += m.ClientSpilled
+		replayed += m.ClientReplayed
+		// Server-side drops live in the daemon's registry, not the
+		// manifest; the manifest's stored-chunk count against the
+		// client's produced count exposes the same gap.
+		if m.ClientProduced > m.Chunks+m.ClientDropped {
+			serverDropped += m.ClientProduced - m.Chunks - m.ClientDropped
+		}
+	}
+	if len(steps) == 0 && captureDropped == 0 && clientDropped == 0 &&
+		spilled == 0 && serverDropped == 0 {
+		return
+	}
+	fmt.Println("DEGRADATION & LOSS SUMMARY")
+	if captureDropped > 0 {
+		fmt.Printf("  capture: %d samples dropped at record time (trace buffers full)\n", captureDropped)
+	}
+	if clientDropped > 0 {
+		fmt.Printf("  shipping: %d chunks (%d samples) lost before reaching the ingest daemon\n",
+			clientDropped, clientDroppedSamples)
+	}
+	if spilled > 0 {
+		fmt.Printf("  spill: %d chunks took the on-disk store-and-forward detour, %d replayed and delivered\n",
+			spilled, replayed)
+		if spilled > replayed {
+			fmt.Printf("         %d spilled chunks were not delivered by run end\n", spilled-replayed)
+		}
+	}
+	if serverDropped > 0 {
+		fmt.Printf("  ingest: %d produced chunks missing from storage (daemon drops or storage refusals)\n",
+			serverDropped)
+	}
+	if len(steps) > 0 {
+		final := analysis.FinalGovernorLevel(steps)
+		fmt.Printf("  governor: %d ladder transitions, final level %s\n", len(steps), final)
+		analysis.WriteGovernorReport(os.Stdout, steps)
+		if final > 0 {
+			fmt.Printf("  NOTE: the run ended degraded (%s); activity below is what survived the shedding\n", final)
+		}
+	}
+	fmt.Println()
 }

@@ -19,7 +19,7 @@
 //	psxd [-listen 127.0.0.1:9470] [-dir psxd-data] [-obs HOST:PORT]
 //	     [-queue 64] [-max-conns 128] [-fsync never|seal|every-N]
 //	     [-retain-bytes N] [-retain-age DUR] [-drain-timeout DUR]
-//	     [-trace-v2=false]
+//	     [-heartbeat-timeout DUR] [-trace-v2=false]
 package main
 
 import (
@@ -49,6 +49,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	queue := fs.Int("queue", 0, "per-run ingest queue depth in frames (0 means the default)")
 	maxConns := fs.Int("max-conns", 0, "concurrent client connection bound (0 means the default)")
 	backpressure := fs.Duration("backpressure", 0, "how long a full run queue stalls a connection's reads before dropping (0 means the default)")
+	heartbeatTimeout := fs.Duration("heartbeat-timeout", 0, "reap a connection with no readable frame for this long (clients heartbeat every second while idle; 0 means the default 30s, negative disables)")
 	fsync := fs.String("fsync", "seal", "fsync policy: never, seal (at stream seals and run end), or every-N (group-commit every N chunks); durable-ack runs always sync before acking")
 	retainBytes := fs.Int64("retain-bytes", 0, "GC completed runs oldest-first once the data directory exceeds this many bytes (0 disables)")
 	retainAge := fs.Duration("retain-age", 0, "GC completed runs idle longer than this (0 disables)")
@@ -67,6 +68,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		MaxConns:          *maxConns,
 		QueueDepth:        *queue,
 		BackpressureWait:  *backpressure,
+		HeartbeatTimeout:  *heartbeatTimeout,
 		ObsAddr:           *obsAddr,
 		Fsync:             policy,
 		RetainBytes:       *retainBytes,

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"goomp/internal/collector"
+	"goomp/internal/degrade"
 	"goomp/internal/perf"
 )
 
@@ -80,6 +81,11 @@ func Timelines(samples []perf.Sample) []Timeline {
 	byThread := make(map[int32][]perf.Sample)
 	for _, s := range samples {
 		if s.Event < 0 {
+			continue
+		}
+		// Governor transitions ride on a pseudo-thread; they are trace
+		// metadata, not thread activity.
+		if collector.Event(s.Event) == collector.EventGovernor {
 			continue
 		}
 		byThread[s.Thread] = append(byThread[s.Thread], s)
@@ -240,6 +246,63 @@ func WriteStealReport(w io.Writer, acts []StealActivity) {
 	for _, a := range acts {
 		fmt.Fprintf(w, "%-8d %12d %12d %12d %12d\n",
 			a.Thread, a.ChunkStolen, a.ChunkLost, a.TaskStolen, a.TaskLost)
+	}
+}
+
+// GovernorStep is one overhead-governor ladder transition decoded
+// from the trace: at Time the measurement moved From one degradation
+// level To another, for Reason. A trace with any step past LevelFull
+// is not full fidelity — the sampler was decimated, stacks were
+// dropped, or whole event classes were shed — and every consumer of
+// the trace should surface that.
+type GovernorStep struct {
+	Time   int64
+	From   degrade.Level
+	To     degrade.Level
+	Reason degrade.Reason
+}
+
+// GovernorSteps decodes the governor's transition history from trace
+// samples (the collector emits one EventGovernor sample per ladder
+// move: the new level in State, the old level in Region, the reason in
+// Site). The result is ordered by time.
+func GovernorSteps(samples []perf.Sample) []GovernorStep {
+	var out []GovernorStep
+	for i := range samples {
+		s := &samples[i]
+		if collector.Event(s.Event) != collector.EventGovernor {
+			continue
+		}
+		out = append(out, GovernorStep{
+			Time:   s.Time,
+			From:   degrade.Level(s.Region),
+			To:     degrade.Level(s.State),
+			Reason: degrade.Reason(s.Site),
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}
+
+// FinalGovernorLevel returns the level the governor ended the trace at
+// (LevelFull when the trace holds no governor events).
+func FinalGovernorLevel(steps []GovernorStep) degrade.Level {
+	if len(steps) == 0 {
+		return degrade.LevelFull
+	}
+	return steps[len(steps)-1].To
+}
+
+// WriteGovernorReport renders the governor's step history, with times
+// relative to the first step.
+func WriteGovernorReport(w io.Writer, steps []GovernorStep) {
+	if len(steps) == 0 {
+		return
+	}
+	t0 := steps[0].Time
+	for _, st := range steps {
+		fmt.Fprintf(w, "  %+12v  %s -> %s (%s)\n",
+			time.Duration(st.Time-t0), st.From, st.To, st.Reason)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"testing/quick"
 
 	"goomp/internal/collector"
+	"goomp/internal/degrade"
 	"goomp/internal/omp"
 	"goomp/internal/perf"
 	"goomp/internal/tool"
@@ -229,5 +230,67 @@ func TestEndToEndWithRealTool(t *testing.T) {
 	Report(&out, tls)
 	if !strings.Contains(out.String(), "OMP_EVENT_THR_BEGIN_EBAR") {
 		t.Errorf("report missing barrier rows:\n%s", out.String())
+	}
+}
+
+func govSample(t int64, from, to degrade.Level, reason degrade.Reason) perf.Sample {
+	return perf.Sample{
+		Time:    t,
+		Thread:  -1,
+		Event:   int32(collector.EventGovernor),
+		State:   int32(to),
+		Region:  uint64(from),
+		Site:    uint64(reason),
+		StackID: perf.NoStack,
+	}
+}
+
+func TestGovernorSteps(t *testing.T) {
+	samples := []perf.Sample{
+		sample(10, 0, collector.EventThrBeginIBar),
+		govSample(50, degrade.LevelReducedSampler, degrade.LevelNoStacks, degrade.ReasonBackpressure),
+		govSample(20, degrade.LevelFull, degrade.LevelReducedSampler, degrade.ReasonOverCeiling),
+		sample(30, 0, collector.EventThrEndIBar),
+		govSample(90, degrade.LevelNoStacks, degrade.LevelReducedSampler, degrade.ReasonRecovered),
+	}
+	steps := GovernorSteps(samples)
+	if len(steps) != 3 {
+		t.Fatalf("steps = %+v", steps)
+	}
+	// Ordered by time, fields decoded from the sample slots.
+	if steps[0].Time != 20 || steps[0].From != degrade.LevelFull ||
+		steps[0].To != degrade.LevelReducedSampler || steps[0].Reason != degrade.ReasonOverCeiling {
+		t.Errorf("step[0] = %+v", steps[0])
+	}
+	if steps[1].To != degrade.LevelNoStacks || steps[1].Reason != degrade.ReasonBackpressure {
+		t.Errorf("step[1] = %+v", steps[1])
+	}
+	if got := FinalGovernorLevel(steps); got != degrade.LevelReducedSampler {
+		t.Errorf("final level = %v", got)
+	}
+	if got := FinalGovernorLevel(nil); got != degrade.LevelFull {
+		t.Errorf("final level of empty = %v", got)
+	}
+
+	var buf bytes.Buffer
+	WriteGovernorReport(&buf, steps)
+	out := buf.String()
+	for _, want := range []string{"full -> reduced-sampler", "over-ceiling", "backpressure", "recovered"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTimelinesSkipGovernorSamples(t *testing.T) {
+	tls := Timelines([]perf.Sample{
+		govSample(5, degrade.LevelFull, degrade.LevelReducedSampler, degrade.ReasonOverCeiling),
+		sample(10, 0, collector.EventThrBeginIBar),
+		sample(30, 0, collector.EventThrEndIBar),
+	})
+	for _, tl := range tls {
+		if tl.Thread == -1 {
+			t.Fatalf("governor pseudo-thread leaked into timelines: %+v", tls)
+		}
 	}
 }

@@ -146,33 +146,44 @@ type callbackFault struct {
 	delay time.Duration
 }
 
+// delayEveryRule is a sustained periodic callback delay: every nth
+// invocation of an event sleeps, modelling steady external jitter
+// rather than DelayOn's one-shot spike.
+type delayEveryRule struct {
+	every uint64
+	delay time.Duration
+}
+
 // Plan is a replayable fault schedule. Build it with the rule methods,
 // wire it into a tool with Apply, run the workload, then inspect
 // Fired(). A Plan may be used by many goroutines concurrently.
 type Plan struct {
 	seed uint64
 
-	mu        sync.Mutex
-	callbacks map[eventKey]callbackFault
-	invoked   map[collector.Event]uint64 // per-event invocation counter
-	writes    map[writeKey]int           // attempts to fail with a clean error
-	torn      map[writeKey]bool          // first attempt fails mid-write
-	opens     map[int32]int              // open attempts to fail per thread
-	opened    map[int32]int              // open attempts seen per thread
-	drops     map[writeKey]bool          // chunk sequences to drop
-	writeRate float64                    // seed-hashed transient-error rate
-	dropEvery int                        // drop every nth chunk per thread
-	msgs      []msgRule                  // mpi message drop/delay rules
-	stalls    map[string]bool            // armed named stall points
-	dialFails int                        // ingest dials to fail first
-	dials     int                        // ingest dial attempts seen
-	connsMade int                        // ingest connections established
-	cuts      map[int]int                // conn → frames before the cut
-	tears     map[int]int                // conn → 1-based frame torn mid-write
-	ackDelay  time.Duration              // slow-link delay per conn read
-	fsRules   []*fsRule                  // writer-side filesystem faults
-	onCrash   func()                     // fired synchronously by crash-shaped fs faults
-	fired     []Record
+	mu            sync.Mutex
+	callbacks     map[eventKey]callbackFault
+	periodic      map[collector.Event]delayEveryRule
+	invoked       map[collector.Event]uint64 // per-event invocation counter
+	writes        map[writeKey]int           // attempts to fail with a clean error
+	torn          map[writeKey]bool          // first attempt fails mid-write
+	opens         map[int32]int              // open attempts to fail per thread
+	opened        map[int32]int              // open attempts seen per thread
+	drops         map[writeKey]bool          // chunk sequences to drop
+	writeRate     float64                    // seed-hashed transient-error rate
+	dropEvery     int                        // drop every nth chunk per thread
+	msgs          []msgRule                  // mpi message drop/delay rules
+	stalls        map[string]bool            // armed named stall points
+	dialFails     int                        // ingest dials to fail first
+	dialFailFrom  int                        // 1-based start of a failing dial window
+	dialFailCount int                        // dials in the failing window
+	dials         int                        // ingest dial attempts seen
+	connsMade     int                        // ingest connections established
+	cuts          map[int]int                // conn → frames before the cut
+	tears         map[int]int                // conn → 1-based frame torn mid-write
+	ackDelay      time.Duration              // slow-link delay per conn read
+	fsRules       []*fsRule                  // writer-side filesystem faults
+	onCrash       func()                     // fired synchronously by crash-shaped fs faults
+	fired         []Record
 
 	releaseOnce sync.Once
 	release     chan struct{}
@@ -183,6 +194,7 @@ func New(seed int64) *Plan {
 	return &Plan{
 		seed:      uint64(seed),
 		callbacks: make(map[eventKey]callbackFault),
+		periodic:  make(map[collector.Event]delayEveryRule),
 		invoked:   make(map[collector.Event]uint64),
 		writes:    make(map[writeKey]int),
 		torn:      make(map[writeKey]bool),
@@ -221,6 +233,17 @@ func (p *Plan) DelayOn(e collector.Event, nth uint64, d time.Duration) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.callbacks[eventKey{e, nth}] = callbackFault{kind: KindDelay, delay: d}
+}
+
+// DelayEvery makes every nth invocation of e's callback (n, 2n, …)
+// sleep d before running the tool's callback — sustained external
+// jitter (a congested machine, a slow wrapped tool) rather than
+// DelayOn's one-shot spike. Exact-coordinate rules on the same
+// invocation take precedence.
+func (p *Plan) DelayEvery(e collector.Event, every uint64, d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.periodic[e] = delayEveryRule{every: every, delay: d}
 }
 
 // Release unblocks every hung callback (idempotent).
@@ -330,6 +353,11 @@ func (p *Plan) nextCallbackFault(e collector.Event) (callbackFault, uint64, bool
 	p.invoked[e]++
 	nth := p.invoked[e]
 	f, ok := p.callbacks[eventKey{e, nth}]
+	if !ok {
+		if r, has := p.periodic[e]; has && r.every > 0 && nth%r.every == 0 {
+			return callbackFault{kind: KindDelay, delay: r.delay}, nth, true
+		}
+	}
 	return f, nth, ok
 }
 

@@ -25,6 +25,17 @@ func (p *Plan) FailDial(attempts int) {
 	p.dialFails = attempts
 }
 
+// FailDialRange makes dial attempts from through from+count-1
+// (1-based) fail — an outage window between working connections: the
+// first connection(s) establish, the daemon then vanishes for count
+// redial attempts, and service returns. Composes with FailDial (which
+// covers a prefix of attempts).
+func (p *Plan) FailDialRange(from, count int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.dialFailFrom, p.dialFailCount = from, count
+}
+
 // CutConnAfterFrames severs the nth (1-based) established ingest
 // connection once it has carried frames wire frames: the next write
 // finds the connection closed. The client reconnects and resends its
@@ -87,7 +98,9 @@ func (p *Plan) dialFault() bool {
 	defer p.mu.Unlock()
 	attempt := p.dials
 	p.dials++
-	if attempt < p.dialFails {
+	inRange := p.dialFailCount > 0 &&
+		attempt+1 >= p.dialFailFrom && attempt+1 < p.dialFailFrom+p.dialFailCount
+	if attempt < p.dialFails || inRange {
 		p.fired = append(p.fired, Record{Kind: KindDialError,
 			Index: uint64(attempt), Point: fmt.Sprintf("dial %d", attempt+1)})
 		return true

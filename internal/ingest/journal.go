@@ -169,6 +169,16 @@ type Manifest struct {
 	Samples       uint64    `json:"samples"`
 	Bytes         uint64    `json:"bytes"`
 	SealedThreads int64     `json:"sealed_threads"`
+
+	// Client-reported loss accounting from the BYE frame that sealed
+	// the run (zero for legacy clients and interrupted seals). Offline
+	// readers surface these so a run that degraded, dropped or spilled
+	// at the producing end says so in the report.
+	ClientProduced       uint64 `json:"client_produced_chunks,omitempty"`
+	ClientDropped        uint64 `json:"client_dropped_chunks,omitempty"`
+	ClientDroppedSamples uint64 `json:"client_dropped_samples,omitempty"`
+	ClientSpilled        uint64 `json:"client_spilled_chunks,omitempty"`
+	ClientReplayed       uint64 `json:"client_replayed_chunks,omitempty"`
 }
 
 // ReadManifest loads a run directory's manifest. Offline readers

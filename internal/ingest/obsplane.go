@@ -52,6 +52,9 @@ func (s *Server) startObs(addr string) (*obs.Server, error) {
 	reg.CounterFunc("goomp_ingest_bad_frames_total",
 		"Frames refused as malformed or unsupported.",
 		func() float64 { return float64(s.badFrames.Load()) })
+	reg.CounterFunc("goomp_ingest_reaped_conns_total",
+		"Half-open connections closed by the server-side heartbeat deadline.",
+		func() float64 { return float64(s.reaped.Load()) })
 	reg.GaugeFunc("goomp_ingest_runs",
 		"Runs in the registry.",
 		func() float64 { return float64(len(s.Runs())) })

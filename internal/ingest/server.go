@@ -38,6 +38,7 @@ const (
 	defaultQueueDepth       = 64
 	defaultBackpressureWait = 5 * time.Millisecond
 	defaultHousekeep        = 30 * time.Second
+	defaultHeartbeatTimeout = 30 * time.Second
 
 	// maxBatch bounds one group commit: the writer drains at most this
 	// many queued items before syncing and releasing their durable acks.
@@ -73,6 +74,15 @@ type Options struct {
 	// before dropping the frame with accounting. Zero means the default
 	// (5ms).
 	BackpressureWait time.Duration
+
+	// HeartbeatTimeout reaps half-open connections: clients heartbeat
+	// every second while idle, so a connection with no readable frame
+	// for this long is dead — its handler (and the conn's hold on MaxConns
+	// and the run's writer) is released, counted in the reaped-conns
+	// metric. A live client that lost this conn reconnects and resumes
+	// from the acked sequence, so reaping never loses data. Zero means
+	// the default (30s); negative disables reaping.
+	HeartbeatTimeout time.Duration
 
 	// Fsync selects when writer goroutines sync: at thread/run seals
 	// (the zero value), never, or every N chunks. Durable-ack clients
@@ -117,6 +127,10 @@ type item struct {
 	block   []byte
 	seal    bool
 	bye     bool
+
+	// byeStats is the client's final loss accounting carried on a BYE
+	// frame; the writer records it in the registry and manifest.
+	byeStats Bye
 
 	// ackOnly marks a durable-mode duplicate whose data item is already
 	// ahead in the queue: nothing to write, but the ack must still wait
@@ -195,6 +209,16 @@ type run struct {
 	fsyncs         atomic.Uint64
 	sealedThreads  atomic.Int64
 
+	// Client-reported loss accounting from the BYE frame: what the
+	// producing process dropped, spilled to its store-and-forward log,
+	// and replayed before sealing the run. Zero for legacy clients and
+	// for runs whose BYE never arrived.
+	clientProduced       atomic.Uint64
+	clientDropped        atomic.Uint64
+	clientDroppedSamples atomic.Uint64
+	clientSpilled        atomic.Uint64
+	clientReplayed       atomic.Uint64
+
 	errMu sync.Mutex
 	errs  []error
 }
@@ -234,6 +258,7 @@ type Server struct {
 	heartbeats    atomic.Uint64
 	duplicates    atomic.Uint64
 	badFrames     atomic.Uint64
+	reaped        atomic.Uint64 // half-open conns closed by the heartbeat deadline
 	salvagedRuns  atomic.Uint64
 	gcRuns        atomic.Uint64
 	gcBytes       atomic.Uint64
@@ -271,6 +296,9 @@ func Serve(addr string, opts Options) (*Server, error) {
 	}
 	if opts.HousekeepInterval <= 0 {
 		opts.HousekeepInterval = defaultHousekeep
+	}
+	if opts.HeartbeatTimeout == 0 {
+		opts.HeartbeatTimeout = defaultHeartbeatTimeout
 	}
 	fs := opts.FS
 	if fs == nil {
@@ -504,7 +532,14 @@ func (cs *connSender) sendAck(a Ack) error {
 func (s *Server) handleConn(c net.Conn) {
 	cs := &connSender{s: s, c: c}
 	br := bufio.NewReader(c)
-	kind, payload, err := ReadFrame(br)
+	// Server-side heartbeat deadline: clients send a heartbeat every
+	// second while idle, so a connection that produces nothing readable
+	// for the timeout is half-open — the peer is gone without a FIN. A
+	// dead read here releases the handler (and its MaxConns slot)
+	// instead of holding both forever; the reap is loss-free because
+	// nothing unacked is forgotten — a live client reconnects and
+	// resumes from the acked sequence.
+	kind, payload, err := s.readFrameDeadline(c, br)
 	if err != nil {
 		return
 	}
@@ -549,7 +584,7 @@ func (s *Server) handleConn(c net.Conn) {
 		return
 	}
 	for {
-		kind, payload, err := ReadFrame(br)
+		kind, payload, err := s.readFrameDeadline(c, br)
 		if err != nil {
 			return
 		}
@@ -598,7 +633,7 @@ func (s *Server) handleConn(c net.Conn) {
 				break
 			}
 			ack = Ack{Seq: y.Seq, Code: s.accept(r, y.Seq,
-				item{seq: y.Seq, bye: true, sender: durableSender(r, cs)})}
+				item{seq: y.Seq, bye: true, byeStats: y, sender: durableSender(r, cs)})}
 		case MsgHeartbeat:
 			s.heartbeats.Add(1)
 			ack = Ack{Code: CodeOK}
@@ -615,6 +650,22 @@ func (s *Server) handleConn(c net.Conn) {
 			return
 		}
 	}
+}
+
+// readFrameDeadline reads one frame under the heartbeat deadline; a
+// timed-out read is a reaped half-open connection.
+func (s *Server) readFrameDeadline(c net.Conn, br *bufio.Reader) (uint8, []byte, error) {
+	if d := s.opts.HeartbeatTimeout; d > 0 {
+		c.SetReadDeadline(time.Now().Add(d))
+	}
+	kind, payload, err := ReadFrame(br)
+	if err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			s.reaped.Add(1)
+		}
+	}
+	return kind, payload, err
 }
 
 // durableSender returns cs for a durable run (the writer acks after
@@ -682,12 +733,25 @@ func (s *Server) accept(r *run, seq uint64, it item) Code {
 }
 
 // enqueue places it on the run's queue, stalling up to the
-// backpressure window when full. Callers hold seqMu.
+// backpressure window when full. Control frames (thread seals and the
+// BYE) are never shed: they are rare, tiny, and carry the run's seal
+// state and final client accounting — for them the stall holds until
+// the writer drains a slot (TCP backpressure on the one flooding
+// client) or the daemon shuts down. Callers hold seqMu; the writer
+// drains r.q without it, so the wait always terminates.
 func (r *run) enqueue(it item, s *Server) bool {
 	select {
 	case r.q <- it:
 		return true
 	default:
+	}
+	if it.seal || it.bye {
+		select {
+		case r.q <- it:
+			return true
+		case <-s.done:
+			return false
+		}
 	}
 	// Queue full: hold this connection's reads for the backpressure
 	// window (the kernel's TCP window then pushes back on the client),
@@ -781,6 +845,12 @@ func (r *run) manifest(complete bool) *Manifest {
 		Samples:       r.samples.Load(),
 		Bytes:         r.bytes.Load(),
 		SealedThreads: r.sealedThreads.Load(),
+
+		ClientProduced:       r.clientProduced.Load(),
+		ClientDropped:        r.clientDropped.Load(),
+		ClientDroppedSamples: r.clientDroppedSamples.Load(),
+		ClientSpilled:        r.clientSpilled.Load(),
+		ClientReplayed:       r.clientReplayed.Load(),
 	}
 }
 
@@ -1010,6 +1080,11 @@ func (r *run) applySeal(it item) Code {
 // its directory is a finished artifact the GC may reclaim.
 func (r *run) applyBye(it item) Code {
 	code := CodeOK
+	r.clientProduced.Store(it.byeStats.Produced)
+	r.clientDropped.Store(it.byeStats.Dropped)
+	r.clientDroppedSamples.Store(it.byeStats.DroppedSamples)
+	r.clientSpilled.Store(it.byeStats.Spilled)
+	r.clientReplayed.Store(it.byeStats.Replayed)
 	if !r.broken {
 		if err := r.journalAppend(journalEntry{Seq: it.seq, Kind: journalBye}); err != nil {
 			r.quarantine(fmt.Errorf("ingest: run %s: journal bye: %w", r.id, err))
@@ -1223,6 +1298,14 @@ type RunInfo struct {
 	StorageChunks  uint64    `json:"storage_chunks,omitempty"`
 	StorageSamples uint64    `json:"storage_samples,omitempty"`
 	Fsyncs         uint64    `json:"fsyncs,omitempty"`
+
+	// Client-reported loss accounting from the run's BYE (zero until
+	// the run completes, and for legacy clients).
+	ClientProduced       uint64 `json:"client_produced_chunks,omitempty"`
+	ClientDropped        uint64 `json:"client_dropped_chunks,omitempty"`
+	ClientDroppedSamples uint64 `json:"client_dropped_samples,omitempty"`
+	ClientSpilled        uint64 `json:"client_spilled_chunks,omitempty"`
+	ClientReplayed       uint64 `json:"client_replayed_chunks,omitempty"`
 }
 
 // Runs returns the registry snapshot, sorted by run ID.
@@ -1259,6 +1342,12 @@ func (s *Server) Runs() []RunInfo {
 			StorageChunks:  r.storageChunks.Load(),
 			StorageSamples: r.storageSamples.Load(),
 			Fsyncs:         r.fsyncs.Load(),
+
+			ClientProduced:       r.clientProduced.Load(),
+			ClientDropped:        r.clientDropped.Load(),
+			ClientDroppedSamples: r.clientDroppedSamples.Load(),
+			ClientSpilled:        r.clientSpilled.Load(),
+			ClientReplayed:       r.clientReplayed.Load(),
 		})
 	}
 	return out

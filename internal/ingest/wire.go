@@ -162,9 +162,20 @@ type Seal struct {
 	Thread int32
 }
 
-// Bye marks the run complete.
+// Bye marks the run complete. It also carries the client's final loss
+// accounting: the sink sends BYE only after every data frame has been
+// acknowledged, so the counters are exact, not a snapshot of work in
+// flight. The server records them in the run registry and manifest so
+// offline readers (ompreport) can report what the client degraded or
+// spilled without access to the client process. A legacy 8-byte BYE
+// decodes with zero counters.
 type Bye struct {
-	Seq uint64
+	Seq            uint64
+	Produced       uint64 // chunks the client handed to its sink
+	Dropped        uint64 // chunks the client lost (overflow, nack, unflushed)
+	DroppedSamples uint64 // samples inside those dropped chunks
+	Spilled        uint64 // chunks that took the on-disk spill detour
+	Replayed       uint64 // spilled chunks later delivered and acked
 }
 
 // Ack answers one data frame.
@@ -339,15 +350,30 @@ func DecodeSeal(b []byte) (Seal, error) {
 
 // EncodeBye renders y's payload.
 func EncodeBye(y Bye) []byte {
-	return binary.LittleEndian.AppendUint64(nil, y.Seq)
+	b := binary.LittleEndian.AppendUint64(nil, y.Seq)
+	b = binary.LittleEndian.AppendUint64(b, y.Produced)
+	b = binary.LittleEndian.AppendUint64(b, y.Dropped)
+	b = binary.LittleEndian.AppendUint64(b, y.DroppedSamples)
+	b = binary.LittleEndian.AppendUint64(b, y.Spilled)
+	b = binary.LittleEndian.AppendUint64(b, y.Replayed)
+	return b
 }
 
-// DecodeBye parses a BYE payload.
+// DecodeBye parses a BYE payload; the legacy 8-byte form (sequence
+// only) is still accepted and yields zero loss counters.
 func DecodeBye(b []byte) (Bye, error) {
-	if len(b) != 8 {
+	if len(b) != 8 && len(b) != 48 {
 		return Bye{}, ErrBadFrame
 	}
-	return Bye{Seq: binary.LittleEndian.Uint64(b)}, nil
+	y := Bye{Seq: binary.LittleEndian.Uint64(b)}
+	if len(b) == 48 {
+		y.Produced = binary.LittleEndian.Uint64(b[8:])
+		y.Dropped = binary.LittleEndian.Uint64(b[16:])
+		y.DroppedSamples = binary.LittleEndian.Uint64(b[24:])
+		y.Spilled = binary.LittleEndian.Uint64(b[32:])
+		y.Replayed = binary.LittleEndian.Uint64(b[40:])
+	}
+	return y, nil
 }
 
 // EncodeAck renders a's payload.

@@ -100,6 +100,15 @@ type Config struct {
 	// is timed. Zero keeps the collector default; 1 times every
 	// dispatch.
 	WatchdogSample int
+
+	// OverheadCeiling is the target maximum profiling overhead as a
+	// fraction of wall time in (0, 1], consumed by a tool attaching
+	// with tool.AttachRuntime: it arms the tool's overhead governor,
+	// which enforces the ceiling by degrading the measurement (sampler
+	// rate, stack capture, shed events, counters-only) rather than
+	// letting cost grow unbounded. Zero (the default) leaves profiling
+	// ungoverned. GOMP_OVERHEAD_CEILING overrides it ("0.02" or "2%").
+	OverheadCeiling float64
 }
 
 // RT is an OpenMP runtime instance: a thread pool, its collector, and

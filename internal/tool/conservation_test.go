@@ -1,0 +1,219 @@
+package tool_test
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"goomp/internal/ingest"
+	"goomp/internal/omp"
+	. "goomp/internal/tool"
+)
+
+// The chunk conservation invariant: every chunk handed to the network
+// sink is in exactly one bucket when the run ends.
+func checkConservation(t *testing.T, rep *Report) {
+	t.Helper()
+	got := rep.IngestShippedChunks + rep.IngestDroppedChunks +
+		rep.IngestStorageChunks + rep.IngestReplayedChunks +
+		rep.IngestSpillPendingChunks
+	if got != rep.IngestProducedChunks {
+		t.Errorf("conservation: shipped %d + dropped %d + storage %d + replayed %d + spill-pending %d = %d, want %d produced",
+			rep.IngestShippedChunks, rep.IngestDroppedChunks,
+			rep.IngestStorageChunks, rep.IngestReplayedChunks,
+			rep.IngestSpillPendingChunks, got, rep.IngestProducedChunks)
+	}
+}
+
+// outageConn fails writes (closing the connection) while down is set,
+// so flipping the switch severs the live connection at its next frame.
+type outageConn struct {
+	net.Conn
+	down *atomic.Bool
+}
+
+func (c *outageConn) Write(b []byte) (int, error) {
+	if c.down.Load() {
+		c.Conn.Close()
+		return 0, errors.New("injected outage")
+	}
+	return c.Conn.Write(b)
+}
+
+// outageDialer returns a DialIngest that refuses while down is set and
+// hands out outage-aware connections otherwise.
+func outageDialer(down *atomic.Bool) func(addr string) (net.Conn, error) {
+	return func(addr string) (net.Conn, error) {
+		if down.Load() {
+			return nil, errors.New("injected outage")
+		}
+		c, err := net.DialTimeout("tcp", addr, time.Second)
+		if err != nil {
+			return nil, err
+		}
+		return &outageConn{Conn: c, down: down}, nil
+	}
+}
+
+// TestSpillReplayZeroLossConservation drives a psxd outage longer than
+// the in-memory queue: the sink spills to disk, replays on recovery,
+// the run completes with zero loss, the conservation equation balances
+// exactly, and the run directory on the server is byte-identical to
+// the local tee — the spill detour must be invisible in the data.
+func TestSpillReplayZeroLossConservation(t *testing.T) {
+	srv, dataDir := startIngestServer(t)
+	localDir := t.TempDir()
+	var down atomic.Bool
+
+	rt := omp.New(omp.Config{NumThreads: 2})
+	defer rt.Close()
+	opts := FullMeasurement()
+	opts.StreamDir = localDir
+	opts.IngestAddr = srv.Addr()
+	opts.IngestRun = "spill-replay"
+	opts.IngestPendingDepth = 2 // tiny queue: the outage overruns it fast
+	opts.SpillDir = t.TempDir()
+	opts.DialIngest = outageDialer(&down)
+	tl, err := AttachRuntime(rt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		rt.Parallel(func(tc *omp.ThreadCtx) {})
+	}
+	// Outage: run until the backlog has demonstrably taken the disk
+	// detour, so the test never depends on chunk-size timing.
+	down.Store(true)
+	deadline := time.Now().Add(30 * time.Second)
+	for tl.Report().IngestSpilledChunks == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("spill never engaged during the outage")
+		}
+		for i := 0; i < 50; i++ {
+			rt.Parallel(func(tc *omp.ThreadCtx) {})
+		}
+	}
+	down.Store(false)
+	for i := 0; i < 50; i++ {
+		rt.Parallel(func(tc *omp.ThreadCtx) {})
+	}
+	tl.Detach()
+
+	rep := tl.Report()
+	checkConservation(t, rep)
+	if rep.IngestSpilledChunks == 0 {
+		t.Fatal("no chunks spilled")
+	}
+	if rep.IngestDroppedChunks != 0 || rep.IngestStorageChunks != 0 {
+		t.Fatalf("outage shorter than the spill bound lost data: dropped=%d storage=%d",
+			rep.IngestDroppedChunks, rep.IngestStorageChunks)
+	}
+	if rep.IngestSpillPendingChunks != 0 {
+		t.Fatalf("%d chunks still pending on disk after recovery", rep.IngestSpillPendingChunks)
+	}
+	if rep.IngestReplayedChunks != rep.IngestSpilledChunks {
+		t.Fatalf("spilled %d but replayed %d", rep.IngestSpilledChunks, rep.IngestReplayedChunks)
+	}
+
+	// The server's copy must be byte-identical to the local tee, file
+	// for file, replayed chunks included.
+	ri := waitRunComplete(t, srv, "spill-replay")
+	if ri.Chunks != rep.IngestShippedChunks+rep.IngestReplayedChunks {
+		t.Errorf("server landed %d chunks, client shipped %d + replayed %d",
+			ri.Chunks, rep.IngestShippedChunks, rep.IngestReplayedChunks)
+	}
+	entries, err := os.ReadDir(localDir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no local stream files: %v", err)
+	}
+	for _, e := range entries {
+		local, err := os.ReadFile(filepath.Join(localDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		remote, err := os.ReadFile(filepath.Join(dataDir, "spill-replay", e.Name()))
+		if err != nil {
+			t.Fatalf("server side of %s: %v", e.Name(), err)
+		}
+		if !bytes.Equal(local, remote) {
+			t.Errorf("%s: server copy (%d bytes) differs from local (%d bytes)",
+				e.Name(), len(remote), len(local))
+		}
+	}
+
+	// The BYE carried the client's final accounting into the manifest,
+	// where offline readers (ompreport) surface it.
+	m, err := ingest.ReadManifest(filepath.Join(dataDir, "spill-replay"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ClientProduced != rep.IngestProducedChunks ||
+		m.ClientSpilled != rep.IngestSpilledChunks ||
+		m.ClientReplayed != rep.IngestReplayedChunks ||
+		m.ClientDropped != 0 {
+		t.Errorf("manifest client accounting %+v does not match report (produced %d spilled %d replayed %d)",
+			m, rep.IngestProducedChunks, rep.IngestSpilledChunks, rep.IngestReplayedChunks)
+	}
+}
+
+// TestOutagePermanentSpillPendingConservation never lets the sink
+// connect at all: at detach every produced chunk must sit on disk as
+// spilled-pending — zero dropped — and the conservation equation must
+// balance with only the pending term.
+func TestOutagePermanentSpillPendingConservation(t *testing.T) {
+	var down atomic.Bool
+	down.Store(true)
+
+	rt := omp.New(omp.Config{NumThreads: 2})
+	defer rt.Close()
+	opts := FullMeasurement()
+	opts.IngestAddr = "127.0.0.1:1" // never reachable; dialer refuses anyway
+	opts.IngestRun = "never-up"
+	opts.IngestPendingDepth = 2
+	opts.SpillDir = t.TempDir()
+	opts.DialIngest = outageDialer(&down)
+	tl, err := AttachRuntime(rt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		rt.Parallel(func(tc *omp.ThreadCtx) {})
+	}
+	tl.Detach()
+
+	rep := tl.Report()
+	checkConservation(t, rep)
+	if rep.IngestProducedChunks == 0 {
+		t.Fatal("no chunks produced")
+	}
+	if rep.IngestDroppedChunks != 0 {
+		t.Fatalf("%d chunks dropped with spill space available", rep.IngestDroppedChunks)
+	}
+	if rep.IngestShippedChunks != 0 || rep.IngestReplayedChunks != 0 {
+		t.Fatalf("chunks shipped (%d) or replayed (%d) with no server",
+			rep.IngestShippedChunks, rep.IngestReplayedChunks)
+	}
+	if rep.IngestSpillPendingChunks != rep.IngestProducedChunks {
+		t.Fatalf("spill-pending %d, want every produced chunk (%d)",
+			rep.IngestSpillPendingChunks, rep.IngestProducedChunks)
+	}
+	// The backlog is real files on disk, not just counters.
+	ents, err := os.ReadDir(opts.SpillDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) == ".psxl" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no spill segment files on disk at shutdown")
+	}
+}

@@ -1,0 +1,63 @@
+package tool
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"goomp/internal/omp"
+)
+
+// Tool-side environment knobs, following the omp.ConfigFromEnv
+// discipline: unset variables leave the base value, malformed values
+// return an error naming the variable — never a silent default.
+//
+//	GOMP_OVERHEAD_CEILING=x    arm the overhead governor (fraction
+//	                           "0.02" or percentage "2%" of wall time)
+//	GOMP_SPILL_DIR=path        store-and-forward spill directory for
+//	                           the ingest sink
+//	GOMP_SPILL_BYTES=n[K|M|G]  bound on the spill backlog (default 64M)
+
+// OptionsFromEnv parses the tool's GOMP_* variables from lookup
+// (typically os.LookupEnv) over the given base options.
+func OptionsFromEnv(base Options, lookup func(string) (string, bool)) (Options, error) {
+	opts := base
+	if v, ok := lookup("GOMP_OVERHEAD_CEILING"); ok {
+		c, err := omp.ParseOverheadCeiling(v)
+		if err != nil {
+			return opts, err
+		}
+		opts.OverheadCeiling = c
+	}
+	if v, ok := lookup("GOMP_SPILL_DIR"); ok {
+		opts.SpillDir = strings.TrimSpace(v)
+	}
+	if v, ok := lookup("GOMP_SPILL_BYTES"); ok {
+		n, err := ParseSpillBytes(v)
+		if err != nil {
+			return opts, err
+		}
+		opts.SpillBytes = n
+	}
+	return opts, nil
+}
+
+// ParseSpillBytes parses a GOMP_SPILL_BYTES value: a positive byte
+// count, optionally with a K, M or G suffix (binary multiples).
+func ParseSpillBytes(v string) (int64, error) {
+	s := strings.TrimSpace(v)
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	case strings.HasSuffix(s, "G"), strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("tool: bad GOMP_SPILL_BYTES %q (want a positive byte count, optionally with K, M or G)", v)
+	}
+	return n * mult, nil
+}

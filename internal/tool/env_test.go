@@ -1,0 +1,101 @@
+package tool
+
+import (
+	"strings"
+	"testing"
+)
+
+func lookupMap(m map[string]string) func(string) (string, bool) {
+	return func(k string) (string, bool) {
+		v, ok := m[k]
+		return v, ok
+	}
+}
+
+func TestOptionsFromEnv(t *testing.T) {
+	opts, err := OptionsFromEnv(Options{}, lookupMap(map[string]string{
+		"GOMP_OVERHEAD_CEILING": "2%",
+		"GOMP_SPILL_DIR":        "/tmp/spill",
+		"GOMP_SPILL_BYTES":      "64M",
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.OverheadCeiling != 0.02 {
+		t.Errorf("ceiling = %v", opts.OverheadCeiling)
+	}
+	if opts.SpillDir != "/tmp/spill" {
+		t.Errorf("spill dir = %q", opts.SpillDir)
+	}
+	if opts.SpillBytes != 64<<20 {
+		t.Errorf("spill bytes = %d", opts.SpillBytes)
+	}
+}
+
+func TestOptionsFromEnvDefaultsPreserved(t *testing.T) {
+	base := Options{OverheadCeiling: 0.1, SpillDir: "keep", SpillBytes: 123}
+	opts, err := OptionsFromEnv(base, lookupMap(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.OverheadCeiling != 0.1 || opts.SpillDir != "keep" || opts.SpillBytes != 123 {
+		t.Errorf("empty env changed options: %+v", opts)
+	}
+}
+
+func TestOptionsFromEnvErrors(t *testing.T) {
+	// Malformed knobs are named errors, never silent defaults — the
+	// OMP_SCHEDULE discipline.
+	bad := []map[string]string{
+		{"GOMP_OVERHEAD_CEILING": "0"},
+		{"GOMP_OVERHEAD_CEILING": "150%"},
+		{"GOMP_OVERHEAD_CEILING": "lots"},
+		{"GOMP_SPILL_BYTES": "0"},
+		{"GOMP_SPILL_BYTES": "-1"},
+		{"GOMP_SPILL_BYTES": "64Q"},
+		{"GOMP_SPILL_BYTES": "many"},
+	}
+	for _, env := range bad {
+		_, err := OptionsFromEnv(Options{}, lookupMap(env))
+		if err == nil {
+			t.Errorf("env %v accepted", env)
+			continue
+		}
+		for k := range env {
+			if !strings.Contains(err.Error(), k) {
+				t.Errorf("env %v: error does not name the knob: %v", env, err)
+			}
+		}
+	}
+}
+
+func TestParseSpillBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"4096", 4096, true},
+		{"16K", 16 << 10, true},
+		{"16k", 16 << 10, true},
+		{"64M", 64 << 20, true},
+		{"2G", 2 << 30, true},
+		{" 8 M ", 8 << 20, true}, // whitespace around count and suffix is tolerated
+		{"0", 0, false},
+		{"-5M", 0, false},
+		{"M", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseSpillBytes(c.in)
+		if c.ok {
+			if err != nil || got != c.want {
+				t.Errorf("ParseSpillBytes(%q) = %d, %v; want %d", c.in, got, err, c.want)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("ParseSpillBytes(%q) accepted as %d", c.in, got)
+		}
+	}
+}

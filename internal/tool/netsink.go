@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"goomp/internal/degrade"
 	"goomp/internal/ingest"
 )
 
@@ -29,12 +30,19 @@ import (
 //     the sink resends only the tail beyond it. A frame torn by a
 //     mid-chunk disconnect was never acked, so it is resent whole.
 //   - When the server stays dead the sink degrades instead of growing:
-//     the bounded pending queue is the in-memory retention path, and
-//     everything beyond it (and whatever cannot be flushed within the
-//     stop grace) is discarded with exact accounting. With a file sink
-//     configured alongside, the same staged bytes are on local disk
-//     regardless — the network edge only ever adds delivery, never
-//     risk.
+//     the bounded pending queue is the in-memory retention path. With
+//     Options.SpillDir set, everything beyond the queue spills to a
+//     bounded CRC-guarded on-disk segment log (store-and-forward) and
+//     replays in sequence order on reconnect — an outage longer than
+//     the queue degrades to disk, not to loss. Only past the spill
+//     bound (or without a spill dir) are frames discarded, with exact
+//     accounting. With a file sink configured alongside, the same
+//     staged bytes are on local disk regardless — the network edge
+//     only ever adds delivery, never risk.
+//   - Downstream congestion feeds the overhead governor: an OVERLOADED
+//     ack from the server, or the spill engaging at all, signals
+//     backpressure so the governor can step the measurement down
+//     instead of producing data the system cannot move.
 
 const (
 	netPendingDepth = 256             // bounded outgoing frame queue
@@ -47,13 +55,16 @@ const (
 	netFlushGrace   = 3 * time.Second // stop-time flush deadline
 )
 
-// netItem is one queued wire frame.
+// netItem is one queued wire frame. spilled marks a frame that took
+// the on-disk detour: its eventual ack counts as replayed, not
+// shipped, so the conservation equation separates the two paths.
 type netItem struct {
 	kind    uint8
 	seq     uint64
 	thread  int32
 	samples uint32
 	block   []byte
+	spilled bool
 }
 
 // netSink is the connection manager plus bounded shipping queue.
@@ -68,20 +79,32 @@ type netSink struct {
 	done    chan struct{} // flush grace expired: drop and exit
 	wg      sync.WaitGroup
 
+	spill *spillLog         // nil unless Options.SpillDir is set
+	gov   *degrade.Governor // nil unless the overhead governor is on
+
 	seq atomic.Uint64 // last assigned sequence number
 
-	// Exact accounting, read by Report and the obs plane.
-	shipped        atomic.Uint64 // chunks acked CodeOK by the server
-	dropped        atomic.Uint64 // chunks never delivered (overflow, nack, unflushed)
-	droppedSamples atomic.Uint64
-	storageChunks  atomic.Uint64 // chunks refused with INGEST_STORAGE (run quarantined)
-	storageSamples atomic.Uint64
-	connects       atomic.Uint64 // successful connections (reconnects = connects-1)
-	durableGranted atomic.Bool   // server granted FlagDurable on the last HELLO
+	// Exact accounting, read by Report and the obs plane. The chunk
+	// conservation invariant, checked by tests and printable from
+	// Report: produced == shipped + dropped + storage + replayed +
+	// spill-pending (the backlog still on disk at shutdown).
+	produced        atomic.Uint64 // chunks handed to ship()
+	producedSamples atomic.Uint64
+	shipped         atomic.Uint64 // chunks acked CodeOK by the server
+	dropped         atomic.Uint64 // chunks never delivered (overflow, nack, unflushed)
+	droppedSamples  atomic.Uint64
+	storageChunks   atomic.Uint64 // chunks refused with INGEST_STORAGE (run quarantined)
+	storageSamples  atomic.Uint64
+	replayed        atomic.Uint64 // spilled chunks later acked CodeOK
+	replayedSamples atomic.Uint64
+	overloadedAcks  atomic.Uint64 // INGEST_OVERLOADED acks seen (governor input)
+	connects        atomic.Uint64 // successful connections (reconnects = connects-1)
+	durableGranted  atomic.Bool   // server granted FlagDurable on the last HELLO
 }
 
-// startNetSink builds and starts the sink's sender goroutine.
-func startNetSink(opts *Options) *netSink {
+// startNetSink builds and starts the sink's sender goroutine. gov may
+// be nil (no overhead governor).
+func startNetSink(opts *Options, gov *degrade.Governor) (*netSink, error) {
 	run := opts.IngestRun
 	if run == "" {
 		host, _ := os.Hostname()
@@ -99,6 +122,10 @@ func startNetSink(opts *Options) *netSink {
 		// a daemon crash can lose — and what the reconnect resends.
 		flags |= ingest.FlagDurable
 	}
+	depth := opts.IngestPendingDepth
+	if depth <= 0 {
+		depth = netPendingDepth
+	}
 	n := &netSink{
 		addr: opts.IngestAddr,
 		hello: ingest.Hello{
@@ -110,19 +137,27 @@ func startNetSink(opts *Options) *netSink {
 		},
 		dial:     opts.DialIngest,
 		backoff0: backoff,
-		pending:  make(chan *netItem, netPendingDepth),
+		pending:  make(chan *netItem, depth),
 		closing:  make(chan struct{}),
 		done:     make(chan struct{}),
+		gov:      gov,
+	}
+	if opts.SpillDir != "" {
+		sp, err := newSpillLog(opts.SpillDir, opts.SpillBytes)
+		if err != nil {
+			return nil, err
+		}
+		n.spill = sp
 	}
 	n.wg.Add(1)
 	go n.loop()
-	return n
+	return n, nil
 }
 
 // ship queues one staged trace block. Called only from the streamer's
-// writer goroutine; never blocks — a full queue means the server has
-// been unreachable (or slow) past the retention bound, and the block
-// is dropped with exact accounting.
+// writer goroutine; never blocks — a full queue spills to disk when a
+// spill dir is configured, and only past the spill bound (or without
+// one) is the block dropped, with exact accounting either way.
 func (n *netSink) ship(thread int32, samples uint32, block []byte) {
 	it := &netItem{
 		kind:    ingest.MsgChunk,
@@ -131,32 +166,61 @@ func (n *netSink) ship(thread int32, samples uint32, block []byte) {
 		samples: samples,
 		block:   block,
 	}
-	select {
-	case n.pending <- it:
-	default:
-		n.dropped.Add(1)
-		n.droppedSamples.Add(uint64(samples))
-	}
+	n.produced.Add(1)
+	n.producedSamples.Add(uint64(samples))
+	n.enqueue(it)
 }
 
 // seal queues a thread's end-of-stream marker.
 func (n *netSink) seal(thread int32) {
-	it := &netItem{kind: ingest.MsgSeal, seq: n.seq.Add(1), thread: thread}
+	n.enqueue(&netItem{kind: ingest.MsgSeal, seq: n.seq.Add(1), thread: thread})
+}
+
+// enqueue routes one frame, preserving global sequence order across
+// the two paths: while the spill backlog is non-empty every new frame
+// must follow it to disk (the sender drains the channel before the
+// spill, and frames enter the channel only when the spill is empty, so
+// every channel frame is older than every spilled frame). A frame that
+// fits neither the queue nor the spill is dropped with accounting.
+func (n *netSink) enqueue(it *netItem) {
+	if n.spill != nil && n.spill.pending() > 0 {
+		if n.spill.add(it) {
+			return
+		}
+		n.dropFrame(it)
+		return
+	}
 	select {
 	case n.pending <- it:
 	default:
+		if n.spill != nil && n.spill.add(it) {
+			// The spill engaging is itself a congestion signal: the
+			// in-memory queue was not enough.
+			if n.gov != nil {
+				n.gov.Backpressure()
+			}
+			return
+		}
+		n.dropFrame(it)
 	}
 }
 
-// shutdown queues the BYE, asks the sender to flush, and waits out the
-// grace period; whatever is still unflushed then is dropped with
-// accounting. Called from the streamer's stop (writer goroutine).
-func (n *netSink) shutdown() {
-	it := &netItem{kind: ingest.MsgBye, seq: n.seq.Add(1)}
-	select {
-	case n.pending <- it:
-	default:
+// dropFrame accounts one undeliverable frame (chunks only; control
+// frames carry no data to lose).
+func (n *netSink) dropFrame(it *netItem) {
+	if it.kind == ingest.MsgChunk {
+		n.dropped.Add(1)
+		n.droppedSamples.Add(uint64(it.samples))
 	}
+}
+
+// shutdown asks the sender to flush and waits out the grace period;
+// whatever is still unflushed then is dropped with accounting. The
+// sender itself synthesizes the BYE once every data frame is acked, so
+// the loss accounting the BYE carries is final, not a snapshot taken
+// with frames still in flight. Called from the streamer's stop (writer
+// goroutine).
+func (n *netSink) shutdown() {
 	close(n.closing)
 	finished := make(chan struct{})
 	go func() {
@@ -171,6 +235,11 @@ func (n *netSink) shutdown() {
 		close(n.done)
 		<-finished
 	}
+	if n.spill != nil {
+		// The sender is gone; release handles. Whatever is still queued
+		// stays on disk and is accounted as spilled-pending, not lost.
+		n.spill.close()
+	}
 }
 
 // loop is the sender: connect with interruptible capped backoff,
@@ -183,6 +252,7 @@ func (n *netSink) loop() {
 	var unacked []*netItem
 	backoff := n.backoff0
 	closingSeen := false
+	byeSent := false
 	hb := time.NewTicker(netHeartbeat)
 	defer hb.Stop()
 
@@ -196,12 +266,12 @@ func (n *netSink) loop() {
 
 	giveUp := func() {
 		closeConn()
-		n.dropAll(unacked)
+		n.spillOrDrop(unacked)
 		unacked = nil
 		for {
 			select {
 			case it := <-n.pending:
-				n.dropAll([]*netItem{it})
+				n.spillOrDrop([]*netItem{it})
 			default:
 				return
 			}
@@ -227,7 +297,17 @@ func (n *netSink) loop() {
 			c, r, lastSeq, err := n.connect()
 			if err != nil {
 				if closingSeen && len(unacked) == 0 && len(n.pending) == 0 {
-					return
+					if byeSent || (n.spill != nil && n.spill.pending() > 0) {
+						// The spilled backlog (if any) stays on disk as the
+						// spilled-pending remainder; only in-memory frames
+						// are at stake here, and there are none left. A run
+						// with a backlog is incomplete either way, so the
+						// BYE is not worth waiting for.
+						return
+					}
+					// Everything delivered but the BYE still owed: keep
+					// retrying (bounded by the flush grace) so the server
+					// can seal the run complete.
 				}
 				backoff = n.waitRetry(backoff, closingSeen)
 				continue
@@ -276,8 +356,48 @@ func (n *netSink) loop() {
 					closeConn()
 				}
 			default:
+				// Channel drained; replay the spilled backlog next (it is
+				// strictly newer than anything the channel held).
+				if it := n.spillNext(); it != nil {
+					unacked = append(unacked, it)
+					if err := n.send(conn, it); err != nil {
+						closeConn()
+					}
+					continue
+				}
 				if len(unacked) == 0 {
-					return // everything flushed, BYE included
+					if byeSent {
+						return // everything flushed, BYE included
+					}
+					// Every data frame is acked, so the loss accounting
+					// is final: send the BYE that carries it and wait
+					// out its ack.
+					it := &netItem{kind: ingest.MsgBye, seq: n.seq.Add(1)}
+					byeSent = true
+					unacked = append(unacked, it)
+					if err := n.send(conn, it); err != nil {
+						closeConn()
+					}
+				}
+			}
+			continue
+		}
+		if n.spill != nil && n.spill.pending() > 0 {
+			// Store-and-forward replay: drain the (older) channel frames
+			// first, then ship from disk. New frames keep routing to the
+			// spill until it is empty, so order is preserved.
+			select {
+			case it := <-n.pending:
+				unacked = append(unacked, it)
+				if err := n.send(conn, it); err != nil {
+					closeConn()
+				}
+			default:
+				if it := n.spillNext(); it != nil {
+					unacked = append(unacked, it)
+					if err := n.send(conn, it); err != nil {
+						closeConn()
+					}
 				}
 			}
 			continue
@@ -299,6 +419,21 @@ func (n *netSink) loop() {
 			return
 		}
 	}
+}
+
+// spillNext pops the oldest spilled frame, if any, folding entries the
+// log had to skip (CRC or read failure) into the drop accounting so
+// conservation stays exact.
+func (n *netSink) spillNext() *netItem {
+	if n.spill == nil {
+		return nil
+	}
+	it, corruptChunks, corruptSamples := n.spill.next()
+	if corruptChunks > 0 {
+		n.dropped.Add(corruptChunks)
+		n.droppedSamples.Add(corruptSamples)
+	}
+	return it
 }
 
 // connect performs one dial + HELLO handshake attempt.
@@ -370,8 +505,22 @@ func (n *netSink) send(conn net.Conn, it *netItem) error {
 		return ingest.WriteFrame(conn, ingest.MsgSeal,
 			ingest.EncodeSeal(ingest.Seal{Seq: it.seq, Thread: it.thread}))
 	case ingest.MsgBye:
+		// The sender only synthesizes the BYE once every data frame is
+		// acked, so these counters are the run's final accounting (and
+		// re-encoding on a resend reads the same values).
+		var spilled uint64
+		if n.spill != nil {
+			spilled, _ = n.spill.stats()
+		}
 		return ingest.WriteFrame(conn, ingest.MsgBye,
-			ingest.EncodeBye(ingest.Bye{Seq: it.seq}))
+			ingest.EncodeBye(ingest.Bye{
+				Seq:            it.seq,
+				Produced:       n.produced.Load(),
+				Dropped:        n.dropped.Load(),
+				DroppedSamples: n.droppedSamples.Load(),
+				Spilled:        spilled,
+				Replayed:       n.replayed.Load(),
+			}))
 	}
 	return fmt.Errorf("tool: ingest: unknown frame kind %d", it.kind)
 }
@@ -432,6 +581,15 @@ func (n *netSink) applyAck(kind uint8, payload []byte, unacked []*netItem) []*ne
 	if err != nil || ack.Seq == 0 {
 		return unacked // heartbeat ack or junk
 	}
+	if ack.Code == ingest.CodeOverloaded {
+		// The server's bounded ingest queue overflowed: downstream is
+		// congested, and the governor (when armed) should step the
+		// measurement down rather than keep producing into the wall.
+		n.overloadedAcks.Add(1)
+		if n.gov != nil {
+			n.gov.Backpressure()
+		}
+	}
 	for len(unacked) > 0 && unacked[0].seq <= ack.Seq {
 		it := unacked[0]
 		unacked = unacked[1:]
@@ -448,29 +606,50 @@ func (n *netSink) applyAck(kind uint8, payload []byte, unacked []*netItem) []*ne
 			}
 			continue
 		}
-		n.shipped.Add(1)
+		if it.spilled {
+			n.replayed.Add(1)
+			n.replayedSamples.Add(uint64(it.samples))
+		} else {
+			n.shipped.Add(1)
+		}
 	}
 	return unacked
 }
 
 // trimAcked drops the prefix the server already accepted (reported in
-// its HELLO-ACK) and counts those chunks as shipped.
+// its HELLO-ACK) and counts those chunks as shipped (or replayed, for
+// chunks that took the spill detour).
 func (n *netSink) trimAcked(unacked []*netItem, lastSeq uint64) []*netItem {
 	for len(unacked) > 0 && unacked[0].seq <= lastSeq {
-		if unacked[0].kind == ingest.MsgChunk {
-			n.shipped.Add(1)
+		if it := unacked[0]; it.kind == ingest.MsgChunk {
+			if it.spilled {
+				n.replayed.Add(1)
+				n.replayedSamples.Add(uint64(it.samples))
+			} else {
+				n.shipped.Add(1)
+			}
 		}
 		unacked = unacked[1:]
 	}
 	return unacked
 }
 
-// dropAll accounts a set of frames the sink is giving up on.
-func (n *netSink) dropAll(items []*netItem) {
+// spillOrDrop is the terminal path for in-memory frames the flush
+// grace expired on: chunks are parked in the spill log — they stay on
+// disk, accounted as spilled-pending, instead of vanishing — and only
+// what the log cannot take is dropped. Control frames carry no data to
+// lose. This runs after the sender has stopped replaying, so the
+// out-of-order tail it may write is post-mortem evidence only: a later
+// process never replays another run's spill files.
+func (n *netSink) spillOrDrop(items []*netItem) {
 	for _, it := range items {
-		if it.kind == ingest.MsgChunk {
-			n.dropped.Add(1)
-			n.droppedSamples.Add(uint64(it.samples))
+		if it.kind != ingest.MsgChunk {
+			continue
 		}
+		if n.spill != nil && n.spill.add(it) {
+			continue
+		}
+		n.dropped.Add(1)
+		n.droppedSamples.Add(uint64(it.samples))
 	}
 }

@@ -165,6 +165,43 @@ func (t *Tool) startObs(addr string) (*obs.Server, error) {
 		reg.GaugeFunc("goomp_stream_degraded_threads",
 			"Threads whose trace file failed permanently and fell back to in-memory retention.",
 			func() float64 { return float64(s.degraded.Load()) })
+		if n := s.net; n != nil {
+			reg.CounterFunc("goomp_ingest_produced_chunks_total",
+				"Trace blocks handed to the network sink.",
+				func() float64 { return float64(n.produced.Load()) })
+			reg.CounterFunc("goomp_ingest_overloaded_acks_total",
+				"INGEST_OVERLOADED acks from the daemon (backpressure fed to the governor).",
+				func() float64 { return float64(n.overloadedAcks.Load()) })
+			if sp := n.spill; sp != nil {
+				reg.CounterFunc("goomp_spill_chunks_total",
+					"Trace blocks spilled to the store-and-forward segment log.",
+					func() float64 { c, _ := sp.stats(); return float64(c) })
+				reg.CounterFunc("goomp_spill_replayed_chunks_total",
+					"Spilled trace blocks delivered and acknowledged after replay.",
+					func() float64 { return float64(n.replayed.Load()) })
+				reg.GaugeFunc("goomp_spill_pending_chunks",
+					"Trace blocks currently queued on the spill log's disk backlog.",
+					func() float64 { c, _ := sp.pendingCounts(); return float64(c) })
+			}
+		}
+	}
+
+	if g := t.gov; g != nil {
+		reg.GaugeFunc("goomp_governor_level",
+			"Current degradation-ladder level (0 full ... 4 counters-only).",
+			func() float64 { return float64(g.Level()) })
+		reg.GaugeFunc("goomp_governor_overhead_ratio",
+			"EWMA profiling overhead as a fraction of wall time.",
+			func() float64 { return g.Ratio() })
+		reg.GaugeFunc("goomp_governor_overhead_ceiling",
+			"Configured overhead ceiling the governor enforces.",
+			func() float64 { return g.Ceiling() })
+		reg.CounterFunc("goomp_governor_steps_down_total",
+			"Degradation-ladder steps taken toward less measurement.",
+			func() float64 { return float64(g.StepsDown()) })
+		reg.CounterFunc("goomp_governor_steps_up_total",
+			"Degradation-ladder steps recovered when load receded.",
+			func() float64 { return float64(g.StepsUp()) })
 	}
 
 	cfg := obs.Config{

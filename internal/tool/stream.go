@@ -147,7 +147,11 @@ func startStreamer(t *Tool, dir string) (*streamer, error) {
 		done:       make(chan struct{}),
 	}
 	if t.opts.IngestAddr != "" {
-		s.net = startNetSink(&t.opts)
+		n, err := startNetSink(&t.opts, t.gov)
+		if err != nil {
+			return nil, err
+		}
+		s.net = n
 	}
 	if s.open == nil {
 		s.open = func(path string) (io.WriteCloser, error) { return os.Create(path) }

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"goomp/internal/collector"
+	"goomp/internal/degrade"
 	"goomp/internal/dl"
 	"goomp/internal/obs"
 	"goomp/internal/omp"
@@ -108,6 +109,38 @@ type Options struct {
 	// GOMP_INGEST_DURABLE.
 	IngestDurable bool
 
+	// OverheadCeiling arms the overhead governor: a target maximum for
+	// profiling cost as a fraction of wall time, in (0, 1]. The
+	// governor continuously self-measures (EWMA of record/stack/sampler
+	// nanoseconds against wall time) and enforces the ceiling by
+	// stepping down a degradation ladder — reduce the sampler rate,
+	// drop stack capture, shed low-value event classes, finally
+	// counters-only — stepping back up with hysteresis when load
+	// recedes. Every transition is recorded as an OMP_EVENT_GOVERNOR
+	// trace sample and exposed on the obs plane. Zero (the default)
+	// disables governing. cmd front-ends default it from
+	// GOMP_OVERHEAD_CEILING (a fraction like "0.02", or "2%").
+	OverheadCeiling float64
+
+	// GovernorTick overrides the governor's measurement period (default
+	// 100ms).
+	GovernorTick time.Duration
+
+	// SpillDir, when set with IngestAddr, arms store-and-forward: when
+	// the daemon is unreachable (or slow) past the sink's bounded
+	// in-memory queue, frames spill to a CRC-guarded on-disk segment
+	// log in this directory and are replayed in sequence order on
+	// reconnect, so an outage longer than the queue degrades to disk
+	// instead of to loss. cmd front-ends default it from
+	// GOMP_SPILL_DIR.
+	SpillDir string
+
+	// SpillBytes bounds the spill log's pending backlog in bytes; past
+	// it frames are dropped with accounting. Zero means 64 MiB. cmd
+	// front-ends default it from GOMP_SPILL_BYTES (with K/M/G
+	// suffixes).
+	SpillBytes int64
+
 	// TraceV2 streams and writes trace blocks in the compact v2 format
 	// (delta-of-timestamp zigzag-varint columns plus a per-block stack
 	// dictionary) instead of the fixed-width v1 records. Readers
@@ -126,6 +159,11 @@ type Options struct {
 	// DialIngest overrides how the network sink dials the ingestion
 	// daemon (fault injection and tests). Nil means net.DialTimeout.
 	DialIngest func(addr string) (net.Conn, error)
+
+	// IngestPendingDepth overrides the network sink's bounded in-memory
+	// frame queue depth (fault injection and tests; chaos suites shrink
+	// it to saturate the queue cheaply). Zero means the default 256.
+	IngestPendingDepth int
 
 	// FlushInterval is retained for compatibility but no longer used:
 	// streaming is chunk-driven (each filled chunk is handed to the
@@ -261,6 +299,8 @@ type Tool struct {
 
 	sampler     *sampler
 	stream      *streamer
+	gov         *degrade.Governor // nil unless Options.OverheadCeiling > 0
+	govBuf      *perf.TraceBuffer // lazily created; written only by the governor's tick goroutine
 	sup         *super.Supervisor
 	hangText    atomic.Pointer[string]
 	detachBound atomic.Int64 // ns; hang handler's cap on the quiesce wait
@@ -312,6 +352,9 @@ func AttachRuntime(rt *omp.RT, opts Options) (*Tool, error) {
 	if opts.SampleThreads == 0 {
 		opts.SampleThreads = rt.Config().NumThreads
 	}
+	if opts.OverheadCeiling == 0 {
+		opts.OverheadCeiling = rt.Config().OverheadCeiling
+	}
 	return AttachCollector(rt.Collector(), opts)
 }
 
@@ -341,6 +384,21 @@ func AttachCollector(col *collector.Collector, opts Options) (*Tool, error) {
 	}
 	if ec := collector.Control(t.q, collector.ReqStart); ec != collector.ErrOK {
 		return nil, fmt.Errorf("tool: start request failed: %v", ec)
+	}
+	if opts.OverheadCeiling != 0 {
+		// Build the governor before the streamer so the network sink can
+		// take backpressure signals through it; its ticker starts only
+		// after the whole attach sequence is in place.
+		g, err := degrade.New(degrade.Config{
+			Ceiling:      opts.OverheadCeiling,
+			Tick:         opts.GovernorTick,
+			OnTransition: t.governorTransition,
+		})
+		if err != nil {
+			t.Detach()
+			return nil, err
+		}
+		t.gov = g
 	}
 	if opts.StreamDir != "" || opts.IngestAddr != "" {
 		st, err := startStreamer(t, opts.StreamDir)
@@ -396,6 +454,9 @@ func AttachCollector(col *collector.Collector, opts Options) (*Tool, error) {
 		}
 		t.obsSrv = srv
 	}
+	if t.gov != nil {
+		t.gov.Start()
+	}
 	return t, nil
 }
 
@@ -414,6 +475,21 @@ func (t *Tool) ObsURL() string {
 func (t *Tool) callback(e collector.Event, ti *collector.ThreadInfo) {
 	if !t.opts.Measure {
 		return
+	}
+	// The governor gate costs one atomic load when armed, nothing when
+	// off. Levels at or past counters-only (and, one rung earlier, the
+	// shed event classes) return before any measurement work: the
+	// collector's dispatch counters remain the record of what happened.
+	gov := t.gov
+	var lvl degrade.Level
+	if gov != nil {
+		lvl = gov.Level()
+		if lvl >= degrade.LevelCountersOnly {
+			return
+		}
+		if lvl >= degrade.LevelShedEvents && shedEvent(e) {
+			return
+		}
 	}
 	team := ti.Team()
 	if t.throttle != nil {
@@ -454,12 +530,65 @@ func (t *Tool) callback(e collector.Event, ti *collector.ThreadInfo) {
 		// victim->thief migration edge.
 		sample.State = ti.StealVictim()
 	}
-	if t.opts.JoinStacks && e == collector.EventJoin {
+	if t.opts.JoinStacks && e == collector.EventJoin &&
+		(gov == nil || lvl < degrade.LevelNoStacks) {
 		buf.AppendStacked(sample, perf.Callstack(1, 32))
+		if gov != nil {
+			// The sample's own timestamp doubles as the cost clock: the
+			// stack path is charged whole, since the capture dominates it.
+			gov.Meter().AddStack(perf.Cycles() - now)
+		}
 		return
 	}
 	buf.Append(sample)
+	if gov != nil {
+		gov.Meter().AddRecord(perf.Cycles() - now)
+	}
 }
+
+// shedEvent reports whether e belongs to the low-value event classes
+// the governor sheds at LevelShedEvents: the implicit-barrier pair
+// (the highest-volume begin/end events the default registration
+// carries) and the steal extension events. Fork/join — the mandatory
+// events every region profile needs — are never shed before
+// counters-only.
+func shedEvent(e collector.Event) bool {
+	switch e {
+	case collector.EventThrBeginIBar, collector.EventThrEndIBar,
+		collector.EventChunkSteal, collector.EventTaskSteal:
+		return true
+	}
+	return false
+}
+
+// governorTransition is the governor's OnTransition hook: record the
+// ladder move as an OMP_EVENT_GOVERNOR sample so the trace explains
+// its own degradation offline. Only the governor's tick goroutine
+// calls it, so the buffer keeps a single writer; it lives on the
+// tool-owned pseudo-thread -1 and flows through the normal relay /
+// streaming / ingest path.
+func (t *Tool) governorTransition(tr degrade.Transition) {
+	buf := t.govBuf
+	if buf == nil {
+		t.bufMu.Lock()
+		buf = t.newBuffer(govThread)
+		t.extras = append(t.extras, threadBuf{id: govThread, buf: buf})
+		t.bufMu.Unlock()
+		t.govBuf = buf
+	}
+	buf.Append(perf.Sample{
+		Time:    perf.Cycles(),
+		Thread:  govThread,
+		Event:   int32(collector.EventGovernor),
+		State:   int32(tr.To),    // new ladder level
+		Region:  uint64(tr.From), // previous level
+		Site:    uint64(tr.Reason),
+		StackID: perf.NoStack,
+	})
+}
+
+// govThread is the pseudo-thread number governor samples record under.
+const govThread int32 = -1
 
 // pinDescriptor is the collector's bind hook: it installs the thread's
 // trace buffer in the descriptor. The master rebinds on every region
@@ -607,6 +736,12 @@ func (t *Tool) detach() {
 	if t.sampler != nil {
 		t.sampler.stop()
 	}
+	if t.gov != nil {
+		// Stop the governor before the stream flush: its tick goroutine
+		// is the single writer of the governor event buffer, which the
+		// flush below is about to drain.
+		t.gov.Stop()
+	}
 	// Stop event generation first, then wait for dispatches already in
 	// flight: once quiescent no writer can touch a buffer, so the final
 	// stream flush and the unpinning below are race-free. With a
@@ -685,11 +820,26 @@ func startSampler(t *Tool, period time.Duration, floor int) *sampler {
 		// tick reuses them and allocates nothing but the ID list.
 		var wire []byte
 		var obs []collector.StateObservation
+		var skipped int
 		for {
 			select {
 			case <-s.done:
 				return
 			case <-tick.C:
+				if g := t.gov; g != nil {
+					if g.Level() >= degrade.LevelReducedSampler {
+						// Reduced-sampler mode: process only every
+						// SamplerScale'th tick. Skipping here rather than
+						// resetting the ticker keeps the cadence shift
+						// instantaneous in both directions.
+						if skipped++; skipped%degrade.SamplerScale != 0 {
+							continue
+						}
+					} else {
+						skipped = 0
+					}
+				}
+				start := perf.Cycles()
 				// Poll the live descriptor set each tick, not a thread
 				// count frozen at attach: threads added by a later
 				// SetNumThreads or a larger team must be observed too.
@@ -704,6 +854,9 @@ func startSampler(t *Tool, period time.Duration, floor int) *sampler {
 					}
 				}
 				t.mu.Unlock()
+				if g := t.gov; g != nil {
+					g.Meter().AddSampler(perf.Cycles() - start)
+				}
 			}
 		}
 	}()
@@ -801,6 +954,36 @@ type Report struct {
 	IngestStorageChunks  uint64
 	IngestStorageSamples uint64
 	IngestReconnects     uint64
+	// IngestProducedChunks counts every trace block handed to the
+	// network sink; with the spill counters below it closes the chunk
+	// conservation invariant the sink maintains:
+	//
+	//   produced == shipped + dropped + storage + replayed + pending
+	//
+	// IngestSpilledChunks counts blocks that took the store-and-forward
+	// detour to disk (Options.SpillDir); of those, IngestReplayedChunks
+	// were delivered and acknowledged after replay, and
+	// IngestSpillPendingChunks were still on disk when the sink shut
+	// down (retained there, not lost). IngestOverloadedAcks counts
+	// INGEST_OVERLOADED acks from the daemon — the backpressure signal
+	// fed to the overhead governor.
+	IngestProducedChunks      uint64
+	IngestProducedSamples     uint64
+	IngestSpilledChunks       uint64
+	IngestSpilledSamples      uint64
+	IngestReplayedChunks      uint64
+	IngestReplayedSamples     uint64
+	IngestSpillPendingChunks  uint64
+	IngestSpillPendingSamples uint64
+	IngestOverloadedAcks      uint64
+	// GovernorSteps is the overhead governor's transition history (nil
+	// when Options.OverheadCeiling is off); GovernorLevel and
+	// GovernorRatio are its final ladder level and EWMA overhead ratio
+	// against GovernorCeiling.
+	GovernorSteps   []degrade.Transition
+	GovernorLevel   degrade.Level
+	GovernorRatio   float64
+	GovernorCeiling float64
 	// Health is the collector's fault-isolation snapshot: contained
 	// callback panics, watchdog breaker trips, wedged callbacks.
 	Health *collector.Health
@@ -857,10 +1040,25 @@ func (t *Tool) Report() *Report {
 			r.IngestDroppedSamples = n.droppedSamples.Load()
 			r.IngestStorageChunks = n.storageChunks.Load()
 			r.IngestStorageSamples = n.storageSamples.Load()
+			r.IngestProducedChunks = n.produced.Load()
+			r.IngestProducedSamples = n.producedSamples.Load()
+			r.IngestReplayedChunks = n.replayed.Load()
+			r.IngestReplayedSamples = n.replayedSamples.Load()
+			r.IngestOverloadedAcks = n.overloadedAcks.Load()
+			if sp := n.spill; sp != nil {
+				r.IngestSpilledChunks, r.IngestSpilledSamples = sp.stats()
+				r.IngestSpillPendingChunks, r.IngestSpillPendingSamples = sp.pendingCounts()
+			}
 			if c := n.connects.Load(); c > 1 {
 				r.IngestReconnects = c - 1
 			}
 		}
+	}
+	if g := t.gov; g != nil {
+		r.GovernorSteps = g.Steps()
+		r.GovernorLevel = g.Level()
+		r.GovernorRatio = g.Ratio()
+		r.GovernorCeiling = g.Ceiling()
 	}
 	r.Health = t.col.Health()
 	if p := t.wedged.Load(); p != nil {
@@ -934,10 +1132,29 @@ func (r *Report) WriteTo(w io.Writer) (int64, error) {
 		}
 	}
 	if r.IngestShippedChunks > 0 || r.IngestDroppedChunks > 0 || r.IngestReconnects > 0 {
-		if err := p("  ingest: %d shipped chunks, %d dropped chunks (%d samples), %d reconnects\n",
-			r.IngestShippedChunks, r.IngestDroppedChunks,
-			r.IngestDroppedSamples, r.IngestReconnects); err != nil {
+		if err := p("  ingest: %d produced chunks, %d shipped, %d dropped (%d samples), %d reconnects, %d overloaded acks\n",
+			r.IngestProducedChunks, r.IngestShippedChunks, r.IngestDroppedChunks,
+			r.IngestDroppedSamples, r.IngestReconnects, r.IngestOverloadedAcks); err != nil {
 			return n, err
+		}
+	}
+	if r.IngestSpilledChunks > 0 || r.IngestSpillPendingChunks > 0 {
+		if err := p("  spill: %d chunks (%d samples) spilled to disk, %d (%d samples) replayed and acked, %d (%d samples) still pending on disk\n",
+			r.IngestSpilledChunks, r.IngestSpilledSamples,
+			r.IngestReplayedChunks, r.IngestReplayedSamples,
+			r.IngestSpillPendingChunks, r.IngestSpillPendingSamples); err != nil {
+			return n, err
+		}
+	}
+	if r.GovernorCeiling > 0 {
+		if err := p("  governor: level %s, overhead %.4f (ceiling %.4f), %d transitions\n",
+			r.GovernorLevel, r.GovernorRatio, r.GovernorCeiling, len(r.GovernorSteps)); err != nil {
+			return n, err
+		}
+		for _, tr := range r.GovernorSteps {
+			if err := p("    %s\n", tr); err != nil {
+				return n, err
+			}
 		}
 	}
 	if r.IngestStorageChunks > 0 {
